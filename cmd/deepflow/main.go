@@ -1,0 +1,112 @@
+// Command deepflow brings up a simulated cluster running one of the
+// evaluation workloads, deploys DeepFlow over it in zero code, drives load,
+// and prints the span list and an assembled distributed trace.
+//
+// Usage:
+//
+//	deepflow [-workload springboot|bookinfo|nginx] [-rate 200] [-duration 2s] [-traces 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"deepflow/internal/core"
+	"deepflow/internal/k8s"
+	"deepflow/internal/microsim"
+	"deepflow/internal/server"
+	"deepflow/internal/sim"
+	"deepflow/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "springboot", "workload: springboot | bookinfo | nginx")
+	rate := flag.Float64("rate", 200, "offered load (requests/second)")
+	duration := flag.Duration("duration", 2*time.Second, "load duration (virtual time)")
+	nTraces := flag.Int("traces", 1, "number of assembled traces to print")
+	asJSON := flag.Bool("json", false, "print traces as JSON instead of trees")
+	flag.Parse()
+
+	env := microsim.NewEnv(1)
+	var topo *microsim.Topology
+	switch *workload {
+	case "springboot":
+		topo = microsim.BuildSpringBootDemo(env, nil)
+	case "bookinfo":
+		topo = microsim.BuildBookinfo(env, nil)
+	case "nginx":
+		topo, _ = microsim.BuildNginx(env)
+	default:
+		fmt.Fprintf(os.Stderr, "deepflow: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	d := core.NewDeployment(env, []*k8s.Cluster{topo.Cluster}, nil, core.DefaultOptions())
+	if err := d.DeployAll(); err != nil {
+		fmt.Fprintf(os.Stderr, "deepflow: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("deployed %d agents (zero code, in-flight) over workload %q\n", d.Agents(), *workload)
+
+	gen := microsim.NewLoadGen(env, "wrk", topo.ClientHost, topo.Entry, 8, *rate)
+	if *workload == "bookinfo" {
+		gen.Path = "/productpage"
+	} else {
+		gen.Path = "/api/items"
+	}
+	gen.Start(*duration)
+	env.Run(*duration + time.Second)
+	d.FlushAll()
+
+	fmt.Printf("load: %d completed, %d errors, p50=%v p90=%v\n",
+		gen.Completed, gen.Errors, gen.Latency.Percentile(50), gen.Latency.Percentile(90))
+	fmt.Printf("server: %d spans ingested, %d flow samples\n\n",
+		d.Server.SpansIngested, d.Server.FlowsIngested)
+
+	// RED-style overview per service, then drill into slow invocations.
+	fmt.Println("service overview:")
+	for _, sum := range d.Server.SummarizeServices(sim.Epoch, sim.Epoch.Add(24*time.Hour)) {
+		fmt.Printf("  %-16s %5d req  %3d err  mean=%-10v max=%v\n",
+			sum.Service, sum.Requests, sum.Errors, sum.MeanDur, sum.MaxDur)
+	}
+	slow := d.Server.SlowestSpans(sim.Epoch, sim.Epoch.Add(24*time.Hour),
+		server.SpanFilter{TapSide: trace.TapServerProcess}, 3)
+	if len(slow) > 0 {
+		fmt.Println("\nslowest server invocations (Algorithm 1 starting points):")
+		for _, sp := range slow {
+			dec := d.Server.Decorate(sp)
+			fmt.Printf("  span #%-6d %-14s %-24s %v\n", sp.ID, dec.Tags.Pod,
+				sp.RequestType+" "+sp.RequestResource, sp.Duration())
+		}
+	}
+	fmt.Println()
+
+	spans := d.Server.SpanList(sim.Epoch, sim.Epoch.Add(24*time.Hour), 0)
+	printed := 0
+	for _, sp := range spans {
+		if printed >= *nTraces {
+			break
+		}
+		if sp.ProcessName != "wrk" || sp.TapSide != trace.TapClientProcess || sp.ResponseStatus != "ok" {
+			continue
+		}
+		tr := d.Server.Trace(sp.ID)
+		if *asJSON {
+			raw, err := d.Server.ExportTraceJSON(tr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "deepflow: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(string(raw))
+		} else {
+			fmt.Printf("trace for span #%d (%d spans, depth %d):\n%s\n",
+				sp.ID, tr.Len(), tr.Depth(), d.Server.FormatTrace(tr))
+		}
+		printed++
+	}
+	if printed == 0 {
+		fmt.Println("no completed request spans found")
+	}
+}

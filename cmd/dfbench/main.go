@@ -1,0 +1,99 @@
+// Command dfbench regenerates the paper's evaluation tables and figures on
+// the simulated substrate.
+//
+// Usage:
+//
+//	dfbench [-scale small|paper] fig2|fig3|fig13|fig14|fig15|fig16a|fig16b|fig19|ablation|all
+//
+// Output for each experiment is a plain-text table plus notes comparing
+// against the paper's reported numbers. EXPERIMENTS.md records a captured
+// run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"deepflow/internal/experiments"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "experiment scale: small (seconds) or paper (minutes)")
+	md := flag.Bool("md", false, "emit markdown instead of plain text")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: dfbench [-scale small|paper] [-md] <fig2|fig3|fig13|fig14|fig15|fig16a|fig16b|fig19|ablation|all>")
+		os.Exit(2)
+	}
+
+	big := *scale == "paper"
+	pick := func(small, paper int) int {
+		if big {
+			return paper
+		}
+		return small
+	}
+
+	runners := map[string]func() (*experiments.Table, error){
+		"fig2": experiments.Fig2,
+		"fig3": func() (*experiments.Table, error) { return experiments.Fig3(), nil },
+		"fig13": func() (*experiments.Table, error) {
+			return experiments.Fig13(pick(20000, 100000))
+		},
+		"fig14": func() (*experiments.Table, error) {
+			return experiments.Fig14(pick(100000, 1000000), pick(2000, 10000))
+		},
+		"fig15": func() (*experiments.Table, error) {
+			return experiments.Fig15(pick(2000, 20000), 12, pick(200, 1000))
+		},
+		"fig16a": func() (*experiments.Table, error) {
+			rates := []float64{1000, 2000, 4000, 6000, 8000}
+			if !big {
+				rates = []float64{2000, 6000}
+			}
+			return experiments.Fig16("springboot", rates, time.Duration(pick(1, 5))*time.Second)
+		},
+		"fig16b": func() (*experiments.Table, error) {
+			rates := []float64{500, 1000, 2000, 3000, 4000}
+			if !big {
+				rates = []float64{1000, 3000}
+			}
+			return experiments.Fig16("bookinfo", rates, time.Duration(pick(1, 5))*time.Second)
+		},
+		"fig19": func() (*experiments.Table, error) {
+			rates := []float64{10000, 30000, 50000, 60000, 70000}
+			if !big {
+				rates = []float64{20000, 60000}
+			}
+			return experiments.Fig19(rates, time.Duration(pick(1, 5))*time.Second)
+		},
+	}
+	runners["ablation"] = experiments.Ablation
+	order := []string{"fig2", "fig3", "fig13", "fig14", "fig15", "fig16a", "fig16b", "fig19", "ablation"}
+
+	targets := flag.Args()
+	if len(targets) == 1 && targets[0] == "all" {
+		targets = order
+	}
+	for _, name := range targets {
+		run, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dfbench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		table, err := run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dfbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *md {
+			fmt.Print(table.Markdown())
+		} else {
+			fmt.Print(table.Format())
+		}
+		fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

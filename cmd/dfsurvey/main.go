@@ -1,0 +1,29 @@
+// Command dfsurvey prints the paper's production questionnaire data
+// (Fig. 9, Fig. 10, and Appendix C Tables 4–5). This is human-subject data
+// reproduced verbatim — it cannot be re-measured — and is included so the
+// reproduction's documentation of §4 is self-contained.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"deepflow/internal/experiments"
+)
+
+func main() {
+	md := flag.Bool("md", false, "emit markdown")
+	flag.Parse()
+	for _, t := range []*experiments.Table{
+		experiments.Fig9(),
+		experiments.Fig10(),
+		experiments.Table4(),
+		experiments.Table5(),
+	} {
+		if *md {
+			fmt.Print(t.Markdown())
+		} else {
+			fmt.Println(t.Format())
+		}
+	}
+}

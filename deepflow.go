@@ -1,0 +1,55 @@
+// Package deepflow is a from-scratch Go reproduction of "Network-Centric
+// Distributed Tracing with DeepFlow: Troubleshooting Your Microservices in
+// Zero Code" (SIGCOMM 2023).
+//
+// It provides the paper's full system — an eBPF-style in-kernel tracing
+// plane, the DeepFlow agent (implicit context propagation, session
+// aggregation, protocol inference, flow metrics), and the DeepFlow server
+// (smart-encoded tag storage, Algorithm-1 trace assembly, tag-correlated
+// metrics) — together with every substrate it needs to run on a laptop: a
+// discrete-event simulated kernel, network, Kubernetes cluster, and
+// microservice workloads.
+//
+// Quick start:
+//
+//	env := deepflow.NewEnv(1)
+//	topo := microsim.BuildSpringBootDemo(env, nil)
+//	df := deepflow.New(env, []*k8s.Cluster{topo.Cluster}, nil, deepflow.DefaultOptions())
+//	if err := df.DeployAll(); err != nil { ... }
+//	gen := microsim.NewLoadGen(env, "wrk", topo.ClientHost, topo.Entry, 8, 200)
+//	gen.Start(5 * time.Second)
+//	env.Run(6 * time.Second)
+//	df.FlushAll()
+//	spans := df.Server.SpanList(from, to, 20)
+//	tr := df.Server.Trace(spans[0].ID)
+//	fmt.Print(df.Server.FormatTrace(tr))
+//
+// See examples/ for runnable programs and DESIGN.md for the system map.
+package deepflow
+
+import (
+	"deepflow/internal/cloud"
+	"deepflow/internal/core"
+	"deepflow/internal/k8s"
+	"deepflow/internal/microsim"
+)
+
+// Deployment is a running DeepFlow installation (agents + server).
+type Deployment = core.Deployment
+
+// Options tunes a deployment.
+type Options = core.Options
+
+// DefaultOptions returns a full-featured deployment configuration.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// NewEnv creates a simulation environment (engine + network) with a
+// deterministic seed.
+func NewEnv(seed int64) *microsim.Env { return microsim.NewEnv(seed) }
+
+// New creates a DeepFlow deployment over an environment. clusters supply
+// Kubernetes resource tags and cl (optional, may be nil) cloud resource
+// tags — the inputs to smart encoding.
+func New(env *microsim.Env, clusters []*k8s.Cluster, cl *cloud.Registry, opts Options) *Deployment {
+	return core.NewDeployment(env, clusters, cl, opts)
+}

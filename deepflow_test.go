@@ -1,0 +1,111 @@
+package deepflow_test
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"deepflow"
+	"deepflow/internal/k8s"
+	"deepflow/internal/microsim"
+	"deepflow/internal/sim"
+	"deepflow/internal/trace"
+)
+
+// TestPublicAPIQuickstart drives the documented quickstart flow end to end
+// through the root package.
+func TestPublicAPIQuickstart(t *testing.T) {
+	env := deepflow.NewEnv(1)
+	topo := microsim.BuildSpringBootDemo(env, nil)
+	df := deepflow.New(env, []*k8s.Cluster{topo.Cluster}, nil, deepflow.DefaultOptions())
+	if err := df.DeployAll(); err != nil {
+		t.Fatal(err)
+	}
+	if df.Agents() == 0 {
+		t.Fatal("no agents deployed")
+	}
+
+	gen := microsim.NewLoadGen(env, "wrk", topo.ClientHost, topo.Entry, 4, 100)
+	gen.Path = "/api/items"
+	gen.Start(time.Second)
+	env.Run(2 * time.Second)
+	df.FlushAll()
+
+	if gen.Completed == 0 || gen.Errors > 0 {
+		t.Fatalf("load: %d ok, %d errors", gen.Completed, gen.Errors)
+	}
+	spans := df.Server.SpanList(sim.Epoch, sim.Epoch.Add(time.Hour), 0)
+	if len(spans) == 0 {
+		t.Fatal("no spans collected")
+	}
+
+	var start *trace.Span
+	for _, sp := range spans {
+		if sp.ProcessName == "wrk" && sp.TapSide == trace.TapClientProcess {
+			start = sp
+			break
+		}
+	}
+	tr := df.TraceOf(start.ID)
+	if tr.Len() < 15 {
+		t.Fatalf("trace = %d spans", tr.Len())
+	}
+
+	// JSON export round-trips and carries decoded tags.
+	raw, err := df.Server.ExportTraceJSON(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		RootSpanID uint64 `json:"root_span_id"`
+		SpanCount  int    `json:"span_count"`
+		Spans      []struct {
+			TapSide string `json:"tap_side"`
+			Pod     string `json:"pod"`
+			Service string `json:"service"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("export not valid JSON: %v", err)
+	}
+	if decoded.SpanCount != tr.Len() || decoded.RootSpanID != uint64(tr.Root.ID) {
+		t.Fatalf("export header = %+v", decoded)
+	}
+	var podTagged bool
+	for _, sp := range decoded.Spans {
+		if sp.Pod != "" && sp.Service != "" {
+			podTagged = true
+		}
+	}
+	if !podTagged {
+		t.Fatal("export has no decoded pod/service tags")
+	}
+
+	df.Stop()
+}
+
+// TestDeterministicRuns: the same seed reproduces the same span population
+// — the property all experiments rely on.
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (int, int) {
+		env := deepflow.NewEnv(99)
+		topo := microsim.BuildSpringBootDemo(env, nil)
+		df := deepflow.New(env, []*k8s.Cluster{topo.Cluster}, nil, deepflow.DefaultOptions())
+		if err := df.DeployAll(); err != nil {
+			t.Fatal(err)
+		}
+		gen := microsim.NewLoadGen(env, "wrk", topo.ClientHost, topo.Entry, 4, 120)
+		gen.Start(time.Second)
+		env.Run(2 * time.Second)
+		df.FlushAll()
+		return gen.Completed, df.Server.SpansIngested
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if c1 != c2 || s1 != s2 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", c1, s1, c2, s2)
+	}
+	if c1 == 0 || s1 == 0 {
+		t.Fatal("empty run")
+	}
+}

@@ -1,0 +1,60 @@
+// mqreset reproduces the paper's §4.1.3 case study: a message queue's
+// backlog causes TCP connection resets; correlating traces with network
+// metrics (tag-based correlation, §3.4) pinpoints the responsible flow in
+// one query — where an application-level tracer only sees "errors".
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"deepflow"
+	"deepflow/internal/faults"
+	"deepflow/internal/k8s"
+	"deepflow/internal/microsim"
+	"deepflow/internal/sim"
+	"deepflow/internal/simnet"
+	"deepflow/internal/trace"
+)
+
+func main() {
+	env := deepflow.NewEnv(5)
+	cluster := k8s.NewCluster("prod", env.Net)
+	machine := env.Net.AddHost("machine-1", simnet.KindMachine, nil)
+	node := cluster.AddNode("node-1", machine)
+	pub, _ := cluster.AddPod("order-svc-0", "default", "order-svc", node, nil)
+	mqPod, _ := cluster.AddPod("rabbitmq-0", "default", "rabbitmq", node, nil)
+
+	// A RabbitMQ-like broker whose consumer drains slowly: the queue
+	// backs up and the broker starts resetting publisher connections.
+	microsim.MustComponent(env, microsim.Config{
+		Name: "rabbitmq", Host: mqPod.Host, Port: 5672, Proto: trace.L7MQTT,
+		Workers: 16, QueueMode: true, QueueCap: 20,
+		ServiceTime: sim.Const{D: 100 * time.Microsecond},
+		DrainTime:   sim.Const{D: 400 * time.Millisecond},
+	})
+
+	df := deepflow.New(env, []*k8s.Cluster{cluster}, nil, deepflow.DefaultOptions())
+	if err := df.DeployAll(); err != nil {
+		log.Fatal(err)
+	}
+
+	gen := microsim.NewLoadGen(env, "order-svc", pub.Host, env.Component("rabbitmq"), 32, 400)
+	gen.Path = "orders/created"
+	gen.Start(3 * time.Second)
+	env.Run(4 * time.Second)
+	df.FlushAll()
+
+	fmt.Printf("publisher: %d ok, %d failed publishes\n", gen.Completed, gen.Errors)
+	fmt.Printf("broker resets issued: %d\n\n", env.Component("rabbitmq").Resets)
+
+	// The §4.1.3 workflow: start from failing spans, pull the correlated
+	// network metrics, find the resets.
+	src := faults.LocalizeResets(df.Server, sim.Epoch, env.Eng.Now())
+	fmt.Printf("metric-by-metric analysis: flow %s shows %.0f TCP resets (host %s)\n",
+		src.Flow, src.Resets, src.Host)
+	fmt.Println("\npaper §4.1.3: \"users found in one minute that the queue backlog of")
+	fmt.Println("RabbitMQ was causing the TCP connection resets\" — application-level")
+	fmt.Println("tracers could only see the affected spans, not the network cause.")
+}

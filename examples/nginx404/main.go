@@ -1,0 +1,50 @@
+// nginx404 reproduces the paper's §4.1.1 case study: a live service is
+// failing (one ingress pod returns 404); DeepFlow is deployed ON THE FLY —
+// while the system keeps running, with zero code changes — and the faulty
+// pod is localized from the traces within (virtual) seconds.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"deepflow"
+	"deepflow/internal/faults"
+	"deepflow/internal/k8s"
+	"deepflow/internal/microsim"
+)
+
+func main() {
+	env := deepflow.NewEnv(3)
+	topo := microsim.BuildBookinfo(env, nil)
+
+	// The bug ships before anyone watches: the productpage ingress proxy
+	// (our Nginx Ingress Control stand-in) starts answering 404.
+	faults.InjectPodError(env.Component("productpage-envoy"), "/productpage", 404)
+
+	gen := microsim.NewLoadGen(env, "client", topo.ClientHost, topo.Entry, 4, 80)
+	gen.Path = "/productpage"
+	gen.Start(6 * time.Second)
+
+	// One second of failing traffic with NO observability deployed.
+	env.Run(time.Second)
+	fmt.Println("T+1s: users see timeouts/404s; nothing is instrumented")
+
+	// Deploy DeepFlow mid-flight: no restarts, no code, no redeploys.
+	df := deepflow.New(env, []*k8s.Cluster{topo.Cluster}, nil, deepflow.DefaultOptions())
+	if err := df.DeployAll(); err != nil {
+		log.Fatal(err)
+	}
+	deployedAt := env.Eng.Now()
+	fmt.Printf("T+1s: DeepFlow deployed on %d hosts while the service is live\n", df.Agents())
+
+	env.Run(6 * time.Second)
+	df.FlushAll()
+
+	verdict := faults.LocalizeErrorSource(df.Server, deployedAt, env.Eng.Now())
+	fmt.Printf("\nroot cause localized: pod %q (%d error spans)\n", verdict.Pod, verdict.Errors)
+	fmt.Println("paper §4.1.1: \"within 15 minutes, the root cause is identified: one of the")
+	fmt.Println("pods hosting Nginx Ingress Control in the cluster has an error, thus")
+	fmt.Println("returning a 404 status code\" — without modifying a single line of code.")
+}

@@ -1,0 +1,3 @@
+module deepflow
+
+go 1.22

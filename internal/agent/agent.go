@@ -1,0 +1,483 @@
+package agent
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"deepflow/internal/protocols"
+	"deepflow/internal/sim"
+	"deepflow/internal/simkernel"
+	"deepflow/internal/simnet"
+	"deepflow/internal/trace"
+)
+
+// Mode selects how much of the agent runs (the Fig. 19 scenarios).
+type Mode uint8
+
+// Agent modes.
+const (
+	// ModeOff deploys nothing (baseline).
+	ModeOff Mode = iota
+	// ModeEBPFOnly attaches the hook programs and drains the perf buffer
+	// but performs no user-space processing.
+	ModeEBPFOnly
+	// ModeFull runs the complete agent pipeline.
+	ModeFull
+)
+
+// FlowSample is one interval's network metrics for a flow at a capture
+// point, exported to the metrics plane for tag-based correlation (§3.4).
+type FlowSample struct {
+	TS    time.Time
+	Host  string
+	NIC   string
+	Tuple trace.FiveTuple // canonical
+	Delta trace.NetMetrics
+
+	// KernelPackets/KernelBytes are scraped from the in-kernel
+	// flow-statistics map (aggregated by the eBPF plane, not per-event).
+	KernelPackets uint64
+	KernelBytes   uint64
+}
+
+// Sink receives the agent's output (the DeepFlow server implements it).
+type Sink interface {
+	IngestSpan(*trace.Span)
+	IngestFlow(FlowSample)
+}
+
+// Config tunes an agent deployment.
+type Config struct {
+	Mode         Mode
+	EnablePacket bool // tap this host's NIC (cBPF/AF_PACKET plane)
+	EnableUprobe bool // attach TLS uprobes (ssl_read/ssl_write)
+	PerfCapacity int
+	ExtraCodecs  []protocols.Codec
+
+	// VPCID is the smart-encoding phase-1 tag injected by the agent.
+	VPCID int32
+
+	// HookCost is the per-hook latency the eBPF plane adds to each
+	// syscall; AgentCost is the additional user-space processing share in
+	// full mode. Both are calibrated from the Fig. 13 microbenchmarks.
+	HookCost  time.Duration
+	AgentCost time.Duration
+
+	// ProxyProcesses are process-name substrings of event-loop proxies
+	// (paper §3.3.2: for HAProxy, Envoy, and Nginx "DeepFlow utilizes its
+	// original capabilities to generate X-Request-IDs ... preserving the
+	// association of spans across threads"). Their spans skip
+	// thread-based systrace assignment, which is meaningless on an event
+	// loop, and associate through X-Request-IDs instead.
+	ProxyProcesses []string
+}
+
+// DefaultConfig returns a full-function agent configuration with overhead
+// constants taken from our measured Fig. 13 results (sub-microsecond per
+// hook, as in the paper's 277–889 ns range).
+func DefaultConfig() Config {
+	return Config{
+		Mode:           ModeFull,
+		EnablePacket:   true,
+		PerfCapacity:   65536,
+		HookCost:       300 * time.Nanosecond,
+		AgentCost:      150 * time.Nanosecond,
+		ProxyProcesses: []string{"nginx", "envoy", "haproxy"},
+	}
+}
+
+// Agent is one deployed DeepFlow agent on one host.
+type Agent struct {
+	Host *simnet.Host
+	Cfg  Config
+
+	Progs   *Programs
+	tracer  *SysTracer
+	sysSess *Sessionizer
+	nicSess *Sessionizer
+	sink    Sink
+
+	flows      map[trace.FiveTuple]*flowMetrics
+	sockTuples map[trace.SocketID]trace.FiveTuple
+
+	scratch []byte
+	atts    []*simkernel.Attachment
+	tap     *simnet.Tap
+
+	// Stats.
+	SpansEmitted  int
+	EventsHandled int
+	PacketsSeen   uint64
+
+	// CPUTime accumulates real wall-clock time spent inside the agent's
+	// own code paths (hook execution plus user-space processing) — the
+	// resource self-accounting behind the Fig. 19(c) CPU panels.
+	CPUTime time.Duration
+}
+
+type flowMetrics struct {
+	total     trace.NetMetrics
+	lastFlush trace.NetMetrics
+}
+
+// New creates an agent for host delivering to sink.
+func New(host *simnet.Host, cfg Config, sink Sink) (*Agent, error) {
+	if cfg.PerfCapacity == 0 {
+		cfg.PerfCapacity = 65536
+	}
+	a := &Agent{
+		Host:       host,
+		Cfg:        cfg,
+		sink:       sink,
+		flows:      make(map[trace.FiveTuple]*flowMetrics),
+		sockTuples: make(map[trace.SocketID]trace.FiveTuple),
+		scratch:    make([]byte, simkernel.CtxSize),
+	}
+	ids := host.Net.IDs
+	a.tracer = NewSysTracer(ids)
+	a.sysSess = NewSessionizer(ids, a.tracer, cfg.ExtraCodecs, a.emitSpan)
+	a.nicSess = NewSessionizer(ids, nil, cfg.ExtraCodecs, a.emitSpan)
+	progs, err := BuildPrograms(cfg.PerfCapacity)
+	if err != nil {
+		return nil, err
+	}
+	progs.VM.Clock = func() int64 { return int64(host.Net.Eng.Elapsed()) }
+	a.Progs = progs
+	return a, nil
+}
+
+// Start deploys the agent: verifies and attaches hook programs on the
+// host's kernel (zero code, in-flight — no process restarts), registers the
+// NIC tap, and begins exporting. Safe to call while workloads are running,
+// matching the paper's on-the-fly deployment (§4.1.1).
+func (a *Agent) Start() error {
+	if a.Cfg.Mode == ModeOff {
+		return nil
+	}
+	k := a.Host.Kernel
+	k.HookCost = a.Cfg.HookCost
+	if a.Cfg.Mode == ModeFull {
+		k.HookCost += a.Cfg.AgentCost
+	}
+
+	attach := func(abi simkernel.ABI, phase simkernel.Phase, kind simkernel.AttachKind, prog string, fn simkernel.HookFn) error {
+		at, err := k.AttachSyscall(abi, phase, kind, prog, fn)
+		if err != nil {
+			return err
+		}
+		a.atts = append(a.atts, at)
+		return nil
+	}
+
+	for _, abi := range append(append([]simkernel.ABI{}, simkernel.IngressABIs...), simkernel.EgressABIs...) {
+		// read/write family attaches via tracepoints, the *msg/*v family
+		// via kprobes, mirroring the mix of Fig. 13(a).
+		kind := simkernel.AttachKprobe
+		if abi == simkernel.ABIRead || abi == simkernel.ABIWrite {
+			kind = simkernel.AttachTracepoint
+		}
+		if err := attach(abi, simkernel.PhaseEnter, kind, "df_sys_enter", a.onEnter); err != nil {
+			return err
+		}
+		if err := attach(abi, simkernel.PhaseExit, kind, "df_sys_exit", a.onExit); err != nil {
+			return err
+		}
+	}
+
+	if a.Cfg.EnableUprobe {
+		for _, sym := range []string{"ssl_read", "ssl_write"} {
+			at, err := k.AttachUprobe(sym, simkernel.AttachUprobe, "df_uprobe", a.onUprobe)
+			if err != nil {
+				return err
+			}
+			a.atts = append(a.atts, at)
+		}
+	}
+
+	k.OnCoroutineCreate(func(_ *simkernel.Process, parent, child uint64) {
+		a.tracer.ObserveCoroutine(parent, child)
+	})
+
+	if a.Cfg.EnablePacket {
+		a.tap = a.Host.NIC.AddTap(a.onPacket)
+	}
+	return nil
+}
+
+// Stop detaches every hook and tap.
+func (a *Agent) Stop() {
+	for _, at := range a.atts {
+		at.Detach()
+	}
+	a.atts = nil
+	if a.tap != nil {
+		a.tap.Close()
+		a.tap = nil
+	}
+	a.Host.Kernel.HookCost = 0
+}
+
+func (a *Agent) onEnter(ctx *simkernel.HookContext) {
+	t0 := time.Now()
+	if err := a.Progs.RunHook(a.Progs.Enter, ctx, a.scratch); err != nil {
+		panic(fmt.Sprintf("agent: enter hook: %v", err))
+	}
+	a.CPUTime += time.Since(t0)
+}
+
+func (a *Agent) onExit(ctx *simkernel.HookContext) {
+	t0 := time.Now()
+	if err := a.Progs.RunHook(a.Progs.Exit, ctx, a.scratch); err != nil {
+		panic(fmt.Sprintf("agent: exit hook: %v", err))
+	}
+	if err := a.Progs.RunHook(a.Progs.FlowStats, ctx, a.scratch); err != nil {
+		panic(fmt.Sprintf("agent: flow-stats hook: %v", err))
+	}
+	a.drainPerf()
+	a.CPUTime += time.Since(t0)
+}
+
+func (a *Agent) onUprobe(ctx *simkernel.HookContext) {
+	t0 := time.Now()
+	if err := a.Progs.RunHook(a.Progs.Uprobe, ctx, a.scratch); err != nil {
+		panic(fmt.Sprintf("agent: uprobe hook: %v", err))
+	}
+	a.drainPerf()
+	a.CPUTime += time.Since(t0)
+}
+
+// drainPerf moves perf records into the user-space pipeline.
+func (a *Agent) drainPerf() {
+	recs := a.Progs.Perf.Drain()
+	if a.Cfg.Mode != ModeFull {
+		return // eBPF-only mode: capture without user-space processing
+	}
+	for _, rec := range recs {
+		ctx := simkernel.UnmarshalContext(rec)
+		a.handleEvent(&ctx)
+	}
+}
+
+// handleEvent converts one exit-phase hook context into a message event and
+// feeds the syscall sessionizer.
+func (a *Agent) handleEvent(ctx *simkernel.HookContext) {
+	a.EventsHandled++
+	if ctx.DataLen < 0 || len(ctx.Payload) == 0 {
+		return // failed or zero-length syscalls produce no message data
+	}
+	src := trace.SourceEBPF
+	if ctx.Phase == simkernel.PhaseEnter {
+		// Uprobe events arrive as enter-phase with payload.
+		src = trace.SourceUProbe
+	}
+	ev := MessageEvent{
+		Source:   src,
+		Host:     a.Host.Name,
+		Socket:   ctx.Socket,
+		Tuple:    ctx.Tuple,
+		Seq:      ctx.TCPSeq,
+		Dir:      ctx.ABI.Direction(),
+		Start:    nsTime(ctx.EnterNS),
+		End:      nsTime(ctx.ExitNS),
+		PID:      ctx.PID,
+		TID:      ctx.TID,
+		Coro:     ctx.CoroutineID,
+		ProcName: ctx.ProcName,
+		Payload:  ctx.Payload,
+		DataLen:  int(ctx.DataLen),
+	}
+	if ev.Dir == trace.DirEgress {
+		ev.TapSide = trace.TapClientProcess
+	} else {
+		ev.TapSide = trace.TapServerProcess
+	}
+	ev.NoThreadContext = a.isProxy(ctx.ProcName)
+	a.sockTuples[ctx.Socket] = ctx.Tuple.Canonical()
+	a.sysSess.Feed(ev)
+}
+
+// isProxy reports whether the process is a known event-loop proxy.
+func (a *Agent) isProxy(name string) bool {
+	for _, p := range a.Cfg.ProxyProcesses {
+		if strings.Contains(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// onPacket handles NIC tap captures: data packets feed the packet
+// sessionizer (device-level spans); control/fault packets feed the flow
+// metrics aggregator. Records arriving through a switch mirror (Fig. 18)
+// keep their origin NIC identity, so spans are attributed to the mirrored
+// device rather than the capture machine.
+func (a *Agent) onPacket(rec simnet.PacketRecord) {
+	t0 := time.Now()
+	defer func() { a.CPUTime += time.Since(t0) }()
+	a.PacketsSeen++
+	origin := a.Host
+	if rec.Host != "" && rec.Host != a.Host.Name {
+		if h := a.Host.Net.Host(rec.Host); h != nil {
+			origin = h
+		}
+	}
+	key := rec.Tuple.Canonical()
+	fm := a.flows[key]
+	if fm == nil {
+		fm = &flowMetrics{}
+		a.flows[key] = fm
+	}
+	switch rec.Kind {
+	case simnet.PktRetrans:
+		fm.total.Retransmissions++
+	case simnet.PktRST:
+		fm.total.Resets++
+	case simnet.PktARP:
+		fm.total.ARPRequests++
+	case simnet.PktData:
+		if senderIsUnder(origin, rec.Tuple.SrcIP) {
+			fm.total.BytesSent += uint64(rec.Len)
+		} else {
+			fm.total.BytesReceived += uint64(rec.Len)
+		}
+		if a.Cfg.Mode != ModeFull || !rec.First {
+			return
+		}
+		ev := MessageEvent{
+			Source:  trace.SourcePacket,
+			TapSide: tapSideOf(origin, rec.Tuple),
+			Host:    origin.Name,
+			Tuple:   rec.Tuple,
+			Seq:     rec.Seq,
+			Start:   rec.TS,
+			End:     rec.TS,
+			Payload: rec.Payload,
+			DataLen: rec.Len,
+		}
+		a.nicSess.Feed(ev)
+	}
+}
+
+// tapSideOf classifies a NIC's position relative to the packet's sender:
+// if the sender runs on (or under) the capture-origin host, a request seen
+// here is on the client side of the path.
+func tapSideOf(origin *simnet.Host, t trace.FiveTuple) trace.TapSide {
+	local := senderIsUnder(origin, t.SrcIP)
+	switch origin.Kind {
+	case simnet.KindPod:
+		if local {
+			return trace.TapClientNIC
+		}
+		return trace.TapServerNIC
+	case simnet.KindNode, simnet.KindMachine:
+		if local {
+			return trace.TapClientNode
+		}
+		return trace.TapServerNode
+	case simnet.KindGateway:
+		return trace.TapGateway
+	default:
+		return trace.TapUnknown
+	}
+}
+
+// senderIsUnder reports whether ip belongs to origin or a host nested
+// under it (a pod on this node).
+func senderIsUnder(origin *simnet.Host, ip trace.IP) bool {
+	h := origin.Net.HostByIP(ip)
+	for ; h != nil; h = h.Parent {
+		if h == origin {
+			return true
+		}
+	}
+	return false
+}
+
+// emitSpan finalizes a span: orient packet spans, inject phase-1 smart
+// encoding tags, attach flow metrics, and ship to the sink.
+func (a *Agent) emitSpan(sp *trace.Span) {
+	a.SpansEmitted++
+	sp.Resource.VPCID = a.Cfg.VPCID
+	sp.Resource.IP = a.Host.IP
+	// Mirrored captures attribute to the origin device (Fig. 18).
+	if sp.HostName != "" && sp.HostName != a.Host.Name {
+		if h := a.Host.Net.Host(sp.HostName); h != nil {
+			sp.Resource.IP = h.IP
+		}
+	}
+	if fm := a.flows[sp.Flow.Canonical()]; fm != nil {
+		sp.Net = fm.total
+	}
+	if a.sink != nil {
+		a.sink.IngestSpan(sp)
+	}
+}
+
+// IngestOTel integrates a third-party framework span (paper §3.3.2,
+// "Third-Party Span Integration").
+func (a *Agent) IngestOTel(sp *trace.Span) {
+	sp.Source = trace.SourceOTel
+	sp.TapSide = trace.TapApp
+	if sp.HostName == "" {
+		sp.HostName = a.Host.Name
+	}
+	a.emitSpan(sp)
+}
+
+// Flush expires stale sessions and exports flow-metric deltas; the
+// deployment calls it periodically and at shutdown.
+func (a *Agent) Flush(now time.Time) {
+	a.sysSess.Flush(now)
+	a.nicSess.Flush(now)
+	a.flushFlows(now)
+}
+
+// FlushAll force-completes every open session (end of experiment).
+func (a *Agent) FlushAll() {
+	a.sysSess.FlushAll()
+	a.nicSess.FlushAll()
+	a.flushFlows(a.Host.Net.Eng.Now())
+}
+
+func (a *Agent) flushFlows(now time.Time) {
+	if a.sink == nil {
+		return
+	}
+	// In-kernel aggregated flow statistics (scrape-and-clear).
+	for sock, stat := range a.Progs.ScrapeFlowStats() {
+		tuple, ok := a.sockTuples[trace.SocketID(sock)]
+		if !ok {
+			continue
+		}
+		a.sink.IngestFlow(FlowSample{
+			TS: now, Host: a.Host.Name, NIC: a.Host.NIC.Name,
+			Tuple: tuple, KernelPackets: stat.Packets, KernelBytes: stat.Bytes,
+		})
+	}
+	for tuple, fm := range a.flows {
+		delta := diffMetrics(fm.total, fm.lastFlush)
+		if delta == (trace.NetMetrics{}) {
+			continue
+		}
+		fm.lastFlush = fm.total
+		a.sink.IngestFlow(FlowSample{
+			TS: now, Host: a.Host.Name, NIC: a.Host.NIC.Name,
+			Tuple: tuple, Delta: delta,
+		})
+	}
+}
+
+func diffMetrics(cur, prev trace.NetMetrics) trace.NetMetrics {
+	return trace.NetMetrics{
+		Retransmissions: cur.Retransmissions - prev.Retransmissions,
+		Resets:          cur.Resets - prev.Resets,
+		ZeroWindows:     cur.ZeroWindows - prev.ZeroWindows,
+		RTT:             cur.RTT,
+		BytesSent:       cur.BytesSent - prev.BytesSent,
+		BytesReceived:   cur.BytesReceived - prev.BytesReceived,
+		ARPRequests:     cur.ARPRequests - prev.ARPRequests,
+	}
+}
+
+func nsTime(ns int64) time.Time { return sim.Epoch.Add(time.Duration(ns)) }

@@ -1,0 +1,212 @@
+// Package agent implements the DeepFlow Agent (paper Fig. 4): it attaches
+// verified ebpfvm programs to the simulated kernel's syscall hooks, drains
+// the perf buffer, associates enter/exit events, infers protocols, builds
+// message data and sessions (spans), assigns systrace IDs, captures network
+// spans and metrics from NIC taps, integrates third-party spans, and ships
+// everything to the DeepFlow server.
+package agent
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"deepflow/internal/ebpfvm"
+	"deepflow/internal/simkernel"
+)
+
+// Hook program design (paper §3.3.1): the enter program stashes the enter
+// timestamp in a hash map keyed by (pid,tid); the exit program joins it,
+// emits the full context to the perf buffer, and clears the map entry. The
+// kernel can only process one instrumented syscall per (pid,tid) at a time,
+// which is exactly what makes this join correct.
+
+// pidTgidKeySize is the map key size (pid<<32|tid as u64).
+const pidTgidKeySize = 8
+
+// enterValSize is the stored enter record: enter timestamp (u64).
+const enterValSize = 8
+
+// flowStatValSize is the per-socket in-kernel statistics record:
+// packets (u64) + bytes (u64).
+const flowStatValSize = 16
+
+// Programs bundles the loaded tracing-plane resources for one kernel.
+type Programs struct {
+	VM        *ebpfvm.Machine
+	Enter     *ebpfvm.Program
+	Exit      *ebpfvm.Program
+	Uprobe    *ebpfvm.Program
+	FlowStats *ebpfvm.Program
+	Empty     *ebpfvm.Program
+	MapFD     int64
+	PerfFD    int64
+	StatsFD   int64
+	Perf      *ebpfvm.PerfBuffer
+	InFlight  *ebpfvm.HashMap
+	Stats     *ebpfvm.HashMap
+}
+
+// BuildPrograms assembles and verifies the agent's hook programs against a
+// fresh VM. PerfCapacity bounds the perf ring (records are dropped, not
+// blocked, on overflow).
+func BuildPrograms(perfCapacity int) (*Programs, error) {
+	vm := ebpfvm.NewMachine()
+	inflight := ebpfvm.NewHashMap("df_inflight", pidTgidKeySize, enterValSize, 65536)
+	mapFD := vm.RegisterMap(inflight)
+	perf := ebpfvm.NewPerfBuffer("df_events", perfCapacity)
+	perfFD := vm.RegisterPerf(perf)
+
+	// Enter: inflight[pid_tgid] = ktime().
+	enter := ebpfvm.NewAsm("df_sys_enter").
+		Call(ebpfvm.HelperGetPidTgid).
+		Stx(ebpfvm.SizeDW, ebpfvm.R10, -8, ebpfvm.R0). // key at fp-8
+		Call(ebpfvm.HelperKtimeNS).
+		Stx(ebpfvm.SizeDW, ebpfvm.R10, -16, ebpfvm.R0). // value at fp-16
+		MovImm(ebpfvm.R1, mapFD).
+		MovReg(ebpfvm.R2, ebpfvm.R10).
+		AddImm(ebpfvm.R2, -8).
+		MovReg(ebpfvm.R3, ebpfvm.R10).
+		AddImm(ebpfvm.R3, -16).
+		Call(ebpfvm.HelperMapUpdate).
+		MovImm(ebpfvm.R0, 0).
+		Exit().
+		MustBuild()
+
+	// Exit: join with the enter record; emit the exit context (which
+	// carries enter and exit timestamps) to the perf buffer; clear the
+	// in-flight entry. If there is no enter record (hook attached
+	// mid-syscall) the event is emitted anyway — user space tolerates it.
+	exit := ebpfvm.NewAsm("df_sys_exit").
+		MovReg(ebpfvm.R6, ebpfvm.R1). // save ctx
+		Call(ebpfvm.HelperGetPidTgid).
+		Stx(ebpfvm.SizeDW, ebpfvm.R10, -8, ebpfvm.R0).
+		MovImm(ebpfvm.R1, mapFD).
+		MovReg(ebpfvm.R2, ebpfvm.R10).
+		AddImm(ebpfvm.R2, -8).
+		Call(ebpfvm.HelperMapLookup).
+		JeqImm(ebpfvm.R0, 0, "emit").
+		MovImm(ebpfvm.R1, mapFD).
+		MovReg(ebpfvm.R2, ebpfvm.R10).
+		AddImm(ebpfvm.R2, -8).
+		Call(ebpfvm.HelperMapDelete).
+		Label("emit").
+		MovImm(ebpfvm.R1, perfFD).
+		MovReg(ebpfvm.R2, ebpfvm.R6).
+		MovImm(ebpfvm.R3, simkernel.CtxSize).
+		Call(ebpfvm.HelperPerfOutput).
+		MovImm(ebpfvm.R0, 0).
+		Exit().
+		MustBuild()
+
+	// Uprobe/uretprobe extension: emit the user-space context directly
+	// (used for TLS plaintext capture, §3.2.1).
+	uprobe := ebpfvm.NewAsm("df_uprobe").
+		MovReg(ebpfvm.R6, ebpfvm.R1).
+		MovImm(ebpfvm.R1, perfFD).
+		MovReg(ebpfvm.R2, ebpfvm.R6).
+		MovImm(ebpfvm.R3, simkernel.CtxSize).
+		Call(ebpfvm.HelperPerfOutput).
+		MovImm(ebpfvm.R0, 0).
+		Exit().
+		MustBuild()
+
+	// Flow statistics: aggregate per-socket packet and byte counters
+	// entirely in kernel space — DeepFlow's low-cost network metrics
+	// (§1: "captures network metrics in a low-cost way"). The agent
+	// scrapes and clears the map at flush time instead of receiving one
+	// event per packet.
+	stats := ebpfvm.NewHashMap("df_flow_stats", 8, flowStatValSize, 65536)
+	statsFD := vm.RegisterMap(stats)
+	flow := ebpfvm.NewAsm("df_flow_stats").
+		// Skip failed syscalls (DataLen sign bit set).
+		Ldx(ebpfvm.SizeW, ebpfvm.R7, ebpfvm.R1, simkernel.CtxOffDataLen).
+		JsetImm(ebpfvm.R7, int64(1)<<31, "skip").
+		// key = socket id at fp-8.
+		Ldx(ebpfvm.SizeDW, ebpfvm.R6, ebpfvm.R1, simkernel.CtxOffSocket).
+		Stx(ebpfvm.SizeDW, ebpfvm.R10, -8, ebpfvm.R6).
+		MovImm(ebpfvm.R1, statsFD).
+		MovReg(ebpfvm.R2, ebpfvm.R10).
+		AddImm(ebpfvm.R2, -8).
+		Call(ebpfvm.HelperMapLookup).
+		JeqImm(ebpfvm.R0, 0, "init").
+		// Hit: increment counters in place in the map value.
+		Ldx(ebpfvm.SizeDW, ebpfvm.R2, ebpfvm.R0, 0).
+		AddImm(ebpfvm.R2, 1).
+		Stx(ebpfvm.SizeDW, ebpfvm.R0, 0, ebpfvm.R2).
+		Ldx(ebpfvm.SizeDW, ebpfvm.R2, ebpfvm.R0, 8).
+		AddReg(ebpfvm.R2, ebpfvm.R7).
+		Stx(ebpfvm.SizeDW, ebpfvm.R0, 8, ebpfvm.R2).
+		MovImm(ebpfvm.R0, 0).
+		Exit().
+		Label("init").
+		// Miss: write the initial {1, datalen} record.
+		MovImm(ebpfvm.R2, 1).
+		Stx(ebpfvm.SizeDW, ebpfvm.R10, -24, ebpfvm.R2).
+		Stx(ebpfvm.SizeDW, ebpfvm.R10, -16, ebpfvm.R7).
+		MovImm(ebpfvm.R1, statsFD).
+		MovReg(ebpfvm.R2, ebpfvm.R10).
+		AddImm(ebpfvm.R2, -8).
+		MovReg(ebpfvm.R3, ebpfvm.R10).
+		AddImm(ebpfvm.R3, -24).
+		Call(ebpfvm.HelperMapUpdate).
+		Label("skip").
+		MovImm(ebpfvm.R0, 0).
+		Exit().
+		MustBuild()
+
+	// Empty program: the theoretical-minimum overhead baseline used by the
+	// Fig. 13 experiment.
+	empty := ebpfvm.NewAsm("df_empty").
+		MovImm(ebpfvm.R0, 0).
+		Exit().
+		MustBuild()
+
+	env := ebpfvm.VerifyEnv{CtxSize: simkernel.CtxSize, Resolve: vm.Resolve}
+	for _, p := range []*ebpfvm.Program{enter, exit, uprobe, flow, empty} {
+		if err := ebpfvm.Verify(p, env); err != nil {
+			return nil, fmt.Errorf("agent: %w", err)
+		}
+	}
+	return &Programs{
+		VM: vm, Enter: enter, Exit: exit, Uprobe: uprobe, FlowStats: flow, Empty: empty,
+		MapFD: mapFD, PerfFD: perfFD, StatsFD: statsFD,
+		Perf: perf, InFlight: inflight, Stats: stats,
+	}, nil
+}
+
+// SocketStat is one scraped in-kernel flow-statistics record.
+type SocketStat struct {
+	Packets uint64
+	Bytes   uint64
+}
+
+// ScrapeFlowStats drains the in-kernel statistics map, returning the
+// per-socket counters accumulated since the previous scrape.
+func (p *Programs) ScrapeFlowStats() map[uint64]SocketStat {
+	out := make(map[uint64]SocketStat, p.Stats.Len())
+	p.Stats.Iterate(func(key string, val []byte) bool {
+		if len(key) != 8 || len(val) != flowStatValSize {
+			return true
+		}
+		le := binary.LittleEndian
+		out[le.Uint64([]byte(key))] = SocketStat{
+			Packets: le.Uint64(val[0:]),
+			Bytes:   le.Uint64(val[8:]),
+		}
+		return true
+	})
+	p.Stats.Clear()
+	return out
+}
+
+// RunHook marshals ctx and executes the program for the hook's task, the
+// kernel→BPF boundary crossing. The scratch buffer avoids per-event
+// allocation; callers may pass nil.
+func (p *Programs) RunHook(prog *ebpfvm.Program, ctx *simkernel.HookContext, scratch []byte) error {
+	if len(scratch) < simkernel.CtxSize {
+		scratch = make([]byte, simkernel.CtxSize)
+	}
+	buf := ctx.Marshal(scratch)
+	_, err := p.VM.Run(prog, buf, ebpfvm.Task{PID: ctx.PID, TID: ctx.TID})
+	return err
+}

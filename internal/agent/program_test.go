@@ -1,0 +1,124 @@
+package agent
+
+import (
+	"testing"
+
+	"deepflow/internal/ebpfvm"
+	"deepflow/internal/simkernel"
+	"deepflow/internal/trace"
+)
+
+func TestBuildProgramsVerifies(t *testing.T) {
+	progs, err := BuildPrograms(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, p := range map[string]*ebpfvm.Program{
+		"enter": progs.Enter, "exit": progs.Exit, "uprobe": progs.Uprobe,
+		"flow-stats": progs.FlowStats, "empty": progs.Empty,
+	} {
+		if p == nil {
+			t.Fatalf("%s program missing", name)
+		}
+	}
+}
+
+func TestEnterExitJoinThroughMap(t *testing.T) {
+	progs, err := BuildPrograms(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]byte, simkernel.CtxSize)
+	ctx := &simkernel.HookContext{
+		PID: 10, TID: 20, ABI: simkernel.ABIWrite,
+		Phase: simkernel.PhaseEnter, EnterNS: 111,
+	}
+	if err := progs.RunHook(progs.Enter, ctx, scratch); err != nil {
+		t.Fatal(err)
+	}
+	if progs.InFlight.Len() != 1 {
+		t.Fatalf("in-flight entries = %d after enter", progs.InFlight.Len())
+	}
+	ctx.Phase = simkernel.PhaseExit
+	ctx.ExitNS = 222
+	ctx.Payload = []byte("GET / HTTP/1.1\r\n\r\n")
+	ctx.DataLen = int32(len(ctx.Payload))
+	if err := progs.RunHook(progs.Exit, ctx, scratch); err != nil {
+		t.Fatal(err)
+	}
+	if progs.InFlight.Len() != 0 {
+		t.Fatalf("in-flight entries = %d after exit (join did not clear)", progs.InFlight.Len())
+	}
+	recs := progs.Perf.Drain()
+	if len(recs) != 1 {
+		t.Fatalf("perf records = %d", len(recs))
+	}
+	got := simkernel.UnmarshalContext(recs[0])
+	if got.PID != 10 || got.TID != 20 || got.ExitNS != 222 {
+		t.Fatalf("perf record = %+v", got)
+	}
+}
+
+func TestFlowStatsAggregateInKernel(t *testing.T) {
+	progs, err := BuildPrograms(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]byte, simkernel.CtxSize)
+	run := func(sock trace.SocketID, dlen int32) {
+		ctx := &simkernel.HookContext{
+			Socket: sock, ABI: simkernel.ABIWrite, Phase: simkernel.PhaseExit,
+			DataLen: dlen,
+		}
+		if err := progs.RunHook(progs.FlowStats, ctx, scratch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(1, 100)
+	run(1, 50)
+	run(2, 10)
+	run(2, -1) // failed syscall: must not count
+
+	stats := progs.ScrapeFlowStats()
+	if len(stats) != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if s := stats[1]; s.Packets != 2 || s.Bytes != 150 {
+		t.Fatalf("socket 1 stats = %+v", s)
+	}
+	if s := stats[2]; s.Packets != 1 || s.Bytes != 10 {
+		t.Fatalf("socket 2 stats = %+v", s)
+	}
+	// Scrape clears the map: next scrape is empty.
+	if again := progs.ScrapeFlowStats(); len(again) != 0 {
+		t.Fatalf("second scrape = %+v", again)
+	}
+	// Counters restart after a clear.
+	run(1, 7)
+	if s := progs.ScrapeFlowStats()[1]; s.Packets != 1 || s.Bytes != 7 {
+		t.Fatalf("post-clear stats = %+v", s)
+	}
+}
+
+func TestPerfOverflowDropsNotBlocks(t *testing.T) {
+	progs, err := BuildPrograms(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]byte, simkernel.CtxSize)
+	ctx := &simkernel.HookContext{
+		PID: 1, TID: 1, ABI: simkernel.ABIWrite, Phase: simkernel.PhaseExit,
+		DataLen: 4, Payload: []byte("data"),
+	}
+	for i := 0; i < 5; i++ {
+		if err := progs.RunHook(progs.Exit, ctx, scratch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if progs.Perf.Pending() != 2 {
+		t.Fatalf("pending = %d", progs.Perf.Pending())
+	}
+	if progs.Perf.Lost() != 3 {
+		t.Fatalf("lost = %d", progs.Perf.Lost())
+	}
+}

@@ -1,0 +1,376 @@
+package agent
+
+import (
+	"time"
+
+	"deepflow/internal/protocols"
+	"deepflow/internal/trace"
+)
+
+// MessageEvent is one classified message observed at a capture point —
+// either a syscall (eBPF/uprobe) or a packet (cBPF/AF_PACKET). It is the
+// "message data" of paper §3.3.1 after type inference.
+type MessageEvent struct {
+	Source  trace.Source
+	TapSide trace.TapSide
+	Host    string
+
+	// Flow identity. Socket is zero for packet taps; FlowKey then falls
+	// back to the canonical tuple.
+	Socket trace.SocketID
+	Tuple  trace.FiveTuple // oriented in travel direction
+	Seq    uint32
+
+	Dir   trace.Direction
+	Start time.Time
+	End   time.Time
+
+	// Program information (zero for packet taps).
+	PID      uint32
+	TID      uint32
+	Coro     uint64
+	ProcName string
+
+	// NoThreadContext marks spans from event-loop proxies whose thread
+	// identity is meaningless for causality; they skip systrace
+	// assignment and rely on X-Request-IDs.
+	NoThreadContext bool
+
+	Payload []byte
+	DataLen int
+}
+
+// WindowDuration is the session-aggregation time slot (paper §3.3.1:
+// "DeepFlow presently sets the duration of each time slot to 60 seconds").
+const WindowDuration = 60 * time.Second
+
+// Sessionizer aggregates request and response messages of the same flow
+// into sessions and emits one span per session. One Sessionizer serves one
+// capture point (a kernel's syscall stream, or one NIC's packet stream).
+type Sessionizer struct {
+	ids    *trace.IDAllocator
+	tracer *SysTracer // nil for packet taps (no thread context)
+	extra  []protocols.Codec
+
+	flows map[flowKey]*flowState
+
+	// window is the time-window array bounding session aggregation and
+	// expiry (paper §3.3.1).
+	window *TimeWindow
+
+	// Emit receives completed spans.
+	Emit func(*trace.Span)
+
+	// Stats.
+	Inferred    map[trace.L7Proto]int
+	Unparsable  int
+	OrphanResps int
+}
+
+type flowKey struct {
+	sock   trace.SocketID
+	tuple  trace.FiveTuple // canonical; used when sock == 0
+	uprobe bool            // uprobe plaintext keeps separate state from TLS ciphertext
+}
+
+type flowState struct {
+	codec    protocols.Codec
+	inferTry int
+
+	// Open requests: FIFO for pipeline protocols, by stream ID for
+	// parallel protocols.
+	fifo   []*openRequest
+	byID   map[uint64]*openRequest
+	lastRx *contState // ingress continuation
+	lastTx *contState // egress continuation
+}
+
+type contState struct {
+	remaining int
+	req       *openRequest // message being extended (nil for responses)
+	end       *time.Time
+}
+
+type openRequest struct {
+	ev       MessageEvent
+	msg      protocols.Message
+	systrace trace.SysTraceID
+	pseudo   uint64
+	slot     int64
+	done     bool // matched or expired; lazily removed from queues
+}
+
+// NewSessionizer creates a sessionizer; tracer may be nil for packet
+// streams, extra holds user-supplied protocol codecs (paper §3.3.1:
+// "optional user-supplied protocol specifications").
+func NewSessionizer(ids *trace.IDAllocator, tracer *SysTracer, extra []protocols.Codec, emit func(*trace.Span)) *Sessionizer {
+	return &Sessionizer{
+		ids:      ids,
+		tracer:   tracer,
+		extra:    extra,
+		flows:    make(map[flowKey]*flowState),
+		window:   NewTimeWindow(WindowDuration),
+		Emit:     emit,
+		Inferred: make(map[trace.L7Proto]int),
+	}
+}
+
+func (sz *Sessionizer) key(ev *MessageEvent) flowKey {
+	if ev.Socket != 0 {
+		return flowKey{sock: ev.Socket, uprobe: ev.Source == trace.SourceUProbe}
+	}
+	return flowKey{tuple: ev.Tuple.Canonical()}
+}
+
+// Feed processes one message event, possibly emitting a completed span.
+func (sz *Sessionizer) Feed(ev MessageEvent) {
+	k := sz.key(&ev)
+	fs := sz.flows[k]
+	if fs == nil {
+		fs = &flowState{byID: make(map[uint64]*openRequest)}
+		sz.flows[k] = fs
+	}
+
+	// Continuation syscalls of a long message extend it rather than
+	// starting a new one (paper §3.3.1: "we only process the first system
+	// call for a message").
+	cont := fs.lastTx
+	if ev.Dir == trace.DirIngress {
+		cont = fs.lastRx
+	}
+	if cont != nil && cont.remaining > 0 {
+		cont.remaining -= ev.DataLen
+		if cont.end != nil {
+			*cont.end = ev.End
+		}
+		return
+	}
+
+	// One-shot protocol inference per flow (retried until first success).
+	if fs.codec == nil {
+		fs.codec = protocols.Infer(ev.Payload, sz.extra)
+		if fs.codec == nil {
+			fs.inferTry++
+			sz.Unparsable++
+			return
+		}
+		sz.Inferred[fs.codec.Proto()]++
+	}
+	// Encrypted flows carry no parseable syscall payloads; their spans
+	// come from the uprobe plaintext stream instead.
+	if fs.codec.Proto() == trace.L7TLS {
+		return
+	}
+
+	msg, err := fs.codec.Parse(ev.Payload)
+	if err != nil {
+		sz.Unparsable++
+		return
+	}
+
+	switch msg.Type {
+	case trace.MsgRequest:
+		sz.feedRequest(fs, ev, msg)
+	case trace.MsgResponse:
+		sz.feedResponse(fs, ev, msg)
+	}
+}
+
+func (sz *Sessionizer) feedRequest(fs *flowState, ev MessageEvent, msg protocols.Message) {
+	req := &openRequest{ev: ev, msg: msg, slot: sz.slotOf(ev.Start)}
+	if sz.tracer != nil && !ev.NoThreadContext {
+		req.systrace = sz.tracer.Observe(ev.PID, ev.TID, ev.Coro, ev.Socket, ev.Dir, msg.Type)
+		req.pseudo = sz.tracer.PseudoThread(ev.Coro)
+	}
+	if msg.TotalLen > ev.DataLen {
+		cs := &contState{remaining: msg.TotalLen - ev.DataLen, req: req, end: &req.ev.End}
+		sz.setCont(fs, ev.Dir, cs)
+	}
+	if protocols.IsParallel(msg.Proto) {
+		fs.byID[msg.StreamID] = req
+	} else {
+		fs.fifo = append(fs.fifo, req)
+	}
+	sz.window.Add(req)
+}
+
+func (sz *Sessionizer) setCont(fs *flowState, dir trace.Direction, cs *contState) {
+	if dir == trace.DirIngress {
+		fs.lastRx = cs
+	} else {
+		fs.lastTx = cs
+	}
+}
+
+func (sz *Sessionizer) feedResponse(fs *flowState, ev MessageEvent, msg protocols.Message) {
+	if sz.tracer != nil && !ev.NoThreadContext {
+		sz.tracer.Observe(ev.PID, ev.TID, ev.Coro, ev.Socket, ev.Dir, msg.Type)
+	}
+	var req *openRequest
+	if protocols.IsParallel(msg.Proto) {
+		req = fs.byID[msg.StreamID]
+		delete(fs.byID, msg.StreamID)
+		if req != nil && req.done {
+			req = nil // expired before the response arrived
+		}
+	} else {
+		// Pop the oldest open request, skipping any already expired.
+		for len(fs.fifo) > 0 {
+			cand := fs.fifo[0]
+			fs.fifo = fs.fifo[1:]
+			if !cand.done {
+				req = cand
+				break
+			}
+		}
+	}
+	if msg.TotalLen > ev.DataLen {
+		sz.setCont(fs, ev.Dir, &contState{remaining: msg.TotalLen - ev.DataLen})
+	}
+	if req == nil {
+		sz.OrphanResps++
+		sz.emitSpan(nil, &ev, &msg)
+		return
+	}
+	// Aggregation only within the same or adjacent window slot (paper
+	// §3.3.1); responses beyond that mean the request already flushed.
+	if !sz.window.Adjacent(req.slot, sz.slotOf(ev.Start)) {
+		sz.OrphanResps++
+		sz.markTimeout(req)
+		sz.emitSpan(nil, &ev, &msg)
+		return
+	}
+	req.done = true
+	sz.emitSpan(req, &ev, &msg)
+}
+
+func (sz *Sessionizer) slotOf(t time.Time) int64 { return sz.window.SlotOf(t) }
+
+// emitSpan builds one span from a (request, response) session. Either side
+// may be missing: a nil req yields an orphan-response span, a nil resp
+// (via emitTimeout) a timeout span.
+func (sz *Sessionizer) emitSpan(req *openRequest, respEv *MessageEvent, respMsg *protocols.Message) {
+	sp := &trace.Span{ID: sz.ids.NextSpanID()}
+
+	if req != nil {
+		ev, msg := &req.ev, &req.msg
+		sp.Source = ev.Source
+		sp.TapSide = ev.TapSide
+		sp.HostName = ev.Host
+		sp.Socket = ev.Socket
+		sp.Flow = requestFlow(ev)
+		sp.L7 = msg.Proto
+		sp.StartTime = ev.Start
+		sp.ReqTCPSeq = ev.Seq
+		sp.PID, sp.TID, sp.CoroutineID, sp.ProcessName = ev.PID, ev.TID, ev.Coro, ev.ProcName
+		sp.SysTraceID = req.systrace
+		sp.PseudoThreadID = req.pseudo
+		sp.RequestType = msg.Method
+		sp.RequestResource = msg.Resource
+		sp.XRequestID = msg.Header("x-request-id")
+		if tp := msg.Header("traceparent"); tp != "" {
+			tid, spanID := parseTraceparent(tp)
+			sp.TraceID = tid
+			sp.ParentSpanRef = spanID
+		} else if b3 := msg.Header("b3"); b3 != "" {
+			tid, spanID := parseB3(b3)
+			sp.TraceID = tid
+			sp.ParentSpanRef = spanID
+		}
+	}
+	if respEv != nil {
+		if req == nil {
+			ev := respEv
+			sp.Source = ev.Source
+			sp.TapSide = ev.TapSide
+			sp.HostName = ev.Host
+			sp.Socket = ev.Socket
+			sp.Flow = ev.Tuple.Reverse() // orient request-ward
+			sp.L7 = respMsg.Proto
+			sp.StartTime = ev.Start
+			sp.PID, sp.TID, sp.CoroutineID, sp.ProcessName = ev.PID, ev.TID, ev.Coro, ev.ProcName
+		}
+		sp.EndTime = respEv.End
+		sp.RespTCPSeq = respEv.Seq
+		sp.ResponseCode = respMsg.Code
+		sp.ResponseStatus = respMsg.Status
+		// Proxies add X-Request-ID on the response path too; a session
+		// whose request had none can still be associated through it.
+		if sp.XRequestID == "" {
+			sp.XRequestID = respMsg.Header("x-request-id")
+		}
+	}
+	if sp.EndTime.IsZero() {
+		sp.EndTime = sp.StartTime
+	}
+	sz.Emit(sp)
+}
+
+// requestFlow orients the span's flow client→server: the request travels
+// toward the server, so the request tuple already points that way.
+func requestFlow(ev *MessageEvent) trace.FiveTuple { return ev.Tuple }
+
+// Flush emits timeout spans for requests older than two window slots by
+// popping expired slots from the time-window array. Call it periodically
+// and at shutdown.
+func (sz *Sessionizer) Flush(now time.Time) {
+	for _, req := range sz.window.Expire(now) {
+		sz.markTimeout(req)
+	}
+}
+
+func (sz *Sessionizer) markTimeout(req *openRequest) {
+	req.done = true
+	old := sz.Emit
+	sz.Emit = func(s *trace.Span) {
+		s.ResponseStatus = "timeout"
+		old(s)
+	}
+	sz.emitSpan(req, nil, nil)
+	sz.Emit = old
+}
+
+// FlushAll emits timeout spans for every open request regardless of age.
+func (sz *Sessionizer) FlushAll() {
+	for _, req := range sz.window.Drain() {
+		sz.markTimeout(req)
+	}
+	for _, fs := range sz.flows {
+		fs.fifo = nil
+		for id := range fs.byID {
+			delete(fs.byID, id)
+		}
+	}
+}
+
+// parseTraceparent extracts (trace id, span id) from a W3C traceparent
+// header: "00-<32 hex>-<16 hex>-<flags>".
+func parseTraceparent(v string) (traceID, spanID string) {
+	parts := splitDash(v)
+	if len(parts) >= 3 {
+		return parts[1], parts[2]
+	}
+	return "", ""
+}
+
+// parseB3 extracts (trace id, span id) from a single-header B3 value:
+// "<traceid>-<spanid>-<sampled>".
+func parseB3(v string) (traceID, spanID string) {
+	parts := splitDash(v)
+	if len(parts) >= 2 {
+		return parts[0], parts[1]
+	}
+	return "", ""
+}
+
+func splitDash(v string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(v); i++ {
+		if v[i] == '-' {
+			out = append(out, v[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, v[start:])
+}

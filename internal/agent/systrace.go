@@ -1,0 +1,153 @@
+package agent
+
+import (
+	"deepflow/internal/trace"
+)
+
+// SysTracer implements the intra-component causal association of paper
+// §3.3.2 (Fig. 7): consecutive messages on the same execution context
+// (thread or pseudo-thread) that cross sockets share a systrace_id. The key
+// insight encoded here is that "computing does not yield to scheduling,
+// whereas network communication does": within one thread, everything
+// between receiving a request and sending its response belongs to the same
+// causal chain, and a new incoming request partitions the chain (thread
+// reuse, Fig. 7b).
+type SysTracer struct {
+	ids    *trace.IDAllocator
+	states map[threadKey]*threadState
+	// coroutine parent tracking (pseudo-threads for Go-style runtimes)
+	coroRoot map[uint64]uint64
+}
+
+type threadKey struct {
+	pid    uint32
+	thread uint64 // tid, or root coroutine for coroutine runtimes
+	coro   bool
+}
+
+type threadState struct {
+	current     trace.SysTraceID
+	rootSocket  trace.SocketID // socket of the ingress request that opened the chain
+	serverChain bool           // chain opened by an ingress request
+	open        bool
+
+	// Previous message, for the paper's join rule: "we label two
+	// consecutive messages of different types and from different sockets
+	// with the same systrace_id".
+	prevDir   trace.Direction
+	prevSock  trace.SocketID
+	prevValid bool
+}
+
+// NewSysTracer creates a tracer using ids for unique systrace IDs.
+func NewSysTracer(ids *trace.IDAllocator) *SysTracer {
+	return &SysTracer{
+		ids:      ids,
+		states:   make(map[threadKey]*threadState),
+		coroRoot: make(map[uint64]uint64),
+	}
+}
+
+// ObserveCoroutine records a coroutine creation so descendants map to the
+// same pseudo-thread (paper §3.3.1: "parent-child coroutine relationship in
+// a pseudo-thread structure").
+func (st *SysTracer) ObserveCoroutine(parent, child uint64) {
+	if parent == 0 {
+		st.coroRoot[child] = child
+		return
+	}
+	root, ok := st.coroRoot[parent]
+	if !ok {
+		root = parent
+		st.coroRoot[parent] = parent
+	}
+	st.coroRoot[child] = root
+}
+
+// PseudoThread returns the pseudo-thread identifier for a context: the root
+// coroutine when coroutines are in play, zero otherwise.
+func (st *SysTracer) PseudoThread(coro uint64) uint64 {
+	if coro == 0 {
+		return 0
+	}
+	if root, ok := st.coroRoot[coro]; ok {
+		return root
+	}
+	return coro
+}
+
+func (st *SysTracer) key(pid, tid uint32, coro uint64) threadKey {
+	if coro != 0 {
+		return threadKey{pid: pid, thread: st.PseudoThread(coro), coro: true}
+	}
+	return threadKey{pid: pid, thread: uint64(tid)}
+}
+
+// Observe assigns a systrace ID to one classified message. dir and typ are
+// the message's direction and inferred type; sock identifies its socket.
+func (st *SysTracer) Observe(pid, tid uint32, coro uint64, sock trace.SocketID, dir trace.Direction, typ trace.MessageType) trace.SysTraceID {
+	k := st.key(pid, tid, coro)
+	s := st.states[k]
+	if s == nil {
+		s = &threadState{}
+		st.states[k] = s
+	}
+
+	defer func() {
+		s.prevDir, s.prevSock, s.prevValid = dir, sock, true
+	}()
+
+	switch {
+	case dir == trace.DirIngress && typ == trace.MsgRequest:
+		// A new incoming request always opens a fresh chain (thread-reuse
+		// partition, Fig. 7b) rooted at its socket.
+		s.current = st.ids.NextSysTraceID()
+		s.rootSocket = sock
+		s.serverChain = true
+		s.open = true
+
+	case dir == trace.DirEgress && typ == trace.MsgRequest:
+		// Outgoing call: joins the open chain when the thread is serving
+		// a request (blocking workers cannot interleave), or — for pure
+		// client chains — only under the paper's strict rule: the
+		// previous message had a different type and a different socket.
+		// Without the strict rule an event-loop thread multiplexing many
+		// requests would merge them all into one chain.
+		join := s.open && (s.serverChain ||
+			(s.prevValid && s.prevDir != dir && s.prevSock != sock))
+		if !join {
+			s.current = st.ids.NextSysTraceID()
+			s.rootSocket = 0
+			s.serverChain = false
+			s.open = true
+		}
+
+	case dir == trace.DirIngress && typ == trace.MsgResponse:
+		// Response to an outgoing call: continues the chain. For a pure
+		// client chain (not rooted at a server request) the response
+		// completes the work unit: the next call on this thread is a new
+		// chain — this is the time-sequence partition of Fig. 7(b) seen
+		// from the client side.
+		if !s.open {
+			s.current = st.ids.NextSysTraceID()
+		}
+		id := s.current
+		if s.open && !s.serverChain {
+			s.open = false
+		}
+		return id
+
+	case dir == trace.DirEgress && typ == trace.MsgResponse:
+		// Replying: continues the chain; replying on the root socket
+		// completes the server request and closes the chain.
+		if !s.open {
+			s.current = st.ids.NextSysTraceID()
+		}
+		id := s.current
+		if s.open && sock == s.rootSocket {
+			s.open = false
+		}
+		return id
+	}
+	return s.current
+}

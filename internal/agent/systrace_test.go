@@ -1,0 +1,120 @@
+package agent
+
+import (
+	"testing"
+
+	"deepflow/internal/trace"
+)
+
+func newTracer() *SysTracer { return NewSysTracer(&trace.IDAllocator{}) }
+
+// TestFig7aSimpleChain reproduces Fig. 7(a): a server thread receives a
+// request on s1, calls out on s2, and replies on s1 — all four messages
+// share one systrace_id.
+func TestFig7aSimpleChain(t *testing.T) {
+	st := newTracer()
+	id1 := st.Observe(1, 10, 0, 1, trace.DirIngress, trace.MsgRequest)
+	id2 := st.Observe(1, 10, 0, 2, trace.DirEgress, trace.MsgRequest)
+	id3 := st.Observe(1, 10, 0, 2, trace.DirIngress, trace.MsgResponse)
+	id4 := st.Observe(1, 10, 0, 1, trace.DirEgress, trace.MsgResponse)
+	if id1 == 0 || id1 != id2 || id2 != id3 || id3 != id4 {
+		t.Fatalf("chain ids = %d %d %d %d", id1, id2, id3, id4)
+	}
+}
+
+// TestFig7bThreadReusePartition reproduces Fig. 7(b): after the reply, the
+// same thread serves a second request — a new chain starts.
+func TestFig7bThreadReusePartition(t *testing.T) {
+	st := newTracer()
+	first := st.Observe(1, 10, 0, 1, trace.DirIngress, trace.MsgRequest)
+	st.Observe(1, 10, 0, 1, trace.DirEgress, trace.MsgResponse)
+	second := st.Observe(1, 10, 0, 1, trace.DirIngress, trace.MsgRequest)
+	if second == first {
+		t.Fatal("thread reuse did not partition the systrace")
+	}
+}
+
+// TestFig7cMultipleCalls reproduces Fig. 7(c): one incoming request fans
+// out to two sequential downstream calls before the reply.
+func TestFig7cMultipleCalls(t *testing.T) {
+	st := newTracer()
+	root := st.Observe(1, 10, 0, 1, trace.DirIngress, trace.MsgRequest)
+	callB := st.Observe(1, 10, 0, 2, trace.DirEgress, trace.MsgRequest)
+	st.Observe(1, 10, 0, 2, trace.DirIngress, trace.MsgResponse)
+	callC := st.Observe(1, 10, 0, 3, trace.DirEgress, trace.MsgRequest)
+	st.Observe(1, 10, 0, 3, trace.DirIngress, trace.MsgResponse)
+	reply := st.Observe(1, 10, 0, 1, trace.DirEgress, trace.MsgResponse)
+	if callB != root || callC != root || reply != root {
+		t.Fatalf("fan-out ids = root %d, callB %d, callC %d, reply %d", root, callB, callC, reply)
+	}
+}
+
+// TestPureClientCallsPartition: a load generator's sequential independent
+// calls must not share a systrace chain.
+func TestPureClientCallsPartition(t *testing.T) {
+	st := newTracer()
+	a := st.Observe(1, 10, 0, 5, trace.DirEgress, trace.MsgRequest)
+	st.Observe(1, 10, 0, 5, trace.DirIngress, trace.MsgResponse)
+	b := st.Observe(1, 10, 0, 5, trace.DirEgress, trace.MsgRequest)
+	if a == b {
+		t.Fatal("independent client calls merged into one chain")
+	}
+}
+
+func TestThreadsIsolated(t *testing.T) {
+	st := newTracer()
+	a := st.Observe(1, 10, 0, 1, trace.DirIngress, trace.MsgRequest)
+	b := st.Observe(1, 11, 0, 2, trace.DirIngress, trace.MsgRequest)
+	if a == b {
+		t.Fatal("different threads share a chain")
+	}
+	// Thread 10's chain unaffected by thread 11's messages.
+	c := st.Observe(1, 10, 0, 3, trace.DirEgress, trace.MsgRequest)
+	if c != a {
+		t.Fatal("thread 10 chain broken by thread 11")
+	}
+}
+
+func TestCoroutinePseudoThreads(t *testing.T) {
+	st := newTracer()
+	st.ObserveCoroutine(0, 100)   // root coroutine
+	st.ObserveCoroutine(100, 101) // child
+	st.ObserveCoroutine(101, 102) // grandchild
+	if st.PseudoThread(101) != 100 || st.PseudoThread(102) != 100 {
+		t.Fatalf("pseudo threads: 101→%d 102→%d, want 100", st.PseudoThread(101), st.PseudoThread(102))
+	}
+	if st.PseudoThread(0) != 0 {
+		t.Fatal("zero coroutine should have no pseudo thread")
+	}
+	// Unknown coroutine maps to itself.
+	if st.PseudoThread(999) != 999 {
+		t.Fatal("unknown coroutine should map to itself")
+	}
+
+	// Messages from different coroutines of the same pseudo-thread share
+	// the chain even on different TIDs (coroutines migrate across threads).
+	root := st.Observe(1, 10, 100, 1, trace.DirIngress, trace.MsgRequest)
+	sub := st.Observe(1, 12, 102, 2, trace.DirEgress, trace.MsgRequest)
+	if root != sub {
+		t.Fatalf("coroutine chain split: %d vs %d", root, sub)
+	}
+	// A different root coroutine is a different pseudo-thread.
+	st.ObserveCoroutine(0, 200)
+	other := st.Observe(1, 10, 200, 3, trace.DirIngress, trace.MsgRequest)
+	if other == root {
+		t.Fatal("separate pseudo-threads share a chain")
+	}
+}
+
+func TestResponseWithoutChainGetsID(t *testing.T) {
+	st := newTracer()
+	// An agent deployed mid-flight can see a response first.
+	id := st.Observe(1, 10, 0, 1, trace.DirIngress, trace.MsgResponse)
+	if id == 0 {
+		t.Fatal("orphan response got zero systrace")
+	}
+	id2 := st.Observe(1, 10, 0, 1, trace.DirEgress, trace.MsgResponse)
+	if id2 == 0 {
+		t.Fatal("orphan egress response got zero systrace")
+	}
+}

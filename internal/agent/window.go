@@ -1,0 +1,78 @@
+package agent
+
+import (
+	"sort"
+	"time"
+)
+
+// TimeWindow is the time-window array of paper §3.3.1: open requests are
+// bucketed by timestamp slot so that (a) session aggregation only consults
+// the same or adjacent slot, bounding matching cost under message disorder,
+// and (b) expiry pops whole slots instead of scanning every open request.
+// The paper sets the slot duration to 60 seconds in production.
+type TimeWindow struct {
+	slotDur time.Duration
+	slots   map[int64][]*openRequest
+	count   int
+}
+
+// NewTimeWindow creates a window array with the given slot duration.
+func NewTimeWindow(slotDur time.Duration) *TimeWindow {
+	return &TimeWindow{slotDur: slotDur, slots: make(map[int64][]*openRequest)}
+}
+
+// SlotOf maps a timestamp to its slot index.
+func (w *TimeWindow) SlotOf(t time.Time) int64 {
+	return t.UnixNano() / int64(w.slotDur)
+}
+
+// Add buckets an open request by its slot.
+func (w *TimeWindow) Add(req *openRequest) {
+	w.slots[req.slot] = append(w.slots[req.slot], req)
+	w.count++
+}
+
+// Len returns the number of requests added and not yet expired (matched
+// requests are removed lazily at expiry).
+func (w *TimeWindow) Len() int { return w.count }
+
+// Adjacent reports whether two slots may aggregate (same or next slot,
+// paper: "only messages in the same time slot or next to it will be
+// queried").
+func (w *TimeWindow) Adjacent(reqSlot, respSlot int64) bool {
+	d := respSlot - reqSlot
+	return d >= -1 && d <= 1
+}
+
+// Expire pops every slot strictly older than (now − 2 slots) and returns
+// its still-unmatched requests in slot order.
+func (w *TimeWindow) Expire(now time.Time) []*openRequest {
+	limit := w.SlotOf(now) - 2
+	return w.pop(func(slot int64) bool { return slot < limit })
+}
+
+// Drain pops everything (end of run).
+func (w *TimeWindow) Drain() []*openRequest {
+	return w.pop(func(int64) bool { return true })
+}
+
+func (w *TimeWindow) pop(cond func(slot int64) bool) []*openRequest {
+	var slots []int64
+	for slot := range w.slots {
+		if cond(slot) {
+			slots = append(slots, slot)
+		}
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	var out []*openRequest
+	for _, slot := range slots {
+		for _, req := range w.slots[slot] {
+			w.count--
+			if !req.done {
+				out = append(out, req)
+			}
+		}
+		delete(w.slots, slot)
+	}
+	return out
+}

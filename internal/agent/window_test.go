@@ -1,0 +1,121 @@
+package agent
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"deepflow/internal/sim"
+)
+
+func TestTimeWindowSlotting(t *testing.T) {
+	w := NewTimeWindow(60 * time.Second)
+	t0 := sim.Epoch
+	if w.SlotOf(t0) != w.SlotOf(t0.Add(59*time.Second)) {
+		t.Fatal("same minute should share a slot")
+	}
+	if w.SlotOf(t0) == w.SlotOf(t0.Add(61*time.Second)) {
+		t.Fatal("different minutes share a slot")
+	}
+}
+
+func TestTimeWindowAdjacency(t *testing.T) {
+	w := NewTimeWindow(60 * time.Second)
+	cases := []struct {
+		req, resp int64
+		ok        bool
+	}{
+		{10, 10, true},
+		{10, 11, true},
+		{11, 10, true}, // disorder tolerated one slot back
+		{10, 12, false},
+		{12, 10, false},
+	}
+	for _, tc := range cases {
+		if got := w.Adjacent(tc.req, tc.resp); got != tc.ok {
+			t.Errorf("Adjacent(%d,%d) = %v", tc.req, tc.resp, got)
+		}
+	}
+}
+
+func TestTimeWindowExpiry(t *testing.T) {
+	w := NewTimeWindow(60 * time.Second)
+	t0 := sim.Epoch
+	mk := func(at time.Time) *openRequest {
+		r := &openRequest{slot: w.SlotOf(at)}
+		w.Add(r)
+		return r
+	}
+	old := mk(t0)
+	matched := mk(t0.Add(10 * time.Second))
+	matched.done = true
+	fresh := mk(t0.Add(3 * time.Minute))
+
+	expired := w.Expire(t0.Add(3 * time.Minute))
+	if len(expired) != 1 || expired[0] != old {
+		t.Fatalf("expired = %v", expired)
+	}
+	if w.Len() != 1 {
+		t.Fatalf("len = %d after expiry", w.Len())
+	}
+	rest := w.Drain()
+	if len(rest) != 1 || rest[0] != fresh {
+		t.Fatalf("drain = %v", rest)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("len = %d after drain", w.Len())
+	}
+}
+
+func TestTimeWindowExpireOrder(t *testing.T) {
+	w := NewTimeWindow(time.Second)
+	t0 := sim.Epoch
+	var want []*openRequest
+	for i := 5; i >= 0; i-- {
+		r := &openRequest{slot: w.SlotOf(t0.Add(time.Duration(i) * time.Second))}
+		w.Add(r)
+		want = append([]*openRequest{r}, want...)
+	}
+	got := w.Drain()
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatal("drain not in slot order")
+		}
+	}
+}
+
+// Property: everything added is returned exactly once across Expire+Drain,
+// unless marked done.
+func TestTimeWindowConservationProperty(t *testing.T) {
+	prop := func(offsets []uint16, doneMask []bool) bool {
+		w := NewTimeWindow(time.Second)
+		reqs := map[*openRequest]bool{}
+		for i, off := range offsets {
+			r := &openRequest{slot: w.SlotOf(sim.Epoch.Add(time.Duration(off) * time.Second))}
+			if i < len(doneMask) && doneMask[i] {
+				r.done = true
+			}
+			w.Add(r)
+			reqs[r] = r.done
+		}
+		seen := map[*openRequest]int{}
+		for _, r := range w.Expire(sim.Epoch.Add(30 * time.Second)) {
+			seen[r]++
+		}
+		for _, r := range w.Drain() {
+			seen[r]++
+		}
+		for r, done := range reqs {
+			if done && seen[r] != 0 {
+				return false
+			}
+			if !done && seen[r] != 1 {
+				return false
+			}
+		}
+		return w.Len() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

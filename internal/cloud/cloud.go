@@ -1,0 +1,46 @@
+// Package cloud models the cloud-platform resource metadata DeepFlow's
+// server gathers directly (paper §3.4, Fig. 8 step ③): regions,
+// availability zones, and VPCs, keyed by host.
+package cloud
+
+// Placement is one host's cloud-resource placement.
+type Placement struct {
+	Region string
+	AZ     string
+	VPC    string
+	VPCID  int32
+}
+
+// Registry maps host names to placements.
+type Registry struct {
+	byHost map[string]Placement
+	vpcIDs map[string]int32
+	nextID int32
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byHost: make(map[string]Placement), vpcIDs: make(map[string]int32)}
+}
+
+// Place records a host's placement and returns its VPC's integer ID (the
+// tag agents inject during smart-encoding phase 1).
+func (r *Registry) Place(host, region, az, vpc string) int32 {
+	id, ok := r.vpcIDs[vpc]
+	if !ok {
+		r.nextID++
+		id = r.nextID
+		r.vpcIDs[vpc] = id
+	}
+	r.byHost[host] = Placement{Region: region, AZ: az, VPC: vpc, VPCID: id}
+	return id
+}
+
+// Lookup returns a host's placement.
+func (r *Registry) Lookup(host string) (Placement, bool) {
+	p, ok := r.byHost[host]
+	return p, ok
+}
+
+// VPCID returns the integer ID for a VPC name (0 if unknown).
+func (r *Registry) VPCID(vpc string) int32 { return r.vpcIDs[vpc] }

@@ -1,0 +1,26 @@
+package cloud
+
+import "testing"
+
+func TestPlaceAndLookup(t *testing.T) {
+	r := NewRegistry()
+	id1 := r.Place("node-1", "us-east", "us-east-1a", "vpc-a")
+	id2 := r.Place("node-2", "us-east", "us-east-1b", "vpc-a")
+	id3 := r.Place("node-3", "eu-west", "eu-west-1a", "vpc-b")
+	if id1 == 0 || id1 != id2 {
+		t.Fatalf("same VPC got different ids: %d %d", id1, id2)
+	}
+	if id3 == id1 {
+		t.Fatal("different VPCs share an id")
+	}
+	p, ok := r.Lookup("node-3")
+	if !ok || p.Region != "eu-west" || p.AZ != "eu-west-1a" || p.VPC != "vpc-b" || p.VPCID != id3 {
+		t.Fatalf("lookup = %+v %v", p, ok)
+	}
+	if _, ok := r.Lookup("nope"); ok {
+		t.Fatal("unknown host found")
+	}
+	if r.VPCID("vpc-a") != id1 || r.VPCID("nope") != 0 {
+		t.Fatal("VPCID lookups wrong")
+	}
+}

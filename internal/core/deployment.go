@@ -1,0 +1,217 @@
+// Package core is the paper's primary contribution assembled as a usable
+// system: it deploys DeepFlow — agents on every (or selected) host plus a
+// cluster-level server — over a simulated environment in zero code, while
+// the monitored microservices keep running (paper §4.1.1: "operators
+// deploy DeepFlow while the service is active").
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"deepflow/internal/agent"
+	"deepflow/internal/cloud"
+	"deepflow/internal/k8s"
+	"deepflow/internal/microsim"
+	"deepflow/internal/otelsdk"
+	"deepflow/internal/server"
+	"deepflow/internal/simnet"
+	"deepflow/internal/trace"
+)
+
+// Options tunes a deployment.
+type Options struct {
+	// Agent is the per-host agent configuration template.
+	Agent agent.Config
+	// Encoding selects the server's tag encoding (smart by default).
+	Encoding server.Encoding
+	// FlushInterval is the periodic session/metric flush cadence in
+	// virtual time (default 10s).
+	FlushInterval time.Duration
+}
+
+// DefaultOptions returns a full-featured deployment.
+func DefaultOptions() Options {
+	return Options{
+		Agent:         agent.DefaultConfig(),
+		Encoding:      server.EncodingSmart,
+		FlushInterval: 10 * time.Second,
+	}
+}
+
+// Deployment is a running DeepFlow installation.
+type Deployment struct {
+	Env      *microsim.Env
+	Opts     Options
+	Server   *server.Server
+	Registry *server.ResourceRegistry
+	Cloud    *cloud.Registry
+
+	agents  map[string]*agent.Agent
+	flushOn bool
+	stopped bool
+}
+
+// NewDeployment creates the server side of a deployment: the resource
+// registry is built from cluster and cloud metadata (the tag-collection
+// phase of Fig. 8). cl may be nil.
+func NewDeployment(env *microsim.Env, clusters []*k8s.Cluster, cl *cloud.Registry, opts Options) *Deployment {
+	if opts.FlushInterval <= 0 {
+		opts.FlushInterval = 10 * time.Second
+	}
+	reg := server.NewResourceRegistry(clusters, cl)
+	// Register non-cluster hosts (gateways, standalone machines) so their
+	// spans decode too.
+	known := map[string]bool{}
+	for _, c := range clusters {
+		for _, n := range c.Nodes() {
+			known[n.Name] = true
+		}
+		for _, p := range c.Pods() {
+			known[p.Name] = true
+		}
+	}
+	for _, h := range env.Net.Hosts() {
+		if !known[h.Name] {
+			reg.RegisterHost(h.Name, h.IP, cl)
+		}
+	}
+	return &Deployment{
+		Env:      env,
+		Opts:     opts,
+		Server:   server.New(reg, opts.Encoding),
+		Registry: reg,
+		Cloud:    cl,
+		agents:   make(map[string]*agent.Agent),
+	}
+}
+
+// DeployAll installs and starts an agent on every host in the environment
+// (pods, nodes, machines, and gateways — full Appendix A coverage).
+func (d *Deployment) DeployAll() error {
+	for _, h := range d.Env.Net.Hosts() {
+		if err := d.DeployOn(h); err != nil {
+			return err
+		}
+	}
+	d.scheduleFlush()
+	return nil
+}
+
+// DeployOn installs and starts an agent on one host. Idempotent per host.
+func (d *Deployment) DeployOn(h *simnet.Host) error {
+	if _, dup := d.agents[h.Name]; dup {
+		return nil
+	}
+	cfg := d.Opts.Agent
+	if d.Cloud != nil {
+		if p, ok := d.Cloud.Lookup(h.Name); ok {
+			cfg.VPCID = p.VPCID
+		} else if h.Parent != nil {
+			if p, ok := d.Cloud.Lookup(h.Parent.Name); ok {
+				cfg.VPCID = p.VPCID
+			}
+		}
+	}
+	ag, err := agent.New(h, cfg, d.Server)
+	if err != nil {
+		return fmt.Errorf("core: agent on %s: %w", h.Name, err)
+	}
+	if err := ag.Start(); err != nil {
+		return fmt.Errorf("core: start agent on %s: %w", h.Name, err)
+	}
+	d.agents[h.Name] = ag
+	return nil
+}
+
+// DeployOnNamed deploys agents only on the named hosts.
+func (d *Deployment) DeployOnNamed(names ...string) error {
+	for _, name := range names {
+		h := d.Env.Net.Host(name)
+		if h == nil {
+			return fmt.Errorf("core: no host %q", name)
+		}
+		if err := d.DeployOn(h); err != nil {
+			return err
+		}
+	}
+	d.scheduleFlush()
+	return nil
+}
+
+// Agent returns the agent running on a host, or nil.
+func (d *Deployment) Agent(host string) *agent.Agent { return d.agents[host] }
+
+// Agents returns the number of deployed agents.
+func (d *Deployment) Agents() int { return len(d.agents) }
+
+// IntegrateCollector routes an intrusive framework's spans into DeepFlow
+// through the agent on the given host (third-party span integration).
+func (d *Deployment) IntegrateCollector(c *otelsdk.Collector, host string) error {
+	ag := d.agents[host]
+	if ag == nil {
+		return fmt.Errorf("core: no agent on %q", host)
+	}
+	c.OnReport = ag.IngestOTel
+	return nil
+}
+
+// scheduleFlush starts the periodic flush loop in virtual time. The loop
+// stops rescheduling itself once the deployment stops.
+func (d *Deployment) scheduleFlush() {
+	if d.flushOn {
+		return
+	}
+	d.flushOn = true
+	var tick func()
+	tick = func() {
+		if d.stopped {
+			return
+		}
+		now := d.Env.Eng.Now()
+		for _, ag := range d.agents {
+			ag.Flush(now)
+		}
+		d.Env.Eng.After(d.Opts.FlushInterval, tick)
+	}
+	d.Env.Eng.After(d.Opts.FlushInterval, tick)
+}
+
+// FlushAll force-completes all open sessions (end of an experiment run).
+func (d *Deployment) FlushAll() {
+	for _, ag := range d.agents {
+		ag.FlushAll()
+	}
+}
+
+// Stop detaches every agent and ends the flush loop; the monitored
+// services keep running.
+func (d *Deployment) Stop() {
+	d.stopped = true
+	for _, ag := range d.agents {
+		ag.Stop()
+	}
+}
+
+// TraceOf is a convenience query: assemble the trace containing the given
+// span.
+func (d *Deployment) TraceOf(id trace.SpanID) *trace.Trace { return d.Server.Trace(id) }
+
+// SpansEmitted totals spans emitted by all agents.
+func (d *Deployment) SpansEmitted() int {
+	n := 0
+	for _, ag := range d.agents {
+		n += ag.SpansEmitted
+	}
+	return n
+}
+
+// AgentCPUTime totals the real wall-clock time all agents spent in their
+// own code paths — the Fig. 19(c) resource-consumption measurement.
+func (d *Deployment) AgentCPUTime() time.Duration {
+	var total time.Duration
+	for _, ag := range d.agents {
+		total += ag.CPUTime
+	}
+	return total
+}

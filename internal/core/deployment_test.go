@@ -1,0 +1,367 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"deepflow/internal/faults"
+	"deepflow/internal/k8s"
+	"deepflow/internal/microsim"
+	"deepflow/internal/otelsdk"
+	"deepflow/internal/sim"
+	"deepflow/internal/trace"
+)
+
+// runSpringBoot deploys DeepFlow over the Spring Boot demo and drives load.
+func runSpringBoot(t *testing.T, sdk *otelsdk.SDK, rate float64, dur time.Duration) (*Deployment, *microsim.Topology, *microsim.LoadGen) {
+	t.Helper()
+	env := microsim.NewEnv(11)
+	topo := microsim.BuildSpringBootDemo(env, sdk)
+	d := NewDeployment(env, []*k8s.Cluster{topo.Cluster}, nil, DefaultOptions())
+	if err := d.DeployAll(); err != nil {
+		t.Fatal(err)
+	}
+	gen := microsim.NewLoadGen(env, "wrk", topo.ClientHost, topo.Entry, 8, rate)
+	gen.Path = "/api/items"
+	gen.Start(dur)
+	env.Run(dur + time.Second)
+	d.FlushAll()
+	return d, topo, gen
+}
+
+func TestSpringBootEndToEndTrace(t *testing.T) {
+	d, _, gen := runSpringBoot(t, nil, 50, 2*time.Second)
+	if gen.Completed == 0 || gen.Errors > 0 {
+		t.Fatalf("load: completed=%d errors=%d", gen.Completed, gen.Errors)
+	}
+
+	// Find a load-generator client span and assemble its trace.
+	spans := d.Server.SpanList(sim.Epoch, sim.Epoch.Add(time.Hour), 0)
+	var start *trace.Span
+	for _, sp := range spans {
+		if sp.TapSide == trace.TapClientProcess && sp.ProcessName == "wrk" {
+			start = sp
+			break
+		}
+	}
+	if start == nil {
+		t.Fatal("no load-generator client span found")
+	}
+	tr := d.Server.Trace(start.ID)
+
+	// One request generates process spans (wrk c, front s, front c,
+	// backend s, backend c, mysql s = 6) plus packet spans at every pod,
+	// node, and machine NIC along each of the three hops.
+	if tr.Len() < 15 {
+		t.Fatalf("trace has %d spans, want >= 15:\n%s", tr.Len(), d.Server.FormatTrace(tr))
+	}
+	wantServers := map[string]bool{"sb-front": false, "sb-backend": false, "sb-mysql": false}
+	for _, sp := range tr.Spans {
+		if sp.TapSide == trace.TapServerProcess {
+			wantServers[sp.ProcessName] = true
+		}
+	}
+	for name, seen := range wantServers {
+		if !seen {
+			t.Errorf("no server span for %s in trace:\n%s", name, d.Server.FormatTrace(tr))
+		}
+	}
+	// The trace nests: depth must cover wrk → … → mysql.
+	if depth := tr.Depth(); depth < 6 {
+		t.Fatalf("trace depth = %d, want >= 6:\n%s", depth, d.Server.FormatTrace(tr))
+	}
+	// Every span decodes to resource tags.
+	foundPod := false
+	for _, sp := range tr.Spans {
+		if d.Server.Decorate(sp).Tags.Pod != "" {
+			foundPod = true
+		}
+	}
+	if !foundPod {
+		t.Error("no span decoded to a pod tag")
+	}
+	// Root must be the load generator span.
+	if tr.Root == nil || tr.Root.ProcessName != "wrk" {
+		t.Fatalf("root = %v", tr.Root)
+	}
+}
+
+func TestTraceConsistencyAcrossRequests(t *testing.T) {
+	d, _, gen := runSpringBoot(t, nil, 100, 2*time.Second)
+	spans := d.Server.SpanList(sim.Epoch, sim.Epoch.Add(time.Hour), 0)
+	var starts []*trace.Span
+	for _, sp := range spans {
+		if sp.TapSide == trace.TapClientProcess && sp.ProcessName == "wrk" && sp.ResponseStatus == "ok" {
+			starts = append(starts, sp)
+		}
+	}
+	if len(starts) != gen.Completed {
+		t.Fatalf("wrk client spans = %d, completed = %d", len(starts), gen.Completed)
+	}
+	// Distinct requests must assemble into distinct traces of similar
+	// size: no cross-request contamination.
+	sizes := map[int]int{}
+	for i := 0; i < 10 && i < len(starts); i++ {
+		tr := d.Server.Trace(starts[i].ID)
+		sizes[tr.Len()]++
+		for _, sp := range tr.Spans {
+			if sp.ProcessName == "wrk" && sp.TapSide == trace.TapClientProcess && sp.ID != starts[i].ID {
+				t.Fatalf("trace of request %d absorbed another request's client span", i)
+			}
+		}
+	}
+	for size := range sizes {
+		if size > 40 {
+			t.Fatalf("suspiciously large trace (%d spans): cross-request contamination", size)
+		}
+	}
+}
+
+func TestBookinfoCoverageVsZipkin(t *testing.T) {
+	env := microsim.NewEnv(13)
+	zipkin := otelsdk.NewSDK("zipkin", otelsdk.PropagationB3, 10*time.Microsecond, 2)
+	topo := microsim.BuildBookinfo(env, zipkin)
+	d := NewDeployment(env, []*k8s.Cluster{topo.Cluster}, nil, DefaultOptions())
+	if err := d.DeployAll(); err != nil {
+		t.Fatal(err)
+	}
+	gen := microsim.NewLoadGen(env, "wrk", topo.ClientHost, topo.Entry, 8, 50)
+	gen.Path = "/productpage"
+	gen.Start(2 * time.Second)
+	env.Run(3 * time.Second)
+	d.FlushAll()
+
+	if gen.Completed == 0 {
+		t.Fatal("no load completed")
+	}
+	spans := d.Server.SpanList(sim.Epoch, sim.Epoch.Add(time.Hour), 0)
+	var start *trace.Span
+	for _, sp := range spans {
+		if sp.ProcessName == "wrk" && sp.TapSide == trace.TapClientProcess {
+			start = sp
+			break
+		}
+	}
+	tr := d.Server.Trace(start.ID)
+	zipkinSpans := zipkin.Collector.AvgSpansPerTrace()
+	if float64(tr.Len()) < 4*zipkinSpans {
+		t.Fatalf("DeepFlow %d spans vs Zipkin %.1f — expected >= 4x coverage (paper: 38 vs 6)",
+			tr.Len(), zipkinSpans)
+	}
+	// The closed-source sidecars appear in the DeepFlow trace.
+	foundSidecar := false
+	for _, sp := range tr.Spans {
+		if sp.ProcessName == "productpage-envoy" {
+			foundSidecar = true
+		}
+	}
+	if !foundSidecar {
+		t.Error("closed-source sidecar missing from DeepFlow trace")
+	}
+}
+
+func TestThirdPartySpanIntegration(t *testing.T) {
+	env := microsim.NewEnv(17)
+	sdk := otelsdk.NewSDK("otel", otelsdk.PropagationW3C, 10*time.Microsecond, 3)
+	topo := microsim.BuildSpringBootDemo(env, sdk)
+	d := NewDeployment(env, []*k8s.Cluster{topo.Cluster}, nil, DefaultOptions())
+	if err := d.DeployAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.IntegrateCollector(sdk.Collector, "sb-front-0"); err != nil {
+		t.Fatal(err)
+	}
+	gen := microsim.NewLoadGen(env, "wrk", topo.ClientHost, topo.Entry, 4, 30)
+	gen.Start(time.Second)
+	env.Run(2 * time.Second)
+	d.FlushAll()
+
+	spans := d.Server.SpanList(sim.Epoch, sim.Epoch.Add(time.Hour), 0)
+	var start *trace.Span
+	otelCount := 0
+	for _, sp := range spans {
+		if sp.Source == trace.SourceOTel {
+			otelCount++
+		}
+		if sp.ProcessName == "wrk" && sp.TapSide == trace.TapClientProcess && start == nil {
+			start = sp
+		}
+	}
+	if otelCount == 0 {
+		t.Fatal("no third-party spans ingested")
+	}
+	tr := d.Server.Trace(start.ID)
+	hasOTel := false
+	for _, sp := range tr.Spans {
+		if sp.Source == trace.SourceOTel {
+			hasOTel = true
+			if sp.ParentID == 0 {
+				t.Error("integrated OTel span has no parent")
+			}
+		}
+	}
+	if !hasOTel {
+		t.Fatalf("assembled trace lacks OTel spans:\n%s", d.Server.FormatTrace(tr))
+	}
+}
+
+// TestOnTheFlyDeployment reproduces §4.1.1: the service is already running
+// and failing; DeepFlow is deployed mid-flight with zero code changes and
+// localizes the 404-returning pod.
+func TestOnTheFlyDeployment(t *testing.T) {
+	env := microsim.NewEnv(19)
+	topo := microsim.BuildBookinfo(env, nil)
+	// The productpage sidecar (an "Nginx ingress" stand-in) misbehaves.
+	faults.InjectPodError(env.Component("productpage-envoy"), "/productpage", 404)
+
+	gen := microsim.NewLoadGen(env, "client", topo.ClientHost, topo.Entry, 4, 50)
+	gen.Path = "/productpage"
+	gen.Start(4 * time.Second)
+
+	// Run 1s WITHOUT DeepFlow: the system is live and failing.
+	env.Run(time.Second)
+
+	// Deploy DeepFlow on the fly; no process restarted, no code changed.
+	d := NewDeployment(env, []*k8s.Cluster{topo.Cluster}, nil, DefaultOptions())
+	if err := d.DeployAll(); err != nil {
+		t.Fatal(err)
+	}
+	deployedAt := env.Eng.Now()
+	env.Run(5 * time.Second)
+	d.FlushAll()
+
+	verdict := faults.LocalizeErrorSource(d.Server, deployedAt, env.Eng.Now())
+	if verdict.Pod != "bi-productpage-envoy" {
+		t.Fatalf("localized %q, want bi-productpage-envoy (errors=%d)", verdict.Pod, verdict.Errors)
+	}
+	if verdict.Errors == 0 {
+		t.Fatal("no errors attributed")
+	}
+}
+
+// TestARPAnomalyLocalization reproduces §4.1.2: a faulty physical NIC
+// emits redundant ARP requests; per-hop inspection finds it.
+func TestARPAnomalyLocalization(t *testing.T) {
+	env := microsim.NewEnv(23)
+	topo := microsim.BuildSpringBootDemo(env, nil)
+	machine := env.Net.Host("sb-machine-2")
+	faults.InjectNICARPFault(machine, 8, 50*time.Millisecond)
+
+	d := NewDeployment(env, []*k8s.Cluster{topo.Cluster}, nil, DefaultOptions())
+	if err := d.DeployAll(); err != nil {
+		t.Fatal(err)
+	}
+	gen := microsim.NewLoadGen(env, "wrk", topo.ClientHost, topo.Entry, 8, 50)
+	gen.Start(2 * time.Second)
+	env.Run(3 * time.Second)
+	d.FlushAll()
+
+	suspects := faults.LocalizeARPAnomaly(env.Net)
+	if len(suspects) == 0 || suspects[0].Host != "sb-machine-2" {
+		t.Fatalf("ARP suspects = %+v, want sb-machine-2 first", suspects)
+	}
+	// The anomaly is also visible in the metrics plane.
+	arp := d.Server.Metrics.Sum("net.arp_requests", map[string]string{"host": "sb-machine-2"},
+		sim.Epoch, env.Eng.Now())
+	if arp == 0 {
+		t.Fatal("ARP anomaly not exported to metrics")
+	}
+}
+
+// TestMQResetCorrelation reproduces §4.1.3: a message-queue backlog causes
+// TCP connection resets; trace↔metric correlation pinpoints the flow.
+func TestMQResetCorrelation(t *testing.T) {
+	env := microsim.NewEnv(29)
+	cluster := k8s.NewCluster("mq", env.Net)
+	machine := env.Net.AddHost("mq-machine", kindOfMachine(), nil)
+	node := cluster.AddNode("mq-node", machine)
+	pubPod, _ := cluster.AddPod("publisher-0", "default", "publisher", node, nil)
+	mqPod, _ := cluster.AddPod("rabbitmq-0", "default", "rabbitmq", node, nil)
+
+	microsim.MustComponent(env, microsim.Config{
+		Name: "rabbitmq", Host: mqPod.Host, Port: 5672, Proto: trace.L7MQTT,
+		Workers: 16, QueueMode: true, QueueCap: 20,
+		ServiceTime: simConst(100 * time.Microsecond),
+		DrainTime:   simConst(400 * time.Millisecond),
+	})
+
+	d := NewDeployment(env, []*k8s.Cluster{cluster}, nil, DefaultOptions())
+	if err := d.DeployAll(); err != nil {
+		t.Fatal(err)
+	}
+	gen := microsim.NewLoadGen(env, "publisher", pubPod.Host, env.Component("rabbitmq"), 32, 400)
+	gen.Path = "orders/created"
+	gen.Start(3 * time.Second)
+	env.Run(4 * time.Second)
+	d.FlushAll()
+
+	if gen.Errors == 0 {
+		t.Fatal("backlog never failed a publish")
+	}
+	src := faults.LocalizeResets(d.Server, sim.Epoch, env.Eng.Now())
+	if src.Resets == 0 {
+		t.Fatalf("reset correlation found nothing: %+v", src)
+	}
+}
+
+func TestStopDetachesEverything(t *testing.T) {
+	d, _, _ := runSpringBoot(t, nil, 20, time.Second)
+	before := d.SpansEmitted()
+	d.Stop()
+	if before == 0 {
+		t.Fatal("no spans before stop")
+	}
+	if d.Agents() == 0 {
+		t.Fatal("agents lost")
+	}
+}
+
+func TestDeployOnNamedSubset(t *testing.T) {
+	env := microsim.NewEnv(31)
+	topo := microsim.BuildSpringBootDemo(env, nil)
+	d := NewDeployment(env, []*k8s.Cluster{topo.Cluster}, nil, DefaultOptions())
+	if err := d.DeployOnNamed("sb-front-0", "sb-backend-0"); err != nil {
+		t.Fatal(err)
+	}
+	if d.Agents() != 2 {
+		t.Fatalf("agents = %d", d.Agents())
+	}
+	if err := d.DeployOnNamed("no-such-host"); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+}
+
+// TestPerfOverflowDegradesGracefully: with a tiny perf ring, events are
+// lost under load, but the pipeline keeps running, loses no correctness
+// (only coverage), and accounts the drops.
+func TestPerfOverflowDegradesGracefully(t *testing.T) {
+	env := microsim.NewEnv(71)
+	topo := microsim.BuildSpringBootDemo(env, nil)
+	opts := DefaultOptions()
+	opts.Agent.PerfCapacity = 1 // pathological ring size
+	d := NewDeployment(env, []*k8s.Cluster{topo.Cluster}, nil, opts)
+	if err := d.DeployAll(); err != nil {
+		t.Fatal(err)
+	}
+	gen := microsim.NewLoadGen(env, "wrk", topo.ClientHost, topo.Entry, 8, 100)
+	gen.Start(time.Second)
+	env.Run(2 * time.Second)
+	d.FlushAll()
+
+	// The workload itself is unaffected by monitoring drops.
+	if gen.Completed == 0 || gen.Errors > 0 {
+		t.Fatalf("workload: completed=%d errors=%d", gen.Completed, gen.Errors)
+	}
+	// Spans still flow (the ring drains after every syscall, so capacity 1
+	// mostly suffices) and nothing crashed; any loss is accounted.
+	var lost uint64
+	for _, h := range env.Net.Hosts() {
+		if ag := d.Agent(h.Name); ag != nil {
+			lost += ag.Progs.Perf.Lost()
+		}
+	}
+	if d.Server.SpansIngested == 0 {
+		t.Fatal("no spans despite running pipeline")
+	}
+	t.Logf("spans=%d lostRecords=%d", d.Server.SpansIngested, lost)
+}

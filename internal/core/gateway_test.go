@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"deepflow/internal/k8s"
+	"deepflow/internal/microsim"
+	"deepflow/internal/sim"
+	"deepflow/internal/simnet"
+	"deepflow/internal/trace"
+)
+
+// TestGatewayTraceCoverage reproduces Appendix A (Figs. 17–18): the trace
+// of one request covers the whole data-center path — client process, pod
+// NIC, node, physical machine, L4 gateway, and the mirror-image server
+// side — with the gateway hop associated purely by TCP sequence.
+func TestGatewayTraceCoverage(t *testing.T) {
+	env := microsim.NewEnv(37)
+	cluster := k8s.NewCluster("dc", env.Net)
+	machineA := env.Net.AddHost("rack-a", simnet.KindMachine, nil)
+	machineB := env.Net.AddHost("rack-b", simnet.KindMachine, nil)
+	gw := env.Net.AddHost("slb-1", simnet.KindGateway, nil)
+	env.Net.SetRoute(machineA, machineB, gw)
+
+	nodeA := cluster.AddNode("node-a", machineA)
+	nodeB := cluster.AddNode("node-b", machineB)
+	clientPod, _ := cluster.AddPod("client-0", "default", "client", nodeA, nil)
+	apiPod, _ := cluster.AddPod("api-0", "default", "api", nodeB, nil)
+
+	microsim.MustComponent(env, microsim.Config{
+		Name: "api", Host: apiPod.Host, Port: 8080, Workers: 2,
+		ServiceTime: simConst(300 * time.Microsecond),
+	})
+
+	d := NewDeployment(env, []*k8s.Cluster{cluster}, nil, DefaultOptions())
+	if err := d.DeployAll(); err != nil {
+		t.Fatal(err)
+	}
+	gen := microsim.NewLoadGen(env, "client", clientPod.Host, env.Component("api"), 2, 20)
+	gen.Start(time.Second)
+	env.Run(2 * time.Second)
+	d.FlushAll()
+
+	var start *trace.Span
+	for _, sp := range d.Server.SpanList(sim.Epoch, sim.Epoch.Add(time.Hour), 0) {
+		if sp.ProcessName == "client" && sp.TapSide == trace.TapClientProcess && sp.ResponseStatus == "ok" {
+			start = sp
+			break
+		}
+	}
+	if start == nil {
+		t.Fatal("no client span")
+	}
+	tr := d.Server.Trace(start.ID)
+
+	// The full path of Appendix A: c, c-nic, c-node (node + machine), gw,
+	// s-node (machine + node), s-nic, s = 9 capture points.
+	if tr.Len() != 9 {
+		t.Fatalf("trace covers %d capture points, want 9:\n%s", tr.Len(), d.Server.FormatTrace(tr))
+	}
+	wantHosts := []string{"client-0", "node-a", "rack-a", "slb-1", "rack-b", "node-b", "api-0"}
+	seen := map[string]bool{}
+	var gwSpan *trace.Span
+	for _, sp := range tr.Spans {
+		seen[sp.HostName] = true
+		if sp.TapSide == trace.TapGateway {
+			gwSpan = sp
+		}
+	}
+	for _, h := range wantHosts {
+		if !seen[h] {
+			t.Errorf("host %s missing from trace", h)
+		}
+	}
+	if gwSpan == nil {
+		t.Fatal("no gateway span")
+	}
+	// TCP seq invariance through the L4 gateway.
+	if gwSpan.ReqTCPSeq != start.ReqTCPSeq || gwSpan.RespTCPSeq != start.RespTCPSeq {
+		t.Fatalf("gateway seqs %d/%d differ from client %d/%d",
+			gwSpan.ReqTCPSeq, gwSpan.RespTCPSeq, start.ReqTCPSeq, start.RespTCPSeq)
+	}
+	// The trace nests linearly: depth equals span count.
+	if tr.Depth() != 9 {
+		t.Fatalf("depth = %d, want 9 (linear path):\n%s", tr.Depth(), d.Server.FormatTrace(tr))
+	}
+	// The gateway span sits between the client-side and server-side hops.
+	byID := map[trace.SpanID]*trace.Span{}
+	for _, sp := range tr.Spans {
+		byID[sp.ID] = sp
+	}
+	parent := byID[gwSpan.ParentID]
+	if parent == nil || !parent.TapSide.IsClientSide() {
+		t.Fatalf("gateway parent = %v", parent)
+	}
+}
+
+// TestKernelFlowStatsExported checks the in-kernel aggregated flow
+// statistics reach the metrics plane.
+func TestKernelFlowStatsExported(t *testing.T) {
+	d, _, gen := runSpringBoot(t, nil, 50, time.Second)
+	if gen.Completed == 0 {
+		t.Fatal("no load")
+	}
+	env := d.Env
+	pkts := d.Server.Metrics.Sum("net.kernel_packets", nil, sim.Epoch, env.Eng.Now())
+	bytes := d.Server.Metrics.Sum("net.kernel_bytes", nil, sim.Epoch, env.Eng.Now())
+	if pkts == 0 || bytes == 0 {
+		t.Fatalf("kernel flow stats missing: pkts=%v bytes=%v", pkts, bytes)
+	}
+	// Every request moves at least request+response bytes; sanity bound.
+	if int(pkts) < gen.Completed*2 {
+		t.Fatalf("kernel packets %v < 2 syscalls x %d requests", pkts, gen.Completed)
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"deepflow/internal/k8s"
+	"deepflow/internal/microsim"
+	"deepflow/internal/sim"
+	"deepflow/internal/simnet"
+	"deepflow/internal/trace"
+)
+
+// TestToRMirrorCoversGateway reproduces Fig. 18: no agent runs on the L4
+// gateway itself; instead the top-of-rack switch mirrors its traffic to a
+// dedicated capture machine. The gateway hop still appears in traces,
+// attributed to the gateway.
+func TestToRMirrorCoversGateway(t *testing.T) {
+	env := microsim.NewEnv(67)
+	cluster := k8s.NewCluster("dc", env.Net)
+	machineA := env.Net.AddHost("rack-a", simnet.KindMachine, nil)
+	machineB := env.Net.AddHost("rack-b", simnet.KindMachine, nil)
+	gw := env.Net.AddHost("slb", simnet.KindGateway, nil)
+	capture := env.Net.AddHost("capture-box", simnet.KindMachine, nil)
+	env.Net.SetRoute(machineA, machineB, gw)
+	// The ToR switch mirrors the gateway's port to the capture machine.
+	gw.NIC.MirrorTo(capture.NIC)
+
+	nodeA := cluster.AddNode("node-a", machineA)
+	nodeB := cluster.AddNode("node-b", machineB)
+	clientPod, _ := cluster.AddPod("client-0", "default", "client", nodeA, nil)
+	apiPod, _ := cluster.AddPod("api-0", "default", "api", nodeB, nil)
+
+	microsim.MustComponent(env, microsim.Config{
+		Name: "api", Host: apiPod.Host, Port: 8080, Workers: 2,
+		ServiceTime: simConst(300 * time.Microsecond),
+	})
+
+	d := NewDeployment(env, []*k8s.Cluster{cluster}, nil, DefaultOptions())
+	// Deploy everywhere EXCEPT the gateway (it cannot host an agent in
+	// this scenario); the capture machine's agent covers it.
+	for _, h := range env.Net.Hosts() {
+		if h == gw {
+			continue
+		}
+		if err := d.DeployOn(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	gen := microsim.NewLoadGen(env, "client", clientPod.Host, env.Component("api"), 2, 20)
+	gen.Start(time.Second)
+	env.Run(2 * time.Second)
+	d.FlushAll()
+
+	var start *trace.Span
+	for _, sp := range d.Server.SpanList(sim.Epoch, sim.Epoch.Add(time.Hour), 0) {
+		if sp.ProcessName == "client" && sp.TapSide == trace.TapClientProcess && sp.ResponseStatus == "ok" {
+			start = sp
+			break
+		}
+	}
+	if start == nil {
+		t.Fatal("no client span")
+	}
+	tr := d.Server.Trace(start.ID)
+
+	var gwSpan *trace.Span
+	for _, sp := range tr.Spans {
+		if sp.TapSide == trace.TapGateway {
+			gwSpan = sp
+		}
+	}
+	if gwSpan == nil {
+		t.Fatalf("gateway hop missing despite mirror:\n%s", d.Server.FormatTrace(tr))
+	}
+	if gwSpan.HostName != "slb" {
+		t.Fatalf("mirrored span attributed to %q, want slb", gwSpan.HostName)
+	}
+	if gwSpan.ReqTCPSeq != start.ReqTCPSeq {
+		t.Fatal("gateway span not associated by TCP seq")
+	}
+	if gwSpan.ParentID == 0 {
+		t.Fatalf("gateway span unparented:\n%s", d.Server.FormatTrace(tr))
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"deepflow/internal/cloud"
+	"deepflow/internal/k8s"
+	"deepflow/internal/microsim"
+	"deepflow/internal/sim"
+	"deepflow/internal/simnet"
+	"deepflow/internal/trace"
+)
+
+// TestMultiClusterDeployment deploys DeepFlow over two Kubernetes clusters
+// in different VPCs connected through an L4 gateway, and checks a
+// cross-cluster request assembles into one trace with correct VPC tags on
+// both sides — the multi-cluster deployment the paper supports via Helm
+// (§4.1: "rapid deployment in a single or across multiple Kubernetes
+// clusters").
+func TestMultiClusterDeployment(t *testing.T) {
+	env := microsim.NewEnv(61)
+
+	west := k8s.NewCluster("west", env.Net)
+	east := k8s.NewCluster("east", env.Net)
+	mw := env.Net.AddHost("m-west", simnet.KindMachine, nil)
+	me := env.Net.AddHost("m-east", simnet.KindMachine, nil)
+	gw := env.Net.AddHost("interconnect", simnet.KindGateway, nil)
+	env.Net.SetRoute(mw, me, gw)
+
+	nw := west.AddNode("node-west", mw)
+	ne := east.AddNode("node-east", me)
+	clientPod, _ := west.AddPod("shop-0", "default", "shop", nw, nil)
+	apiPod, _ := east.AddPod("inventory-0", "default", "inventory", ne, nil)
+
+	cl := cloud.NewRegistry()
+	cl.Place("node-west", "us-west", "us-west-1a", "vpc-west")
+	cl.Place("node-east", "us-east", "us-east-1b", "vpc-east")
+
+	microsim.MustComponent(env, microsim.Config{
+		Name: "inventory", Host: apiPod.Host, Port: 8080, Workers: 4,
+		ServiceTime: simConst(400 * time.Microsecond),
+	})
+
+	d := NewDeployment(env, []*k8s.Cluster{west, east}, cl, DefaultOptions())
+	if err := d.DeployAll(); err != nil {
+		t.Fatal(err)
+	}
+	gen := microsim.NewLoadGen(env, "shop", clientPod.Host, env.Component("inventory"), 4, 40)
+	gen.Start(time.Second)
+	env.Run(2 * time.Second)
+	d.FlushAll()
+
+	var start *trace.Span
+	for _, sp := range d.Server.SpanList(sim.Epoch, sim.Epoch.Add(time.Hour), 0) {
+		if sp.ProcessName == "shop" && sp.TapSide == trace.TapClientProcess && sp.ResponseStatus == "ok" {
+			start = sp
+			break
+		}
+	}
+	if start == nil {
+		t.Fatal("no client span")
+	}
+	tr := d.Server.Trace(start.ID)
+	if tr.Len() < 8 {
+		t.Fatalf("cross-cluster trace = %d spans:\n%s", tr.Len(), d.Server.FormatTrace(tr))
+	}
+
+	var westSeen, eastSeen, gwSeen bool
+	for _, sp := range tr.Spans {
+		dec := d.Server.Decorate(sp)
+		switch dec.Tags.Region {
+		case "us-west":
+			westSeen = true
+		case "us-east":
+			eastSeen = true
+		}
+		if sp.TapSide == trace.TapGateway {
+			gwSeen = true
+		}
+	}
+	if !westSeen || !eastSeen || !gwSeen {
+		t.Fatalf("cross-cluster coverage: west=%v east=%v gw=%v\n%s",
+			westSeen, eastSeen, gwSeen, d.Server.FormatTrace(tr))
+	}
+
+	// Smart-encoding phase 1: agents in different VPCs injected different
+	// VPC IDs.
+	clientSpan := start
+	serverSpan := (*trace.Span)(nil)
+	for _, sp := range tr.Spans {
+		if sp.ProcessName == "inventory" && sp.TapSide == trace.TapServerProcess {
+			serverSpan = sp
+		}
+	}
+	if serverSpan == nil {
+		t.Fatal("no server span")
+	}
+	if clientSpan.Resource.VPCID == 0 || serverSpan.Resource.VPCID == 0 ||
+		clientSpan.Resource.VPCID == serverSpan.Resource.VPCID {
+		t.Fatalf("VPC tags: client=%d server=%d", clientSpan.Resource.VPCID, serverSpan.Resource.VPCID)
+	}
+}

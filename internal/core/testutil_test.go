@@ -1,0 +1,14 @@
+package core
+
+import (
+	"time"
+
+	"deepflow/internal/sim"
+	"deepflow/internal/simnet"
+)
+
+// Small aliases keeping the integration tests readable.
+
+func kindOfMachine() simnet.HostKind { return simnet.KindMachine }
+
+func simConst(d time.Duration) sim.Dist { return sim.Const{D: d} }

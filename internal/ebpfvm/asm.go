@@ -1,0 +1,160 @@
+package ebpfvm
+
+import "fmt"
+
+// Asm builds programs with a fluent API and symbolic labels, playing the
+// role of the restricted C + clang toolchain used to author real eBPF
+// programs. Forward labels are resolved by Build; the verifier then checks
+// the result like any other program.
+type Asm struct {
+	name   string
+	insts  []Inst
+	labels map[string]int // label -> instruction index
+	fixups map[int]string // instruction index -> unresolved jump label
+	errs   []error
+}
+
+// NewAsm starts a new program with the given name.
+func NewAsm(name string) *Asm {
+	return &Asm{name: name, labels: map[string]int{}, fixups: map[int]string{}}
+}
+
+func (a *Asm) emit(in Inst) *Asm {
+	a.insts = append(a.insts, in)
+	return a
+}
+
+// Label defines a jump target at the current position.
+func (a *Asm) Label(name string) *Asm {
+	if _, dup := a.labels[name]; dup {
+		a.errs = append(a.errs, fmt.Errorf("duplicate label %q", name))
+	}
+	a.labels[name] = len(a.insts)
+	return a
+}
+
+// MovImm sets dst = imm.
+func (a *Asm) MovImm(dst Reg, imm int64) *Asm { return a.emit(Inst{Op: OpMovImm, Dst: dst, Imm: imm}) }
+
+// MovReg sets dst = src.
+func (a *Asm) MovReg(dst, src Reg) *Asm { return a.emit(Inst{Op: OpMovReg, Dst: dst, Src: src}) }
+
+// AddImm sets dst += imm.
+func (a *Asm) AddImm(dst Reg, imm int64) *Asm { return a.emit(Inst{Op: OpAddImm, Dst: dst, Imm: imm}) }
+
+// AddReg sets dst += src.
+func (a *Asm) AddReg(dst, src Reg) *Asm { return a.emit(Inst{Op: OpAddReg, Dst: dst, Src: src}) }
+
+// SubImm sets dst -= imm.
+func (a *Asm) SubImm(dst Reg, imm int64) *Asm { return a.emit(Inst{Op: OpSubImm, Dst: dst, Imm: imm}) }
+
+// MulImm sets dst *= imm.
+func (a *Asm) MulImm(dst Reg, imm int64) *Asm { return a.emit(Inst{Op: OpMulImm, Dst: dst, Imm: imm}) }
+
+// AndImm sets dst &= imm.
+func (a *Asm) AndImm(dst Reg, imm int64) *Asm { return a.emit(Inst{Op: OpAndImm, Dst: dst, Imm: imm}) }
+
+// OrImm sets dst |= imm.
+func (a *Asm) OrImm(dst Reg, imm int64) *Asm { return a.emit(Inst{Op: OpOrImm, Dst: dst, Imm: imm}) }
+
+// LshImm sets dst <<= imm.
+func (a *Asm) LshImm(dst Reg, imm int64) *Asm { return a.emit(Inst{Op: OpLshImm, Dst: dst, Imm: imm}) }
+
+// RshImm sets dst >>= imm (logical).
+func (a *Asm) RshImm(dst Reg, imm int64) *Asm { return a.emit(Inst{Op: OpRshImm, Dst: dst, Imm: imm}) }
+
+// Ldx loads dst = *(size*)(src + off).
+func (a *Asm) Ldx(size Size, dst, src Reg, off int16) *Asm {
+	return a.emit(Inst{Op: OpLdx, Size: size, Dst: dst, Src: src, Off: off})
+}
+
+// Stx stores *(size*)(dst + off) = src.
+func (a *Asm) Stx(size Size, dst Reg, off int16, src Reg) *Asm {
+	return a.emit(Inst{Op: OpStx, Size: size, Dst: dst, Off: off, Src: src})
+}
+
+func (a *Asm) jump(in Inst, label string) *Asm {
+	a.fixups[len(a.insts)] = label
+	return a.emit(in)
+}
+
+// Ja jumps unconditionally to label.
+func (a *Asm) Ja(label string) *Asm { return a.jump(Inst{Op: OpJa}, label) }
+
+// JeqImm jumps to label if dst == imm.
+func (a *Asm) JeqImm(dst Reg, imm int64, label string) *Asm {
+	return a.jump(Inst{Op: OpJeqImm, Dst: dst, Imm: imm}, label)
+}
+
+// JneImm jumps to label if dst != imm.
+func (a *Asm) JneImm(dst Reg, imm int64, label string) *Asm {
+	return a.jump(Inst{Op: OpJneImm, Dst: dst, Imm: imm}, label)
+}
+
+// JgtImm jumps to label if dst > imm (unsigned).
+func (a *Asm) JgtImm(dst Reg, imm int64, label string) *Asm {
+	return a.jump(Inst{Op: OpJgtImm, Dst: dst, Imm: imm}, label)
+}
+
+// JgeImm jumps to label if dst >= imm (unsigned).
+func (a *Asm) JgeImm(dst Reg, imm int64, label string) *Asm {
+	return a.jump(Inst{Op: OpJgeImm, Dst: dst, Imm: imm}, label)
+}
+
+// JltImm jumps to label if dst < imm (unsigned).
+func (a *Asm) JltImm(dst Reg, imm int64, label string) *Asm {
+	return a.jump(Inst{Op: OpJltImm, Dst: dst, Imm: imm}, label)
+}
+
+// JleImm jumps to label if dst <= imm (unsigned).
+func (a *Asm) JleImm(dst Reg, imm int64, label string) *Asm {
+	return a.jump(Inst{Op: OpJleImm, Dst: dst, Imm: imm}, label)
+}
+
+// JsetImm jumps to label if dst & imm != 0.
+func (a *Asm) JsetImm(dst Reg, imm int64, label string) *Asm {
+	return a.jump(Inst{Op: OpJsetImm, Dst: dst, Imm: imm}, label)
+}
+
+// JeqReg jumps to label if dst == src.
+func (a *Asm) JeqReg(dst, src Reg, label string) *Asm {
+	return a.jump(Inst{Op: OpJeqReg, Dst: dst, Src: src}, label)
+}
+
+// JneReg jumps to label if dst != src.
+func (a *Asm) JneReg(dst, src Reg, label string) *Asm {
+	return a.jump(Inst{Op: OpJneReg, Dst: dst, Src: src}, label)
+}
+
+// Call invokes a helper.
+func (a *Asm) Call(h HelperID) *Asm { return a.emit(Inst{Op: OpCall, Imm: int64(h)}) }
+
+// Exit terminates the program; R0 is the return value.
+func (a *Asm) Exit() *Asm { return a.emit(Inst{Op: OpExit}) }
+
+// Build resolves labels and returns the program. It fails on unresolved or
+// duplicate labels, leaving safety checks to the verifier.
+func (a *Asm) Build() (*Program, error) {
+	if len(a.errs) > 0 {
+		return nil, a.errs[0]
+	}
+	insts := make([]Inst, len(a.insts))
+	copy(insts, a.insts)
+	for idx, label := range a.fixups {
+		target, ok := a.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("undefined label %q", label)
+		}
+		insts[idx].Off = int16(target - idx - 1)
+	}
+	return &Program{Name: a.name, Insts: insts}, nil
+}
+
+// MustBuild is Build that panics on error; for statically known programs.
+func (a *Asm) MustBuild() *Program {
+	p, err := a.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,204 @@
+// Package ebpfvm implements a small in-process virtual machine modeled on
+// eBPF: a register machine with a 512-byte stack, helper calls, hash maps,
+// a perf-event ring buffer, and — crucially — a static verifier that rejects
+// unsafe programs before they run.
+//
+// The DeepFlow reproduction uses it as the kernel-side half of the tracing
+// plane: agent hook programs are expressed in this instruction set, attached
+// to simulated kprobes/tracepoints/uprobes (internal/simkernel), and verified
+// before attachment, preserving the paper's safety argument (§2.3.1: "these
+// programs are validated by the eBPF verifier prior to execution").
+package ebpfvm
+
+import "fmt"
+
+// Reg is a VM register. R0 holds return values, R1–R5 are helper arguments
+// (caller-saved), R6–R9 are callee-saved general registers, and R10 is the
+// read-only frame pointer (top of stack; valid offsets are negative).
+type Reg uint8
+
+// Registers.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+
+	// NumRegs is the register-file size.
+	NumRegs = 11
+)
+
+func (r Reg) String() string { return fmt.Sprintf("r%d", uint8(r)) }
+
+// Size is a memory access width.
+type Size uint8
+
+// Access widths.
+const (
+	SizeB  Size = 1
+	SizeH  Size = 2
+	SizeW  Size = 4
+	SizeDW Size = 8
+)
+
+// Op is an operation code. The set is a compact enumeration of the eBPF
+// operations the tracing programs need; ALU operations are 64-bit.
+type Op uint8
+
+// Operation codes.
+const (
+	OpInvalid Op = iota
+
+	// ALU: dst = dst <op> (src | imm).
+	OpMovImm
+	OpMovReg
+	OpAddImm
+	OpAddReg
+	OpSubImm
+	OpSubReg
+	OpMulImm
+	OpMulReg
+	OpDivImm // division by zero yields 0, as in BPF
+	OpAndImm
+	OpAndReg
+	OpOrImm
+	OpOrReg
+	OpXorImm
+	OpXorReg
+	OpLshImm
+	OpRshImm
+	OpModImm
+	OpNeg
+
+	// Memory: Ldx dst = *(size*)(src+off); Stx *(size*)(dst+off) = src.
+	OpLdx
+	OpStx
+
+	// Control flow. Jump offsets are relative: pc += off + 1.
+	OpJa
+	OpJeqImm
+	OpJeqReg
+	OpJneImm
+	OpJneReg
+	OpJgtImm
+	OpJgtReg
+	OpJgeImm
+	OpJltImm
+	OpJleImm
+	OpJsetImm // jump if dst & imm
+
+	// Calls and termination.
+	OpCall // imm = helper ID
+	OpExit
+)
+
+var opNames = map[Op]string{
+	OpMovImm: "mov", OpMovReg: "mov", OpAddImm: "add", OpAddReg: "add",
+	OpSubImm: "sub", OpSubReg: "sub", OpMulImm: "mul", OpMulReg: "mul",
+	OpDivImm: "div", OpAndImm: "and", OpAndReg: "and", OpOrImm: "or",
+	OpOrReg: "or", OpXorImm: "xor", OpXorReg: "xor", OpLshImm: "lsh",
+	OpRshImm: "rsh", OpModImm: "mod", OpNeg: "neg", OpLdx: "ldx",
+	OpStx: "stx", OpJa: "ja", OpJeqImm: "jeq", OpJeqReg: "jeq",
+	OpJneImm: "jne", OpJneReg: "jne", OpJgtImm: "jgt", OpJgtReg: "jgt",
+	OpJgeImm: "jge", OpJltImm: "jlt", OpJleImm: "jle", OpJsetImm: "jset",
+	OpCall: "call", OpExit: "exit",
+}
+
+// Inst is one instruction.
+type Inst struct {
+	Op   Op
+	Dst  Reg
+	Src  Reg
+	Off  int16 // memory displacement or jump offset
+	Size Size  // for OpLdx / OpStx
+	Imm  int64
+}
+
+func (in Inst) String() string {
+	name := opNames[in.Op]
+	switch in.Op {
+	case OpLdx:
+		return fmt.Sprintf("%s%d %s, [%s%+d]", name, in.Size*8, in.Dst, in.Src, in.Off)
+	case OpStx:
+		return fmt.Sprintf("%s%d [%s%+d], %s", name, in.Size*8, in.Dst, in.Off, in.Src)
+	case OpJa:
+		return fmt.Sprintf("%s %+d", name, in.Off)
+	case OpCall:
+		return fmt.Sprintf("%s %s", name, HelperID(in.Imm))
+	case OpExit:
+		return name
+	case OpMovReg, OpAddReg, OpSubReg, OpMulReg, OpAndReg, OpOrReg, OpXorReg:
+		return fmt.Sprintf("%s %s, %s", name, in.Dst, in.Src)
+	case OpJeqReg, OpJneReg, OpJgtReg:
+		return fmt.Sprintf("%s %s, %s, %+d", name, in.Dst, in.Src, in.Off)
+	case OpJeqImm, OpJneImm, OpJgtImm, OpJgeImm, OpJltImm, OpJleImm, OpJsetImm:
+		return fmt.Sprintf("%s %s, %d, %+d", name, in.Dst, in.Imm, in.Off)
+	case OpNeg:
+		return fmt.Sprintf("%s %s", name, in.Dst)
+	default:
+		return fmt.Sprintf("%s %s, %d", name, in.Dst, in.Imm)
+	}
+}
+
+// Program is a verified-or-not sequence of instructions plus the resources
+// it references.
+type Program struct {
+	Name  string
+	Insts []Inst
+
+	// verified is set by Verify; the VM refuses to run unverified programs.
+	verified bool
+}
+
+// StackSize is the per-program stack size in bytes, as in Linux eBPF.
+const StackSize = 512
+
+// MaxInsts is the maximum program length accepted by the verifier.
+const MaxInsts = 4096
+
+// HelperID identifies a helper function callable from programs.
+type HelperID int64
+
+// Helper functions. Argument/return conventions follow eBPF: arguments in
+// R1–R5, result in R0.
+const (
+	// HelperMapLookup: R1=map handle, R2=ptr to key (stack).
+	// Returns pointer to value or 0.
+	HelperMapLookup HelperID = 1
+	// HelperMapUpdate: R1=map handle, R2=key ptr, R3=value ptr. Returns 0 or negative error.
+	HelperMapUpdate HelperID = 2
+	// HelperMapDelete: R1=map handle, R2=key ptr. Returns 0 or negative error.
+	HelperMapDelete HelperID = 3
+	// HelperPerfOutput: R1=perf handle, R2=ptr to data, R3=len. Returns 0 or -1 on overflow.
+	HelperPerfOutput HelperID = 4
+	// HelperKtimeNS: returns current (virtual) time in ns.
+	HelperKtimeNS HelperID = 5
+	// HelperGetPidTgid: returns tgid<<32 | tid of the current task.
+	HelperGetPidTgid HelperID = 6
+)
+
+func (h HelperID) String() string {
+	switch h {
+	case HelperMapLookup:
+		return "map_lookup_elem"
+	case HelperMapUpdate:
+		return "map_update_elem"
+	case HelperMapDelete:
+		return "map_delete_elem"
+	case HelperPerfOutput:
+		return "perf_event_output"
+	case HelperKtimeNS:
+		return "ktime_get_ns"
+	case HelperGetPidTgid:
+		return "get_current_pid_tgid"
+	default:
+		return fmt.Sprintf("helper#%d", int64(h))
+	}
+}

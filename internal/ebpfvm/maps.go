@@ -1,0 +1,125 @@
+package ebpfvm
+
+import "fmt"
+
+// HashMap is a fixed key/value size hash map, the ebpfvm analogue of
+// BPF_MAP_TYPE_HASH. DeepFlow's hook programs use one to stash syscall-enter
+// parameters until the matching exit fires (paper §3.3.1).
+type HashMap struct {
+	Name       string
+	KeySize    int
+	ValueSize  int
+	MaxEntries int
+	data       map[string][]byte
+}
+
+// NewHashMap creates an empty hash map.
+func NewHashMap(name string, keySize, valueSize, maxEntries int) *HashMap {
+	return &HashMap{
+		Name:       name,
+		KeySize:    keySize,
+		ValueSize:  valueSize,
+		MaxEntries: maxEntries,
+		data:       make(map[string][]byte),
+	}
+}
+
+// Lookup returns the stored value slice for key, or nil. The returned slice
+// aliases map storage, as in the kernel.
+func (m *HashMap) Lookup(key []byte) []byte {
+	if len(key) != m.KeySize {
+		return nil
+	}
+	return m.data[string(key)]
+}
+
+// Update inserts or replaces key's value. It fails when the map is full.
+func (m *HashMap) Update(key, value []byte) error {
+	if len(key) != m.KeySize || len(value) != m.ValueSize {
+		return fmt.Errorf("ebpfvm: map %q: bad key/value size", m.Name)
+	}
+	k := string(key)
+	if _, exists := m.data[k]; !exists && len(m.data) >= m.MaxEntries {
+		return fmt.Errorf("ebpfvm: map %q full (%d entries)", m.Name, m.MaxEntries)
+	}
+	v := make([]byte, m.ValueSize)
+	copy(v, value)
+	m.data[k] = v
+	return nil
+}
+
+// Delete removes key; deleting a missing key returns an error, as BPF does.
+func (m *HashMap) Delete(key []byte) error {
+	k := string(key)
+	if _, ok := m.data[k]; !ok {
+		return fmt.Errorf("ebpfvm: map %q: no such key", m.Name)
+	}
+	delete(m.data, k)
+	return nil
+}
+
+// Len returns the number of entries.
+func (m *HashMap) Len() int { return len(m.data) }
+
+// Iterate calls fn for every entry, the user-space analogue of
+// bpf_map_get_next_key scans. The value slice aliases map storage; fn must
+// not retain it. Iteration order is unspecified.
+func (m *HashMap) Iterate(fn func(key string, value []byte) bool) {
+	for k, v := range m.data {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+// Clear removes every entry (user-space map reset after a scrape).
+func (m *HashMap) Clear() {
+	for k := range m.data {
+		delete(m.data, k)
+	}
+}
+
+// PerfBuffer is a bounded record queue modeled on the BPF perf event ring:
+// programs append records, user space drains them, and records that do not
+// fit are counted as lost rather than blocking the producer.
+type PerfBuffer struct {
+	Name     string
+	Capacity int
+	records  [][]byte
+	lost     uint64
+	emitted  uint64
+}
+
+// NewPerfBuffer creates a perf buffer holding at most capacity records.
+func NewPerfBuffer(name string, capacity int) *PerfBuffer {
+	return &PerfBuffer{Name: name, Capacity: capacity}
+}
+
+// Output appends a copy of data, or counts it as lost if the buffer is full.
+func (b *PerfBuffer) Output(data []byte) bool {
+	if len(b.records) >= b.Capacity {
+		b.lost++
+		return false
+	}
+	rec := make([]byte, len(data))
+	copy(rec, data)
+	b.records = append(b.records, rec)
+	b.emitted++
+	return true
+}
+
+// Drain removes and returns all pending records.
+func (b *PerfBuffer) Drain() [][]byte {
+	out := b.records
+	b.records = nil
+	return out
+}
+
+// Pending returns the number of queued records.
+func (b *PerfBuffer) Pending() int { return len(b.records) }
+
+// Lost returns the number of records dropped due to overflow.
+func (b *PerfBuffer) Lost() uint64 { return b.lost }
+
+// Emitted returns the total number of records successfully queued.
+func (b *PerfBuffer) Emitted() uint64 { return b.emitted }

@@ -1,0 +1,519 @@
+package ebpfvm
+
+import "fmt"
+
+// regKind classifies what a register holds during verification.
+type regKind uint8
+
+const (
+	kindUninit regKind = iota
+	kindScalar
+	kindPtrCtx
+	kindPtrStack
+	kindPtrMapValue
+	kindMaybeNullMapValue
+)
+
+func (k regKind) String() string {
+	switch k {
+	case kindUninit:
+		return "uninit"
+	case kindScalar:
+		return "scalar"
+	case kindPtrCtx:
+		return "ptr_ctx"
+	case kindPtrStack:
+		return "ptr_stack"
+	case kindPtrMapValue:
+		return "ptr_map_value"
+	case kindMaybeNullMapValue:
+		return "map_value_or_null"
+	default:
+		return "?"
+	}
+}
+
+// regState is the verifier's abstract value for one register.
+type regState struct {
+	kind     regKind
+	off      int64 // pointer offset from region base (R10: 0 = frame top)
+	mapRef   int64 // map handle for map-value pointers
+	constVal int64 // known constant for scalars
+	known    bool  // constVal is valid
+}
+
+// vstate is a verification state at one program point.
+type vstate struct {
+	pc    int
+	regs  [NumRegs]regState
+	stack [StackSize]bool // byte initialized?
+}
+
+func (s *vstate) clone() *vstate {
+	c := *s
+	return &c
+}
+
+// ResourceKind describes what a handle refers to.
+type ResourceKind uint8
+
+// Resource kinds resolvable by the verifier environment.
+const (
+	ResourceNone ResourceKind = iota
+	ResourceMap
+	ResourcePerf
+)
+
+// Resource is verification metadata for a handle referenced by a program.
+type Resource struct {
+	Kind      ResourceKind
+	KeySize   int
+	ValueSize int
+}
+
+// VerifyEnv supplies the environment a program will run in: the size of its
+// context area and a resolver for map/perf handles.
+type VerifyEnv struct {
+	CtxSize int
+	Resolve func(handle int64) (Resource, bool)
+}
+
+// VerifyError describes why a program was rejected, including the offending
+// instruction.
+type VerifyError struct {
+	Prog   string
+	PC     int
+	Inst   Inst
+	Reason string
+}
+
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("ebpfvm: verifier rejected %q at #%d (%s): %s", e.Prog, e.PC, e.Inst, e.Reason)
+}
+
+// Verify statically checks the program: register initialization, pointer
+// bounds, stack initialization, read-only context, helper signatures,
+// null-checked map values, and forward-only control flow (termination).
+// On success the program is marked runnable.
+func Verify(p *Program, env VerifyEnv) error {
+	if len(p.Insts) == 0 {
+		return fmt.Errorf("ebpfvm: empty program %q", p.Name)
+	}
+	if len(p.Insts) > MaxInsts {
+		return fmt.Errorf("ebpfvm: program %q exceeds %d instructions", p.Name, MaxInsts)
+	}
+	reject := func(pc int, reason string) error {
+		return &VerifyError{Prog: p.Name, PC: pc, Inst: p.Insts[pc], Reason: reason}
+	}
+
+	// Structural pass: opcode validity and forward-only jumps.
+	for pc, in := range p.Insts {
+		switch in.Op {
+		case OpInvalid:
+			return reject(pc, "invalid opcode")
+		case OpJa, OpJeqImm, OpJeqReg, OpJneImm, OpJneReg, OpJgtImm, OpJgtReg,
+			OpJgeImm, OpJltImm, OpJleImm, OpJsetImm:
+			tgt := pc + 1 + int(in.Off)
+			if tgt <= pc {
+				return reject(pc, "back edge: loops are not allowed")
+			}
+			if tgt >= len(p.Insts) {
+				return reject(pc, "jump out of range")
+			}
+		case OpLdx, OpStx:
+			switch in.Size {
+			case SizeB, SizeH, SizeW, SizeDW:
+			default:
+				return reject(pc, "bad access size")
+			}
+		}
+		if in.Dst >= NumRegs || in.Src >= NumRegs {
+			return reject(pc, "bad register")
+		}
+	}
+	if last := p.Insts[len(p.Insts)-1]; last.Op != OpExit && last.Op != OpJa {
+		return fmt.Errorf("ebpfvm: program %q does not end with exit", p.Name)
+	}
+
+	// Abstract interpretation over all paths. Forward-only jumps bound the
+	// path count; a work budget guards against pathological branch fans.
+	init := &vstate{}
+	init.regs[R1] = regState{kind: kindPtrCtx}
+	init.regs[R10] = regState{kind: kindPtrStack}
+	work := []*vstate{init}
+	budget := MaxInsts * 64
+
+	for len(work) > 0 {
+		st := work[len(work)-1]
+		work = work[:len(work)-1]
+	path:
+		for {
+			if budget--; budget < 0 {
+				return fmt.Errorf("ebpfvm: program %q too complex", p.Name)
+			}
+			if st.pc >= len(p.Insts) {
+				return fmt.Errorf("ebpfvm: program %q fell off the end", p.Name)
+			}
+			pc := st.pc
+			in := p.Insts[pc]
+
+			readable := func(r Reg) error {
+				if st.regs[r].kind == kindUninit {
+					return reject(pc, fmt.Sprintf("read of uninitialized %s", r))
+				}
+				return nil
+			}
+
+			switch in.Op {
+			case OpExit:
+				if err := readable(R0); err != nil {
+					return err
+				}
+				break path
+
+			case OpMovImm:
+				if in.Dst == R10 {
+					return reject(pc, "write to frame pointer")
+				}
+				st.regs[in.Dst] = regState{kind: kindScalar, constVal: in.Imm, known: true}
+
+			case OpMovReg:
+				if in.Dst == R10 {
+					return reject(pc, "write to frame pointer")
+				}
+				if err := readable(in.Src); err != nil {
+					return err
+				}
+				st.regs[in.Dst] = st.regs[in.Src]
+
+			case OpAddImm, OpSubImm:
+				if in.Dst == R10 {
+					return reject(pc, "write to frame pointer")
+				}
+				if err := readable(in.Dst); err != nil {
+					return err
+				}
+				d := &st.regs[in.Dst]
+				delta := in.Imm
+				if in.Op == OpSubImm {
+					delta = -delta
+				}
+				switch d.kind {
+				case kindScalar:
+					d.constVal += delta // stays known iff it was known
+				case kindPtrCtx, kindPtrStack, kindPtrMapValue:
+					d.off += delta
+				default:
+					return reject(pc, fmt.Sprintf("arithmetic on %s", d.kind))
+				}
+
+			case OpAddReg:
+				if in.Dst == R10 {
+					return reject(pc, "write to frame pointer")
+				}
+				if err := readable(in.Dst); err != nil {
+					return err
+				}
+				if err := readable(in.Src); err != nil {
+					return err
+				}
+				d, s := &st.regs[in.Dst], st.regs[in.Src]
+				switch {
+				case d.kind == kindScalar && s.kind == kindScalar:
+					d.known = d.known && s.known
+					d.constVal += s.constVal
+				case d.kind.isPtr() && s.kind == kindScalar && s.known:
+					d.off += s.constVal
+				default:
+					return reject(pc, "unsupported pointer arithmetic")
+				}
+
+			case OpSubReg, OpMulImm, OpMulReg, OpDivImm, OpAndImm, OpAndReg,
+				OpOrImm, OpOrReg, OpXorImm, OpXorReg, OpLshImm, OpRshImm, OpModImm, OpNeg:
+				if in.Dst == R10 {
+					return reject(pc, "write to frame pointer")
+				}
+				if err := readable(in.Dst); err != nil {
+					return err
+				}
+				if st.regs[in.Dst].kind != kindScalar {
+					return reject(pc, fmt.Sprintf("ALU on %s", st.regs[in.Dst].kind))
+				}
+				switch in.Op {
+				case OpSubReg, OpAndReg, OpOrReg, OpXorReg, OpMulReg:
+					if err := readable(in.Src); err != nil {
+						return err
+					}
+					if st.regs[in.Src].kind != kindScalar {
+						return reject(pc, "ALU with pointer source")
+					}
+				}
+				// Constant folding for the cases the tracing programs use.
+				d := &st.regs[in.Dst]
+				if d.known {
+					switch in.Op {
+					case OpAndImm:
+						d.constVal &= in.Imm
+					case OpOrImm:
+						d.constVal |= in.Imm
+					case OpLshImm:
+						d.constVal <<= uint(in.Imm)
+					case OpRshImm:
+						d.constVal = int64(uint64(d.constVal) >> uint(in.Imm))
+					default:
+						d.known = false
+					}
+				}
+
+			case OpLdx:
+				if in.Dst == R10 {
+					return reject(pc, "write to frame pointer")
+				}
+				if err := readable(in.Src); err != nil {
+					return err
+				}
+				if err := checkMem(st, pc, p, in.Src, int64(in.Off), int(in.Size), false, env); err != nil {
+					return err
+				}
+				st.regs[in.Dst] = regState{kind: kindScalar}
+
+			case OpStx:
+				if err := readable(in.Dst); err != nil {
+					return err
+				}
+				if err := readable(in.Src); err != nil {
+					return err
+				}
+				if st.regs[in.Src].kind.isPtr() && st.regs[in.Dst].kind != kindPtrStack {
+					return reject(pc, "pointer spill outside stack")
+				}
+				if err := checkMem(st, pc, p, in.Dst, int64(in.Off), int(in.Size), true, env); err != nil {
+					return err
+				}
+
+			case OpJa:
+				st.pc = pc + 1 + int(in.Off)
+				continue
+
+			case OpJeqImm, OpJneImm, OpJgtImm, OpJgeImm, OpJltImm, OpJleImm, OpJsetImm:
+				if err := readable(in.Dst); err != nil {
+					return err
+				}
+				d := st.regs[in.Dst]
+				if d.kind.isPtr() && d.kind != kindMaybeNullMapValue {
+					return reject(pc, "conditional jump on pointer")
+				}
+				taken := st.clone()
+				taken.pc = pc + 1 + int(in.Off)
+				// Null-check refinement for map values.
+				if d.kind == kindMaybeNullMapValue && in.Imm == 0 {
+					switch in.Op {
+					case OpJeqImm: // taken => null, fallthrough => valid
+						taken.regs[in.Dst] = regState{kind: kindScalar, known: true}
+						st.regs[in.Dst] = regState{kind: kindPtrMapValue, mapRef: d.mapRef}
+					case OpJneImm: // taken => valid, fallthrough => null
+						taken.regs[in.Dst] = regState{kind: kindPtrMapValue, mapRef: d.mapRef}
+						st.regs[in.Dst] = regState{kind: kindScalar, known: true}
+					}
+				}
+				work = append(work, taken)
+
+			case OpJeqReg, OpJneReg, OpJgtReg:
+				if err := readable(in.Dst); err != nil {
+					return err
+				}
+				if err := readable(in.Src); err != nil {
+					return err
+				}
+				taken := st.clone()
+				taken.pc = pc + 1 + int(in.Off)
+				work = append(work, taken)
+
+			case OpCall:
+				if err := checkCall(st, pc, p, HelperID(in.Imm), env); err != nil {
+					return err
+				}
+
+			default:
+				return reject(pc, "unhandled opcode")
+			}
+			st.pc = pc + 1
+		}
+	}
+
+	p.verified = true
+	return nil
+}
+
+func (k regKind) isPtr() bool {
+	return k == kindPtrCtx || k == kindPtrStack || k == kindPtrMapValue || k == kindMaybeNullMapValue
+}
+
+// checkMem validates a memory access through reg+off of the given size.
+func checkMem(st *vstate, pc int, p *Program, reg Reg, off int64, size int, write bool, env VerifyEnv) error {
+	r := st.regs[reg]
+	total := r.off + off
+	reject := func(reason string) error {
+		return &VerifyError{Prog: p.Name, PC: pc, Inst: p.Insts[pc], Reason: reason}
+	}
+	switch r.kind {
+	case kindPtrCtx:
+		if write {
+			return reject("context is read-only")
+		}
+		if total < 0 || total+int64(size) > int64(env.CtxSize) {
+			return reject(fmt.Sprintf("ctx access [%d,%d) out of [0,%d)", total, total+int64(size), env.CtxSize))
+		}
+	case kindPtrStack:
+		lo := total
+		hi := total + int64(size)
+		if lo < -StackSize || hi > 0 {
+			return reject(fmt.Sprintf("stack access [%d,%d) out of [-%d,0)", lo, hi, StackSize))
+		}
+		if write {
+			for i := lo; i < hi; i++ {
+				st.stack[StackSize+i] = true
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				if !st.stack[StackSize+i] {
+					return reject(fmt.Sprintf("read of uninitialized stack byte %d", i))
+				}
+			}
+		}
+	case kindPtrMapValue:
+		res, ok := env.Resolve(r.mapRef)
+		if !ok || res.Kind != ResourceMap {
+			return reject("stale map reference")
+		}
+		if total < 0 || total+int64(size) > int64(res.ValueSize) {
+			return reject("map value access out of bounds")
+		}
+	case kindMaybeNullMapValue:
+		return reject("map value not null-checked before access")
+	default:
+		return reject(fmt.Sprintf("memory access through %s", r.kind))
+	}
+	return nil
+}
+
+// checkCall validates helper arguments and applies the helper's effect on
+// the abstract state.
+func checkCall(st *vstate, pc int, p *Program, h HelperID, env VerifyEnv) error {
+	reject := func(reason string) error {
+		return &VerifyError{Prog: p.Name, PC: pc, Inst: p.Insts[pc], Reason: reason}
+	}
+	resolveHandle := func(r Reg, want ResourceKind) (Resource, error) {
+		reg := st.regs[r]
+		if reg.kind != kindScalar || !reg.known {
+			return Resource{}, reject(fmt.Sprintf("%s must be a constant handle", r))
+		}
+		if env.Resolve == nil {
+			return Resource{}, reject("no resource resolver")
+		}
+		res, ok := env.Resolve(reg.constVal)
+		if !ok || res.Kind != want {
+			return Resource{}, reject(fmt.Sprintf("%s: handle %d is not a valid resource", r, reg.constVal))
+		}
+		return res, nil
+	}
+	// requireStackBuf checks that reg points into the stack and [ptr, ptr+n)
+	// is in bounds and initialized.
+	requireStackBuf := func(r Reg, n int) error {
+		reg := st.regs[r]
+		if reg.kind != kindPtrStack {
+			return reject(fmt.Sprintf("%s must point to the stack", r))
+		}
+		lo, hi := reg.off, reg.off+int64(n)
+		if lo < -StackSize || hi > 0 {
+			return reject(fmt.Sprintf("%s buffer [%d,%d) out of stack", r, lo, hi))
+		}
+		for i := lo; i < hi; i++ {
+			if !st.stack[StackSize+i] {
+				return reject(fmt.Sprintf("%s buffer has uninitialized byte %d", r, i))
+			}
+		}
+		return nil
+	}
+
+	var ret regState
+	switch h {
+	case HelperMapLookup:
+		res, err := resolveHandle(R1, ResourceMap)
+		if err != nil {
+			return err
+		}
+		if err := requireStackBuf(R2, res.KeySize); err != nil {
+			return err
+		}
+		ret = regState{kind: kindMaybeNullMapValue, mapRef: st.regs[R1].constVal}
+
+	case HelperMapUpdate:
+		res, err := resolveHandle(R1, ResourceMap)
+		if err != nil {
+			return err
+		}
+		if err := requireStackBuf(R2, res.KeySize); err != nil {
+			return err
+		}
+		if err := requireStackBuf(R3, res.ValueSize); err != nil {
+			return err
+		}
+		ret = regState{kind: kindScalar}
+
+	case HelperMapDelete:
+		res, err := resolveHandle(R1, ResourceMap)
+		if err != nil {
+			return err
+		}
+		if err := requireStackBuf(R2, res.KeySize); err != nil {
+			return err
+		}
+		ret = regState{kind: kindScalar}
+
+	case HelperPerfOutput:
+		if _, err := resolveHandle(R1, ResourcePerf); err != nil {
+			return err
+		}
+		lenReg := st.regs[R3]
+		if lenReg.kind != kindScalar || !lenReg.known {
+			return reject("r3 (length) must be a known constant")
+		}
+		n := int(lenReg.constVal)
+		if n <= 0 || n > StackSize+4096 {
+			return reject("unreasonable perf output length")
+		}
+		src := st.regs[R2]
+		switch src.kind {
+		case kindPtrStack:
+			if err := requireStackBuf(R2, n); err != nil {
+				return err
+			}
+		case kindPtrCtx:
+			if src.off < 0 || src.off+int64(n) > int64(env.CtxSize) {
+				return reject("perf output reads past context")
+			}
+		case kindPtrMapValue:
+			res, ok := env.Resolve(src.mapRef)
+			if !ok || src.off < 0 || src.off+int64(n) > int64(res.ValueSize) {
+				return reject("perf output reads past map value")
+			}
+		default:
+			return reject("r2 must be a pointer")
+		}
+		ret = regState{kind: kindScalar}
+
+	case HelperKtimeNS, HelperGetPidTgid:
+		ret = regState{kind: kindScalar}
+
+	default:
+		return reject(fmt.Sprintf("unknown helper %d", int64(h)))
+	}
+
+	// Caller-saved registers are clobbered.
+	for r := R1; r <= R5; r++ {
+		st.regs[r] = regState{kind: kindUninit}
+	}
+	st.regs[R0] = ret
+	return nil
+}

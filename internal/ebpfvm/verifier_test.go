@@ -1,0 +1,257 @@
+package ebpfvm
+
+import (
+	"strings"
+	"testing"
+)
+
+func expectReject(t *testing.T, p *Program, env VerifyEnv, wantSubstr string) {
+	t.Helper()
+	err := Verify(p, env)
+	if err == nil {
+		t.Fatalf("program %q verified but should be rejected (%s)", p.Name, wantSubstr)
+	}
+	if !strings.Contains(err.Error(), wantSubstr) {
+		t.Fatalf("rejection reason = %q, want substring %q", err, wantSubstr)
+	}
+}
+
+func TestVerifierRejectsUninitializedRead(t *testing.T) {
+	p := NewAsm("uninit").MovReg(R0, R3).Exit().MustBuild()
+	expectReject(t, p, VerifyEnv{}, "uninitialized")
+}
+
+func TestVerifierRejectsUninitializedExit(t *testing.T) {
+	p := NewAsm("noexitval").Exit().MustBuild()
+	expectReject(t, p, VerifyEnv{}, "uninitialized r0")
+}
+
+func TestVerifierRejectsBackEdge(t *testing.T) {
+	p := &Program{Name: "loop", Insts: []Inst{
+		{Op: OpMovImm, Dst: R0, Imm: 0},
+		{Op: OpJa, Off: -2},
+		{Op: OpExit},
+	}}
+	expectReject(t, p, VerifyEnv{}, "back edge")
+}
+
+func TestVerifierRejectsJumpOutOfRange(t *testing.T) {
+	p := &Program{Name: "oob-jump", Insts: []Inst{
+		{Op: OpJa, Off: 5},
+		{Op: OpExit},
+	}}
+	expectReject(t, p, VerifyEnv{}, "out of range")
+}
+
+func TestVerifierRejectsCtxWrite(t *testing.T) {
+	p := NewAsm("ctxwrite").
+		MovImm(R2, 1).
+		Stx(SizeDW, R1, 0, R2).
+		MovImm(R0, 0).
+		Exit().
+		MustBuild()
+	expectReject(t, p, VerifyEnv{CtxSize: 8}, "read-only")
+}
+
+func TestVerifierRejectsCtxOutOfBounds(t *testing.T) {
+	p := NewAsm("ctxoob").Ldx(SizeDW, R0, R1, 8).Exit().MustBuild()
+	expectReject(t, p, VerifyEnv{CtxSize: 8}, "ctx access")
+}
+
+func TestVerifierRejectsStackOutOfBounds(t *testing.T) {
+	over := NewAsm("stkover").
+		MovImm(R2, 1).
+		Stx(SizeDW, R10, 0, R2). // [0,8) is above the frame
+		MovImm(R0, 0).Exit().MustBuild()
+	expectReject(t, over, VerifyEnv{}, "stack access")
+
+	under := NewAsm("stkunder").
+		MovImm(R2, 1).
+		Stx(SizeDW, R10, -StackSize-8, R2).
+		MovImm(R0, 0).Exit().MustBuild()
+	expectReject(t, under, VerifyEnv{}, "stack access")
+}
+
+func TestVerifierRejectsUninitializedStackRead(t *testing.T) {
+	p := NewAsm("stkread").Ldx(SizeDW, R0, R10, -8).Exit().MustBuild()
+	expectReject(t, p, VerifyEnv{}, "uninitialized stack")
+}
+
+func TestVerifierTracksStackInitPerPath(t *testing.T) {
+	// Write fp-8 only on one branch, then read it unconditionally: the
+	// other path must be rejected.
+	p := NewAsm("paths").
+		Ldx(SizeB, R2, R1, 0).
+		JeqImm(R2, 0, "skip").
+		MovImm(R3, 1).
+		Stx(SizeDW, R10, -8, R3).
+		Label("skip").
+		Ldx(SizeDW, R0, R10, -8).
+		Exit().
+		MustBuild()
+	expectReject(t, p, VerifyEnv{CtxSize: 1}, "uninitialized stack")
+}
+
+func TestVerifierRejectsNonNullCheckedMapValue(t *testing.T) {
+	vm := NewMachine()
+	fd := vm.RegisterMap(NewHashMap("m", 8, 8, 4))
+	p := NewAsm("nonull").
+		MovImm(R2, 0).
+		Stx(SizeDW, R10, -8, R2).
+		MovImm(R1, fd).
+		MovReg(R2, R10).
+		AddImm(R2, -8).
+		Call(HelperMapLookup).
+		Ldx(SizeDW, R0, R0, 0). // deref without null check
+		Exit().
+		MustBuild()
+	expectReject(t, p, VerifyEnv{Resolve: vm.Resolve}, "null-checked")
+}
+
+func TestVerifierAcceptsNullCheckedMapValue(t *testing.T) {
+	vm := NewMachine()
+	fd := vm.RegisterMap(NewHashMap("m", 8, 8, 4))
+	p := NewAsm("nullok").
+		MovImm(R2, 0).
+		Stx(SizeDW, R10, -8, R2).
+		MovImm(R1, fd).
+		MovReg(R2, R10).
+		AddImm(R2, -8).
+		Call(HelperMapLookup).
+		JeqImm(R0, 0, "miss").
+		Ldx(SizeDW, R0, R0, 0).
+		Exit().
+		Label("miss").
+		MovImm(R0, 0).
+		Exit().
+		MustBuild()
+	if err := Verify(p, VerifyEnv{Resolve: vm.Resolve}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifierRejectsMapValueOutOfBounds(t *testing.T) {
+	vm := NewMachine()
+	fd := vm.RegisterMap(NewHashMap("m", 8, 8, 4))
+	p := NewAsm("mvoob").
+		MovImm(R2, 0).
+		Stx(SizeDW, R10, -8, R2).
+		MovImm(R1, fd).
+		MovReg(R2, R10).
+		AddImm(R2, -8).
+		Call(HelperMapLookup).
+		JeqImm(R0, 0, "miss").
+		Ldx(SizeDW, R0, R0, 8). // value is only 8 bytes; [8,16) is OOB
+		Exit().
+		Label("miss").
+		MovImm(R0, 0).
+		Exit().
+		MustBuild()
+	expectReject(t, p, VerifyEnv{Resolve: vm.Resolve}, "out of bounds")
+}
+
+func TestVerifierRejectsBadHelperHandle(t *testing.T) {
+	vm := NewMachine()
+	p := NewAsm("badmap").
+		MovImm(R2, 0).
+		Stx(SizeDW, R10, -8, R2).
+		MovImm(R1, 99). // no such handle
+		MovReg(R2, R10).
+		AddImm(R2, -8).
+		Call(HelperMapLookup).
+		MovImm(R0, 0).
+		Exit().
+		MustBuild()
+	expectReject(t, p, VerifyEnv{Resolve: vm.Resolve}, "not a valid resource")
+}
+
+func TestVerifierRejectsUninitializedKeyBuffer(t *testing.T) {
+	vm := NewMachine()
+	fd := vm.RegisterMap(NewHashMap("m", 8, 8, 4))
+	p := NewAsm("badkey").
+		MovImm(R1, fd).
+		MovReg(R2, R10).
+		AddImm(R2, -8). // never wrote fp-8
+		Call(HelperMapLookup).
+		MovImm(R0, 0).
+		Exit().
+		MustBuild()
+	expectReject(t, p, VerifyEnv{Resolve: vm.Resolve}, "uninitialized byte")
+}
+
+func TestVerifierClobbersCallerSavedRegs(t *testing.T) {
+	p := NewAsm("clobber").
+		MovImm(R3, 5).
+		Call(HelperKtimeNS).
+		MovReg(R0, R3). // R3 clobbered by call
+		Exit().
+		MustBuild()
+	expectReject(t, p, VerifyEnv{}, "uninitialized r3")
+}
+
+func TestVerifierRejectsFramePointerWrite(t *testing.T) {
+	p := NewAsm("fpwrite").MovImm(R10, 0).MovImm(R0, 0).Exit().MustBuild()
+	expectReject(t, p, VerifyEnv{}, "frame pointer")
+}
+
+func TestVerifierRejectsPointerALU(t *testing.T) {
+	p := NewAsm("ptralu").
+		MovReg(R2, R1).
+		MulImm(R2, 4).
+		MovImm(R0, 0).
+		Exit().
+		MustBuild()
+	expectReject(t, p, VerifyEnv{CtxSize: 8}, "ALU on ptr_ctx")
+}
+
+func TestVerifierRejectsMissingExit(t *testing.T) {
+	p := &Program{Name: "noexit", Insts: []Inst{{Op: OpMovImm, Dst: R0, Imm: 1}}}
+	if err := Verify(p, VerifyEnv{}); err == nil {
+		t.Fatal("program without exit verified")
+	}
+}
+
+func TestVerifierRejectsEmptyAndHuge(t *testing.T) {
+	if err := Verify(&Program{Name: "empty"}, VerifyEnv{}); err == nil {
+		t.Fatal("empty program verified")
+	}
+	big := &Program{Name: "huge", Insts: make([]Inst, MaxInsts+1)}
+	for i := range big.Insts {
+		big.Insts[i] = Inst{Op: OpMovImm, Dst: R0}
+	}
+	big.Insts[len(big.Insts)-1] = Inst{Op: OpExit}
+	if err := Verify(big, VerifyEnv{}); err == nil {
+		t.Fatal("oversized program verified")
+	}
+}
+
+func TestAsmUndefinedLabel(t *testing.T) {
+	_, err := NewAsm("bad").Ja("nowhere").Exit().Build()
+	if err == nil {
+		t.Fatal("undefined label accepted")
+	}
+}
+
+func TestAsmDuplicateLabel(t *testing.T) {
+	_, err := NewAsm("dup").Label("a").Label("a").MovImm(R0, 0).Exit().Build()
+	if err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpMovImm, Dst: R0, Imm: 5}, "mov r0, 5"},
+		{Inst{Op: OpLdx, Size: SizeDW, Dst: R2, Src: R1, Off: 8}, "ldx64 r2, [r1+8]"},
+		{Inst{Op: OpCall, Imm: int64(HelperKtimeNS)}, "call ktime_get_ns"},
+		{Inst{Op: OpExit}, "exit"},
+	}
+	for _, tc := range cases {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,387 @@
+package ebpfvm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Machine owns the resources programs can reference (maps, perf buffers)
+// and executes verified programs. One Machine models the BPF subsystem of
+// one simulated kernel.
+type Machine struct {
+	maps   map[int64]*HashMap
+	perfs  map[int64]*PerfBuffer
+	nextFD int64
+
+	// Clock returns the current time in nanoseconds for HelperKtimeNS.
+	Clock func() int64
+
+	// InstCount accumulates executed instructions across all runs; the
+	// Fig. 13 overhead benchmarks read it.
+	InstCount uint64
+}
+
+// NewMachine returns an empty machine with a zero clock.
+func NewMachine() *Machine {
+	return &Machine{
+		maps:   make(map[int64]*HashMap),
+		perfs:  make(map[int64]*PerfBuffer),
+		nextFD: 1,
+		Clock:  func() int64 { return 0 },
+	}
+}
+
+// RegisterMap installs m and returns its handle.
+func (vm *Machine) RegisterMap(m *HashMap) int64 {
+	fd := vm.nextFD
+	vm.nextFD++
+	vm.maps[fd] = m
+	return fd
+}
+
+// RegisterPerf installs b and returns its handle.
+func (vm *Machine) RegisterPerf(b *PerfBuffer) int64 {
+	fd := vm.nextFD
+	vm.nextFD++
+	vm.perfs[fd] = b
+	return fd
+}
+
+// Resolve implements the verifier's resource resolver.
+func (vm *Machine) Resolve(handle int64) (Resource, bool) {
+	if m, ok := vm.maps[handle]; ok {
+		return Resource{Kind: ResourceMap, KeySize: m.KeySize, ValueSize: m.ValueSize}, true
+	}
+	if _, ok := vm.perfs[handle]; ok {
+		return Resource{Kind: ResourcePerf}, true
+	}
+	return Resource{}, false
+}
+
+// Map returns the map for a handle, for user-space (agent) access.
+func (vm *Machine) Map(handle int64) *HashMap { return vm.maps[handle] }
+
+// Perf returns the perf buffer for a handle.
+func (vm *Machine) Perf(handle int64) *PerfBuffer { return vm.perfs[handle] }
+
+// Task is the current-task view helpers expose to programs.
+type Task struct {
+	PID uint32
+	TID uint32
+}
+
+// runtime pointer regions
+type regionKind uint8
+
+const (
+	regNone regionKind = iota
+	regCtx
+	regStack
+	regMapValue
+)
+
+type rtReg struct {
+	val    uint64 // scalar value or offset within region
+	region regionKind
+	buf    []byte // backing storage for pointer regions
+}
+
+// Run executes a verified program against ctx for the given task and
+// returns R0. The context is read-only to the program.
+func (vm *Machine) Run(p *Program, ctx []byte, task Task) (uint64, error) {
+	if !p.verified {
+		return 0, fmt.Errorf("ebpfvm: refusing to run unverified program %q", p.Name)
+	}
+	var stack [StackSize]byte
+	var regs [NumRegs]rtReg
+	regs[R1] = rtReg{region: regCtx, buf: ctx}
+	regs[R10] = rtReg{val: StackSize, region: regStack, buf: stack[:]}
+
+	le := binary.LittleEndian
+	pc := 0
+	steps := 0
+	for {
+		if steps++; steps > MaxInsts*4 {
+			// Unreachable for verified programs (no back edges); kept as a
+			// defense-in-depth bound.
+			return 0, fmt.Errorf("ebpfvm: runaway program %q", p.Name)
+		}
+		if pc < 0 || pc >= len(p.Insts) {
+			return 0, fmt.Errorf("ebpfvm: pc out of range in %q", p.Name)
+		}
+		in := p.Insts[pc]
+		vm.InstCount++
+
+		switch in.Op {
+		case OpExit:
+			return regs[R0].val, nil
+
+		case OpMovImm:
+			regs[in.Dst] = rtReg{val: uint64(in.Imm)}
+		case OpMovReg:
+			regs[in.Dst] = regs[in.Src]
+		case OpAddImm:
+			regs[in.Dst].val += uint64(in.Imm)
+		case OpAddReg:
+			regs[in.Dst].val += regs[in.Src].val
+		case OpSubImm:
+			regs[in.Dst].val -= uint64(in.Imm)
+		case OpSubReg:
+			regs[in.Dst].val -= regs[in.Src].val
+		case OpMulImm:
+			regs[in.Dst].val *= uint64(in.Imm)
+		case OpMulReg:
+			regs[in.Dst].val *= regs[in.Src].val
+		case OpDivImm:
+			if in.Imm == 0 {
+				regs[in.Dst].val = 0
+			} else {
+				regs[in.Dst].val /= uint64(in.Imm)
+			}
+		case OpAndImm:
+			regs[in.Dst].val &= uint64(in.Imm)
+		case OpAndReg:
+			regs[in.Dst].val &= regs[in.Src].val
+		case OpOrImm:
+			regs[in.Dst].val |= uint64(in.Imm)
+		case OpOrReg:
+			regs[in.Dst].val |= regs[in.Src].val
+		case OpXorImm:
+			regs[in.Dst].val ^= uint64(in.Imm)
+		case OpXorReg:
+			regs[in.Dst].val ^= regs[in.Src].val
+		case OpLshImm:
+			regs[in.Dst].val <<= uint(in.Imm)
+		case OpRshImm:
+			regs[in.Dst].val >>= uint(in.Imm)
+		case OpModImm:
+			if in.Imm == 0 {
+				regs[in.Dst].val = 0
+			} else {
+				regs[in.Dst].val %= uint64(in.Imm)
+			}
+		case OpNeg:
+			regs[in.Dst].val = uint64(-int64(regs[in.Dst].val))
+
+		case OpLdx:
+			buf, off, err := resolve(&regs[in.Src], int64(in.Off), int(in.Size), p, pc)
+			if err != nil {
+				return 0, err
+			}
+			var v uint64
+			switch in.Size {
+			case SizeB:
+				v = uint64(buf[off])
+			case SizeH:
+				v = uint64(le.Uint16(buf[off:]))
+			case SizeW:
+				v = uint64(le.Uint32(buf[off:]))
+			case SizeDW:
+				v = le.Uint64(buf[off:])
+			}
+			regs[in.Dst] = rtReg{val: v}
+
+		case OpStx:
+			if regs[in.Dst].region == regCtx {
+				return 0, fmt.Errorf("ebpfvm: %q: store to read-only ctx", p.Name)
+			}
+			buf, off, err := resolve(&regs[in.Dst], int64(in.Off), int(in.Size), p, pc)
+			if err != nil {
+				return 0, err
+			}
+			v := regs[in.Src].val
+			switch in.Size {
+			case SizeB:
+				buf[off] = byte(v)
+			case SizeH:
+				le.PutUint16(buf[off:], uint16(v))
+			case SizeW:
+				le.PutUint32(buf[off:], uint32(v))
+			case SizeDW:
+				le.PutUint64(buf[off:], v)
+			}
+
+		case OpJa:
+			pc += int(in.Off)
+		case OpJeqImm:
+			if regs[in.Dst].isNullOrVal(uint64(in.Imm)) {
+				pc += int(in.Off)
+			}
+		case OpJeqReg:
+			if regs[in.Dst].val == regs[in.Src].val {
+				pc += int(in.Off)
+			}
+		case OpJneImm:
+			if !regs[in.Dst].isNullOrVal(uint64(in.Imm)) {
+				pc += int(in.Off)
+			}
+		case OpJneReg:
+			if regs[in.Dst].val != regs[in.Src].val {
+				pc += int(in.Off)
+			}
+		case OpJgtImm:
+			if regs[in.Dst].val > uint64(in.Imm) {
+				pc += int(in.Off)
+			}
+		case OpJgtReg:
+			if regs[in.Dst].val > regs[in.Src].val {
+				pc += int(in.Off)
+			}
+		case OpJgeImm:
+			if regs[in.Dst].val >= uint64(in.Imm) {
+				pc += int(in.Off)
+			}
+		case OpJltImm:
+			if regs[in.Dst].val < uint64(in.Imm) {
+				pc += int(in.Off)
+			}
+		case OpJleImm:
+			if regs[in.Dst].val <= uint64(in.Imm) {
+				pc += int(in.Off)
+			}
+		case OpJsetImm:
+			if regs[in.Dst].val&uint64(in.Imm) != 0 {
+				pc += int(in.Off)
+			}
+
+		case OpCall:
+			if err := vm.call(HelperID(in.Imm), &regs, task, p, pc); err != nil {
+				return 0, err
+			}
+
+		default:
+			return 0, fmt.Errorf("ebpfvm: %q: bad opcode at %d", p.Name, pc)
+		}
+		switch in.Op {
+		case OpJa, OpJeqImm, OpJeqReg, OpJneImm, OpJneReg, OpJgtImm, OpJgtReg,
+			OpJgeImm, OpJltImm, OpJleImm, OpJsetImm:
+			pc++ // jumps already added Off; advance past the instruction
+		case OpExit:
+			// unreachable
+		default:
+			pc++
+		}
+	}
+}
+
+// isNullOrVal compares a register against an immediate, treating a nil
+// map-value pointer as the scalar 0 so verified null checks behave.
+func (r *rtReg) isNullOrVal(imm uint64) bool {
+	if r.region == regMapValue && r.buf == nil {
+		return imm == 0
+	}
+	if r.region != regNone && imm == 0 {
+		return false // valid pointer is never null
+	}
+	return r.val == imm
+}
+
+// resolve turns a pointer register + displacement into a bounds-checked
+// backing slice and offset.
+func resolve(r *rtReg, off int64, size int, p *Program, pc int) ([]byte, int64, error) {
+	if r.region == regNone || r.buf == nil {
+		return nil, 0, fmt.Errorf("ebpfvm: %q #%d: dereference of non-pointer", p.Name, pc)
+	}
+	total := int64(r.val) + off
+	if total < 0 || total+int64(size) > int64(len(r.buf)) {
+		return nil, 0, fmt.Errorf("ebpfvm: %q #%d: access [%d,%d) out of region %d", p.Name, pc, total, total+int64(size), len(r.buf))
+	}
+	return r.buf, total, nil
+}
+
+// call dispatches a helper at run time.
+func (vm *Machine) call(h HelperID, regs *[NumRegs]rtReg, task Task, p *Program, pc int) error {
+	fail := func(msg string) error { return fmt.Errorf("ebpfvm: %q #%d: %s", p.Name, pc, msg) }
+	stackBuf := func(r Reg, n int) ([]byte, error) {
+		reg := regs[r]
+		if reg.region != regStack {
+			return nil, fail(fmt.Sprintf("%s is not a stack pointer", r))
+		}
+		off := int64(reg.val)
+		if off < 0 || off+int64(n) > int64(len(reg.buf)) {
+			return nil, fail("buffer out of stack")
+		}
+		return reg.buf[off : off+int64(n)], nil
+	}
+
+	var r0 rtReg
+	switch h {
+	case HelperMapLookup:
+		m := vm.maps[int64(regs[R1].val)]
+		if m == nil {
+			return fail("bad map handle")
+		}
+		key, err := stackBuf(R2, m.KeySize)
+		if err != nil {
+			return err
+		}
+		if v := m.Lookup(key); v != nil {
+			r0 = rtReg{region: regMapValue, buf: v}
+		} else {
+			r0 = rtReg{region: regMapValue, buf: nil} // null
+		}
+
+	case HelperMapUpdate:
+		m := vm.maps[int64(regs[R1].val)]
+		if m == nil {
+			return fail("bad map handle")
+		}
+		key, err := stackBuf(R2, m.KeySize)
+		if err != nil {
+			return err
+		}
+		val, err := stackBuf(R3, m.ValueSize)
+		if err != nil {
+			return err
+		}
+		if err := m.Update(key, val); err != nil {
+			r0 = rtReg{val: uint64(^uint64(0))} // -1
+		}
+
+	case HelperMapDelete:
+		m := vm.maps[int64(regs[R1].val)]
+		if m == nil {
+			return fail("bad map handle")
+		}
+		key, err := stackBuf(R2, m.KeySize)
+		if err != nil {
+			return err
+		}
+		if err := m.Delete(key); err != nil {
+			r0 = rtReg{val: uint64(^uint64(0))}
+		}
+
+	case HelperPerfOutput:
+		b := vm.perfs[int64(regs[R1].val)]
+		if b == nil {
+			return fail("bad perf handle")
+		}
+		n := int(regs[R3].val)
+		src := regs[R2]
+		if src.region == regNone || src.buf == nil {
+			return fail("perf output from non-pointer")
+		}
+		off := int64(src.val)
+		if off < 0 || off+int64(n) > int64(len(src.buf)) {
+			return fail("perf output out of bounds")
+		}
+		if !b.Output(src.buf[off : off+int64(n)]) {
+			r0 = rtReg{val: uint64(^uint64(0))}
+		}
+
+	case HelperKtimeNS:
+		r0 = rtReg{val: uint64(vm.Clock())}
+
+	case HelperGetPidTgid:
+		r0 = rtReg{val: uint64(task.PID)<<32 | uint64(task.TID)}
+
+	default:
+		return fail("unknown helper")
+	}
+
+	regs[R0] = r0
+	for r := R1; r <= R5; r++ {
+		regs[r] = rtReg{}
+	}
+	return nil
+}

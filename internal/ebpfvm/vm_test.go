@@ -1,0 +1,266 @@
+package ebpfvm
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func mustVerify(t *testing.T, vm *Machine, p *Program, ctxSize int) {
+	t.Helper()
+	if err := Verify(p, VerifyEnv{CtxSize: ctxSize, Resolve: vm.Resolve}); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestVMArithmetic(t *testing.T) {
+	p := NewAsm("arith").
+		MovImm(R0, 10).
+		AddImm(R0, 5).
+		MovImm(R2, 3).
+		MulImm(R0, 2).  // 30
+		AddReg(R0, R2). // 33
+		SubImm(R0, 1).  // 32
+		RshImm(R0, 2).  // 8
+		Exit().
+		MustBuild()
+	vm := NewMachine()
+	mustVerify(t, vm, p, 0)
+	got, err := vm.Run(p, nil, Task{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 8 {
+		t.Fatalf("r0 = %d, want 8", got)
+	}
+}
+
+func TestVMBranching(t *testing.T) {
+	// r0 = (ctx[0] > 5) ? 1 : 2
+	p := NewAsm("branch").
+		Ldx(SizeB, R2, R1, 0).
+		MovImm(R0, 2).
+		JleImm(R2, 5, "done").
+		MovImm(R0, 1).
+		Label("done").
+		Exit().
+		MustBuild()
+	vm := NewMachine()
+	mustVerify(t, vm, p, 1)
+	if got, _ := vm.Run(p, []byte{9}, Task{}); got != 1 {
+		t.Fatalf("ctx=9: r0 = %d, want 1", got)
+	}
+	if got, _ := vm.Run(p, []byte{3}, Task{}); got != 2 {
+		t.Fatalf("ctx=3: r0 = %d, want 2", got)
+	}
+}
+
+func TestVMStackReadWrite(t *testing.T) {
+	p := NewAsm("stack").
+		MovImm(R2, 0xABCD).
+		Stx(SizeDW, R10, -8, R2).
+		Ldx(SizeDW, R0, R10, -8).
+		Exit().
+		MustBuild()
+	vm := NewMachine()
+	mustVerify(t, vm, p, 0)
+	got, err := vm.Run(p, nil, Task{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0xABCD {
+		t.Fatalf("r0 = %#x", got)
+	}
+}
+
+func TestVMCtxLoadSizes(t *testing.T) {
+	ctx := make([]byte, 16)
+	binary.LittleEndian.PutUint64(ctx[0:], 0x1122334455667788)
+	cases := []struct {
+		size Size
+		off  int16
+		want uint64
+	}{
+		{SizeB, 0, 0x88},
+		{SizeH, 0, 0x7788},
+		{SizeW, 0, 0x55667788},
+		{SizeDW, 0, 0x1122334455667788},
+	}
+	for _, tc := range cases {
+		p := NewAsm("ld").Ldx(tc.size, R0, R1, tc.off).Exit().MustBuild()
+		vm := NewMachine()
+		mustVerify(t, vm, p, len(ctx))
+		got, err := vm.Run(p, ctx, Task{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("size %d: got %#x want %#x", tc.size, got, tc.want)
+		}
+	}
+}
+
+func TestVMHelpersPidTgidAndTime(t *testing.T) {
+	p := NewAsm("task").
+		Call(HelperGetPidTgid).
+		MovReg(R6, R0).
+		Call(HelperKtimeNS).
+		AddReg(R0, R6).
+		Exit().
+		MustBuild()
+	vm := NewMachine()
+	vm.Clock = func() int64 { return 1000 }
+	mustVerify(t, vm, p, 0)
+	got, err := vm.Run(p, nil, Task{PID: 7, TID: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(7)<<32 | 3 + 1000
+	if got != want {
+		t.Fatalf("r0 = %#x, want %#x", got, want)
+	}
+}
+
+func TestVMMapRoundTrip(t *testing.T) {
+	vm := NewMachine()
+	fd := vm.RegisterMap(NewHashMap("m", 8, 8, 16))
+
+	// Store key=42 value=ctx[0:8], then look it up and return the value.
+	p := NewAsm("map").
+		MovImm(R6, 42).
+		Stx(SizeDW, R10, -8, R6). // key at fp-8
+		Ldx(SizeDW, R7, R1, 0).
+		Stx(SizeDW, R10, -16, R7). // value at fp-16
+		MovImm(R1, fd).
+		MovReg(R2, R10).
+		AddImm(R2, -8).
+		MovReg(R3, R10).
+		AddImm(R3, -16).
+		Call(HelperMapUpdate).
+		MovImm(R1, fd).
+		MovReg(R2, R10).
+		AddImm(R2, -8).
+		Call(HelperMapLookup).
+		JneImm(R0, 0, "found").
+		MovImm(R0, 0).
+		Exit().
+		Label("found").
+		Ldx(SizeDW, R0, R0, 0).
+		Exit().
+		MustBuild()
+
+	mustVerify(t, vm, p, 8)
+	ctx := make([]byte, 8)
+	binary.LittleEndian.PutUint64(ctx, 0xFEED)
+	got, err := vm.Run(p, ctx, Task{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0xFEED {
+		t.Fatalf("r0 = %#x", got)
+	}
+	if vm.Map(fd).Len() != 1 {
+		t.Fatalf("map len = %d", vm.Map(fd).Len())
+	}
+}
+
+func TestVMPerfOutput(t *testing.T) {
+	vm := NewMachine()
+	pb := NewPerfBuffer("events", 4)
+	fd := vm.RegisterPerf(pb)
+
+	// Copy the 8-byte ctx to the perf buffer.
+	p := NewAsm("perf").
+		MovImm(R1, fd).
+		// R2 still... R1 was ctx; stash first.
+		Exit().MustBuild()
+	_ = p
+	p = NewAsm("perf").
+		MovReg(R6, R1). // save ctx
+		MovImm(R1, fd).
+		MovReg(R2, R6).
+		MovImm(R3, 8).
+		Call(HelperPerfOutput).
+		MovImm(R0, 0).
+		Exit().
+		MustBuild()
+	mustVerify(t, vm, p, 8)
+	ctx := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if _, err := vm.Run(p, ctx, Task{}); err != nil {
+		t.Fatal(err)
+	}
+	recs := pb.Drain()
+	if len(recs) != 1 || len(recs[0]) != 8 || recs[0][0] != 1 || recs[0][7] != 8 {
+		t.Fatalf("records = %v", recs)
+	}
+}
+
+func TestPerfBufferOverflow(t *testing.T) {
+	pb := NewPerfBuffer("small", 2)
+	for i := 0; i < 5; i++ {
+		pb.Output([]byte{byte(i)})
+	}
+	if pb.Pending() != 2 || pb.Lost() != 3 || pb.Emitted() != 2 {
+		t.Fatalf("pending=%d lost=%d emitted=%d", pb.Pending(), pb.Lost(), pb.Emitted())
+	}
+	pb.Drain()
+	if pb.Pending() != 0 {
+		t.Fatal("drain did not clear")
+	}
+	if !pb.Output([]byte{9}) {
+		t.Fatal("output after drain should succeed")
+	}
+}
+
+func TestHashMapSemantics(t *testing.T) {
+	m := NewHashMap("m", 4, 4, 2)
+	k1, k2, k3 := []byte{1, 0, 0, 0}, []byte{2, 0, 0, 0}, []byte{3, 0, 0, 0}
+	v := []byte{9, 9, 9, 9}
+	if err := m.Update(k1, v); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(k2, v); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(k3, v); err == nil {
+		t.Fatal("expected map-full error")
+	}
+	if err := m.Update(k1, []byte{1, 1, 1, 1}); err != nil {
+		t.Fatalf("replace existing: %v", err)
+	}
+	if got := m.Lookup(k1); got[0] != 1 {
+		t.Fatalf("lookup = %v", got)
+	}
+	if m.Lookup([]byte{1}) != nil {
+		t.Fatal("short key should miss")
+	}
+	if err := m.Delete(k1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete(k1); err == nil {
+		t.Fatal("double delete should fail")
+	}
+}
+
+func TestVMRefusesUnverified(t *testing.T) {
+	p := NewAsm("raw").MovImm(R0, 0).Exit().MustBuild()
+	vm := NewMachine()
+	if _, err := vm.Run(p, nil, Task{}); err == nil {
+		t.Fatal("unverified program ran")
+	}
+}
+
+func TestVMDivModByZero(t *testing.T) {
+	p := NewAsm("div0").
+		MovImm(R0, 100).
+		emitRaw(Inst{Op: OpDivImm, Dst: R0, Imm: 0}).
+		Exit().
+		MustBuild()
+	vm := NewMachine()
+	mustVerify(t, vm, p, 0)
+	if got, _ := vm.Run(p, nil, Task{}); got != 0 {
+		t.Fatalf("div by zero = %d, want 0", got)
+	}
+}
+
+// emitRaw lets tests inject instructions the fluent API doesn't expose.
+func (a *Asm) emitRaw(in Inst) *Asm { return a.emit(in) }

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssociationAblationSpringBoot(t *testing.T) {
+	rows, err := RunAssociationAblation("springboot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := map[string]AblationRow{}
+	for _, r := range rows {
+		by[strings.TrimPrefix(r.Config, "springboot: ")] = r
+	}
+	full := by["all associations"]
+	if full.AvgSpans < 15 {
+		t.Fatalf("full assembly = %+v", full)
+	}
+	// TCP-seq is the only bridge between hosts: without it the trace
+	// collapses to (nearly) the start span.
+	if noSeq := by["without tcp-seq"]; noSeq.AvgSpans > 3 {
+		t.Errorf("without tcp-seq still %v spans", noSeq.AvgSpans)
+	}
+	// systrace is the only intra-component bridge in this workload.
+	if noSys := by["without systrace"]; noSys.AvgSpans >= full.AvgSpans {
+		t.Errorf("removing systrace did not shrink traces: %v", noSys.AvgSpans)
+	}
+	// x-request-id plays no role here (no proxies).
+	if noXR := by["without x-request-id"]; noXR.AvgSpans != full.AvgSpans {
+		t.Errorf("x-request-id removal changed springboot traces: %v vs %v",
+			noXR.AvgSpans, full.AvgSpans)
+	}
+}
+
+func TestAssociationAblationBookinfo(t *testing.T) {
+	rows, err := RunAssociationAblation("bookinfo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := map[string]AblationRow{}
+	for _, r := range rows {
+		by[strings.TrimPrefix(r.Config, "bookinfo: ")] = r
+	}
+	full := by["all associations"]
+	// x-request-id is the critical key through the Envoy sidecars.
+	if noXR := by["without x-request-id"]; noXR.AvgSpans >= full.AvgSpans/2 {
+		t.Errorf("x-request-id removal barely shrank bookinfo traces: %v vs %v",
+			noXR.AvgSpans, full.AvgSpans)
+	}
+}
+
+func TestIterationAblationMonotonic(t *testing.T) {
+	rows, err := RunIterationAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, r := range rows {
+		if r.AvgSpans < prev {
+			t.Fatalf("span count decreased with more iterations: %+v", rows)
+		}
+		prev = r.AvgSpans
+	}
+	if rows[0].AvgSpans >= rows[len(rows)-1].AvgSpans {
+		t.Fatal("iteration bound had no effect")
+	}
+}

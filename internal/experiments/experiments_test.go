@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"deepflow/internal/server"
+)
+
+func TestFig13ShapesHold(t *testing.T) {
+	rows, err := MeasureHookOverhead(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 22 { // 10 ABIs × 2 phases + 2 extension hooks
+		t.Fatalf("rows = %d, want 22", len(rows))
+	}
+	for _, r := range rows {
+		if r.DFNS <= 0 {
+			t.Errorf("%s: non-positive cost %v", r.Hook, r.DFNS)
+		}
+		if r.ExtraNS <= 0 {
+			t.Errorf("%s: DeepFlow program not costlier than empty baseline (%+v)", r.Hook, r)
+		}
+		// Paper band: sub-microsecond added latency per hook. Allow a
+		// generous factor for slow CI machines.
+		if r.ExtraNS > 20000 {
+			t.Errorf("%s: added cost %.0fns implausibly high", r.Hook, r.ExtraNS)
+		}
+	}
+}
+
+func TestFig14ShapesHold(t *testing.T) {
+	rows, err := MeasureEncodings(20000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byEnc := map[server.Encoding]Fig14Row{}
+	for _, r := range rows {
+		byEnc[r.Encoding] = r
+	}
+	smart := byEnc[server.EncodingSmart]
+	direct := byEnc[server.EncodingDirect]
+	low := byEnc[server.EncodingLowCard]
+
+	// Disk: smart < low-cardinality < direct (the Fig. 14 headline).
+	if !(smart.DiskBytes < low.DiskBytes && low.DiskBytes < direct.DiskBytes) {
+		t.Errorf("disk ordering broken: smart=%d low=%d direct=%d",
+			smart.DiskBytes, low.DiskBytes, direct.DiskBytes)
+	}
+	// Memory: smart lowest.
+	if !(smart.MemBytes < low.MemBytes && smart.MemBytes < direct.MemBytes) {
+		t.Errorf("memory ordering broken: smart=%d low=%d direct=%d",
+			smart.MemBytes, low.MemBytes, direct.MemBytes)
+	}
+	// CPU: smart cheapest (string materialization avoided). Wall-clock
+	// noise makes exact ratios unstable in CI, so only the direction is
+	// asserted, with slack.
+	if float64(smart.InsertNS) > 1.2*float64(direct.InsertNS) {
+		t.Errorf("smart encoding slower than direct: %d vs %d", smart.InsertNS, direct.InsertNS)
+	}
+}
+
+func TestFig15ShapesHold(t *testing.T) {
+	rows, err := MeasureQueryDelay(500, 12, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Fig15Row{}
+	for _, r := range rows {
+		byKey[r.Query+"/"+r.Mode] = r
+	}
+	if len(byKey) != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+	for k, r := range byKey {
+		if r.MeanNS <= 0 {
+			t.Errorf("%s: non-positive latency", k)
+		}
+	}
+}
+
+func TestFig16SpringBootShape(t *testing.T) {
+	rows, err := RunFig16(Fig16Config{
+		Workload: "springboot",
+		Rates:    []float64{1000},
+		Duration: time.Second,
+		Conns:    8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := map[TracingSystem]Fig16Row{}
+	for _, r := range rows {
+		by[r.System] = r
+	}
+	base, jaeger, df := by[SystemBaseline], by[SystemJaeger], by[SystemDeepFlow]
+	// All systems serve the offered load when unsaturated.
+	for s, r := range by {
+		if r.Throughput < 900 {
+			t.Errorf("%s throughput %.0f at offered 1000", s, r.Throughput)
+		}
+	}
+	// Latency ordering: instrumentation costs something.
+	if df.P50 < base.P50 {
+		t.Errorf("deepflow p50 %v below baseline %v", df.P50, base.P50)
+	}
+	// Coverage: Jaeger sees 4 spans/trace, DeepFlow several times more.
+	if jaeger.SpansPer != 4 {
+		t.Errorf("jaeger spans/trace = %v, want 4", jaeger.SpansPer)
+	}
+	if df.SpansPer < 3*jaeger.SpansPer {
+		t.Errorf("deepflow spans/trace %v not ≫ jaeger %v", df.SpansPer, jaeger.SpansPer)
+	}
+}
+
+func TestFig19Shape(t *testing.T) {
+	rows, err := RunFig19([]float64{60000}, time.Second, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := map[string]Fig19Row{}
+	for _, r := range rows {
+		by[r.Scenario] = r
+	}
+	base, ebpf, full := by["baseline"], by["ebpf"], by["agent"]
+	if !(base.Throughput > ebpf.Throughput && ebpf.Throughput > full.Throughput) {
+		t.Errorf("saturation throughput not ordered: base=%.0f ebpf=%.0f agent=%.0f",
+			base.Throughput, ebpf.Throughput, full.Throughput)
+	}
+	if !(base.P90 < ebpf.P90 && ebpf.P90 < full.P90) {
+		t.Errorf("p90 not ordered: base=%v ebpf=%v agent=%v", base.P90, ebpf.P90, full.P90)
+	}
+}
+
+func TestFig2AllClassesLocalized(t *testing.T) {
+	rows, err := RunFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want all 8 surveyed classes", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Correct {
+			t.Errorf("class %s: injected at %s, localized %q (%s)",
+				r.Class, r.InjectedAt, r.Localized, r.Evidence)
+		}
+	}
+}
+
+func TestFig3Tables(t *testing.T) {
+	table := Fig3()
+	if len(table.Rows) < len(Fig3SDKRepoLOC)+4 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	for _, r := range MeasureInstrumentationLOC() {
+		if r.Framework == "DeepFlow" && r.LOC != 0 {
+			t.Errorf("DeepFlow instrumentation LOC = %d, want 0", r.LOC)
+		}
+		if r.Framework != "DeepFlow" && r.LOC <= 0 {
+			t.Errorf("%s instrumentation LOC = %d", r.Framework, r.LOC)
+		}
+	}
+}
+
+func TestSurveyTables(t *testing.T) {
+	for _, tb := range []*Table{Table4(), Fig9(), Fig10(), Table5()} {
+		out := tb.Format()
+		if !strings.Contains(out, tb.Title) {
+			t.Errorf("%s: formatted output missing title", tb.ID)
+		}
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s: no rows", tb.ID)
+		}
+		md := tb.Markdown()
+		if !strings.Contains(md, "|") {
+			t.Errorf("%s: markdown output malformed", tb.ID)
+		}
+	}
+	// Table 4 carries all ten respondents for all ten questions.
+	t4 := Table4()
+	if len(t4.Rows) != 10 || len(t4.Rows[0]) != 11 {
+		t.Fatalf("table4 shape = %dx%d", len(t4.Rows), len(t4.Rows[0]))
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{ID: "x", Title: "demo", Columns: []string{"a", "bee"}}
+	tb.AddRow(1, 2.5)
+	tb.AddRow("long-value", "y")
+	out := tb.Format()
+	if !strings.Contains(out, "long-value") || !strings.Contains(out, "2.50") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestCalibratedAgentConfig(t *testing.T) {
+	cfg := CalibratedAgentConfig(agentModeFull)
+	if cfg.HookCost <= 0 || cfg.AgentCost <= 0 {
+		t.Fatalf("calibration produced %v/%v", cfg.HookCost, cfg.AgentCost)
+	}
+	if cfg.HookCost > time.Millisecond {
+		t.Fatalf("calibrated hook cost %v implausible", cfg.HookCost)
+	}
+}

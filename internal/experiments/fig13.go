@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"deepflow/internal/agent"
+	"deepflow/internal/simkernel"
+	"deepflow/internal/trace"
+)
+
+// Fig13Row is one hook's measured per-event cost.
+type Fig13Row struct {
+	Hook    string
+	Kind    string
+	EmptyNS float64 // empty-program baseline (theoretical minimum)
+	DFNS    float64 // DeepFlow program
+	ExtraNS float64 // DFNS - EmptyNS
+}
+
+// MeasureHookOverhead measures the real wall-clock cost of executing the
+// agent's verified hook programs on this machine — the Fig. 13 experiment.
+// iterations is the syscall count per ABI (the paper uses 100,000).
+func MeasureHookOverhead(iterations int) ([]Fig13Row, error) {
+	progs, err := agent.BuildPrograms(1 << 20)
+	if err != nil {
+		return nil, err
+	}
+	scratch := make([]byte, simkernel.CtxSize)
+	payload := []byte("GET /api/v1/items HTTP/1.1\r\nHost: svc\r\n\r\n")
+
+	mkCtx := func(abi simkernel.ABI, phase simkernel.Phase) *simkernel.HookContext {
+		return &simkernel.HookContext{
+			PID: 100, TID: 200, ProcName: "bench-svc",
+			Socket: 42, ABI: abi, Phase: phase,
+			Tuple:   trace.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: trace.L4TCP},
+			EnterNS: 1, ExitNS: 2, DataLen: int32(len(payload)), Payload: payload,
+		}
+	}
+
+	// measure returns ns/op of fn: the minimum mean over several chunks,
+	// which is robust against GC pauses and scheduler noise.
+	measure := func(fn func()) float64 {
+		// Warm up.
+		for i := 0; i < 1000; i++ {
+			fn()
+		}
+		const chunks = 5
+		per := iterations / chunks
+		if per < 1 {
+			per = 1
+		}
+		best := 0.0
+		for c := 0; c < chunks; c++ {
+			start := time.Now()
+			for i := 0; i < per; i++ {
+				fn()
+			}
+			mean := float64(time.Since(start).Nanoseconds()) / float64(per)
+			if c == 0 || mean < best {
+				best = mean
+			}
+		}
+		return best
+	}
+
+	var rows []Fig13Row
+	abis := append(append([]simkernel.ABI{}, simkernel.IngressABIs...), simkernel.EgressABIs...)
+	for _, abi := range abis {
+		for _, phase := range []simkernel.Phase{simkernel.PhaseEnter, simkernel.PhaseExit} {
+			ctx := mkCtx(abi, phase)
+			prog := progs.Enter
+			if phase == simkernel.PhaseExit {
+				prog = progs.Exit
+			}
+			empty := measure(func() { progs.RunHook(progs.Empty, ctx, scratch) })
+			df := measure(func() {
+				progs.RunHook(prog, ctx, scratch)
+				if phase == simkernel.PhaseExit {
+					progs.Perf.Drain() // keep the ring from overflowing
+				}
+			})
+			kind := "kprobe"
+			if abi == simkernel.ABIRead || abi == simkernel.ABIWrite {
+				kind = "tp"
+			}
+			rows = append(rows, Fig13Row{
+				Hook:    fmt.Sprintf("%s(%s)/%s", abi, kind, phase),
+				Kind:    kind,
+				EmptyNS: empty,
+				DFNS:    df,
+				ExtraNS: df - empty,
+			})
+		}
+	}
+
+	// Extension hooks (uprobe / uretprobe, Fig. 13(b) right side).
+	for _, name := range []string{"ssl_read(uprobe)", "ssl_write(uretprobe)"} {
+		ctx := mkCtx(simkernel.ABIRead, simkernel.PhaseEnter)
+		empty := measure(func() { progs.RunHook(progs.Empty, ctx, scratch) })
+		df := measure(func() {
+			progs.RunHook(progs.Uprobe, ctx, scratch)
+			progs.Perf.Drain()
+		})
+		rows = append(rows, Fig13Row{
+			Hook: name, Kind: "uprobe",
+			EmptyNS: empty, DFNS: df, ExtraNS: df - empty,
+		})
+	}
+	return rows, nil
+}
+
+// Fig13 runs the hook-overhead experiment and formats it.
+func Fig13(iterations int) (*Table, error) {
+	rows, err := MeasureHookOverhead(iterations)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig13",
+		Title:   "Per-event instrumentation overhead (ns/event)",
+		Columns: []string{"hook", "empty program", "DeepFlow program", "added"},
+		Notes: []string{
+			"paper: per-ABI extra latency 277–889 ns; ≤588 ns added per syscall beyond the empty-program baseline; uprobe extension adds ≤423 ns on top of its ~6153 ns trampoline",
+			"this reproduction measures ebpfvm program execution (marshal + verify-once + interpret); shapes to compare: exit > enter (map join + perf output), uprobe ≈ exit",
+		},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Hook, r.EmptyNS, r.DFNS, r.ExtraNS)
+	}
+	return t, nil
+}

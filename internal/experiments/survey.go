@@ -1,0 +1,88 @@
+package experiments
+
+// This file embeds the paper's questionnaire data (Fig. 9, Fig. 10,
+// Appendix C Tables 4–5) verbatim. It is human-subject data from ten
+// Fortune Global 500 customers and cannot be re-measured; cmd/dfsurvey
+// prints it so the reproduction's documentation is self-contained.
+
+// Table4 is the paper's Appendix C Table 4 (multiple-choice answers).
+func Table4() *Table {
+	t := &Table{
+		ID:      "table4",
+		Title:   "Questionnaire answers (multiple choice) — paper Appendix C",
+		Columns: []string{"question", "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10"},
+		Notes: []string{
+			"Q1: O = open-source, S = self-developed framework",
+		},
+	}
+	rows := [][]string{
+		{"1 framework", "O", "S", "O", "O", "O", "O", "S", "O", "O", "S"},
+		{"2 kernel versions", "2-5", "5-10", "2-5", "2-5", "Unknown", "2-5", "2-5", "2-5", "2-5", "2-5"},
+		{"3 languages", "2-5", "2-5", "2-5", "2-5", "2-5", "2-5", "2-5", "2-5", "2-5", "2-5"},
+		{"4 components", "2-5", ">100", "5-10", ">100", "20-100", "10-20", "5-10", "10-20", "2-5", ">100"},
+		{"5 LOC/component", "100-1k", "3k-5k", "3k-5k", "3k-5k", ">5k", ">5k", "100-1k", "1k-3k", "3k-5k", ">5k"},
+		{"6 instrument time", "Days", "Days", "Hrs", "1Hr", "Mins", "Hrs", "Hrs", "Mins", "Hrs", "1Hr"},
+		{"7 LOC to modify", "(20,100]", "(0,20]", ">100", "(0,20]", "0", ">100", ">100", "0", "(20,100]", "(20,100]"},
+		{"8 workload saved", "20%-50%", "50%-80%", "20%-50%", "50%-80%", "50%-80%", "20%-50%", ">80%", "50%-80%", "20%-50%", "0%"},
+		{"9 fix time before", "1Hr", "Hrs", "Hrs", "Hrs", "Hrs", "Mins", "1Hr", "Mins", "Hrs", "1Hr"},
+		{"10 fix time after", "1Hr", "Hrs", "1Hr", "Mins", "1Hr", "Mins", "1Hr", "Mins", "1Hr", "1Hr"},
+	}
+	t.Rows = rows
+	return t
+}
+
+// Fig9 summarizes the instrumentation-effort answers (paper Fig. 9).
+func Fig9() *Table {
+	t := &Table{
+		ID:      "fig9",
+		Title:   "Instrumentation efforts without DeepFlow (paper Fig. 9)",
+		Columns: []string{"metric", "distribution"},
+		Notes: []string{
+			"60% of users spend hours or days instrumenting a single component; 30% must modify >100 lines per component",
+		},
+	}
+	t.AddRow("time to instrument one component", "Days: 2/10, Hours: 4/10, ~1 hour: 2/10, Minutes: 2/10")
+	t.AddRow("LOC modified per component", ">100: 3/10, 21-100: 3/10, 1-20: 2/10, 0: 2/10")
+	return t
+}
+
+// Fig10 summarizes troubleshooting-time and benefit answers (paper
+// Fig. 10).
+func Fig10() *Table {
+	t := &Table{
+		ID:      "fig10",
+		Title:   "DeepFlow's contribution in production (paper Fig. 10)",
+		Columns: []string{"metric", "distribution"},
+	}
+	t.AddRow("time to locate problems before DeepFlow", "Hours: 5/10, ~1 hour: 3/10, Minutes: 2/10")
+	t.AddRow("time to locate problems with DeepFlow", "Hours: 1/10, ~1 hour: 6/10, Minutes: 3/10")
+	t.AddRow("primary advantage: network coverage", "5/10")
+	t.AddRow("primary advantage: non-intrusive instrumentation", "4/10")
+	t.AddRow("primary advantage: closed-source tracing", "3/10")
+	return t
+}
+
+// Table5 is the short-answer question (paper Appendix C Table 5).
+func Table5() *Table {
+	t := &Table{
+		ID:      "table5",
+		Title:   "Q11: Where has DeepFlow helped you the most? (paper Appendix C)",
+		Columns: []string{"respondent", "answer"},
+	}
+	answers := []string{
+		"It helps me to check network status and response latency between two microservices, making slow request troubleshooting easier.",
+		"Its non-intrusive characteristic can help detect previous blind spots in the system, such as components written in Golang or Rust. But it is not very useful for Java components, since skywalking is already sufficient for us.",
+		"Locating problems with network data non-intrusively.",
+		"Microservice Network Fault Location.",
+		"Network problem diagnosis.",
+		"It complements existing observability tools by providing more detailed traces and enriching the set of metrics.",
+		"It can capture the time consumption of services and middleware at the network level. Besides, a lot of work is reduced by its non-intrusive characteristic.",
+		"Non-intrusive, low-cost deployment.",
+		"(Empty)",
+		"It can help us find some problems in the system, but we haven't found a way to locate the problem precisely.",
+	}
+	for i, a := range answers {
+		t.AddRow(i+1, a)
+	}
+	return t
+}

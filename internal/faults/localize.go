@@ -1,0 +1,166 @@
+package faults
+
+import (
+	"sort"
+	"time"
+
+	"deepflow/internal/server"
+	"deepflow/internal/trace"
+)
+
+// This file holds the localization analyses beyond the §4.1 case studies,
+// covering the remaining failure classes of the Fig. 2 survey.
+
+// UnreachableTarget is a destination whose callers fail before any server
+// span exists (pod down, connection refused — computing-infra class).
+type UnreachableTarget struct {
+	Pod      string
+	Service  string
+	Failures int
+}
+
+// LocalizeUnreachable counts client-side error/timeout spans whose message
+// produced no server-side span at all: when a pod is down the caller's
+// evidence is the only evidence, which distinguishes "the target is gone"
+// (computing-infra) from "the target answered an error" (application). A
+// server that responded — even with an error — is reachable and excluded.
+func LocalizeUnreachable(srv *server.Server, from, to time.Time) UnreachableTarget {
+	spans := srv.SpanList(from, to, 0)
+
+	// Every message a server-side process span answered, keyed by flow +
+	// request sequence (the same association the assembler uses).
+	type msgKey struct {
+		flow trace.FiveTuple
+		seq  uint32
+	}
+	served := make(map[msgKey]bool)
+	for _, sp := range spans {
+		if sp.TapSide == trace.TapServerProcess {
+			served[msgKey{sp.Flow.Canonical(), sp.ReqTCPSeq}] = true
+		}
+	}
+
+	// Hosts that served anything in the window are reachable.
+	servingHosts := map[string]bool{}
+	for _, sp := range spans {
+		if sp.TapSide == trace.TapServerProcess {
+			servingHosts[sp.HostName] = true
+		}
+	}
+
+	counts := map[trace.IP]*UnreachableTarget{}
+	bump := func(dst trace.IP, n int) {
+		u := counts[dst]
+		if u == nil {
+			d := srv.Registry.DecodeIP(dst)
+			u = &UnreachableTarget{Pod: d.Pod, Service: d.Service}
+			counts[dst] = u
+		}
+		u.Failures += n
+	}
+	for _, sp := range spans {
+		if sp.TapSide != trace.TapClientProcess {
+			continue
+		}
+		if sp.ResponseStatus != "error" && sp.ResponseStatus != "timeout" {
+			continue
+		}
+		if served[msgKey{sp.Flow.Canonical(), sp.ReqTCPSeq}] {
+			continue // the server saw it: not unreachable
+		}
+		bump(sp.Flow.DstIP, 1)
+	}
+
+	// Connection-refused RSTs from the packet plane: resets captured at a
+	// host's own NIC while that host served no spans mean nothing is
+	// listening there (a downed pod). Hosts that answered anything are
+	// excluded — their resets have other causes (e.g. queue overload).
+	for _, series := range srv.Metrics.Query("net.resets", nil, from, to) {
+		host := series.Tags["host"]
+		if host == "" || servingHosts[host] {
+			continue
+		}
+		hostIP := srv.Registry.IPOf(host)
+		if hostIP == 0 || srv.Registry.DecodeIP(hostIP).Pod == "" {
+			continue // only a pod's own NIC implicates that pod
+		}
+		n := 0
+		for _, p := range series.Points {
+			n += int(p.Value)
+		}
+		bump(hostIP, n)
+	}
+	var best UnreachableTarget
+	for _, u := range counts {
+		if u.Failures > best.Failures {
+			best = *u
+		}
+	}
+	return best
+}
+
+// SlowHop is one network segment's contribution to a request's latency,
+// derived by differencing the durations of adjacent capture points along
+// the assembled path — DeepFlow's hop-by-hop gap analysis. The segment is
+// named by the hop pair that brackets it.
+type SlowHop struct {
+	From  string
+	To    string
+	Delta time.Duration
+}
+
+// LocalizeSlowHop walks a trace's parent chain from the root and returns
+// the segments ordered by latency contribution (largest first). A
+// misconfigured node or congested link shows up as an outsized gap between
+// the spans captured on either side of it.
+func LocalizeSlowHop(tr *trace.Trace) []SlowHop {
+	if tr == nil || tr.Root == nil {
+		return nil
+	}
+	byID := make(map[trace.SpanID]*trace.Span, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		byID[sp.ID] = sp
+	}
+	var hops []SlowHop
+	for _, sp := range tr.Spans {
+		parent := byID[sp.ParentID]
+		if parent == nil || parent.HostName == sp.HostName {
+			continue
+		}
+		delta := parent.Duration() - sp.Duration()
+		if delta < 0 {
+			continue
+		}
+		hops = append(hops, SlowHop{From: parent.HostName, To: sp.HostName, Delta: delta})
+	}
+	sort.Slice(hops, func(i, j int) bool { return hops[i].Delta > hops[j].Delta })
+	return hops
+}
+
+// TopTalker is the flow moving the most bytes in a window (external
+// traffic surge class).
+type TopTalker struct {
+	Flow  string
+	Bytes float64
+}
+
+// LocalizeTopTalker ranks flows by bytes observed at NIC taps and returns
+// the heaviest — the entry point of a traffic surge.
+func LocalizeTopTalker(srv *server.Server, from, to time.Time) TopTalker {
+	totals := map[string]float64{}
+	for _, name := range []string{"net.bytes_sent", "net.bytes_received"} {
+		for _, series := range srv.Metrics.Query(name, nil, from, to) {
+			flow := series.Tags["flow"]
+			for _, p := range series.Points {
+				totals[flow] += p.Value
+			}
+		}
+	}
+	var best TopTalker
+	for flow, bytes := range totals {
+		if bytes > best.Bytes {
+			best = TopTalker{Flow: flow, Bytes: bytes}
+		}
+	}
+	return best
+}

@@ -1,0 +1,62 @@
+package k8s
+
+import (
+	"testing"
+
+	"deepflow/internal/sim"
+	"deepflow/internal/simnet"
+	"deepflow/internal/trace"
+)
+
+func newTestCluster(t *testing.T) (*Cluster, *simnet.Host) {
+	t.Helper()
+	net := simnet.NewNetwork(sim.NewEngine(1), &trace.IDAllocator{})
+	machine := net.AddHost("machine-1", simnet.KindMachine, nil)
+	return NewCluster("prod", net), machine
+}
+
+func TestAddNodeAndPod(t *testing.T) {
+	c, machine := newTestCluster(t)
+	node := c.AddNode("k8s-node-1", machine)
+	if node.Kind != simnet.KindNode || node.Parent != machine {
+		t.Fatalf("node = %+v", node)
+	}
+	pod, err := c.AddPod("reviews-v1-abc", "default", "reviews", node, map[string]string{"version": "v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pod.Host.Kind != simnet.KindPod || pod.Host.Parent != node {
+		t.Fatal("pod host misplaced")
+	}
+	if pod.IP == 0 || c.PodByIP(pod.IP) != pod || c.Pod("reviews-v1-abc") != pod {
+		t.Fatal("pod lookups broken")
+	}
+	if pod.Labels["version"] != "v1" || pod.Node != "k8s-node-1" {
+		t.Fatalf("pod metadata = %+v", pod)
+	}
+	if len(c.Nodes()) != 1 || len(c.Pods()) != 1 || len(c.Services()) != 1 {
+		t.Fatal("inventory counts wrong")
+	}
+}
+
+func TestDuplicatePodRejected(t *testing.T) {
+	c, machine := newTestCluster(t)
+	node := c.AddNode("n1", machine)
+	if _, err := c.AddPod("p", "default", "svc", node, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddPod("p", "default", "svc", node, nil); err == nil {
+		t.Fatal("duplicate pod accepted")
+	}
+}
+
+func TestServiceDeduplication(t *testing.T) {
+	c, machine := newTestCluster(t)
+	node := c.AddNode("n1", machine)
+	c.AddPod("reviews-v1", "default", "reviews", node, nil)
+	c.AddPod("reviews-v2", "default", "reviews", node, nil)
+	c.AddPod("ratings-v1", "default", "ratings", node, nil)
+	if len(c.Services()) != 2 {
+		t.Fatalf("services = %d, want 2", len(c.Services()))
+	}
+}

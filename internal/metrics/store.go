@@ -1,0 +1,111 @@
+// Package metrics implements the Prometheus-style metrics plane DeepFlow
+// correlates with traces through uniform tags (paper §3.4: "These tags also
+// connect tracing and metrics... users can simultaneously view the related
+// metrics data").
+package metrics
+
+import (
+	"sort"
+	"strings"
+	"time"
+)
+
+// Point is one sample of one series.
+type Point struct {
+	TS    time.Time
+	Value float64
+}
+
+// Series is a named time series with string tags.
+type Series struct {
+	Name   string
+	Tags   map[string]string
+	Points []Point
+}
+
+// Store holds series keyed by name + sorted tags.
+type Store struct {
+	series map[string]*Series
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store { return &Store{series: make(map[string]*Series)} }
+
+func seriesKey(name string, tags map[string]string) string {
+	keys := make([]string, 0, len(tags))
+	for k := range tags {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	for _, k := range keys {
+		b.WriteByte('|')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(tags[k])
+	}
+	return b.String()
+}
+
+// Add appends a sample to the series identified by name and tags.
+func (s *Store) Add(name string, tags map[string]string, ts time.Time, value float64) {
+	key := seriesKey(name, tags)
+	sr := s.series[key]
+	if sr == nil {
+		copied := make(map[string]string, len(tags))
+		for k, v := range tags {
+			copied[k] = v
+		}
+		sr = &Series{Name: name, Tags: copied}
+		s.series[key] = sr
+	}
+	sr.Points = append(sr.Points, Point{TS: ts, Value: value})
+}
+
+// Query returns all series with the given name whose tags are a superset of
+// match, restricted to points in [from, to].
+func (s *Store) Query(name string, match map[string]string, from, to time.Time) []Series {
+	var out []Series
+	for _, sr := range s.series {
+		if sr.Name != name || !tagsMatch(sr.Tags, match) {
+			continue
+		}
+		filtered := Series{Name: sr.Name, Tags: sr.Tags}
+		for _, p := range sr.Points {
+			if !p.TS.Before(from) && !p.TS.After(to) {
+				filtered.Points = append(filtered.Points, p)
+			}
+		}
+		if len(filtered.Points) > 0 {
+			out = append(out, filtered)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return seriesKey(out[i].Name, out[i].Tags) < seriesKey(out[j].Name, out[j].Tags)
+	})
+	return out
+}
+
+// Sum totals all points of matching series in the window.
+func (s *Store) Sum(name string, match map[string]string, from, to time.Time) float64 {
+	total := 0.0
+	for _, sr := range s.Query(name, match, from, to) {
+		for _, p := range sr.Points {
+			total += p.Value
+		}
+	}
+	return total
+}
+
+// SeriesCount returns the number of stored series.
+func (s *Store) SeriesCount() int { return len(s.series) }
+
+func tagsMatch(have, want map[string]string) bool {
+	for k, v := range want {
+		if have[k] != v {
+			return false
+		}
+	}
+	return true
+}

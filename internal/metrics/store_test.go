@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Unix(1000, 0)
+
+func TestAddAndQuery(t *testing.T) {
+	s := NewStore()
+	s.Add("net.resets", map[string]string{"host": "a", "flow": "f1"}, t0, 1)
+	s.Add("net.resets", map[string]string{"host": "a", "flow": "f1"}, t0.Add(time.Second), 2)
+	s.Add("net.resets", map[string]string{"host": "b", "flow": "f2"}, t0, 5)
+	s.Add("net.retrans", map[string]string{"host": "a"}, t0, 9)
+
+	got := s.Query("net.resets", map[string]string{"host": "a"}, t0, t0.Add(time.Minute))
+	if len(got) != 1 || len(got[0].Points) != 2 {
+		t.Fatalf("query = %+v", got)
+	}
+	if s.SeriesCount() != 3 {
+		t.Fatalf("series = %d", s.SeriesCount())
+	}
+}
+
+func TestQueryTimeWindow(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 10; i++ {
+		s.Add("m", map[string]string{"k": "v"}, t0.Add(time.Duration(i)*time.Second), 1)
+	}
+	got := s.Query("m", nil, t0.Add(2*time.Second), t0.Add(5*time.Second))
+	if len(got) != 1 || len(got[0].Points) != 4 {
+		t.Fatalf("window query = %+v", got)
+	}
+	if none := s.Query("m", nil, t0.Add(time.Hour), t0.Add(2*time.Hour)); none != nil {
+		t.Fatalf("out-of-window query = %+v", none)
+	}
+}
+
+func TestSum(t *testing.T) {
+	s := NewStore()
+	s.Add("m", map[string]string{"pod": "a"}, t0, 3)
+	s.Add("m", map[string]string{"pod": "a"}, t0.Add(time.Second), 4)
+	s.Add("m", map[string]string{"pod": "b"}, t0, 10)
+	if got := s.Sum("m", map[string]string{"pod": "a"}, t0, t0.Add(time.Minute)); got != 7 {
+		t.Fatalf("sum = %v", got)
+	}
+	if got := s.Sum("m", nil, t0, t0.Add(time.Minute)); got != 17 {
+		t.Fatalf("sum all = %v", got)
+	}
+}
+
+func TestTagIsolation(t *testing.T) {
+	s := NewStore()
+	tags := map[string]string{"k": "v"}
+	s.Add("m", tags, t0, 1)
+	tags["k"] = "mutated" // caller mutation must not corrupt the store
+	got := s.Query("m", map[string]string{"k": "v"}, t0, t0.Add(time.Second))
+	if len(got) != 1 {
+		t.Fatal("store shared the caller's tag map")
+	}
+}

@@ -1,0 +1,292 @@
+package microsim
+
+import (
+	"testing"
+	"time"
+
+	"deepflow/internal/otelsdk"
+	"deepflow/internal/sim"
+	"deepflow/internal/simnet"
+	"deepflow/internal/trace"
+)
+
+func TestSpringBootDemoServesLoad(t *testing.T) {
+	env := NewEnv(1)
+	topo := BuildSpringBootDemo(env, nil)
+	gen := NewLoadGen(env, "wrk", topo.ClientHost, topo.Entry, 8, 200)
+	gen.Start(2 * time.Second)
+	env.RunAll()
+
+	if gen.Completed < 350 {
+		t.Fatalf("completed = %d of %d started, want ~400", gen.Completed, gen.Started)
+	}
+	if gen.Errors != 0 {
+		t.Fatalf("errors = %d", gen.Errors)
+	}
+	front := env.Component("sb-front")
+	backend := env.Component("sb-backend")
+	db := env.Component("sb-mysql")
+	if front.Handled != uint64(gen.Completed) {
+		t.Fatalf("front handled %d, client completed %d", front.Handled, gen.Completed)
+	}
+	if backend.Handled != front.Handled || db.Handled != backend.Handled {
+		t.Fatalf("chain handled: front=%d backend=%d db=%d", front.Handled, backend.Handled, db.Handled)
+	}
+	if gen.Latency.Percentile(50) <= 0 {
+		t.Fatal("no latency recorded")
+	}
+	// Mean latency must cover the chain's service times (≥1.2ms).
+	if gen.Latency.Mean() < 1200*time.Microsecond {
+		t.Fatalf("mean latency %v implausibly low", gen.Latency.Mean())
+	}
+}
+
+func TestInstrumentedSpringBootEmitsBaselineSpans(t *testing.T) {
+	env := NewEnv(1)
+	sdk := otelsdk.NewSDK("jaeger", otelsdk.PropagationW3C, 10*time.Microsecond, 1)
+	topo := BuildSpringBootDemo(env, sdk)
+	gen := NewLoadGen(env, "wrk", topo.ClientHost, topo.Entry, 4, 100)
+	gen.Start(time.Second)
+	env.RunAll()
+
+	c := sdk.Collector
+	if c.Traces() == 0 {
+		t.Fatal("no baseline traces")
+	}
+	// Jaeger sees 4 spans per trace: front server+client, backend
+	// server+client. MySQL is closed source — a blind spot.
+	if got := c.AvgSpansPerTrace(); got != 4 {
+		t.Fatalf("spans per trace = %v, want 4 (paper Fig. 16a)", got)
+	}
+	tr := c.Trace(c.Spans()[0].TraceID)
+	if tr.Depth() != 4 {
+		t.Fatalf("baseline trace depth = %d", tr.Depth())
+	}
+}
+
+func TestBookinfoTopologyFanOut(t *testing.T) {
+	env := NewEnv(1)
+	sdk := otelsdk.NewSDK("zipkin", otelsdk.PropagationB3, 10*time.Microsecond, 1)
+	topo := BuildBookinfo(env, sdk)
+	gen := NewLoadGen(env, "wrk", topo.ClientHost, topo.Entry, 8, 100)
+	gen.Path = "/productpage"
+	gen.Start(time.Second)
+	env.RunAll()
+
+	if gen.Completed == 0 || gen.Errors > 0 {
+		t.Fatalf("completed=%d errors=%d", gen.Completed, gen.Errors)
+	}
+	pp := env.Component("productpage")
+	details := env.Component("details")
+	reviews := env.Component("reviews")
+	ratings := env.Component("ratings")
+	if pp.Handled == 0 || details.Handled != pp.Handled || reviews.Handled != pp.Handled || ratings.Handled != reviews.Handled {
+		t.Fatalf("fan-out: pp=%d details=%d reviews=%d ratings=%d",
+			pp.Handled, details.Handled, reviews.Handled, ratings.Handled)
+	}
+	// Zipkin instruments productpage and reviews only: server span + client
+	// spans → 5 spans per trace; sidecars/details/ratings are blind spots.
+	if got := sdk.Collector.AvgSpansPerTrace(); got < 4 || got > 6 {
+		t.Fatalf("zipkin spans per trace = %v", got)
+	}
+}
+
+func TestNginxTopology(t *testing.T) {
+	env := NewEnv(1)
+	topo, nginx := BuildNginx(env)
+	gen := NewLoadGen(env, "wrk2", topo.ClientHost, topo.Entry, 16, 2000)
+	gen.Start(time.Second)
+	env.RunAll()
+	if gen.Completed < 1800 || gen.Errors > 0 {
+		t.Fatalf("completed=%d errors=%d", gen.Completed, gen.Errors)
+	}
+	if nginx.Handled != uint64(gen.Completed) {
+		t.Fatalf("nginx handled %d vs %d", nginx.Handled, gen.Completed)
+	}
+}
+
+func TestSaturationDegradesLatency(t *testing.T) {
+	// Offered load beyond capacity must blow up measured latency
+	// (wrk2-style open-loop measurement from scheduled arrival).
+	run := func(rate float64) time.Duration {
+		env := NewEnv(1)
+		host := env.Net.AddHost("h", simnet.KindNode, nil)
+		ch := env.Net.AddHost("c", simnet.KindNode, nil)
+		MustComponent(env, Config{
+			Name: "slow", Host: host, Port: 80, Workers: 1,
+			ServiceTime: sim.Const{D: 10 * time.Millisecond},
+		})
+		gen := NewLoadGen(env, "g", ch, env.Component("slow"), 4, rate)
+		gen.Start(2 * time.Second)
+		env.RunAll()
+		return gen.Latency.Percentile(90)
+	}
+	light := run(20)  // 20% utilization
+	heavy := run(200) // 2x capacity
+	if heavy < 4*light {
+		t.Fatalf("saturation p90 %v not much worse than light-load p90 %v", heavy, light)
+	}
+}
+
+func TestFailFnInjectsErrors(t *testing.T) {
+	env := NewEnv(1)
+	host := env.Net.AddHost("h", simnet.KindNode, nil)
+	ch := env.Net.AddHost("c", simnet.KindNode, nil)
+	MustComponent(env, Config{
+		Name: "api", Host: host, Port: 80, Workers: 2,
+		FailFn: func(resource string) (int32, bool) {
+			if resource == "/bad" {
+				return 404, true
+			}
+			return 0, false
+		},
+	})
+	api := env.Component("api")
+	gen := NewLoadGen(env, "g", ch, api, 2, 50)
+	gen.Path = "/bad"
+	gen.Start(500 * time.Millisecond)
+	env.RunAll()
+	if api.Errors == 0 || api.Errors != uint64(gen.Completed) {
+		t.Fatalf("errors = %d, completed = %d", api.Errors, gen.Completed)
+	}
+}
+
+func TestQueueModeResetsOnBacklog(t *testing.T) {
+	env := NewEnv(1)
+	host := env.Net.AddHost("h", simnet.KindNode, nil)
+	ch := env.Net.AddHost("c", simnet.KindNode, nil)
+	MustComponent(env, Config{
+		Name: "rabbitmq", Host: host, Port: 5672, Proto: trace.L7MQTT,
+		Workers:     16,
+		ServiceTime: sim.Const{D: 100 * time.Microsecond},
+		QueueMode:   true, QueueCap: 10,
+		DrainTime: sim.Const{D: 500 * time.Millisecond}, // slow consumer
+	})
+	mq := env.Component("rabbitmq")
+	gen := NewLoadGen(env, "pub", ch, mq, 16, 500)
+	gen.Path = "orders/new"
+	gen.Start(time.Second)
+	env.RunAll()
+	if mq.Resets == 0 {
+		t.Fatal("backlog never caused a reset")
+	}
+	if gen.Errors == 0 {
+		t.Fatal("publisher saw no failures despite resets")
+	}
+}
+
+func TestCrossThreadProxyForwards(t *testing.T) {
+	env := NewEnv(1)
+	h1 := env.Net.AddHost("h1", simnet.KindNode, nil)
+	h2 := env.Net.AddHost("h2", simnet.KindNode, nil)
+	ch := env.Net.AddHost("c", simnet.KindNode, nil)
+	MustComponent(env, Config{
+		Name: "up", Host: h2, Port: 8080, Workers: 2,
+		ServiceTime: sim.Const{D: time.Millisecond},
+	})
+	MustComponent(env, Config{
+		Name: "nginx", Host: h1, Port: 80, Workers: 2,
+		ServiceTime:   sim.Const{D: 100 * time.Microsecond},
+		Calls:         []CallSpec{{Target: "up", Resource: "/x"}},
+		CrossThread:   true,
+		GenXRequestID: true,
+	})
+	gen := NewLoadGen(env, "g", ch, env.Component("nginx"), 2, 50)
+	gen.Start(500 * time.Millisecond)
+	env.RunAll()
+	if gen.Completed == 0 || gen.Errors > 0 {
+		t.Fatalf("completed=%d errors=%d", gen.Completed, gen.Errors)
+	}
+	if env.Component("up").Handled != uint64(gen.Completed) {
+		t.Fatal("proxy did not forward all requests")
+	}
+}
+
+func TestTLSComponentRoundTrip(t *testing.T) {
+	env := NewEnv(1)
+	h := env.Net.AddHost("h", simnet.KindNode, nil)
+	ch := env.Net.AddHost("c", simnet.KindNode, nil)
+	MustComponent(env, Config{
+		Name: "secure", Host: h, Port: 443, Workers: 2, TLS: true,
+		ServiceTime: sim.Const{D: time.Millisecond},
+	})
+	gen := NewLoadGen(env, "g", ch, env.Component("secure"), 2, 50)
+	gen.Start(500 * time.Millisecond)
+	env.RunAll()
+	if gen.Completed == 0 || gen.Errors > 0 {
+		t.Fatalf("TLS round trip failed: completed=%d errors=%d", gen.Completed, gen.Errors)
+	}
+}
+
+func TestTLSWrapUnwrap(t *testing.T) {
+	plain := []byte("GET / HTTP/1.1\r\n\r\n")
+	wrapped := tlsWrap(plain)
+	if wrapped[0] != 23 || wrapped[1] != 3 {
+		t.Fatal("not a TLS record")
+	}
+	if string(tlsUnwrap(wrapped)) != string(plain) {
+		t.Fatal("unwrap mismatch")
+	}
+	if tlsUnwrap([]byte{1, 2}) != nil {
+		t.Fatal("short cipher should fail")
+	}
+}
+
+func TestAllProtocolsServeRequests(t *testing.T) {
+	protos := []trace.L7Proto{
+		trace.L7HTTP, trace.L7HTTP2, trace.L7Redis, trace.L7MySQL,
+		trace.L7DNS, trace.L7Kafka, trace.L7MQTT, trace.L7Dubbo,
+	}
+	for _, proto := range protos {
+		env := NewEnv(1)
+		h := env.Net.AddHost("h", simnet.KindNode, nil)
+		ch := env.Net.AddHost("c", simnet.KindNode, nil)
+		MustComponent(env, Config{
+			Name: "svc", Host: h, Port: 1000, Proto: proto, Workers: 2,
+			ServiceTime: sim.Const{D: 100 * time.Microsecond},
+		})
+		gen := NewLoadGen(env, "g", ch, env.Component("svc"), 2, 100)
+		gen.Path = "resource.name"
+		gen.Start(200 * time.Millisecond)
+		env.RunAll()
+		if gen.Completed == 0 || gen.Errors > 0 {
+			t.Errorf("%v: completed=%d errors=%d", proto, gen.Completed, gen.Errors)
+		}
+	}
+}
+
+func TestCoroutineComponent(t *testing.T) {
+	env := NewEnv(1)
+	h := env.Net.AddHost("h", simnet.KindNode, nil)
+	h2 := env.Net.AddHost("h2", simnet.KindNode, nil)
+	ch := env.Net.AddHost("c", simnet.KindNode, nil)
+	MustComponent(env, Config{
+		Name: "db", Host: h2, Port: 3306, Proto: trace.L7MySQL, Workers: 4,
+		ServiceTime: sim.Const{D: 200 * time.Microsecond},
+	})
+	MustComponent(env, Config{
+		Name: "gosvc", Host: h, Port: 80, Workers: 8, Coroutines: true,
+		ServiceTime: sim.Const{D: 300 * time.Microsecond},
+		Calls:       []CallSpec{{Target: "db", Resource: "SELECT 1"}},
+	})
+	gosvc := env.Component("gosvc")
+	if len(gosvc.Proc.Threads()) != 1 {
+		t.Fatalf("coroutine component has %d threads, want 1", len(gosvc.Proc.Threads()))
+	}
+	gen := NewLoadGen(env, "g", ch, gosvc, 8, 200)
+	gen.Start(time.Second)
+	env.RunAll()
+	if gen.Completed < 150 || gen.Errors > 0 {
+		t.Fatalf("completed=%d errors=%d", gen.Completed, gen.Errors)
+	}
+}
+
+func TestThroughputMeasure(t *testing.T) {
+	g := &LoadGen{Completed: 500}
+	if got := g.Throughput(2 * time.Second); got != 250 {
+		t.Fatalf("throughput = %v", got)
+	}
+	if g.Throughput(0) != 0 {
+		t.Fatal("zero duration should yield zero")
+	}
+}

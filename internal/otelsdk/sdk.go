@@ -1,0 +1,241 @@
+// Package otelsdk implements the intrusive distributed-tracing baselines of
+// the paper's evaluation (Jaeger, Zipkin, OpenTelemetry): an SDK that
+// components must be instrumented with by hand, explicit context
+// propagation through message headers (W3C traceparent or Zipkin B3), and a
+// collector that stores and assembles application-level spans.
+//
+// The contrast with DeepFlow is deliberate and structural: this SDK only
+// sees components that were instrumented (closed-source components and the
+// network are blind spots), requires per-component code changes, and adds
+// per-span instrumentation overhead inside the component.
+package otelsdk
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"deepflow/internal/trace"
+)
+
+// Propagation selects the header format for explicit context propagation.
+type Propagation uint8
+
+// Propagation formats.
+const (
+	// PropagationW3C uses the traceparent header (OpenTelemetry/Jaeger).
+	PropagationW3C Propagation = iota + 1
+	// PropagationB3 uses the single B3 header (Zipkin).
+	PropagationB3
+)
+
+// SpanContext is the propagated context: the explicit identifiers
+// traditional frameworks insert into message headers (paper §3.3).
+type SpanContext struct {
+	TraceID string
+	SpanID  string
+}
+
+// Valid reports whether the context carries identifiers.
+func (c SpanContext) Valid() bool { return c.TraceID != "" && c.SpanID != "" }
+
+// SDK is one tracing framework instance ("the Jaeger client library").
+type SDK struct {
+	Name        string
+	Propagation Propagation
+	Collector   *Collector
+
+	// PerSpanCost models the instrumentation overhead a component pays
+	// for each span it produces (serialization, reporter queue, etc.).
+	PerSpanCost time.Duration
+
+	rng *rand.Rand
+	ids trace.IDAllocator
+}
+
+// NewSDK creates an SDK reporting to a fresh collector.
+func NewSDK(name string, p Propagation, perSpanCost time.Duration, seed int64) *SDK {
+	return &SDK{
+		Name:        name,
+		Propagation: p,
+		Collector:   NewCollector(),
+		PerSpanCost: perSpanCost,
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (s *SDK) newID(bytes int) string {
+	b := make([]byte, bytes)
+	s.rng.Read(b)
+	return fmt.Sprintf("%x", b)
+}
+
+// Extract parses the propagated context out of message headers.
+func (s *SDK) Extract(headers map[string]string) SpanContext {
+	switch s.Propagation {
+	case PropagationB3:
+		if v, ok := headers["b3"]; ok {
+			parts := splitDash(v)
+			if len(parts) >= 2 {
+				return SpanContext{TraceID: parts[0], SpanID: parts[1]}
+			}
+		}
+	default:
+		if v, ok := headers["traceparent"]; ok {
+			parts := splitDash(v)
+			if len(parts) >= 3 {
+				return SpanContext{TraceID: parts[1], SpanID: parts[2]}
+			}
+		}
+	}
+	return SpanContext{}
+}
+
+// Inject writes the context into message headers.
+func (s *SDK) Inject(ctx SpanContext, headers map[string]string) {
+	switch s.Propagation {
+	case PropagationB3:
+		headers["b3"] = fmt.Sprintf("%s-%s-1", ctx.TraceID, ctx.SpanID)
+	default:
+		headers["traceparent"] = fmt.Sprintf("00-%s-%s-01", ctx.TraceID, ctx.SpanID)
+	}
+}
+
+// ActiveSpan is an in-flight instrumented span.
+type ActiveSpan struct {
+	sdk      *SDK
+	span     *trace.Span
+	ctx      SpanContext
+	finished bool
+}
+
+// Context returns the span's propagation context (inject it into outgoing
+// requests).
+func (a *ActiveSpan) Context() SpanContext { return a.ctx }
+
+// StartSpan begins a span. parent is the extracted remote context (zero
+// for a root span). kind is "server" or "client"; name/resource describe
+// the operation; host and proc identify where it runs.
+func (s *SDK) StartSpan(parent SpanContext, kind, name, resource, host, proc string, start time.Time) *ActiveSpan {
+	traceID := parent.TraceID
+	if traceID == "" {
+		traceID = s.newID(16)
+	}
+	spanID := s.newID(8)
+	sp := &trace.Span{
+		ID:              s.ids.NextSpanID(),
+		Source:          trace.SourceOTel,
+		TapSide:         trace.TapApp,
+		TraceID:         traceID,
+		SpanRef:         spanID,
+		ParentSpanRef:   parent.SpanID,
+		RequestType:     kind + ":" + name,
+		RequestResource: resource,
+		HostName:        host,
+		ProcessName:     proc,
+		StartTime:       start,
+	}
+	return &ActiveSpan{sdk: s, span: sp, ctx: SpanContext{TraceID: traceID, SpanID: spanID}}
+}
+
+// Finish completes the span and reports it to the collector.
+func (a *ActiveSpan) Finish(end time.Time, code int32, status string) *trace.Span {
+	if a.finished {
+		return a.span
+	}
+	a.finished = true
+	a.span.EndTime = end
+	a.span.ResponseCode = code
+	a.span.ResponseStatus = status
+	a.sdk.Collector.Report(a.span)
+	return a.span
+}
+
+// Collector stores reported spans and assembles them by trace ID — the
+// baseline's (application-only) notion of a distributed trace.
+type Collector struct {
+	spans   []*trace.Span
+	byTrace map[string][]*trace.Span
+
+	// OnReport, when set, also forwards every finished span — the hook
+	// DeepFlow uses for third-party span integration (paper §3.3.2).
+	OnReport func(*trace.Span)
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector {
+	return &Collector{byTrace: make(map[string][]*trace.Span)}
+}
+
+// Report stores one finished span.
+func (c *Collector) Report(sp *trace.Span) {
+	c.spans = append(c.spans, sp)
+	c.byTrace[sp.TraceID] = append(c.byTrace[sp.TraceID], sp)
+	if c.OnReport != nil {
+		c.OnReport(sp)
+	}
+}
+
+// Spans returns all reported spans.
+func (c *Collector) Spans() []*trace.Span { return c.spans }
+
+// Traces returns the number of distinct trace IDs.
+func (c *Collector) Traces() int { return len(c.byTrace) }
+
+// Trace returns the spans of one trace with parents resolved via the
+// explicit span references.
+func (c *Collector) Trace(traceID string) *trace.Trace {
+	spans := c.byTrace[traceID]
+	if len(spans) == 0 {
+		return nil
+	}
+	byRef := make(map[string]*trace.Span, len(spans))
+	for _, sp := range spans {
+		byRef[sp.SpanRef] = sp
+	}
+	var root *trace.Span
+	out := make([]*trace.Span, len(spans))
+	for i, sp := range spans {
+		cp := sp.Clone()
+		if p, ok := byRef[sp.ParentSpanRef]; ok {
+			cp.ParentID = p.ID
+		} else {
+			root = cp
+		}
+		out[i] = cp
+	}
+	return &trace.Trace{Root: root, Spans: out}
+}
+
+// AvgSpansPerTrace reports the collector-wide spans/trace ratio — the
+// coverage number Fig. 16 contrasts with DeepFlow's.
+func (c *Collector) AvgSpansPerTrace() float64 {
+	if len(c.byTrace) == 0 {
+		return 0
+	}
+	return float64(len(c.spans)) / float64(len(c.byTrace))
+}
+
+func splitDash(v string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(v); i++ {
+		if v[i] == '-' {
+			out = append(out, v[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, v[start:])
+}
+
+// InstrumentationLOC estimates the hand-written lines of code needed to
+// instrument a service with this SDK: framework initialization plus
+// extract/inject/start/finish at every handler and client call site. The
+// constants follow the paper's survey (Fig. 9: tens to >100 lines per
+// component). DeepFlow's equivalent is zero.
+func InstrumentationLOC(handlers, callSites int) int {
+	const initLOC = 12
+	const perHandler = 6
+	const perCallSite = 5
+	return initLOC + handlers*perHandler + callSites*perCallSite
+}

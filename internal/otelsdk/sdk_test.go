@@ -1,0 +1,110 @@
+package otelsdk
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Unix(5000, 0)
+
+func TestContextPropagationW3C(t *testing.T) {
+	sdk := NewSDK("otel", PropagationW3C, 0, 1)
+	root := sdk.StartSpan(SpanContext{}, "server", "front", "/", "h1", "front", t0)
+	headers := map[string]string{}
+	sdk.Inject(root.Context(), headers)
+	if headers["traceparent"] == "" {
+		t.Fatal("no traceparent injected")
+	}
+	got := sdk.Extract(headers)
+	if got != root.Context() {
+		t.Fatalf("extract = %+v, want %+v", got, root.Context())
+	}
+}
+
+func TestContextPropagationB3(t *testing.T) {
+	sdk := NewSDK("zipkin", PropagationB3, 0, 1)
+	root := sdk.StartSpan(SpanContext{}, "server", "front", "/", "h1", "front", t0)
+	headers := map[string]string{}
+	sdk.Inject(root.Context(), headers)
+	if headers["b3"] == "" {
+		t.Fatal("no b3 header injected")
+	}
+	if got := sdk.Extract(headers); got != root.Context() {
+		t.Fatalf("extract = %+v", got)
+	}
+	// Wrong-format headers extract to invalid context.
+	if sdk.Extract(map[string]string{"b3": "garbage"}).Valid() {
+		t.Fatal("garbage b3 extracted as valid")
+	}
+	if sdk.Extract(nil).Valid() {
+		t.Fatal("empty headers extracted as valid")
+	}
+}
+
+func TestTraceAssemblyByExplicitIDs(t *testing.T) {
+	sdk := NewSDK("jaeger", PropagationW3C, 0, 1)
+	root := sdk.StartSpan(SpanContext{}, "server", "front", "/", "h1", "front", t0)
+	child := sdk.StartSpan(root.Context(), "client", "backend", "/api", "h1", "front", t0.Add(time.Millisecond))
+	grand := sdk.StartSpan(child.Context(), "server", "backend", "/api", "h2", "backend", t0.Add(2*time.Millisecond))
+	grand.Finish(t0.Add(3*time.Millisecond), 200, "ok")
+	child.Finish(t0.Add(4*time.Millisecond), 200, "ok")
+	root.Finish(t0.Add(5*time.Millisecond), 200, "ok")
+
+	c := sdk.Collector
+	if c.Traces() != 1 || len(c.Spans()) != 3 {
+		t.Fatalf("traces=%d spans=%d", c.Traces(), len(c.Spans()))
+	}
+	if c.AvgSpansPerTrace() != 3 {
+		t.Fatalf("avg spans = %v", c.AvgSpansPerTrace())
+	}
+	tr := c.Trace(root.Context().TraceID)
+	if tr == nil || tr.Len() != 3 || tr.Root == nil {
+		t.Fatalf("trace = %+v", tr)
+	}
+	if tr.Root.SpanRef != root.Context().SpanID {
+		t.Fatal("wrong root")
+	}
+	kids := tr.Children(tr.Root.ID)
+	if len(kids) != 1 || kids[0].SpanRef != child.Context().SpanID {
+		t.Fatalf("children = %v", kids)
+	}
+	if c.Trace("missing") != nil {
+		t.Fatal("missing trace returned")
+	}
+}
+
+func TestSeparateTracesSeparateIDs(t *testing.T) {
+	sdk := NewSDK("jaeger", PropagationW3C, 0, 1)
+	a := sdk.StartSpan(SpanContext{}, "server", "x", "/", "h", "p", t0)
+	b := sdk.StartSpan(SpanContext{}, "server", "x", "/", "h", "p", t0)
+	if a.Context().TraceID == b.Context().TraceID {
+		t.Fatal("independent roots share a trace id")
+	}
+	a.Finish(t0, 200, "ok")
+	b.Finish(t0, 200, "ok")
+	if sdk.Collector.Traces() != 2 {
+		t.Fatalf("traces = %d", sdk.Collector.Traces())
+	}
+}
+
+func TestDoubleFinishIdempotent(t *testing.T) {
+	sdk := NewSDK("jaeger", PropagationW3C, 0, 1)
+	sp := sdk.StartSpan(SpanContext{}, "server", "x", "/", "h", "p", t0)
+	sp.Finish(t0.Add(time.Millisecond), 200, "ok")
+	sp.Finish(t0.Add(2*time.Millisecond), 500, "error")
+	if len(sdk.Collector.Spans()) != 1 {
+		t.Fatal("double finish reported twice")
+	}
+	if sdk.Collector.Spans()[0].ResponseCode != 200 {
+		t.Fatal("second finish overwrote the span")
+	}
+}
+
+func TestInstrumentationLOC(t *testing.T) {
+	if InstrumentationLOC(0, 0) < 10 {
+		t.Fatal("init LOC should be nonzero")
+	}
+	if InstrumentationLOC(3, 4) <= InstrumentationLOC(1, 1) {
+		t.Fatal("LOC should grow with handlers and call sites")
+	}
+}

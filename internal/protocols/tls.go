@@ -1,0 +1,27 @@
+package protocols
+
+import "deepflow/internal/trace"
+
+// TLSCodec recognizes TLS record framing so encrypted flows are classified
+// rather than repeatedly mis-inferred. DeepFlow cannot parse TLS payloads
+// from syscalls; plaintext for such flows comes from the ssl_read/ssl_write
+// uprobe extension hooks (paper §3.2.1), which feed a separate flow state.
+type TLSCodec struct{}
+
+// Proto implements Codec.
+func (TLSCodec) Proto() trace.L7Proto { return trace.L7TLS }
+
+// Infer implements Codec: a TLS record header is content-type 20–23
+// followed by version 0x03 0x01..0x04.
+func (TLSCodec) Infer(payload []byte) bool {
+	if len(payload) < 5 {
+		return false
+	}
+	ct := payload[0]
+	return ct >= 20 && ct <= 23 && payload[1] == 0x03 && payload[2] <= 0x04
+}
+
+// Parse implements Codec; TLS payloads carry no parseable L7 semantics.
+func (TLSCodec) Parse(payload []byte) (Message, error) {
+	return Message{}, errMalformed(trace.L7TLS, "encrypted payload")
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"sort"
+
+	"deepflow/internal/trace"
+)
+
+// DefaultIterations is Algorithm 1's default iteration bound (paper: "the
+// user-specified iteration times (the default is 30)").
+const DefaultIterations = 30
+
+// AssocMask selects which implicit-association keys the iterative span
+// search may follow; the ablation experiments knock out one key at a time
+// to measure each association's contribution to trace completeness.
+type AssocMask uint8
+
+// Association keys (Algorithm 1, lines 6–10).
+const (
+	AssocSysTrace AssocMask = 1 << iota
+	AssocPseudoThread
+	AssocXRequestID
+	AssocTCPSeq
+	AssocTraceID
+
+	// AssocAll enables every association.
+	AssocAll = AssocSysTrace | AssocPseudoThread | AssocXRequestID | AssocTCPSeq | AssocTraceID
+)
+
+// Assemble implements Algorithm 1: starting from a user-chosen span, it
+// iteratively expands the span set through the association indexes
+// (systrace IDs, pseudo-thread IDs, X-Request-IDs, TCP sequences, trace
+// IDs) until a fixed point or the iteration bound, then selects a parent
+// for every span using the 16-rule table and returns a display-ordered
+// trace.
+func (s *SpanStore) Assemble(start trace.SpanID, iterations int) *trace.Trace {
+	return s.AssembleMasked(start, iterations, AssocAll)
+}
+
+// AssembleMasked is Assemble restricted to the given association keys.
+func (s *SpanStore) AssembleMasked(start trace.SpanID, iterations int, mask AssocMask) *trace.Trace {
+	startRow, ok := s.byID[start]
+	if !ok {
+		return nil
+	}
+	if iterations <= 0 {
+		iterations = DefaultIterations
+	}
+
+	// Phase 1: iterative span search (Algorithm 1 lines 2–16).
+	inSet := map[int]bool{startRow: true}
+	frontier := []int{startRow}
+	for iter := 0; iter < iterations && len(frontier) > 0; iter++ {
+		var next []int
+		for _, row := range frontier {
+			for _, rel := range s.relatedMasked(s.spans[row], mask) {
+				if !inSet[rel] {
+					inSet[rel] = true
+					next = append(next, rel)
+				}
+			}
+		}
+		// Termination on fixed point (lines 13–14): no new related spans.
+		frontier = next
+	}
+
+	spans := make([]*trace.Span, 0, len(inSet))
+	for row := range inSet {
+		spans = append(spans, s.spans[row].Clone())
+	}
+
+	// Phase 2: set parents (lines 18–24).
+	for _, sp := range spans {
+		if parent := chooseParent(sp, spans); parent != nil {
+			sp.ParentID = parent.ID
+		}
+	}
+	breakCycles(spans)
+
+	// Phase 3: sort by time and parent relationship (line 25).
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if !a.StartTime.Equal(b.StartTime) {
+			return a.StartTime.Before(b.StartTime)
+		}
+		if ra, rb := tapRank(a.TapSide), tapRank(b.TapSide); ra != rb {
+			return ra < rb
+		}
+		return a.ID < b.ID
+	})
+
+	tr := &trace.Trace{Spans: spans}
+	for _, sp := range spans {
+		if sp.ParentID == 0 {
+			tr.Root = sp
+			break
+		}
+	}
+	if tr.Root == nil && len(spans) > 0 {
+		tr.Root = spans[0]
+	}
+	return tr
+}
+
+// breakCycles detaches the back edge of any parent cycle (possible only
+// under contradictory fallback rules), leaving a forest. It detaches a
+// span *inside* the cycle, so spans whose parent chains merely reach a
+// cycle keep their links.
+func breakCycles(spans []*trace.Span) {
+	byID := make(map[trace.SpanID]*trace.Span, len(spans))
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+	}
+	const (
+		unvisited = 0
+		onPath    = 1
+		done      = 2
+	)
+	state := make(map[trace.SpanID]int, len(spans))
+	for _, sp := range spans {
+		if state[sp.ID] != unvisited {
+			continue
+		}
+		var path []*trace.Span
+		cur := sp
+		for cur != nil && state[cur.ID] == unvisited {
+			state[cur.ID] = onPath
+			path = append(path, cur)
+			if cur.ParentID == 0 {
+				cur = nil
+				break
+			}
+			next := byID[cur.ParentID]
+			if next != nil && state[next.ID] == onPath {
+				cur.ParentID = 0 // back edge closes a cycle: cut here
+				cur = nil
+				break
+			}
+			cur = next
+		}
+		for _, p := range path {
+			state[p.ID] = done
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"encoding/json"
+	"time"
+
+	"deepflow/internal/trace"
+)
+
+// ExportedSpan is the JSON representation of one span with query-time tag
+// expansion applied — what the front end (or an OTLP bridge) would consume.
+type ExportedSpan struct {
+	SpanID     uint64            `json:"span_id"`
+	ParentID   uint64            `json:"parent_id,omitempty"`
+	Source     string            `json:"signal_source"`
+	TapSide    string            `json:"tap_side"`
+	Host       string            `json:"host"`
+	Process    string            `json:"process,omitempty"`
+	Protocol   string            `json:"l7_protocol"`
+	Request    string            `json:"request"`
+	Resource   string            `json:"resource,omitempty"`
+	Code       int32             `json:"response_code"`
+	Status     string            `json:"response_status"`
+	Start      time.Time         `json:"start_time"`
+	DurationUS int64             `json:"duration_us"`
+	Flow       string            `json:"flow,omitempty"`
+	ReqTCPSeq  uint32            `json:"req_tcp_seq,omitempty"`
+	RespTCPSeq uint32            `json:"resp_tcp_seq,omitempty"`
+	SysTraceID uint64            `json:"syscall_trace_id,omitempty"`
+	XRequestID string            `json:"x_request_id,omitempty"`
+	TraceID    string            `json:"trace_id,omitempty"`
+	Pod        string            `json:"pod,omitempty"`
+	Node       string            `json:"node,omitempty"`
+	Service    string            `json:"service,omitempty"`
+	Namespace  string            `json:"namespace,omitempty"`
+	Region     string            `json:"region,omitempty"`
+	AZ         string            `json:"az,omitempty"`
+	Labels     map[string]string `json:"labels,omitempty"`
+	Retrans    uint32            `json:"tcp_retransmissions,omitempty"`
+	Resets     uint32            `json:"tcp_resets,omitempty"`
+	RTTUS      int64             `json:"rtt_us,omitempty"`
+}
+
+// ExportedTrace is the JSON form of an assembled trace.
+type ExportedTrace struct {
+	RootSpanID uint64         `json:"root_span_id"`
+	SpanCount  int            `json:"span_count"`
+	Depth      int            `json:"depth"`
+	Spans      []ExportedSpan `json:"spans"`
+}
+
+// exportSpan converts one span.
+func (s *Server) exportSpan(sp *trace.Span) ExportedSpan {
+	d := s.Registry.Decode(sp.Resource)
+	out := ExportedSpan{
+		SpanID:     uint64(sp.ID),
+		ParentID:   uint64(sp.ParentID),
+		Source:     sp.Source.String(),
+		TapSide:    sp.TapSide.String(),
+		Host:       sp.HostName,
+		Process:    sp.ProcessName,
+		Protocol:   sp.L7.String(),
+		Request:    sp.RequestType,
+		Resource:   sp.RequestResource,
+		Code:       sp.ResponseCode,
+		Status:     sp.ResponseStatus,
+		Start:      sp.StartTime,
+		DurationUS: sp.Duration().Microseconds(),
+		ReqTCPSeq:  sp.ReqTCPSeq,
+		RespTCPSeq: sp.RespTCPSeq,
+		SysTraceID: uint64(sp.SysTraceID),
+		XRequestID: sp.XRequestID,
+		TraceID:    sp.TraceID,
+		Pod:        d.Pod,
+		Node:       d.Node,
+		Service:    d.Service,
+		Namespace:  d.Namespace,
+		Region:     d.Region,
+		AZ:         d.AZ,
+		Labels:     d.Labels,
+		Retrans:    sp.Net.Retransmissions,
+		Resets:     sp.Net.Resets,
+		RTTUS:      sp.Net.RTT.Microseconds(),
+	}
+	if sp.Flow != (trace.FiveTuple{}) {
+		out.Flow = sp.Flow.String()
+	}
+	return out
+}
+
+// ExportTraceJSON serializes an assembled trace with all tags expanded.
+func (s *Server) ExportTraceJSON(tr *trace.Trace) ([]byte, error) {
+	if tr == nil {
+		return []byte("null"), nil
+	}
+	out := ExportedTrace{SpanCount: tr.Len(), Depth: tr.Depth()}
+	if tr.Root != nil {
+		out.RootSpanID = uint64(tr.Root.ID)
+	}
+	for _, sp := range tr.Spans {
+		out.Spans = append(out.Spans, s.exportSpan(sp))
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"time"
+
+	"deepflow/internal/trace"
+)
+
+// SpanFilter narrows span-list queries; zero values mean "any". It backs
+// the paper's workflow of picking assembly starting points: "users can
+// select spans that they are interested in, such as time-consuming
+// invocations" (§3.3.2).
+type SpanFilter struct {
+	MinDuration time.Duration
+	Status      string // "ok" | "error" | "timeout"
+	L7          trace.L7Proto
+	TapSide     trace.TapSide
+	ProcessName string
+	Service     string // decoded service name (query-time tag expansion)
+	Pod         string // decoded pod name
+	MinCode     int32  // e.g. 400 to select error responses
+}
+
+func (f SpanFilter) matches(s *Server, sp *trace.Span) bool {
+	if f.MinDuration > 0 && sp.Duration() < f.MinDuration {
+		return false
+	}
+	if f.Status != "" && sp.ResponseStatus != f.Status {
+		return false
+	}
+	if f.L7 != 0 && sp.L7 != f.L7 {
+		return false
+	}
+	if f.TapSide != 0 && sp.TapSide != f.TapSide {
+		return false
+	}
+	if f.ProcessName != "" && sp.ProcessName != f.ProcessName {
+		return false
+	}
+	if f.MinCode != 0 && sp.ResponseCode < f.MinCode {
+		return false
+	}
+	if f.Service != "" || f.Pod != "" {
+		d := s.Registry.Decode(sp.Resource)
+		if f.Service != "" && d.Service != f.Service {
+			return false
+		}
+		if f.Pod != "" && d.Pod != f.Pod {
+			return false
+		}
+	}
+	return true
+}
+
+// QuerySpans returns up to limit spans in [from, to) matching the filter,
+// newest first (limit 0 = unlimited).
+func (s *Server) QuerySpans(from, to time.Time, f SpanFilter, limit int) []*trace.Span {
+	var out []*trace.Span
+	for _, sp := range s.Store.SpanList(from, to, 0) {
+		if !f.matches(s, sp) {
+			continue
+		}
+		out = append(out, sp)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// SlowestSpans returns the n slowest spans in the window matching the
+// filter — the "time-consuming invocations" entry point for Algorithm 1.
+func (s *Server) SlowestSpans(from, to time.Time, f SpanFilter, n int) []*trace.Span {
+	matched := s.QuerySpans(from, to, f, 0)
+	// Partial selection sort: n is small (a UI page).
+	if n > len(matched) {
+		n = len(matched)
+	}
+	for i := 0; i < n; i++ {
+		max := i
+		for j := i + 1; j < len(matched); j++ {
+			if matched[j].Duration() > matched[max].Duration() {
+				max = j
+			}
+		}
+		matched[i], matched[max] = matched[max], matched[i]
+	}
+	return matched[:n]
+}
+
+// ServiceSummary is one service's aggregate over a window — the RED-style
+// overview operators start from before drilling into traces.
+type ServiceSummary struct {
+	Service  string
+	Requests int
+	Errors   int
+	MeanDur  time.Duration
+	MaxDur   time.Duration
+}
+
+// SummarizeServices aggregates server-side spans per decoded service.
+func (s *Server) SummarizeServices(from, to time.Time) []ServiceSummary {
+	byService := map[string]*ServiceSummary{}
+	var order []string
+	for _, sp := range s.Store.SpanList(from, to, 0) {
+		if sp.TapSide != trace.TapServerProcess {
+			continue
+		}
+		name := s.Registry.Decode(sp.Resource).Service
+		if name == "" {
+			name = sp.ProcessName
+		}
+		sum := byService[name]
+		if sum == nil {
+			sum = &ServiceSummary{Service: name}
+			byService[name] = sum
+			order = append(order, name)
+		}
+		sum.Requests++
+		if sp.ResponseStatus == "error" || sp.ResponseStatus == "timeout" {
+			sum.Errors++
+		}
+		d := sp.Duration()
+		sum.MeanDur += d // accumulated; divided below
+		if d > sum.MaxDur {
+			sum.MaxDur = d
+		}
+	}
+	out := make([]ServiceSummary, 0, len(order))
+	for _, name := range order {
+		sum := byService[name]
+		if sum.Requests > 0 {
+			sum.MeanDur /= time.Duration(sum.Requests)
+		}
+		out = append(out, *sum)
+	}
+	return out
+}

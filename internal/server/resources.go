@@ -1,0 +1,178 @@
+// Package server implements the DeepFlow Server (paper Fig. 4): span
+// ingestion with smart-encoding tag injection (Fig. 8), columnar storage,
+// the iterative trace-assembling algorithm (Algorithm 1) with its parent-
+// selection rules, span-list and trace queries, and the tag-correlated
+// metrics plane.
+package server
+
+import (
+	"deepflow/internal/cloud"
+	"deepflow/internal/k8s"
+	"deepflow/internal/trace"
+)
+
+// dictionary interns strings to dense int32 IDs and back — the core of
+// smart encoding: traces store the int, names resolve only at query time.
+type dictionary struct {
+	ids   map[string]int32
+	names []string
+}
+
+func newDictionary() *dictionary {
+	return &dictionary{ids: map[string]int32{"": 0}, names: []string{""}}
+}
+
+func (d *dictionary) id(name string) int32 {
+	if id, ok := d.ids[name]; ok {
+		return id
+	}
+	id := int32(len(d.names))
+	d.ids[name] = id
+	d.names = append(d.names, name)
+	return id
+}
+
+func (d *dictionary) name(id int32) string {
+	if id < 0 || int(id) >= len(d.names) {
+		return ""
+	}
+	return d.names[id]
+}
+
+// ResourceRegistry resolves (VPC, IP) to integer resource tags during
+// ingestion (Fig. 8 step ⑦) and integer tags back to names plus
+// self-defined labels at query time (step ⑧).
+type ResourceRegistry struct {
+	pods       *dictionary
+	nodes      *dictionary
+	services   *dictionary
+	namespaces *dictionary
+	regions    *dictionary
+	azs        *dictionary
+
+	byIP   map[trace.IP]trace.ResourceTags
+	labels map[int32]map[string]string // pod id → self-defined labels
+}
+
+// NewResourceRegistry builds the registry from cluster and cloud metadata.
+// Pass nil for either when absent.
+func NewResourceRegistry(clusters []*k8s.Cluster, cl *cloud.Registry) *ResourceRegistry {
+	r := &ResourceRegistry{
+		pods:       newDictionary(),
+		nodes:      newDictionary(),
+		services:   newDictionary(),
+		namespaces: newDictionary(),
+		regions:    newDictionary(),
+		azs:        newDictionary(),
+		byIP:       make(map[trace.IP]trace.ResourceTags),
+		labels:     make(map[int32]map[string]string),
+	}
+	for _, c := range clusters {
+		for _, n := range c.Nodes() {
+			tags := trace.ResourceTags{IP: n.IP, NodeID: r.nodes.id(n.Name)}
+			r.placeCloud(&tags, cl, n.Name)
+			r.byIP[n.IP] = tags
+		}
+		for _, p := range c.Pods() {
+			tags := trace.ResourceTags{
+				IP:        p.IP,
+				PodID:     r.pods.id(p.Name),
+				NodeID:    r.nodes.id(p.Node),
+				ServiceID: r.services.id(p.Service),
+				NSID:      r.namespaces.id(p.Namespace),
+			}
+			r.placeCloud(&tags, cl, p.Node)
+			r.byIP[p.IP] = tags
+			if len(p.Labels) > 0 {
+				r.labels[tags.PodID] = p.Labels
+			}
+		}
+	}
+	return r
+}
+
+func (r *ResourceRegistry) placeCloud(tags *trace.ResourceTags, cl *cloud.Registry, host string) {
+	if cl == nil {
+		return
+	}
+	if p, ok := cl.Lookup(host); ok {
+		tags.RegionID = r.regions.id(p.Region)
+		tags.AZID = r.azs.id(p.AZ)
+		tags.VPCID = p.VPCID
+	}
+}
+
+// RegisterHost adds a non-cluster host (gateway, standalone machine).
+func (r *ResourceRegistry) RegisterHost(name string, ip trace.IP, cl *cloud.Registry) {
+	tags := trace.ResourceTags{IP: ip, NodeID: r.nodes.id(name)}
+	r.placeCloud(&tags, cl, name)
+	r.byIP[ip] = tags
+}
+
+// Enrich completes a span's smart-encoded resource tags from its VPC+IP
+// (ingestion-time injection, Fig. 8 ④–⑦).
+func (r *ResourceRegistry) Enrich(tags trace.ResourceTags) trace.ResourceTags {
+	known, ok := r.byIP[tags.IP]
+	if !ok {
+		return tags
+	}
+	if tags.VPCID == 0 {
+		tags.VPCID = known.VPCID
+	}
+	known.VPCID = tags.VPCID
+	return known
+}
+
+// DecodedTags is the query-time expansion of a span's integer tags.
+type DecodedTags struct {
+	Pod       string
+	Node      string
+	Service   string
+	Namespace string
+	Region    string
+	AZ        string
+	Labels    map[string]string
+}
+
+// IPOf returns the IP of a named resource (pod or node), or 0.
+func (r *ResourceRegistry) IPOf(name string) trace.IP {
+	if id, ok := r.pods.ids[name]; ok {
+		for ip, tags := range r.byIP {
+			if tags.PodID == id && id != 0 {
+				return ip
+			}
+		}
+	}
+	if id, ok := r.nodes.ids[name]; ok && id != 0 {
+		for ip, tags := range r.byIP {
+			if tags.NodeID == id && tags.PodID == 0 {
+				return ip
+			}
+		}
+	}
+	return 0
+}
+
+// DecodeIP resolves an IP address to its resource names (for flow
+// endpoints, where only the address is known).
+func (r *ResourceRegistry) DecodeIP(ip trace.IP) DecodedTags {
+	tags, ok := r.byIP[ip]
+	if !ok {
+		return DecodedTags{}
+	}
+	return r.Decode(tags)
+}
+
+// Decode resolves integer tags to names and attaches self-defined labels
+// (query-time injection, Fig. 8 ⑧).
+func (r *ResourceRegistry) Decode(tags trace.ResourceTags) DecodedTags {
+	return DecodedTags{
+		Pod:       r.pods.name(tags.PodID),
+		Node:      r.nodes.name(tags.NodeID),
+		Service:   r.services.name(tags.ServiceID),
+		Namespace: r.namespaces.name(tags.NSID),
+		Region:    r.regions.name(tags.RegionID),
+		AZ:        r.azs.name(tags.AZID),
+		Labels:    r.labels[tags.PodID],
+	}
+}

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"deepflow/internal/agent"
+	"deepflow/internal/metrics"
+	"deepflow/internal/trace"
+)
+
+// Server is the cluster-level DeepFlow server process: it ingests spans and
+// flow metrics from agents, injects smart-encoded resource tags, stores
+// spans, and answers span-list, trace-assembly, and correlated-metric
+// queries.
+type Server struct {
+	Registry *ResourceRegistry
+	Store    *SpanStore
+	Metrics  *metrics.Store
+
+	// Stats.
+	SpansIngested int
+	FlowsIngested int
+}
+
+// New creates a server with the given tag encoding.
+func New(reg *ResourceRegistry, enc Encoding) *Server {
+	return NewWide(reg, enc, 0)
+}
+
+// NewWide creates a server whose store materializes `wide` extra derived
+// tag columns under non-smart encodings (see NewSpanStoreWide).
+func NewWide(reg *ResourceRegistry, enc Encoding, wide int) *Server {
+	return &Server{
+		Registry: reg,
+		Store:    NewSpanStoreWide(enc, reg, wide),
+		Metrics:  metrics.NewStore(),
+	}
+}
+
+// IngestSpan implements agent.Sink: smart-encoding phase 2 (resolve VPC+IP
+// to integer resource tags) happens here, then the span is stored.
+func (s *Server) IngestSpan(sp *trace.Span) {
+	sp.Resource = s.Registry.Enrich(sp.Resource)
+	s.Store.Insert(sp)
+	s.SpansIngested++
+}
+
+// IngestFlow implements agent.Sink: flow metric deltas become series in the
+// metrics plane, tagged so they correlate with traces (§3.4).
+func (s *Server) IngestFlow(f agent.FlowSample) {
+	tags := map[string]string{
+		"host": f.Host,
+		"nic":  f.NIC,
+		"flow": f.Tuple.String(),
+	}
+	add := func(name string, v float64) {
+		if v != 0 {
+			s.Metrics.Add(name, tags, f.TS, v)
+		}
+	}
+	add("net.retransmissions", float64(f.Delta.Retransmissions))
+	add("net.resets", float64(f.Delta.Resets))
+	add("net.zero_windows", float64(f.Delta.ZeroWindows))
+	add("net.bytes_sent", float64(f.Delta.BytesSent))
+	add("net.bytes_received", float64(f.Delta.BytesReceived))
+	add("net.arp_requests", float64(f.Delta.ARPRequests))
+	add("net.kernel_packets", float64(f.KernelPackets))
+	add("net.kernel_bytes", float64(f.KernelBytes))
+	if f.Delta.RTT > 0 {
+		s.Metrics.Add("net.rtt_us", tags, f.TS, float64(f.Delta.RTT.Microseconds()))
+	}
+	s.FlowsIngested++
+}
+
+// SpanList answers the span-list query of Fig. 15.
+func (s *Server) SpanList(from, to time.Time, limit int) []*trace.Span {
+	return s.Store.SpanList(from, to, limit)
+}
+
+// Trace assembles the distributed trace containing the given span
+// (Algorithm 1) with the default iteration bound.
+func (s *Server) Trace(start trace.SpanID) *trace.Trace {
+	return s.Store.Assemble(start, DefaultIterations)
+}
+
+// DecoratedSpan is a span expanded with query-time tag names (Fig. 8 ⑧).
+type DecoratedSpan struct {
+	*trace.Span
+	Tags DecodedTags
+}
+
+// Decorate expands a span's integer tags into names and custom labels.
+func (s *Server) Decorate(sp *trace.Span) DecoratedSpan {
+	return DecoratedSpan{Span: sp, Tags: s.Registry.Decode(sp.Resource)}
+}
+
+// RelatedMetrics returns the network metric series correlated with a span
+// through its flow and host tags — the metric-by-metric analysis of the
+// §4.1.3 case study.
+func (s *Server) RelatedMetrics(sp *trace.Span, name string, from, to time.Time) []metrics.Series {
+	flow := sp.Flow.Canonical().String()
+	return s.Metrics.Query(name, map[string]string{"flow": flow}, from, to)
+}
+
+// FormatTrace renders a trace as an indented tree for CLI display.
+func (s *Server) FormatTrace(tr *trace.Trace) string {
+	if tr == nil || len(tr.Spans) == 0 {
+		return "(empty trace)\n"
+	}
+	var out string
+	var walk func(sp *trace.Span, depth int)
+	printed := map[trace.SpanID]bool{}
+	walk = func(sp *trace.Span, depth int) {
+		if printed[sp.ID] {
+			return
+		}
+		printed[sp.ID] = true
+		d := s.Decorate(sp)
+		name := d.Tags.Pod
+		if name == "" {
+			name = sp.HostName
+		}
+		out += fmt.Sprintf("%*s[%s] %s %s %s %s → %d %s (%.3fms)\n",
+			depth*2, "", sp.TapSide, name, sp.ProcessName, sp.L7,
+			sp.RequestType+" "+sp.RequestResource, sp.ResponseCode,
+			sp.ResponseStatus, float64(sp.Duration().Microseconds())/1000)
+		for _, child := range tr.Children(sp.ID) {
+			walk(child, depth+1)
+		}
+	}
+	for _, sp := range tr.Spans {
+		if sp.ParentID == 0 {
+			walk(sp, 0)
+		}
+	}
+	// Anything unreachable (cycle remnants) at the end.
+	for _, sp := range tr.Spans {
+		walk(sp, 0)
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+package server
+
+import (
+	"sort"
+	"strconv"
+	"time"
+
+	"deepflow/internal/storage"
+	"deepflow/internal/trace"
+)
+
+// Encoding selects how tag data is written to the columnar store — the
+// variable the Fig. 14 experiment sweeps.
+type Encoding uint8
+
+// Tag encodings.
+const (
+	// EncodingSmart stores resource tags as integers resolved at query
+	// time (DeepFlow's smart-encoding).
+	EncodingSmart Encoding = iota
+	// EncodingDirect resolves tags to strings at ingest and stores them
+	// raw ("direct storing").
+	EncodingDirect
+	// EncodingLowCard resolves tags to strings and stores them in
+	// dictionary-encoded columns (ClickHouse LowCardinality).
+	EncodingLowCard
+)
+
+func (e Encoding) String() string {
+	switch e {
+	case EncodingSmart:
+		return "smart-encoding"
+	case EncodingDirect:
+		return "direct"
+	case EncodingLowCard:
+		return "low-cardinality"
+	default:
+		return "encoding?"
+	}
+}
+
+// resourceTagNames are the per-span resource tag columns.
+var resourceTagNames = []string{"pod", "node", "service", "namespace", "region", "az"}
+
+// SpanStore holds ingested spans: an in-memory span set with the inverted
+// indexes Algorithm 1 queries, plus the columnar table that accounts for
+// storage resources under the configured encoding.
+type SpanStore struct {
+	Encoding Encoding
+	reg      *ResourceRegistry
+
+	spans []*trace.Span
+	byID  map[trace.SpanID]int
+
+	// Inverted indexes for the iterative span search.
+	bySysTrace map[trace.SysTraceID][]int
+	byPseudo   map[uint64][]int
+	byXReq     map[string][]int
+	byTCPSeq   map[uint32][]int
+	byTraceID  map[string][]int
+
+	// timeIdx orders rows by start time for span-list queries.
+	timeIdx   []int
+	timeDirty bool
+
+	wide      int
+	wideNames []string
+	table     *storage.Table
+}
+
+// NewSpanStore creates a store with the given tag encoding.
+func NewSpanStore(enc Encoding, reg *ResourceRegistry) *SpanStore {
+	return NewSpanStoreWide(enc, reg, 0)
+}
+
+// NewSpanStoreWide creates a store that additionally materializes `wide`
+// derived tag columns (pod labels, cloud attributes, …) for the direct and
+// low-cardinality encodings. Smart encoding stores none of them: they are
+// derived from the integer resource tags at query time, which is exactly
+// the saving Fig. 14 measures ("up to 100 tags might be related to a
+// single trace").
+func NewSpanStoreWide(enc Encoding, reg *ResourceRegistry, wide int) *SpanStore {
+	s := &SpanStore{
+		Encoding:   enc,
+		reg:        reg,
+		byID:       make(map[trace.SpanID]int),
+		bySysTrace: make(map[trace.SysTraceID][]int),
+		byPseudo:   make(map[uint64][]int),
+		byXReq:     make(map[string][]int),
+		byTCPSeq:   make(map[uint32][]int),
+		byTraceID:  make(map[string][]int),
+	}
+	schema := []storage.ColumnDef{
+		{Name: "span_id", Type: storage.TypeInt64},
+		{Name: "start_ns", Type: storage.TypeInt64},
+		{Name: "duration_ns", Type: storage.TypeInt64},
+		{Name: "systrace_id", Type: storage.TypeInt64},
+		{Name: "req_tcp_seq", Type: storage.TypeInt64},
+		{Name: "resp_tcp_seq", Type: storage.TypeInt64},
+		{Name: "response_code", Type: storage.TypeInt64},
+		{Name: "x_request_id", Type: storage.TypeString},
+		{Name: "trace_id", Type: storage.TypeString},
+		{Name: "l7", Type: storage.TypeInt64},
+		{Name: "tap_side", Type: storage.TypeInt64},
+	}
+	tagType := storage.TypeInt32
+	switch enc {
+	case EncodingDirect:
+		tagType = storage.TypeString
+	case EncodingLowCard:
+		tagType = storage.TypeLowCardinality
+	}
+	for _, name := range resourceTagNames {
+		schema = append(schema, storage.ColumnDef{Name: "tag_" + name, Type: tagType})
+	}
+	if enc != EncodingSmart {
+		for i := 0; i < wide; i++ {
+			name := "tag_w" + strconv.Itoa(i)
+			s.wideNames = append(s.wideNames, name)
+			schema = append(schema, storage.ColumnDef{Name: name, Type: tagType})
+		}
+	}
+	s.wide = wide
+	s.table = storage.NewTable("spans_"+enc.String(), schema)
+	return s
+}
+
+// Insert ingests one span (whose resource tags have been enriched) plus any
+// extra custom tags already folded into span.Custom.
+func (s *SpanStore) Insert(sp *trace.Span) {
+	row := len(s.spans)
+	s.spans = append(s.spans, sp)
+	s.byID[sp.ID] = row
+	if sp.SysTraceID != 0 {
+		s.bySysTrace[sp.SysTraceID] = append(s.bySysTrace[sp.SysTraceID], row)
+	}
+	if sp.PseudoThreadID != 0 {
+		s.byPseudo[sp.PseudoThreadID] = append(s.byPseudo[sp.PseudoThreadID], row)
+	}
+	if sp.XRequestID != "" {
+		s.byXReq[sp.XRequestID] = append(s.byXReq[sp.XRequestID], row)
+	}
+	if sp.ReqTCPSeq != 0 || sp.RespTCPSeq != 0 {
+		s.byTCPSeq[sp.ReqTCPSeq] = append(s.byTCPSeq[sp.ReqTCPSeq], row)
+	}
+	if sp.TraceID != "" {
+		s.byTraceID[sp.TraceID] = append(s.byTraceID[sp.TraceID], row)
+	}
+	s.timeIdx = append(s.timeIdx, row)
+	s.timeDirty = true
+
+	w := s.table.NewRow().
+		Int("span_id", int64(sp.ID)).
+		Int("start_ns", sp.StartTime.UnixNano()).
+		Int("duration_ns", int64(sp.Duration())).
+		Int("systrace_id", int64(sp.SysTraceID)).
+		Int("req_tcp_seq", int64(sp.ReqTCPSeq)).
+		Int("resp_tcp_seq", int64(sp.RespTCPSeq)).
+		Int("response_code", int64(sp.ResponseCode)).
+		Str("x_request_id", sp.XRequestID).
+		Str("trace_id", sp.TraceID).
+		Int("l7", int64(sp.L7)).
+		Int("tap_side", int64(sp.TapSide))
+
+	switch s.Encoding {
+	case EncodingSmart:
+		w.Int("tag_pod", int64(sp.Resource.PodID)).
+			Int("tag_node", int64(sp.Resource.NodeID)).
+			Int("tag_service", int64(sp.Resource.ServiceID)).
+			Int("tag_namespace", int64(sp.Resource.NSID)).
+			Int("tag_region", int64(sp.Resource.RegionID)).
+			Int("tag_az", int64(sp.Resource.AZID))
+	default:
+		// Direct and LowCardinality both resolve the tag names at
+		// ingestion time — extra CPU that smart-encoding avoids — and
+		// must materialize every derived tag as a column value.
+		d := s.reg.Decode(sp.Resource)
+		w.Str("tag_pod", d.Pod).
+			Str("tag_node", d.Node).
+			Str("tag_service", d.Service).
+			Str("tag_namespace", d.Namespace).
+			Str("tag_region", d.Region).
+			Str("tag_az", d.AZ)
+		for i, name := range s.wideNames {
+			w.Str(name, d.Service+":"+strconv.Itoa(i))
+		}
+	}
+	w.Commit()
+}
+
+// Len returns the number of stored spans.
+func (s *SpanStore) Len() int { return len(s.spans) }
+
+// Span returns a span by ID, or nil.
+func (s *SpanStore) Span(id trace.SpanID) *trace.Span {
+	row, ok := s.byID[id]
+	if !ok {
+		return nil
+	}
+	return s.spans[row]
+}
+
+// MemBytes returns the columnar table's resident size.
+func (s *SpanStore) MemBytes() int { return s.table.MemBytes() }
+
+// DiskBytes returns the serialized (on-disk) size of the columnar table.
+func (s *SpanStore) DiskBytes() int64 { return s.table.DiskBytes() }
+
+// Table exposes the backing columnar table.
+func (s *SpanStore) Table() *storage.Table { return s.table }
+
+// SpanList returns spans with StartTime in [from, to), newest-first,
+// capped at limit (0 = unlimited) — the paper's span-list query (Fig. 15).
+func (s *SpanStore) SpanList(from, to time.Time, limit int) []*trace.Span {
+	if s.timeDirty {
+		sort.Slice(s.timeIdx, func(i, j int) bool {
+			return s.spans[s.timeIdx[i]].StartTime.Before(s.spans[s.timeIdx[j]].StartTime)
+		})
+		s.timeDirty = false
+	}
+	fromNS, toNS := from, to
+	// Binary search the window bounds.
+	lo := sort.Search(len(s.timeIdx), func(i int) bool {
+		return !s.spans[s.timeIdx[i]].StartTime.Before(fromNS)
+	})
+	hi := sort.Search(len(s.timeIdx), func(i int) bool {
+		return !s.spans[s.timeIdx[i]].StartTime.Before(toNS)
+	})
+	var out []*trace.Span
+	for i := hi - 1; i >= lo; i-- {
+		out = append(out, s.spans[s.timeIdx[i]])
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// relatedMasked returns the row IDs sharing any enabled association key
+// with sp, implementing the filter expansion of Algorithm 1 (lines 6–10).
+func (s *SpanStore) relatedMasked(sp *trace.Span, mask AssocMask) []int {
+	var rows []int
+	if mask&AssocSysTrace != 0 && sp.SysTraceID != 0 {
+		rows = append(rows, s.bySysTrace[sp.SysTraceID]...)
+	}
+	if mask&AssocPseudoThread != 0 && sp.PseudoThreadID != 0 {
+		rows = append(rows, s.byPseudo[sp.PseudoThreadID]...)
+	}
+	if mask&AssocXRequestID != 0 && sp.XRequestID != "" {
+		rows = append(rows, s.byXReq[sp.XRequestID]...)
+	}
+	if mask&AssocTCPSeq != 0 && sp.ReqTCPSeq != 0 {
+		rows = append(rows, s.byTCPSeq[sp.ReqTCPSeq]...)
+	}
+	if mask&AssocTraceID != 0 && sp.TraceID != "" {
+		rows = append(rows, s.byTraceID[sp.TraceID]...)
+	}
+	return rows
+}

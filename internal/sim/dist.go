@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Dist is a distribution of durations used for service times and link jitter.
+type Dist interface {
+	// Sample draws one duration using rng.
+	Sample(rng *rand.Rand) time.Duration
+	// Mean returns the distribution mean.
+	Mean() time.Duration
+}
+
+// Const is a degenerate distribution that always returns D.
+type Const struct{ D time.Duration }
+
+func (c Const) Sample(*rand.Rand) time.Duration { return c.D }
+func (c Const) Mean() time.Duration             { return c.D }
+
+// Exponential is an exponential distribution with the given mean,
+// a standard model for service times in queueing systems.
+type Exponential struct{ M time.Duration }
+
+func (e Exponential) Sample(rng *rand.Rand) time.Duration {
+	return time.Duration(rng.ExpFloat64() * float64(e.M))
+}
+func (e Exponential) Mean() time.Duration { return e.M }
+
+// Lognormal is a lognormal distribution parameterized by its median and a
+// shape factor sigma; it models heavy-tailed microservice handler latencies.
+type Lognormal struct {
+	Median time.Duration
+	Sigma  float64
+}
+
+func (l Lognormal) Sample(rng *rand.Rand) time.Duration {
+	return time.Duration(float64(l.Median) * math.Exp(l.Sigma*rng.NormFloat64()))
+}
+
+func (l Lognormal) Mean() time.Duration {
+	return time.Duration(float64(l.Median) * math.Exp(l.Sigma*l.Sigma/2))
+}
+
+// Uniform is uniform in [Lo, Hi].
+type Uniform struct{ Lo, Hi time.Duration }
+
+func (u Uniform) Sample(rng *rand.Rand) time.Duration {
+	if u.Hi <= u.Lo {
+		return u.Lo
+	}
+	return u.Lo + time.Duration(rng.Int63n(int64(u.Hi-u.Lo)))
+}
+func (u Uniform) Mean() time.Duration { return (u.Lo + u.Hi) / 2 }

@@ -1,0 +1,167 @@
+// Package sim provides the discrete-event simulation engine that drives all
+// virtual-time components of the DeepFlow reproduction: the simulated kernel,
+// the network simulator, and the microservice workloads.
+//
+// The engine maintains a virtual clock and an event priority queue. Events
+// scheduled for the same instant run in schedule order, which makes every
+// experiment deterministic for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Epoch is the origin of virtual time. It is fixed (the SIGCOMM '23
+// conference date) so trace timestamps are stable across runs.
+var Epoch = time.Date(2023, time.September, 10, 0, 0, 0, 0, time.UTC)
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; all simulated work happens inside event callbacks.
+type Engine struct {
+	now  time.Duration // virtual time since Epoch
+	seq  uint64        // tiebreaker for same-instant events
+	pq   eventQueue
+	rng  *rand.Rand
+	stop bool
+}
+
+// NewEngine returns an engine with its virtual clock at Epoch and a
+// deterministic random source derived from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Time { return Epoch.Add(e.now) }
+
+// Elapsed returns the virtual time elapsed since Epoch.
+func (e *Engine) Elapsed() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Event is a handle to a scheduled callback; it can be cancelled.
+type Event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (ev *Event) Cancel() {
+	if ev != nil {
+		ev.cancelled = true
+	}
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a simulation bug.
+func (e *Engine) At(t time.Time, fn func()) *Event {
+	d := t.Sub(Epoch)
+	if d < e.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past: %v < %v", d, e.now))
+	}
+	return e.schedule(d, fn)
+}
+
+// After schedules fn to run d after the current virtual time. Negative
+// delays are clamped to zero.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.schedule(e.now+d, fn)
+}
+
+func (e *Engine) schedule(at time.Duration, fn func()) *Event {
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.pq, ev)
+	return ev
+}
+
+// Run processes events until the queue drains or until the virtual clock
+// would pass limit (events at exactly limit still run). It returns the
+// number of events executed.
+func (e *Engine) Run(limit time.Duration) int {
+	n := 0
+	e.stop = false
+	for len(e.pq) > 0 && !e.stop {
+		ev := e.pq[0]
+		if ev.at > limit {
+			break
+		}
+		heap.Pop(&e.pq)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		n++
+	}
+	// Advance the clock to the limit even if the queue drained early, so
+	// repeated Run calls see monotonic time.
+	if !e.stop && e.now < limit {
+		e.now = limit
+	}
+	return n
+}
+
+// RunAll processes every pending event regardless of time.
+func (e *Engine) RunAll() int {
+	n := 0
+	e.stop = false
+	for len(e.pq) > 0 && !e.stop {
+		ev := heap.Pop(&e.pq).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		n++
+	}
+	return n
+}
+
+// Stop aborts the current Run/RunAll after the in-flight event returns.
+func (e *Engine) Stop() { e.stop = true }
+
+// Pending reports the number of events still queued (including cancelled
+// events that have not yet been popped).
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// eventQueue is a min-heap ordered by (time, sequence).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

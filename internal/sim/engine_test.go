@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineRunsInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.After(30*time.Millisecond, func() { got = append(got, 3) })
+	e.After(10*time.Millisecond, func() { got = append(got, 1) })
+	e.After(20*time.Millisecond, func() { got = append(got, 2) })
+	n := e.RunAll()
+	if n != 3 {
+		t.Fatalf("ran %d events, want 3", n)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("order = %v", got)
+		}
+	}
+}
+
+func TestEngineSameInstantFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineClockAdvances(t *testing.T) {
+	e := NewEngine(1)
+	var at time.Time
+	e.After(42*time.Millisecond, func() { at = e.Now() })
+	e.RunAll()
+	want := Epoch.Add(42 * time.Millisecond)
+	if !at.Equal(want) {
+		t.Fatalf("clock = %v, want %v", at, want)
+	}
+}
+
+func TestEngineRunLimit(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.After(10*time.Millisecond, func() { ran++ })
+	e.After(20*time.Millisecond, func() { ran++ })
+	e.After(30*time.Millisecond, func() { ran++ })
+	n := e.Run(20 * time.Millisecond)
+	if n != 2 || ran != 2 {
+		t.Fatalf("ran %d/%d events before limit, want 2", n, ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	// Clock should have advanced exactly to the limit.
+	if e.Elapsed() != 20*time.Millisecond {
+		t.Fatalf("elapsed = %v", e.Elapsed())
+	}
+	e.RunAll()
+	if ran != 3 {
+		t.Fatalf("remaining event did not run")
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	ev := e.After(time.Millisecond, func() { ran = true })
+	ev.Cancel()
+	e.RunAll()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var ticks []time.Duration
+	var tick func()
+	tick = func() {
+		ticks = append(ticks, e.Elapsed())
+		if len(ticks) < 5 {
+			e.After(10*time.Millisecond, tick)
+		}
+	}
+	e.After(0, tick)
+	e.RunAll()
+	if len(ticks) != 5 {
+		t.Fatalf("ticks = %d, want 5", len(ticks))
+	}
+	for i, at := range ticks {
+		if at != time.Duration(i)*10*time.Millisecond {
+			t.Fatalf("tick %d at %v", i, at)
+		}
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.After(10*time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.At(Epoch.Add(5*time.Millisecond), func() {})
+	})
+	e.RunAll()
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.After(1*time.Millisecond, func() { ran++; e.Stop() })
+	e.After(2*time.Millisecond, func() { ran++ })
+	e.RunAll()
+	if ran != 1 {
+		t.Fatalf("ran = %d after Stop, want 1", ran)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		e := NewEngine(7)
+		var out []time.Duration
+		for i := 0; i < 100; i++ {
+			d := time.Duration(e.Rand().Intn(1000)) * time.Microsecond
+			e.After(d, func() { out = append(out, e.Elapsed()) })
+		}
+		e.RunAll()
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: events always fire in non-decreasing time order, regardless of
+// insertion order.
+func TestEngineOrderProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		e := NewEngine(1)
+		var fired []time.Duration
+		for _, d := range delays {
+			e.After(time.Duration(d)*time.Microsecond, func() {
+				fired = append(fired, e.Elapsed())
+			})
+		}
+		e.RunAll()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistMeans(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dists := []struct {
+		name string
+		d    Dist
+	}{
+		{"const", Const{10 * time.Millisecond}},
+		{"exp", Exponential{10 * time.Millisecond}},
+		{"lognormal", Lognormal{Median: 8 * time.Millisecond, Sigma: 0.5}},
+		{"uniform", Uniform{5 * time.Millisecond, 15 * time.Millisecond}},
+	}
+	for _, tc := range dists {
+		var sum time.Duration
+		const n = 20000
+		for i := 0; i < n; i++ {
+			s := tc.d.Sample(rng)
+			if s < 0 {
+				t.Fatalf("%s: negative sample %v", tc.name, s)
+			}
+			sum += s
+		}
+		mean := sum / n
+		want := tc.d.Mean()
+		if mean < want*8/10 || mean > want*12/10 {
+			t.Errorf("%s: empirical mean %v, want ≈%v", tc.name, mean, want)
+		}
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Percentile(50); got < 49*time.Millisecond || got > 52*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := h.Percentile(90); got < 89*time.Millisecond || got > 91*time.Millisecond {
+		t.Errorf("p90 = %v", got)
+	}
+	if got := h.Max(); got != 100*time.Millisecond {
+		t.Errorf("max = %v", got)
+	}
+	if got := h.Mean(); got != 50500*time.Microsecond {
+		t.Errorf("mean = %v", got)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Percentile(50) != 0 || h.Mean() != 0 {
+		t.Error("reset did not clear histogram")
+	}
+}
+
+// Property: percentile is monotonic in p and bounded by min/max samples.
+func TestHistogramMonotonicProperty(t *testing.T) {
+	prop := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range raw {
+			h.Record(time.Duration(v))
+		}
+		prev := time.Duration(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := h.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return h.Percentile(0) <= h.Percentile(100)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

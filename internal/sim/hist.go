@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"sort"
+	"time"
+)
+
+// Histogram records latency samples and reports percentiles. It keeps raw
+// samples (experiments record at most a few hundred thousand), which gives
+// exact quantiles in the spirit of wrk2's corrected latency recording.
+type Histogram struct {
+	samples []time.Duration
+	sorted  bool
+	sum     time.Duration
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	h.samples = append(h.samples, d)
+	h.sum += d
+	h.sorted = false
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (h *Histogram) Mean() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(len(h.samples))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using
+// nearest-rank interpolation, or 0 with no samples.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[len(h.samples)-1]
+	}
+	idx := int(p / 100 * float64(len(h.samples)-1))
+	return h.samples[idx]
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration { return h.Percentile(100) }
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.samples = h.samples[:0]
+	h.sum = 0
+	h.sorted = false
+}

@@ -1,0 +1,229 @@
+// Package simkernel simulates the slice of a Linux kernel that DeepFlow's
+// tracing plane instruments: processes, threads, coroutine bookkeeping,
+// sockets, the ten ingress/egress syscall ABIs of the paper's Table 3, and a
+// kprobe/tracepoint/uprobe hook registry that runs verified ebpfvm programs
+// at syscall enter/exit.
+//
+// The kernel is driven in virtual time by internal/sim and moves payloads
+// through a pluggable network backend (internal/simnet in production use).
+package simkernel
+
+import (
+	"encoding/binary"
+
+	"deepflow/internal/trace"
+)
+
+// ABI is one of the ten instrumented syscall ABIs (paper Table 3).
+type ABI uint8
+
+// Instrumented ABIs. The first five are ingress, the rest egress.
+const (
+	ABIInvalid ABI = iota
+	ABIRead
+	ABIReadv
+	ABIRecvfrom
+	ABIRecvmsg
+	ABIRecvmmsg
+	ABIWrite
+	ABIWritev
+	ABISendto
+	ABISendmsg
+	ABISendmmsg
+)
+
+var abiNames = [...]string{"invalid", "read", "readv", "recvfrom", "recvmsg", "recvmmsg",
+	"write", "writev", "sendto", "sendmsg", "sendmmsg"}
+
+func (a ABI) String() string {
+	if int(a) < len(abiNames) {
+		return abiNames[a]
+	}
+	return "abi?"
+}
+
+// Direction returns whether the ABI is an ingress or egress call.
+func (a ABI) Direction() trace.Direction {
+	switch a {
+	case ABIRead, ABIReadv, ABIRecvfrom, ABIRecvmsg, ABIRecvmmsg:
+		return trace.DirIngress
+	case ABIWrite, ABIWritev, ABISendto, ABISendmsg, ABISendmmsg:
+		return trace.DirEgress
+	default:
+		return 0
+	}
+}
+
+// IngressABIs and EgressABIs list the instrumented ABIs by direction.
+var (
+	IngressABIs = []ABI{ABIRead, ABIReadv, ABIRecvfrom, ABIRecvmsg, ABIRecvmmsg}
+	EgressABIs  = []ABI{ABIWrite, ABIWritev, ABISendto, ABISendmsg, ABISendmmsg}
+)
+
+// Phase distinguishes the enter and exit hook of a syscall.
+type Phase uint8
+
+// Hook phases.
+const (
+	PhaseEnter Phase = 1
+	PhaseExit  Phase = 2
+)
+
+func (p Phase) String() string {
+	if p == PhaseEnter {
+		return "enter"
+	}
+	return "exit"
+}
+
+// HookContext is the information the kernel exposes to hook programs. It
+// covers the four categories of paper §3.2.1: program information, network
+// information, tracing information, and syscall information.
+type HookContext struct {
+	// Program information.
+	PID         uint32
+	TID         uint32
+	CoroutineID uint64
+	ProcName    string
+
+	// Network information.
+	Socket trace.SocketID
+	Tuple  trace.FiveTuple
+	TCPSeq uint32 // sequence of the first byte of this syscall's data
+
+	// Tracing information.
+	ABI     ABI
+	Phase   Phase
+	EnterNS int64 // virtual ns since sim.Epoch
+	ExitNS  int64 // valid in exit phase
+
+	// Syscall information.
+	DataLen int32  // total bytes read/written by this call; <0 = errno
+	Payload []byte // payload prefix available to the tracing plane
+}
+
+// PayloadPrefixLen is how many payload bytes the kernel copies into the
+// binary hook context for eBPF programs (the agent re-reads the full prefix
+// from the perf record).
+const PayloadPrefixLen = 192
+
+// CtxSize is the size of the marshalled context region handed to ebpfvm
+// programs.
+//
+// Layout (little endian):
+//
+//	off  0: u32 pid
+//	off  4: u32 tid
+//	off  8: u64 coroutine id
+//	off 16: u64 socket id
+//	off 24: u32 src ip
+//	off 28: u32 dst ip
+//	off 32: u16 src port
+//	off 34: u16 dst port
+//	off 36: u8  l4 proto
+//	off 37: u8  abi
+//	off 38: u8  phase
+//	off 39: u8  pad
+//	off 40: u32 tcp seq
+//	off 44: i32 data len
+//	off 48: i64 enter ns
+//	off 56: i64 exit ns
+//	off 64: u16 payload prefix len
+//	off 66: 30 bytes proc name (truncated, NUL padded)
+//	off 96: payload prefix (PayloadPrefixLen bytes)
+const CtxSize = 96 + PayloadPrefixLen
+
+// Field offsets within the marshalled context, shared with hook programs.
+const (
+	CtxOffPID      = 0
+	CtxOffTID      = 4
+	CtxOffCoro     = 8
+	CtxOffSocket   = 16
+	CtxOffSrcIP    = 24
+	CtxOffDstIP    = 28
+	CtxOffSrcPort  = 32
+	CtxOffDstPort  = 34
+	CtxOffProto    = 36
+	CtxOffABI      = 37
+	CtxOffPhase    = 38
+	CtxOffTCPSeq   = 40
+	CtxOffDataLen  = 44
+	CtxOffEnterNS  = 48
+	CtxOffExitNS   = 56
+	CtxOffPayLen   = 64
+	CtxOffProcName = 66
+	CtxOffPayload  = 96
+	procNameLen    = 30
+)
+
+// Marshal serializes the context into buf, which must be at least CtxSize
+// bytes. It returns the slice written.
+func (c *HookContext) Marshal(buf []byte) []byte {
+	le := binary.LittleEndian
+	b := buf[:CtxSize]
+	for i := range b {
+		b[i] = 0
+	}
+	le.PutUint32(b[CtxOffPID:], c.PID)
+	le.PutUint32(b[CtxOffTID:], c.TID)
+	le.PutUint64(b[CtxOffCoro:], c.CoroutineID)
+	le.PutUint64(b[CtxOffSocket:], uint64(c.Socket))
+	le.PutUint32(b[CtxOffSrcIP:], uint32(c.Tuple.SrcIP))
+	le.PutUint32(b[CtxOffDstIP:], uint32(c.Tuple.DstIP))
+	le.PutUint16(b[CtxOffSrcPort:], c.Tuple.SrcPort)
+	le.PutUint16(b[CtxOffDstPort:], c.Tuple.DstPort)
+	b[CtxOffProto] = byte(c.Tuple.Proto)
+	b[CtxOffABI] = byte(c.ABI)
+	b[CtxOffPhase] = byte(c.Phase)
+	le.PutUint32(b[CtxOffTCPSeq:], c.TCPSeq)
+	le.PutUint32(b[CtxOffDataLen:], uint32(c.DataLen))
+	le.PutUint64(b[CtxOffEnterNS:], uint64(c.EnterNS))
+	le.PutUint64(b[CtxOffExitNS:], uint64(c.ExitNS))
+	n := len(c.Payload)
+	if n > PayloadPrefixLen {
+		n = PayloadPrefixLen
+	}
+	le.PutUint16(b[CtxOffPayLen:], uint16(n))
+	copy(b[CtxOffProcName:CtxOffProcName+procNameLen], c.ProcName)
+	copy(b[CtxOffPayload:], c.Payload[:n])
+	return b
+}
+
+// UnmarshalContext parses a marshalled context (e.g. a perf record).
+func UnmarshalContext(b []byte) HookContext {
+	le := binary.LittleEndian
+	var c HookContext
+	if len(b) < CtxSize {
+		return c
+	}
+	c.PID = le.Uint32(b[CtxOffPID:])
+	c.TID = le.Uint32(b[CtxOffTID:])
+	c.CoroutineID = le.Uint64(b[CtxOffCoro:])
+	c.Socket = trace.SocketID(le.Uint64(b[CtxOffSocket:]))
+	c.Tuple = trace.FiveTuple{
+		SrcIP:   trace.IP(le.Uint32(b[CtxOffSrcIP:])),
+		DstIP:   trace.IP(le.Uint32(b[CtxOffDstIP:])),
+		SrcPort: le.Uint16(b[CtxOffSrcPort:]),
+		DstPort: le.Uint16(b[CtxOffDstPort:]),
+		Proto:   trace.L4Proto(b[CtxOffProto]),
+	}
+	c.ABI = ABI(b[CtxOffABI])
+	c.Phase = Phase(b[CtxOffPhase])
+	c.TCPSeq = le.Uint32(b[CtxOffTCPSeq:])
+	c.DataLen = int32(le.Uint32(b[CtxOffDataLen:]))
+	c.EnterNS = int64(le.Uint64(b[CtxOffEnterNS:]))
+	c.ExitNS = int64(le.Uint64(b[CtxOffExitNS:]))
+	n := int(le.Uint16(b[CtxOffPayLen:]))
+	name := b[CtxOffProcName : CtxOffProcName+procNameLen]
+	for i, ch := range name {
+		if ch == 0 {
+			name = name[:i]
+			break
+		}
+	}
+	c.ProcName = string(name)
+	if n > 0 && CtxOffPayload+n <= len(b) {
+		c.Payload = append([]byte(nil), b[CtxOffPayload:CtxOffPayload+n]...)
+	}
+	return c
+}

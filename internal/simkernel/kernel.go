@@ -1,0 +1,454 @@
+package simkernel
+
+import (
+	"fmt"
+	"time"
+
+	"deepflow/internal/sim"
+	"deepflow/internal/trace"
+)
+
+// AttachKind is the mechanism used to attach a hook (paper §3.2.2, Fig. 13:
+// kprobes and tracepoints for syscalls, uprobes/uretprobes for user space).
+type AttachKind uint8
+
+// Attachment kinds.
+const (
+	AttachKprobe AttachKind = iota + 1
+	AttachTracepoint
+	AttachUprobe
+	AttachUretprobe
+)
+
+func (k AttachKind) String() string {
+	switch k {
+	case AttachKprobe:
+		return "kprobe"
+	case AttachTracepoint:
+		return "tracepoint"
+	case AttachUprobe:
+		return "uprobe"
+	case AttachUretprobe:
+		return "uretprobe"
+	default:
+		return "attach?"
+	}
+}
+
+// HookFn is invoked when an attached hook fires. Hook programs must not
+// block; they run synchronously inside the kernel event.
+type HookFn func(*HookContext)
+
+// Attachment is a live hook registration.
+type Attachment struct {
+	Kind AttachKind
+	Name string
+	Fn   HookFn
+
+	detached bool
+}
+
+// Detach removes the hook; it stops firing immediately.
+func (a *Attachment) Detach() { a.detached = true }
+
+// Delivered is one message (or message fragment) handed to a reader.
+type Delivered struct {
+	Payload []byte
+	Seq     uint32 // TCP sequence of the first byte
+	Err     error  // non-nil when the connection failed (e.g. reset)
+}
+
+// ConnBackend moves egress payloads into the network; internal/simnet
+// implements it. Send returns the TCP sequence number assigned to the first
+// byte of payload.
+type ConnBackend interface {
+	Send(payload []byte) (seq uint32, err error)
+}
+
+// ABIProfile selects which syscall ABIs a socket's owner uses, modeling
+// runtime/language differences (e.g. Go uses read/write, a C service may
+// use recvfrom/sendto).
+type ABIProfile struct {
+	Ingress ABI
+	Egress  ABI
+}
+
+// DefaultABIProfile is plain read/write.
+var DefaultABIProfile = ABIProfile{Ingress: ABIRead, Egress: ABIWrite}
+
+// Socket is an open connection endpoint owned by a process.
+type Socket struct {
+	ID      trace.SocketID
+	FD      int
+	Owner   *Process
+	Tuple   trace.FiveTuple
+	Profile ABIProfile
+	Backend ConnBackend
+
+	// OnReadable, when set, is invoked whenever data is queued while no
+	// reader is pending — the simulation analogue of epoll readiness,
+	// used by worker-pool servers to dispatch reads to free workers.
+	OnReadable func()
+
+	rxQueue []Delivered
+	pending []*pendingRead
+	closed  bool
+}
+
+// Buffered returns the number of queued, unread deliveries.
+func (s *Socket) Buffered() int { return len(s.rxQueue) }
+
+type pendingRead struct {
+	thread  *Thread
+	coro    uint64 // coroutine at call time (the thread may switch later)
+	enterNS int64
+	cont    func(Delivered)
+}
+
+// Process is a simulated OS process.
+type Process struct {
+	PID     uint32
+	Name    string
+	Kernel  *Kernel
+	threads []*Thread
+
+	nextCoro uint64
+}
+
+// Thread is a simulated kernel thread. CurrentCoroutine is maintained by
+// the workload scheduler for coroutine runtimes (0 for plain threads).
+type Thread struct {
+	TID              uint32
+	Proc             *Process
+	CurrentCoroutine uint64
+}
+
+// Kernel simulates one host's kernel: processes, sockets, syscalls, and
+// hook points.
+type Kernel struct {
+	Host string
+	Eng  *sim.Engine
+	IDs  *trace.IDAllocator
+
+	// SyscallDuration is the simulated in-kernel time of one syscall.
+	SyscallDuration time.Duration
+	// HookCost is the simulated added latency per attached hook execution
+	// (calibrated from the Fig. 13 microbenchmarks when an agent deploys).
+	HookCost time.Duration
+
+	nextPID  uint32
+	nextTID  uint32
+	nextFD   int
+	procs    map[uint32]*Process
+	sockets  map[trace.SocketID]*Socket
+	syscalls map[ABI]map[Phase][]*Attachment
+	uprobes  map[string][]*Attachment // key: symbol; Kind selects enter/ret
+	coroSubs []func(proc *Process, parent, child uint64)
+
+	// Counters for tests and benchmarks.
+	SyscallCount uint64
+	HookRuns     uint64
+}
+
+// NewKernel creates a kernel for the named host.
+func NewKernel(host string, eng *sim.Engine, ids *trace.IDAllocator) *Kernel {
+	return &Kernel{
+		Host:            host,
+		Eng:             eng,
+		IDs:             ids,
+		SyscallDuration: 2 * time.Microsecond,
+		procs:           make(map[uint32]*Process),
+		sockets:         make(map[trace.SocketID]*Socket),
+		syscalls:        make(map[ABI]map[Phase][]*Attachment),
+		uprobes:         make(map[string][]*Attachment),
+	}
+}
+
+// NewProcess creates a process with one initial thread.
+func (k *Kernel) NewProcess(name string) *Process {
+	k.nextPID++
+	p := &Process{PID: k.nextPID, Name: name, Kernel: k}
+	k.procs[p.PID] = p
+	p.NewThread()
+	return p
+}
+
+// Process returns the process with the given pid, or nil.
+func (k *Kernel) Process(pid uint32) *Process { return k.procs[pid] }
+
+// NewThread adds a thread to the process.
+func (p *Process) NewThread() *Thread {
+	p.Kernel.nextTID++
+	t := &Thread{TID: p.Kernel.nextTID, Proc: p}
+	p.threads = append(p.threads, t)
+	return t
+}
+
+// Threads returns the process's threads.
+func (p *Process) Threads() []*Thread { return p.threads }
+
+// SpawnCoroutine allocates a coroutine ID with the given parent (0 = root)
+// and notifies coroutine-creation subscribers, mirroring how DeepFlow
+// monitors Go coroutine creation to build pseudo-threads (paper §3.3.1).
+func (p *Process) SpawnCoroutine(parent uint64) uint64 {
+	p.nextCoro++
+	id := uint64(p.PID)<<32 | p.nextCoro
+	for _, fn := range p.Kernel.coroSubs {
+		fn(p, parent, id)
+	}
+	return id
+}
+
+// OnCoroutineCreate subscribes to coroutine-creation events.
+func (k *Kernel) OnCoroutineCreate(fn func(proc *Process, parent, child uint64)) {
+	k.coroSubs = append(k.coroSubs, fn)
+}
+
+// OpenSocket registers a connection endpoint for proc; the network layer
+// calls this when a connection is established.
+func (k *Kernel) OpenSocket(proc *Process, tuple trace.FiveTuple, profile ABIProfile, backend ConnBackend) *Socket {
+	k.nextFD++
+	s := &Socket{
+		ID:      k.IDs.NextSocketID(),
+		FD:      k.nextFD,
+		Owner:   proc,
+		Tuple:   tuple,
+		Profile: profile,
+		Backend: backend,
+	}
+	k.sockets[s.ID] = s
+	return s
+}
+
+// CloseSocket marks the socket closed; pending and future reads fail.
+func (k *Kernel) CloseSocket(s *Socket, err error) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	pend := s.pending
+	s.pending = nil
+	for _, pr := range pend {
+		pr := pr
+		k.Eng.After(0, func() { k.completeRead(s, pr, Delivered{Err: err}) })
+	}
+}
+
+// AttachSyscall registers a hook on (abi, phase). Kind must be
+// AttachKprobe or AttachTracepoint.
+func (k *Kernel) AttachSyscall(abi ABI, phase Phase, kind AttachKind, name string, fn HookFn) (*Attachment, error) {
+	if abi.Direction() == 0 {
+		return nil, fmt.Errorf("simkernel: unknown ABI %v", abi)
+	}
+	if kind != AttachKprobe && kind != AttachTracepoint {
+		return nil, fmt.Errorf("simkernel: %v cannot attach to syscalls", kind)
+	}
+	at := &Attachment{Kind: kind, Name: name, Fn: fn}
+	if k.syscalls[abi] == nil {
+		k.syscalls[abi] = make(map[Phase][]*Attachment)
+	}
+	k.syscalls[abi][phase] = append(k.syscalls[abi][phase], at)
+	return at, nil
+}
+
+// AttachUprobe registers a user-space hook on a symbol (e.g. "ssl_read").
+// Kind must be AttachUprobe or AttachUretprobe.
+func (k *Kernel) AttachUprobe(symbol string, kind AttachKind, name string, fn HookFn) (*Attachment, error) {
+	if kind != AttachUprobe && kind != AttachUretprobe {
+		return nil, fmt.Errorf("simkernel: %v is not a user-space attachment", kind)
+	}
+	at := &Attachment{Kind: kind, Name: name, Fn: fn}
+	k.uprobes[symbol] = append(k.uprobes[symbol], at)
+	return at, nil
+}
+
+func (k *Kernel) fire(list []*Attachment, ctx *HookContext) int {
+	n := 0
+	for _, at := range list {
+		if at.detached {
+			continue
+		}
+		at.Fn(ctx)
+		k.HookRuns++
+		n++
+	}
+	return n
+}
+
+// hookLatency returns the simulated latency added by n hook executions.
+func (k *Kernel) hookLatency(n int) time.Duration {
+	return time.Duration(n) * k.HookCost
+}
+
+// Send performs an egress syscall on s from thread th. The enter hook fires
+// immediately; the exit hook and done callback fire after the simulated
+// syscall (plus instrumentation) latency. done receives the syscall result.
+func (k *Kernel) Send(th *Thread, s *Socket, payload []byte, done func(n int, err error)) {
+	abi := s.Profile.Egress
+	k.SyscallCount++
+	enterNS := int64(k.Eng.Elapsed())
+	ctx := &HookContext{
+		PID: th.Proc.PID, TID: th.TID, CoroutineID: th.CurrentCoroutine,
+		ProcName: th.Proc.Name, Socket: s.ID, Tuple: s.Tuple,
+		ABI: abi, Phase: PhaseEnter, EnterNS: enterNS,
+		DataLen: int32(len(payload)), Payload: payload,
+	}
+	hooks := 0
+	if m := k.syscalls[abi]; m != nil {
+		hooks += k.fire(m[PhaseEnter], ctx)
+	}
+
+	var seq uint32
+	var err error
+	if s.closed {
+		err = fmt.Errorf("simkernel: send on closed socket")
+	} else if s.Backend != nil {
+		seq, err = s.Backend.Send(payload)
+	}
+
+	delay := k.SyscallDuration
+	k.Eng.After(delay+k.hookLatency(hooks+k.attachedCount(abi, PhaseExit)), func() {
+		exit := *ctx
+		exit.Phase = PhaseExit
+		exit.ExitNS = int64(k.Eng.Elapsed())
+		exit.TCPSeq = seq
+		n := len(payload)
+		if err != nil {
+			exit.DataLen = -1
+			n = 0
+		}
+		if m := k.syscalls[abi]; m != nil {
+			k.fire(m[PhaseExit], &exit)
+		}
+		if done != nil {
+			done(n, err)
+		}
+	})
+}
+
+func (k *Kernel) attachedCount(abi ABI, phase Phase) int {
+	n := 0
+	if m := k.syscalls[abi]; m != nil {
+		for _, at := range m[phase] {
+			if !at.detached {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Read performs a blocking ingress syscall on s from thread th. The enter
+// hook fires now; when data (or an error) arrives, the exit hook fires and
+// cont is invoked. If data is already queued the read completes after the
+// syscall latency.
+func (k *Kernel) Read(th *Thread, s *Socket, cont func(Delivered)) {
+	abi := s.Profile.Ingress
+	k.SyscallCount++
+	enterNS := int64(k.Eng.Elapsed())
+	ctx := &HookContext{
+		PID: th.Proc.PID, TID: th.TID, CoroutineID: th.CurrentCoroutine,
+		ProcName: th.Proc.Name, Socket: s.ID, Tuple: s.Tuple.Reverse(),
+		ABI: abi, Phase: PhaseEnter, EnterNS: enterNS,
+	}
+	if m := k.syscalls[abi]; m != nil {
+		k.fire(m[PhaseEnter], ctx)
+	}
+	pr := &pendingRead{thread: th, coro: th.CurrentCoroutine, enterNS: enterNS, cont: cont}
+	if s.closed {
+		k.Eng.After(k.SyscallDuration, func() {
+			k.completeRead(s, pr, Delivered{Err: fmt.Errorf("simkernel: read on closed socket")})
+		})
+		return
+	}
+	if len(s.rxQueue) > 0 {
+		d := s.rxQueue[0]
+		s.rxQueue = s.rxQueue[1:]
+		k.Eng.After(k.SyscallDuration+k.hookLatency(k.attachedCount(abi, PhaseExit)), func() {
+			k.completeRead(s, pr, d)
+		})
+		return
+	}
+	s.pending = append(s.pending, pr)
+}
+
+// completeRead fires the exit hook and resumes the reader.
+func (k *Kernel) completeRead(s *Socket, pr *pendingRead, d Delivered) {
+	abi := s.Profile.Ingress
+	th := pr.thread
+	exit := &HookContext{
+		PID: th.Proc.PID, TID: th.TID, CoroutineID: pr.coro,
+		ProcName: th.Proc.Name, Socket: s.ID, Tuple: s.Tuple.Reverse(),
+		ABI: abi, Phase: PhaseExit,
+		EnterNS: pr.enterNS, ExitNS: int64(k.Eng.Elapsed()),
+		TCPSeq: d.Seq, DataLen: int32(len(d.Payload)), Payload: d.Payload,
+	}
+	if d.Err != nil {
+		exit.DataLen = -1
+	}
+	if m := k.syscalls[abi]; m != nil {
+		k.fire(m[PhaseExit], exit)
+	}
+	pr.cont(d)
+}
+
+// Deliver hands arriving data to the socket: it completes a pending read or
+// queues the data. The network layer calls this at packet-arrival events.
+func (k *Kernel) Deliver(s *Socket, d Delivered) {
+	if s.closed && d.Err == nil {
+		return
+	}
+	if len(s.pending) > 0 {
+		pr := s.pending[0]
+		s.pending = s.pending[1:]
+		lat := k.hookLatency(k.attachedCount(s.Profile.Ingress, PhaseExit))
+		k.Eng.After(lat, func() { k.completeRead(s, pr, d) })
+		return
+	}
+	s.rxQueue = append(s.rxQueue, d)
+	if s.OnReadable != nil {
+		s.OnReadable()
+	}
+}
+
+// InvokeUserFunc simulates a user-space function call through which uprobe
+// and uretprobe extension hooks observe plaintext payloads (e.g. ssl_read /
+// ssl_write before TLS encryption, paper §3.2.1 "instrumentation
+// extensions").
+func (k *Kernel) InvokeUserFunc(th *Thread, symbol string, s *Socket, dir trace.Direction, payload []byte) {
+	list := k.uprobes[symbol]
+	if len(list) == 0 {
+		return
+	}
+	tuple := s.Tuple
+	if dir == trace.DirIngress {
+		tuple = s.Tuple.Reverse()
+	}
+	now := int64(k.Eng.Elapsed())
+	ctx := &HookContext{
+		PID: th.Proc.PID, TID: th.TID, CoroutineID: th.CurrentCoroutine,
+		ProcName: th.Proc.Name, Socket: s.ID, Tuple: tuple,
+		ABI: abiForDirection(dir), EnterNS: now, ExitNS: now,
+		DataLen: int32(len(payload)), Payload: payload,
+	}
+	for _, at := range list {
+		if at.detached {
+			continue
+		}
+		switch at.Kind {
+		case AttachUprobe:
+			ctx.Phase = PhaseEnter
+		case AttachUretprobe:
+			ctx.Phase = PhaseExit
+		}
+		at.Fn(ctx)
+		k.HookRuns++
+	}
+}
+
+func abiForDirection(dir trace.Direction) ABI {
+	if dir == trace.DirIngress {
+		return ABIRead
+	}
+	return ABIWrite
+}

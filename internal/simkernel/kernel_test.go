@@ -1,0 +1,406 @@
+package simkernel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"deepflow/internal/sim"
+	"deepflow/internal/trace"
+)
+
+// fakeBackend records sent payloads and assigns sequence numbers the way a
+// TCP connection would: seq advances by the payload length.
+type fakeBackend struct {
+	seq  uint32
+	sent [][]byte
+	err  error
+}
+
+func (f *fakeBackend) Send(p []byte) (uint32, error) {
+	if f.err != nil {
+		return 0, f.err
+	}
+	s := f.seq
+	f.seq += uint32(len(p))
+	f.sent = append(f.sent, append([]byte(nil), p...))
+	return s, nil
+}
+
+func newTestKernel() (*Kernel, *sim.Engine) {
+	eng := sim.NewEngine(1)
+	ids := &trace.IDAllocator{}
+	return NewKernel("node-1", eng, ids), eng
+}
+
+var testTuple = trace.FiveTuple{SrcIP: 0x0A000001, DstIP: 0x0A000002, SrcPort: 40000, DstPort: 80, Proto: trace.L4TCP}
+
+func TestABIDirections(t *testing.T) {
+	for _, abi := range IngressABIs {
+		if abi.Direction() != trace.DirIngress {
+			t.Errorf("%v should be ingress", abi)
+		}
+	}
+	for _, abi := range EgressABIs {
+		if abi.Direction() != trace.DirEgress {
+			t.Errorf("%v should be egress", abi)
+		}
+	}
+	if len(IngressABIs)+len(EgressABIs) != 10 {
+		t.Fatalf("paper Table 3 lists 10 ABIs, have %d", len(IngressABIs)+len(EgressABIs))
+	}
+	if ABIInvalid.Direction() != 0 {
+		t.Error("invalid ABI has a direction")
+	}
+}
+
+func TestSendFiresEnterAndExitHooks(t *testing.T) {
+	k, eng := newTestKernel()
+	proc := k.NewProcess("client")
+	th := proc.Threads()[0]
+	be := &fakeBackend{seq: 1000}
+	sock := k.OpenSocket(proc, testTuple, DefaultABIProfile, be)
+
+	var phases []Phase
+	var seqs []uint32
+	k.AttachSyscall(ABIWrite, PhaseEnter, AttachKprobe, "enter", func(c *HookContext) {
+		phases = append(phases, c.Phase)
+		if c.PID != proc.PID || c.TID != th.TID || c.Socket != sock.ID {
+			t.Errorf("enter ctx = %+v", c)
+		}
+		if c.DataLen != 5 || string(c.Payload) != "hello" {
+			t.Errorf("enter payload = %q len=%d", c.Payload, c.DataLen)
+		}
+	})
+	k.AttachSyscall(ABIWrite, PhaseExit, AttachTracepoint, "exit", func(c *HookContext) {
+		phases = append(phases, c.Phase)
+		seqs = append(seqs, c.TCPSeq)
+		if c.ExitNS <= c.EnterNS {
+			t.Errorf("exit ts %d not after enter %d", c.ExitNS, c.EnterNS)
+		}
+	})
+
+	done := false
+	k.Send(th, sock, []byte("hello"), func(n int, err error) {
+		if n != 5 || err != nil {
+			t.Errorf("send result n=%d err=%v", n, err)
+		}
+		done = true
+	})
+	eng.RunAll()
+	if !done {
+		t.Fatal("send completion never ran")
+	}
+	if len(phases) != 2 || phases[0] != PhaseEnter || phases[1] != PhaseExit {
+		t.Fatalf("phases = %v", phases)
+	}
+	if len(seqs) != 1 || seqs[0] != 1000 {
+		t.Fatalf("tcp seq = %v, want [1000]", seqs)
+	}
+	if len(be.sent) != 1 || string(be.sent[0]) != "hello" {
+		t.Fatalf("backend sent %q", be.sent)
+	}
+}
+
+func TestTCPSeqAdvancesWithBytes(t *testing.T) {
+	k, eng := newTestKernel()
+	proc := k.NewProcess("client")
+	th := proc.Threads()[0]
+	be := &fakeBackend{}
+	sock := k.OpenSocket(proc, testTuple, DefaultABIProfile, be)
+
+	var seqs []uint32
+	k.AttachSyscall(ABIWrite, PhaseExit, AttachKprobe, "exit", func(c *HookContext) {
+		seqs = append(seqs, c.TCPSeq)
+	})
+	k.Send(th, sock, make([]byte, 100), nil)
+	eng.RunAll()
+	k.Send(th, sock, make([]byte, 50), nil)
+	eng.RunAll()
+	k.Send(th, sock, make([]byte, 1), nil)
+	eng.RunAll()
+	want := []uint32{0, 100, 150}
+	for i := range want {
+		if seqs[i] != want[i] {
+			t.Fatalf("seqs = %v, want %v", seqs, want)
+		}
+	}
+}
+
+func TestBlockingReadCompletesOnDeliver(t *testing.T) {
+	k, eng := newTestKernel()
+	proc := k.NewProcess("server")
+	th := proc.Threads()[0]
+	sock := k.OpenSocket(proc, testTuple, DefaultABIProfile, nil)
+
+	var enterNS, exitNS int64
+	k.AttachSyscall(ABIRead, PhaseEnter, AttachKprobe, "e", func(c *HookContext) { enterNS = c.EnterNS })
+	k.AttachSyscall(ABIRead, PhaseExit, AttachKprobe, "x", func(c *HookContext) {
+		exitNS = c.ExitNS
+		if string(c.Payload) != "req" || c.TCPSeq != 77 {
+			t.Errorf("exit ctx payload=%q seq=%d", c.Payload, c.TCPSeq)
+		}
+		// Ingress messages flow remote→local.
+		if c.Tuple != testTuple.Reverse() {
+			t.Errorf("ingress tuple = %v", c.Tuple)
+		}
+	})
+
+	var got Delivered
+	k.Read(th, sock, func(d Delivered) { got = d })
+	// Deliver 5ms later.
+	eng.After(5*time.Millisecond, func() {
+		k.Deliver(sock, Delivered{Payload: []byte("req"), Seq: 77})
+	})
+	eng.RunAll()
+
+	if string(got.Payload) != "req" || got.Err != nil {
+		t.Fatalf("delivered = %+v", got)
+	}
+	if exitNS-enterNS < int64(5*time.Millisecond) {
+		t.Fatalf("blocking time %dns, want >= 5ms", exitNS-enterNS)
+	}
+}
+
+func TestReadQueuedDataCompletesImmediately(t *testing.T) {
+	k, eng := newTestKernel()
+	proc := k.NewProcess("server")
+	th := proc.Threads()[0]
+	sock := k.OpenSocket(proc, testTuple, DefaultABIProfile, nil)
+
+	k.Deliver(sock, Delivered{Payload: []byte("a"), Seq: 1})
+	k.Deliver(sock, Delivered{Payload: []byte("b"), Seq: 2})
+	var got []string
+	k.Read(th, sock, func(d Delivered) { got = append(got, string(d.Payload)) })
+	eng.RunAll()
+	k.Read(th, sock, func(d Delivered) { got = append(got, string(d.Payload)) })
+	eng.RunAll()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestCloseSocketFailsReads(t *testing.T) {
+	k, eng := newTestKernel()
+	proc := k.NewProcess("server")
+	th := proc.Threads()[0]
+	sock := k.OpenSocket(proc, testTuple, DefaultABIProfile, nil)
+
+	var exitLen int32 = 99
+	k.AttachSyscall(ABIRead, PhaseExit, AttachKprobe, "x", func(c *HookContext) { exitLen = c.DataLen })
+
+	var gotErr error
+	k.Read(th, sock, func(d Delivered) { gotErr = d.Err })
+	k.CloseSocket(sock, errors.New("connection reset"))
+	eng.RunAll()
+	if gotErr == nil {
+		t.Fatal("pending read survived close")
+	}
+	if exitLen != -1 {
+		t.Fatalf("exit DataLen = %d, want -1 (errno)", exitLen)
+	}
+
+	// Reads after close fail too.
+	gotErr = nil
+	k.Read(th, sock, func(d Delivered) { gotErr = d.Err })
+	eng.RunAll()
+	if gotErr == nil {
+		t.Fatal("read on closed socket succeeded")
+	}
+
+	// Sends after close fail.
+	var sendErr error
+	k.Send(th, sock, []byte("x"), func(n int, err error) { sendErr = err })
+	eng.RunAll()
+	if sendErr == nil {
+		t.Fatal("send on closed socket succeeded")
+	}
+}
+
+func TestDetachStopsHook(t *testing.T) {
+	k, eng := newTestKernel()
+	proc := k.NewProcess("p")
+	th := proc.Threads()[0]
+	sock := k.OpenSocket(proc, testTuple, DefaultABIProfile, &fakeBackend{})
+	count := 0
+	at, err := k.AttachSyscall(ABIWrite, PhaseEnter, AttachKprobe, "h", func(*HookContext) { count++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Send(th, sock, []byte("1"), nil)
+	eng.RunAll()
+	at.Detach()
+	k.Send(th, sock, []byte("2"), nil)
+	eng.RunAll()
+	if count != 1 {
+		t.Fatalf("hook ran %d times, want 1", count)
+	}
+}
+
+func TestAttachValidation(t *testing.T) {
+	k, _ := newTestKernel()
+	if _, err := k.AttachSyscall(ABIInvalid, PhaseEnter, AttachKprobe, "h", nil); err == nil {
+		t.Error("attached to invalid ABI")
+	}
+	if _, err := k.AttachSyscall(ABIRead, PhaseEnter, AttachUprobe, "h", nil); err == nil {
+		t.Error("uprobe attached to syscall")
+	}
+	if _, err := k.AttachUprobe("ssl_read", AttachKprobe, "h", nil); err == nil {
+		t.Error("kprobe attached to symbol")
+	}
+}
+
+func TestHookCostAddsLatency(t *testing.T) {
+	run := func(hookCost time.Duration, attach bool) time.Duration {
+		k, eng := newTestKernel()
+		k.HookCost = hookCost
+		proc := k.NewProcess("p")
+		th := proc.Threads()[0]
+		sock := k.OpenSocket(proc, testTuple, DefaultABIProfile, &fakeBackend{})
+		if attach {
+			k.AttachSyscall(ABIWrite, PhaseEnter, AttachKprobe, "e", func(*HookContext) {})
+			k.AttachSyscall(ABIWrite, PhaseExit, AttachKprobe, "x", func(*HookContext) {})
+		}
+		var done time.Duration
+		k.Send(th, sock, []byte("x"), func(int, error) { done = eng.Elapsed() })
+		eng.RunAll()
+		return done
+	}
+	base := run(500*time.Nanosecond, false)
+	instr := run(500*time.Nanosecond, true)
+	if instr-base != 1000*time.Nanosecond {
+		t.Fatalf("instrumentation added %v, want 1µs (2 hooks × 500ns)", instr-base)
+	}
+}
+
+func TestCoroutineEvents(t *testing.T) {
+	k, _ := newTestKernel()
+	proc := k.NewProcess("go-svc")
+	type ev struct{ parent, child uint64 }
+	var evs []ev
+	k.OnCoroutineCreate(func(p *Process, parent, child uint64) {
+		evs = append(evs, ev{parent, child})
+	})
+	root := proc.SpawnCoroutine(0)
+	child := proc.SpawnCoroutine(root)
+	if len(evs) != 2 || evs[0].parent != 0 || evs[1].parent != root || evs[1].child != child {
+		t.Fatalf("events = %v", evs)
+	}
+	if root == child {
+		t.Fatal("coroutine ids not unique")
+	}
+}
+
+func TestUprobeSeesPlaintext(t *testing.T) {
+	k, _ := newTestKernel()
+	proc := k.NewProcess("tls-svc")
+	th := proc.Threads()[0]
+	sock := k.OpenSocket(proc, testTuple, DefaultABIProfile, &fakeBackend{})
+
+	var seen []string
+	var kinds []Phase
+	k.AttachUprobe("ssl_write", AttachUprobe, "u", func(c *HookContext) {
+		seen = append(seen, string(c.Payload))
+		kinds = append(kinds, c.Phase)
+	})
+	k.AttachUprobe("ssl_write", AttachUretprobe, "ur", func(c *HookContext) {
+		kinds = append(kinds, c.Phase)
+	})
+	k.InvokeUserFunc(th, "ssl_write", sock, trace.DirEgress, []byte("GET / HTTP/1.1"))
+	if len(seen) != 1 || seen[0] != "GET / HTTP/1.1" {
+		t.Fatalf("uprobe saw %q", seen)
+	}
+	if len(kinds) != 2 || kinds[0] != PhaseEnter || kinds[1] != PhaseExit {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	// No hooks on other symbols.
+	k.InvokeUserFunc(th, "ssl_read", sock, trace.DirIngress, []byte("x"))
+	if len(seen) != 1 {
+		t.Fatal("unrelated symbol fired hook")
+	}
+}
+
+func TestContextMarshalRoundTrip(t *testing.T) {
+	c := HookContext{
+		PID: 12, TID: 34, CoroutineID: 0xABCDEF,
+		ProcName: "productpage", Socket: 99, Tuple: testTuple,
+		ABI: ABISendmsg, Phase: PhaseExit, EnterNS: 1111, ExitNS: 2222,
+		TCPSeq: 555, DataLen: 777, Payload: []byte("GET /api HTTP/1.1\r\n"),
+	}
+	buf := make([]byte, CtxSize)
+	c.Marshal(buf)
+	got := UnmarshalContext(buf)
+	if got.PID != c.PID || got.TID != c.TID || got.CoroutineID != c.CoroutineID ||
+		got.ProcName != c.ProcName || got.Socket != c.Socket || got.Tuple != c.Tuple ||
+		got.ABI != c.ABI || got.Phase != c.Phase || got.EnterNS != c.EnterNS ||
+		got.ExitNS != c.ExitNS || got.TCPSeq != c.TCPSeq || got.DataLen != c.DataLen {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, c)
+	}
+	if !bytes.Equal(got.Payload, c.Payload) {
+		t.Fatalf("payload = %q", got.Payload)
+	}
+}
+
+func TestContextMarshalTruncatesPayloadAndName(t *testing.T) {
+	c := HookContext{
+		ProcName: "a-very-long-process-name-that-exceeds-the-field",
+		Payload:  bytes.Repeat([]byte{7}, PayloadPrefixLen*2),
+	}
+	buf := make([]byte, CtxSize)
+	c.Marshal(buf)
+	got := UnmarshalContext(buf)
+	if len(got.Payload) != PayloadPrefixLen {
+		t.Fatalf("payload len = %d, want %d", len(got.Payload), PayloadPrefixLen)
+	}
+	if len(got.ProcName) != 30 {
+		t.Fatalf("proc name = %q (%d bytes)", got.ProcName, len(got.ProcName))
+	}
+}
+
+// Property: marshal/unmarshal preserves all numeric fields.
+func TestContextRoundTripProperty(t *testing.T) {
+	prop := func(pid, tid uint32, coro uint64, sock uint64, seq uint32, dlen int32, e, x int64) bool {
+		c := HookContext{
+			PID: pid, TID: tid, CoroutineID: coro, Socket: trace.SocketID(sock),
+			TCPSeq: seq, DataLen: dlen, EnterNS: e, ExitNS: x,
+			ABI: ABIRecvmmsg, Phase: PhaseEnter,
+		}
+		buf := make([]byte, CtxSize)
+		c.Marshal(buf)
+		g := UnmarshalContext(buf)
+		return g.PID == pid && g.TID == tid && g.CoroutineID == coro &&
+			g.Socket == trace.SocketID(sock) && g.TCPSeq == seq &&
+			g.DataLen == dlen && g.EnterNS == e && g.ExitNS == x
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllABIProfilesFireHooks(t *testing.T) {
+	for i, in := range IngressABIs {
+		eg := EgressABIs[i]
+		k, eng := newTestKernel()
+		proc := k.NewProcess("p")
+		th := proc.Threads()[0]
+		prof := ABIProfile{Ingress: in, Egress: eg}
+		sock := k.OpenSocket(proc, testTuple, prof, &fakeBackend{})
+
+		var fired []ABI
+		for _, abi := range []ABI{in, eg} {
+			abi := abi
+			k.AttachSyscall(abi, PhaseExit, AttachTracepoint, "x", func(c *HookContext) {
+				fired = append(fired, c.ABI)
+			})
+		}
+		k.Send(th, sock, []byte("req"), nil)
+		k.Deliver(sock, Delivered{Payload: []byte("resp"), Seq: 5})
+		k.Read(th, sock, func(Delivered) {})
+		eng.RunAll()
+		if len(fired) != 2 || fired[0] != eg || fired[1] != in {
+			t.Fatalf("profile %v/%v fired %v", in, eg, fired)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"deepflow/internal/simkernel"
+	"deepflow/internal/trace"
+)
+
+// Conn is a TCP connection between two endpoints. Sequence numbers advance
+// with the bytes sent in each direction and are never rewritten by the
+// network path (L2/3/4 forwarding and L4 gateways preserve them), which is
+// what lets DeepFlow associate spans across components.
+type Conn struct {
+	Net   *Network
+	Tuple trace.FiveTuple // client → server
+
+	clientSock *simkernel.Socket
+	serverSock *simkernel.Socket
+	clientHost *Host
+	serverHost *Host
+
+	hops []*Host // NICs traversed client → server
+	rtt  time.Duration
+
+	cSeq uint32 // next sequence, client → server direction
+	sSeq uint32 // next sequence, server → client direction
+
+	closed bool
+
+	// Metrics accumulates connection-level network metrics.
+	Metrics trace.NetMetrics
+}
+
+// RTT returns the connection's base round-trip time.
+func (c *Conn) RTT() time.Duration { return c.rtt }
+
+// ClientSocket and ServerSocket expose the endpoints' sockets.
+func (c *Conn) ClientSocket() *simkernel.Socket { return c.clientSock }
+
+// ServerSocket returns the server-side socket.
+func (c *Conn) ServerSocket() *simkernel.Socket { return c.serverSock }
+
+// ClientHost and ServerHost expose the endpoint hosts.
+func (c *Conn) ClientHost() *Host { return c.clientHost }
+
+// ServerHost returns the server endpoint host.
+func (c *Conn) ServerHost() *Host { return c.serverHost }
+
+// Hops returns the NIC path client → server.
+func (c *Conn) Hops() []*Host { return c.hops }
+
+// Endpoint adapts one side of a Conn to simkernel.ConnBackend.
+type Endpoint struct {
+	conn   *Conn
+	client bool
+}
+
+// Conn returns the underlying connection.
+func (e *Endpoint) Conn() *Conn { return e.conn }
+
+// Send transmits payload toward the peer, simulating packetization, loss,
+// retransmission, and per-hop capture. It returns the TCP sequence assigned
+// to the first byte.
+func (e *Endpoint) Send(payload []byte) (uint32, error) {
+	c := e.conn
+	if c.closed {
+		return 0, fmt.Errorf("simnet: connection reset")
+	}
+	n := c.Net
+
+	var seq uint32
+	var tuple trace.FiveTuple
+	var hops []*Host
+	if e.client {
+		seq = c.cSeq
+		c.cSeq += uint32(len(payload))
+		tuple = c.Tuple
+		hops = c.hops
+		c.Metrics.BytesSent += uint64(len(payload))
+	} else {
+		seq = c.sSeq
+		c.sSeq += uint32(len(payload))
+		tuple = c.Tuple.Reverse()
+		hops = make([]*Host, len(c.hops))
+		for i, h := range c.hops {
+			hops[len(c.hops)-1-i] = h
+		}
+		c.Metrics.BytesReceived += uint64(len(payload))
+	}
+
+	// Packetize for loss simulation.
+	pkts := (len(payload) + n.MSS - 1) / n.MSS
+	if pkts == 0 {
+		pkts = 1
+	}
+	delay := time.Duration(0)
+	retrans := 0
+	rng := n.Eng.Rand()
+
+	// Per-hop traversal: capture at each NIC, draw loss on each uplink.
+	cum := time.Duration(0)
+	now := n.Eng.Now()
+	for hi, hop := range hops {
+		cum += hop.UplinkLatency
+		for p := 0; p < pkts; p++ {
+			if hop.UplinkLoss > 0 && rng.Float64() < hop.UplinkLoss {
+				retrans++
+				delay += n.RTO
+				// The retransmitted packet re-traverses from the sender;
+				// record it at every hop up to and including this one.
+				for _, back := range hops[:hi+1] {
+					back.NIC.capture(PacketRecord{Kind: PktRetrans, Tuple: tuple, Seq: seq, TS: now.Add(cum + delay)})
+				}
+			}
+		}
+		plen := len(payload)
+		prefix := payload
+		if plen > simkernel.PayloadPrefixLen {
+			prefix = payload[:simkernel.PayloadPrefixLen]
+		}
+		hop.NIC.capture(PacketRecord{
+			Kind: PktData, Tuple: tuple, Seq: seq, Len: plen,
+			Payload: append([]byte(nil), prefix...),
+			TS:      now.Add(cum + delay), First: true,
+		})
+	}
+	if len(hops) > 1 && hops[0].root() != hops[len(hops)-1].root() {
+		cum += n.UnderlayLatency
+	}
+
+	c.Metrics.Retransmissions += uint32(retrans)
+	if c.rtt > c.Metrics.RTT {
+		c.Metrics.RTT = c.rtt
+	}
+
+	dst := c.serverSock
+	dstKernel := c.serverHost.Kernel
+	if !e.client {
+		dst = c.clientSock
+		dstKernel = c.clientHost.Kernel
+	}
+	data := append([]byte(nil), payload...)
+	n.Eng.After(cum+delay, func() {
+		if c.closed {
+			return
+		}
+		dstKernel.Deliver(dst, simkernel.Delivered{Payload: data, Seq: seq})
+	})
+	return seq, nil
+}
+
+// Reset aborts the connection from one side: a RST traverses the path, both
+// kernels fail pending reads, and reset metrics are recorded (§4.1.3).
+func (c *Conn) Reset(byServer bool) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.Metrics.Resets++
+	tuple := c.Tuple
+	hops := c.hops
+	if byServer {
+		tuple = c.Tuple.Reverse()
+	}
+	now := c.Net.Eng.Now()
+	for _, hop := range hops {
+		hop.NIC.capture(PacketRecord{Kind: PktRST, Tuple: tuple, TS: now})
+	}
+	err := fmt.Errorf("simnet: connection reset by peer")
+	c.clientHost.Kernel.CloseSocket(c.clientSock, err)
+	c.serverHost.Kernel.CloseSocket(c.serverSock, err)
+}
+
+// Close shuts the connection down gracefully.
+func (c *Conn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.clientHost.Kernel.CloseSocket(c.clientSock, nil)
+	c.serverHost.Kernel.CloseSocket(c.serverSock, nil)
+}
+
+// Closed reports whether the connection has been closed or reset.
+func (c *Conn) Closed() bool { return c.closed }

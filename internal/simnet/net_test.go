@@ -1,0 +1,396 @@
+package simnet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"deepflow/internal/sim"
+	"deepflow/internal/simkernel"
+	"deepflow/internal/trace"
+)
+
+// cluster is a small two-node test topology:
+//
+//	machine-a ── node-1 ── pod-client
+//	machine-b ── node-2 ── pod-server
+type cluster struct {
+	eng                  *sim.Engine
+	net                  *Network
+	machineA, machineB   *Host
+	node1, node2         *Host
+	podClient, podServer *Host
+}
+
+func newCluster(t *testing.T) *cluster {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	n := NewNetwork(eng, &trace.IDAllocator{})
+	ma := n.AddHost("machine-a", KindMachine, nil)
+	mb := n.AddHost("machine-b", KindMachine, nil)
+	n1 := n.AddHost("node-1", KindNode, ma)
+	n2 := n.AddHost("node-2", KindNode, mb)
+	pc := n.AddHost("pod-client", KindPod, n1)
+	ps := n.AddHost("pod-server", KindPod, n2)
+	return &cluster{eng: eng, net: n, machineA: ma, machineB: mb, node1: n1, node2: n2, podClient: pc, podServer: ps}
+}
+
+// echoServer accepts connections and echoes each message back prefixed
+// with "re:".
+func (c *cluster) echoServer(t *testing.T) *simkernel.Process {
+	t.Helper()
+	proc := c.podServer.Kernel.NewProcess("echo")
+	_, err := c.net.Listen(c.podServer, 80, proc, simkernel.DefaultABIProfile, func(sock *simkernel.Socket, conn *Conn) {
+		th := proc.Threads()[0]
+		var loop func()
+		loop = func() {
+			c.podServer.Kernel.Read(th, sock, func(d simkernel.Delivered) {
+				if d.Err != nil || len(d.Payload) == 0 {
+					return
+				}
+				c.podServer.Kernel.Send(th, sock, append([]byte("re:"), d.Payload...), nil)
+				loop()
+			})
+		}
+		loop()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return proc
+}
+
+func TestDialConnectAndEcho(t *testing.T) {
+	c := newCluster(t)
+	c.echoServer(t)
+	client := c.podClient.Kernel.NewProcess("client")
+	th := client.Threads()[0]
+
+	var reply string
+	c.net.Dial(c.podClient, client, simkernel.DefaultABIProfile, c.podServer.IP, 80, func(sock *simkernel.Socket, conn *Conn, err error) {
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		c.podClient.Kernel.Send(th, sock, []byte("hello"), nil)
+		c.podClient.Kernel.Read(th, sock, func(d simkernel.Delivered) {
+			reply = string(d.Payload)
+		})
+	})
+	c.eng.RunAll()
+	if reply != "re:hello" {
+		t.Fatalf("reply = %q", reply)
+	}
+}
+
+func TestDialConnectionRefused(t *testing.T) {
+	c := newCluster(t)
+	client := c.podClient.Kernel.NewProcess("client")
+	var gotErr error
+	called := false
+	c.net.Dial(c.podClient, client, simkernel.DefaultABIProfile, c.podServer.IP, 9999, func(_ *simkernel.Socket, _ *Conn, err error) {
+		called = true
+		gotErr = err
+	})
+	c.eng.RunAll()
+	if !called || gotErr == nil {
+		t.Fatalf("called=%v err=%v", called, gotErr)
+	}
+}
+
+func TestTCPSeqPreservedAcrossPath(t *testing.T) {
+	c := newCluster(t)
+	c.echoServer(t)
+	client := c.podClient.Kernel.NewProcess("client")
+	th := client.Threads()[0]
+
+	// Capture the data-packet sequence at every NIC along the path plus
+	// the exit-hook sequence at both endpoint kernels.
+	nicSeqs := map[string]uint32{}
+	for _, h := range []*Host{c.podClient, c.node1, c.machineA, c.machineB, c.node2, c.podServer} {
+		h := h
+		h.NIC.AddTap(func(rec PacketRecord) {
+			if rec.Kind == PktData && rec.Tuple.DstPort == 80 {
+				nicSeqs[h.Name] = rec.Seq
+			}
+		})
+	}
+	var clientSeq, serverSeq uint32
+	c.podClient.Kernel.AttachSyscall(simkernel.ABIWrite, simkernel.PhaseExit, simkernel.AttachKprobe, "c", func(hc *simkernel.HookContext) {
+		clientSeq = hc.TCPSeq
+	})
+	c.podServer.Kernel.AttachSyscall(simkernel.ABIRead, simkernel.PhaseExit, simkernel.AttachKprobe, "s", func(hc *simkernel.HookContext) {
+		serverSeq = hc.TCPSeq
+	})
+
+	c.net.Dial(c.podClient, client, simkernel.DefaultABIProfile, c.podServer.IP, 80, func(sock *simkernel.Socket, conn *Conn, err error) {
+		c.podClient.Kernel.Send(th, sock, []byte("payload-xyz"), nil)
+	})
+	c.eng.RunAll()
+
+	if len(nicSeqs) != 6 {
+		t.Fatalf("captured at %d NICs: %v", len(nicSeqs), nicSeqs)
+	}
+	for host, seq := range nicSeqs {
+		if seq != clientSeq {
+			t.Errorf("NIC %s saw seq %d, client kernel saw %d", host, seq, clientSeq)
+		}
+	}
+	if serverSeq != clientSeq {
+		t.Fatalf("server read seq %d != client write seq %d — TCP seq invariance broken", serverSeq, clientSeq)
+	}
+}
+
+func TestPathSameNode(t *testing.T) {
+	c := newCluster(t)
+	pod2 := c.net.AddHost("pod-2", KindPod, c.node1)
+	hops, _ := c.net.path(c.podClient, pod2)
+	names := hostNames(hops)
+	if names != "pod-client,node-1,pod-2" {
+		t.Fatalf("same-node path = %s", names)
+	}
+}
+
+func TestPathCrossMachine(t *testing.T) {
+	c := newCluster(t)
+	hops, lat := c.net.path(c.podClient, c.podServer)
+	names := hostNames(hops)
+	if names != "pod-client,node-1,machine-a,machine-b,node-2,pod-server" {
+		t.Fatalf("cross path = %s", names)
+	}
+	if lat <= 0 {
+		t.Fatal("zero latency")
+	}
+}
+
+func TestPathThroughGateway(t *testing.T) {
+	c := newCluster(t)
+	gw := c.net.AddHost("lb-1", KindGateway, nil)
+	c.net.SetRoute(c.podClient, c.podServer, gw)
+	hops, _ := c.net.path(c.podClient, c.podServer)
+	names := hostNames(hops)
+	if !strings.Contains(names, "lb-1") {
+		t.Fatalf("gateway missing from path: %s", names)
+	}
+	// Reverse direction also routes through the gateway.
+	hops, _ = c.net.path(c.podServer, c.podClient)
+	if !strings.Contains(hostNames(hops), "lb-1") {
+		t.Fatalf("reverse path missing gateway: %s", hostNames(hops))
+	}
+}
+
+func hostNames(hs []*Host) string {
+	names := make([]string, len(hs))
+	for i, h := range hs {
+		names[i] = h.Name
+	}
+	return strings.Join(names, ",")
+}
+
+func TestLossCausesRetransmissionsAndDelay(t *testing.T) {
+	c := newCluster(t)
+	c.node1.UplinkLoss = 1.0 // every packet lost once per draw
+	c.echoServer(t)
+	client := c.podClient.Kernel.NewProcess("client")
+	th := client.Threads()[0]
+
+	var done time.Duration
+	var conn *Conn
+	c.net.Dial(c.podClient, client, simkernel.DefaultABIProfile, c.podServer.IP, 80, func(sock *simkernel.Socket, cn *Conn, err error) {
+		conn = cn
+		c.podClient.Kernel.Send(th, sock, []byte("x"), func(int, error) { done = c.eng.Elapsed() })
+	})
+	c.eng.RunAll()
+	if conn.Metrics.Retransmissions == 0 {
+		t.Fatal("no retransmissions recorded despite loss")
+	}
+	if c.node1.NIC.Retrans == 0 {
+		t.Fatal("NIC retrans counter not incremented")
+	}
+	_ = done
+}
+
+func TestResetFailsBothEnds(t *testing.T) {
+	c := newCluster(t)
+	serverProc := c.podServer.Kernel.NewProcess("srv")
+	var serverConn *Conn
+	c.net.Listen(c.podServer, 80, serverProc, simkernel.DefaultABIProfile, func(sock *simkernel.Socket, conn *Conn) {
+		serverConn = conn
+	})
+	client := c.podClient.Kernel.NewProcess("client")
+	th := client.Threads()[0]
+
+	var readErr error
+	c.net.Dial(c.podClient, client, simkernel.DefaultABIProfile, c.podServer.IP, 80, func(sock *simkernel.Socket, conn *Conn, err error) {
+		c.podClient.Kernel.Read(th, sock, func(d simkernel.Delivered) { readErr = d.Err })
+		c.eng.After(time.Millisecond, func() { serverConn.Reset(true) })
+	})
+	c.eng.RunAll()
+	if readErr == nil {
+		t.Fatal("client read survived server reset")
+	}
+	if serverConn.Metrics.Resets != 1 {
+		t.Fatalf("resets = %d", serverConn.Metrics.Resets)
+	}
+	if c.podServer.NIC.Resets == 0 {
+		t.Fatal("RST not captured at server NIC")
+	}
+	// Send on a reset connection fails.
+	_, err := (&Endpoint{conn: serverConn, client: true}).Send([]byte("x"))
+	if err == nil {
+		t.Fatal("send on reset conn succeeded")
+	}
+}
+
+func TestARPFaultObservableAtNIC(t *testing.T) {
+	c := newCluster(t)
+	c.machineB.NIC.ARPFault = true
+	c.machineB.NIC.ARPExtra = 5
+	c.machineB.NIC.ARPFaultDelay = 100 * time.Millisecond
+	c.echoServer(t)
+	client := c.podClient.Kernel.NewProcess("client")
+
+	var connectedAt time.Duration
+	c.net.Dial(c.podClient, client, simkernel.DefaultABIProfile, c.podServer.IP, 80, func(sock *simkernel.Socket, conn *Conn, err error) {
+		connectedAt = c.eng.Elapsed()
+	})
+	c.eng.RunAll()
+	if c.machineB.NIC.ARPs < 6 {
+		t.Fatalf("faulty NIC ARP count = %d, want >= 6", c.machineB.NIC.ARPs)
+	}
+	if c.podClient.NIC.ARPs != 1 {
+		t.Fatalf("client pod NIC ARPs = %d, want 1", c.podClient.NIC.ARPs)
+	}
+	if connectedAt < 100*time.Millisecond {
+		t.Fatalf("connection setup %v ignored ARP fault delay", connectedAt)
+	}
+}
+
+func TestServerToClientSeqIndependent(t *testing.T) {
+	c := newCluster(t)
+	c.echoServer(t)
+	client := c.podClient.Kernel.NewProcess("client")
+	th := client.Threads()[0]
+
+	var reqSeqs, respSeqs []uint32
+	c.podClient.Kernel.AttachSyscall(simkernel.ABIWrite, simkernel.PhaseExit, simkernel.AttachKprobe, "w", func(hc *simkernel.HookContext) {
+		reqSeqs = append(reqSeqs, hc.TCPSeq)
+	})
+	c.podClient.Kernel.AttachSyscall(simkernel.ABIRead, simkernel.PhaseExit, simkernel.AttachKprobe, "r", func(hc *simkernel.HookContext) {
+		respSeqs = append(respSeqs, hc.TCPSeq)
+	})
+
+	c.net.Dial(c.podClient, client, simkernel.DefaultABIProfile, c.podServer.IP, 80, func(sock *simkernel.Socket, conn *Conn, err error) {
+		var round func(i int)
+		round = func(i int) {
+			if i >= 3 {
+				return
+			}
+			c.podClient.Kernel.Send(th, sock, []byte("msg"), nil)
+			c.podClient.Kernel.Read(th, sock, func(d simkernel.Delivered) { round(i + 1) })
+		}
+		round(0)
+	})
+	c.eng.RunAll()
+	if len(reqSeqs) != 3 || len(respSeqs) != 3 {
+		t.Fatalf("req=%v resp=%v", reqSeqs, respSeqs)
+	}
+	// Request direction advances by 3 bytes per message; response by 6.
+	if reqSeqs[1]-reqSeqs[0] != 3 || respSeqs[1]-respSeqs[0] != 6 {
+		t.Fatalf("seq deltas wrong: req=%v resp=%v", reqSeqs, respSeqs)
+	}
+}
+
+func TestTapCloseStopsCapture(t *testing.T) {
+	c := newCluster(t)
+	count := 0
+	tap := c.podClient.NIC.AddTap(func(PacketRecord) { count++ })
+	c.podClient.NIC.capture(PacketRecord{Kind: PktData})
+	tap.Close()
+	c.podClient.NIC.capture(PacketRecord{Kind: PktData})
+	if count != 1 {
+		t.Fatalf("tap fired %d times after close", count)
+	}
+	if c.podClient.NIC.Packets != 2 {
+		t.Fatalf("NIC packet counter = %d", c.podClient.NIC.Packets)
+	}
+}
+
+func TestHostLookups(t *testing.T) {
+	c := newCluster(t)
+	if c.net.Host("pod-client") != c.podClient {
+		t.Fatal("Host by name failed")
+	}
+	if c.net.HostByIP(c.podServer.IP) != c.podServer {
+		t.Fatal("Host by IP failed")
+	}
+	if len(c.net.Hosts()) != 6 {
+		t.Fatalf("hosts = %d", len(c.net.Hosts()))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate host name accepted")
+		}
+	}()
+	c.net.AddHost("pod-client", KindPod, c.node1)
+}
+
+func TestListenDuplicatePort(t *testing.T) {
+	c := newCluster(t)
+	proc := c.podServer.Kernel.NewProcess("p")
+	if _, err := c.net.Listen(c.podServer, 80, proc, simkernel.DefaultABIProfile, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.net.Listen(c.podServer, 80, proc, simkernel.DefaultABIProfile, nil); err == nil {
+		t.Fatal("duplicate listen accepted")
+	}
+	l2, err := c.net.Listen(c.podServer, 81, proc, simkernel.DefaultABIProfile, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.net.CloseListener(l2)
+	if _, err := c.net.Listen(c.podServer, 81, proc, simkernel.DefaultABIProfile, nil); err != nil {
+		t.Fatal("listen after close failed")
+	}
+}
+
+func TestRefusedConnectionVisibleAtTaps(t *testing.T) {
+	c := newCluster(t)
+	client := c.podClient.Kernel.NewProcess("client")
+	var rstSeen bool
+	c.podServer.NIC.AddTap(func(rec PacketRecord) {
+		if rec.Kind == PktRST {
+			rstSeen = true
+		}
+	})
+	var dialErr error
+	c.net.Dial(c.podClient, client, simkernel.DefaultABIProfile, c.podServer.IP, 9999,
+		func(_ *simkernel.Socket, _ *Conn, err error) { dialErr = err })
+	c.eng.RunAll()
+	if dialErr == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+	if !rstSeen {
+		t.Fatal("refused connection produced no RST at the destination NIC")
+	}
+	if c.podServer.NIC.Resets == 0 {
+		t.Fatal("RST not counted")
+	}
+}
+
+func TestNICMirrorPreservesOrigin(t *testing.T) {
+	c := newCluster(t)
+	captured := []PacketRecord{}
+	c.node2.NIC.MirrorTo(c.machineA.NIC)
+	c.machineA.NIC.AddTap(func(rec PacketRecord) { captured = append(captured, rec) })
+	c.node2.NIC.capture(PacketRecord{Kind: PktData, Len: 10})
+	if len(captured) != 1 {
+		t.Fatalf("mirror delivered %d records", len(captured))
+	}
+	if captured[0].Host != "node-2" || captured[0].NIC != "node/node-2" {
+		t.Fatalf("mirrored record rewrote origin: %+v", captured[0])
+	}
+	if c.machineA.NIC.Packets != 1 {
+		t.Fatal("mirror destination did not account the packet")
+	}
+}

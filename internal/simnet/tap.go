@@ -1,0 +1,134 @@
+// Package simnet simulates the network infrastructure of the paper's
+// deployments: pods, nodes, physical machines, links with latency and loss,
+// L4 gateways, and a TCP model whose sequence numbers are preserved across
+// L2/3/4 forwarding — the invariant DeepFlow's inter-component association
+// relies on (paper §3.3.2).
+//
+// Every NIC exposes packet taps, the simulation analogue of cBPF/AF_PACKET
+// capture, so agents can build device-level spans and network metrics.
+package simnet
+
+import (
+	"time"
+
+	"deepflow/internal/trace"
+)
+
+// PacketKind classifies a captured packet.
+type PacketKind uint8
+
+// Captured packet kinds.
+const (
+	PktData PacketKind = iota + 1
+	PktSYN
+	PktRST
+	PktARP
+	PktRetrans
+)
+
+func (k PacketKind) String() string {
+	switch k {
+	case PktData:
+		return "data"
+	case PktSYN:
+		return "syn"
+	case PktRST:
+		return "rst"
+	case PktARP:
+		return "arp"
+	case PktRetrans:
+		return "retrans"
+	default:
+		return "pkt?"
+	}
+}
+
+// PacketRecord is what a tap (cBPF / AF_PACKET) captures when a packet
+// traverses a NIC.
+type PacketRecord struct {
+	Kind    PacketKind
+	Tuple   trace.FiveTuple // oriented in travel direction (src = sender)
+	Seq     uint32          // TCP sequence of the first byte (data packets)
+	Len     int             // payload bytes in this packet
+	Payload []byte          // payload prefix (first packet of a message)
+	TS      time.Time       // traversal time at this NIC
+	NIC     string          // NIC name, e.g. "pod/reviews-1", "node/k8s-2"
+	Host    string          // owning host
+	First   bool            // first packet of an application message
+}
+
+// TapFn receives captured packets.
+type TapFn func(PacketRecord)
+
+// NIC is a network interface with optional capture taps and fault state.
+type NIC struct {
+	Name string
+	Host *Host
+
+	// Fault injection (§4.1.2): a malfunctioning NIC emits extra ARP
+	// requests and delays connection setup.
+	ARPFault      bool
+	ARPExtra      int
+	ARPFaultDelay time.Duration
+
+	taps    []*Tap
+	mirrors []*NIC
+
+	// Counters observable by operators.
+	Packets uint64
+	ARPs    uint64
+	Retrans uint64
+	Resets  uint64
+}
+
+// MirrorTo forwards a copy of every packet this NIC sees to dst — the
+// top-of-rack switch mirror of the paper's Fig. 18 ("mirror the traffic on
+// the top-of-rack switch to a physical machine dedicated to DeepFlow
+// Agent"). Mirrored records keep their origin NIC/host identity so the
+// receiving agent attributes spans to the mirrored device.
+func (n *NIC) MirrorTo(dst *NIC) { n.mirrors = append(n.mirrors, dst) }
+
+// Tap is one registered capture point.
+type Tap struct {
+	fn     TapFn
+	closed bool
+}
+
+// Close stops delivering packets to the tap.
+func (t *Tap) Close() { t.closed = true }
+
+// AddTap registers a capture callback; the returned Tap can be closed.
+func (n *NIC) AddTap(fn TapFn) *Tap {
+	t := &Tap{fn: fn}
+	n.taps = append(n.taps, t)
+	return t
+}
+
+// capture accounts the packet, feeds all open taps, and forwards copies to
+// mirror destinations with the origin identity preserved.
+func (n *NIC) capture(rec PacketRecord) {
+	rec.NIC = n.Name
+	rec.Host = n.Host.Name
+	n.feed(rec)
+	for _, m := range n.mirrors {
+		m.feed(rec)
+	}
+}
+
+// feed accounts and delivers one record without rewriting its origin.
+func (n *NIC) feed(rec PacketRecord) {
+	n.Packets++
+	switch rec.Kind {
+	case PktARP:
+		n.ARPs++
+	case PktRetrans:
+		n.Retrans++
+	case PktRST:
+		n.Resets++
+	}
+	for _, t := range n.taps {
+		if !t.closed {
+			t.fn(rec)
+		}
+	}
+}

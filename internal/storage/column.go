@@ -1,0 +1,234 @@
+// Package storage implements the embedded columnar store backing the
+// DeepFlow server, standing in for the paper's ClickHouse deployment. It
+// provides typed columns with three string encodings — plain String,
+// LowCardinality (dictionary), and Int (for smart-encoded resource tags) —
+// so the Fig. 14 experiment can compare encodings on identical data.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// ColumnType enumerates supported column encodings.
+type ColumnType uint8
+
+// Column types.
+const (
+	TypeInt64 ColumnType = iota + 1
+	TypeInt32
+	TypeString
+	TypeLowCardinality
+)
+
+func (t ColumnType) String() string {
+	switch t {
+	case TypeInt64:
+		return "Int64"
+	case TypeInt32:
+		return "Int32"
+	case TypeString:
+		return "String"
+	case TypeLowCardinality:
+		return "LowCardinality(String)"
+	default:
+		return "type?"
+	}
+}
+
+// Column is a growable typed column.
+type Column interface {
+	Type() ColumnType
+	Len() int
+	// AppendInt / AppendString add one value; using the wrong kind panics
+	// (schema violations are programming errors).
+	AppendInt(v int64)
+	AppendString(v string)
+	// Int / Str read one value.
+	Int(i int) int64
+	Str(i int) string
+	// MemBytes estimates resident memory.
+	MemBytes() int
+	// WriteTo serializes the column block (the "disk" representation).
+	WriteTo(w io.Writer) (int64, error)
+}
+
+// NewColumn creates an empty column of the given type.
+func NewColumn(t ColumnType) Column {
+	switch t {
+	case TypeInt64:
+		return &intColumn{}
+	case TypeInt32:
+		return &int32Column{}
+	case TypeString:
+		return &strColumn{}
+	case TypeLowCardinality:
+		return newLowCardColumn()
+	default:
+		panic(fmt.Sprintf("storage: unknown column type %d", t))
+	}
+}
+
+// intColumn stores 64-bit integers.
+type intColumn struct{ vals []int64 }
+
+func (c *intColumn) Type() ColumnType    { return TypeInt64 }
+func (c *intColumn) Len() int            { return len(c.vals) }
+func (c *intColumn) AppendInt(v int64)   { c.vals = append(c.vals, v) }
+func (c *intColumn) AppendString(string) { panic("storage: AppendString on Int64 column") }
+func (c *intColumn) Int(i int) int64     { return c.vals[i] }
+func (c *intColumn) Str(i int) string    { return fmt.Sprintf("%d", c.vals[i]) }
+func (c *intColumn) MemBytes() int       { return cap(c.vals) * 8 }
+func (c *intColumn) WriteTo(w io.Writer) (int64, error) {
+	// Varint encoding: small IDs (the common case for smart-encoded tags)
+	// take 1–2 bytes, mirroring columnar integer codecs.
+	var buf [binary.MaxVarintLen64]byte
+	var total int64
+	for _, v := range c.vals {
+		n := binary.PutVarint(buf[:], v)
+		m, err := w.Write(buf[:n])
+		total += int64(m)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// int32Column stores 32-bit integers — the natural width for
+// smart-encoded resource tag IDs.
+type int32Column struct{ vals []int32 }
+
+func (c *int32Column) Type() ColumnType    { return TypeInt32 }
+func (c *int32Column) Len() int            { return len(c.vals) }
+func (c *int32Column) AppendInt(v int64)   { c.vals = append(c.vals, int32(v)) }
+func (c *int32Column) AppendString(string) { panic("storage: AppendString on Int32 column") }
+func (c *int32Column) Int(i int) int64     { return int64(c.vals[i]) }
+func (c *int32Column) Str(i int) string    { return fmt.Sprintf("%d", c.vals[i]) }
+func (c *int32Column) MemBytes() int       { return cap(c.vals) * 4 }
+func (c *int32Column) WriteTo(w io.Writer) (int64, error) {
+	var buf [binary.MaxVarintLen64]byte
+	var total int64
+	for _, v := range c.vals {
+		n := binary.PutVarint(buf[:], int64(v))
+		m, err := w.Write(buf[:n])
+		total += int64(m)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// strColumn stores raw strings (the "direct storing" baseline of Fig. 14:
+// one char per digit/byte).
+type strColumn struct {
+	offsets []int
+	data    []byte
+}
+
+func (c *strColumn) Type() ColumnType { return TypeString }
+func (c *strColumn) Len() int         { return len(c.offsets) }
+func (c *strColumn) AppendInt(int64)  { panic("storage: AppendInt on String column") }
+func (c *strColumn) AppendString(v string) {
+	c.data = append(c.data, v...)
+	c.offsets = append(c.offsets, len(c.data))
+}
+func (c *strColumn) Int(i int) int64 { panic("storage: Int on String column") }
+func (c *strColumn) Str(i int) string {
+	start := 0
+	if i > 0 {
+		start = c.offsets[i-1]
+	}
+	return string(c.data[start:c.offsets[i]])
+}
+func (c *strColumn) MemBytes() int { return cap(c.data) + cap(c.offsets)*8 }
+func (c *strColumn) WriteTo(w io.Writer) (int64, error) {
+	var buf [binary.MaxVarintLen64]byte
+	var total int64
+	start := 0
+	for i, end := range c.offsets {
+		_ = i
+		n := binary.PutUvarint(buf[:], uint64(end-start))
+		m, err := w.Write(buf[:n])
+		total += int64(m)
+		if err != nil {
+			return total, err
+		}
+		m, err = w.Write(c.data[start:end])
+		total += int64(m)
+		if err != nil {
+			return total, err
+		}
+		start = end
+	}
+	return total, nil
+}
+
+// lowCardColumn dictionary-encodes strings (ClickHouse LowCardinality): a
+// shared dictionary plus per-row indexes. Cheaper on disk than raw strings
+// but pays a hash lookup per insert — the CPU cost Fig. 14 shows.
+type lowCardColumn struct {
+	dict    map[string]uint32
+	values  []string
+	indexes []uint32
+}
+
+func newLowCardColumn() *lowCardColumn {
+	return &lowCardColumn{dict: make(map[string]uint32)}
+}
+
+func (c *lowCardColumn) Type() ColumnType { return TypeLowCardinality }
+func (c *lowCardColumn) Len() int         { return len(c.indexes) }
+func (c *lowCardColumn) AppendInt(int64)  { panic("storage: AppendInt on LowCardinality column") }
+func (c *lowCardColumn) AppendString(v string) {
+	idx, ok := c.dict[v]
+	if !ok {
+		idx = uint32(len(c.values))
+		c.dict[v] = idx
+		c.values = append(c.values, v)
+	}
+	c.indexes = append(c.indexes, idx)
+}
+func (c *lowCardColumn) Int(i int) int64  { return int64(c.indexes[i]) }
+func (c *lowCardColumn) Str(i int) string { return c.values[c.indexes[i]] }
+func (c *lowCardColumn) MemBytes() int {
+	n := cap(c.indexes) * 4
+	for _, v := range c.values {
+		n += len(v) + 48 // dictionary entry overhead (map bucket + string)
+	}
+	return n
+}
+func (c *lowCardColumn) WriteTo(w io.Writer) (int64, error) {
+	var buf [binary.MaxVarintLen64]byte
+	var total int64
+	n := binary.PutUvarint(buf[:], uint64(len(c.values)))
+	m, err := w.Write(buf[:n])
+	total += int64(m)
+	if err != nil {
+		return total, err
+	}
+	for _, v := range c.values {
+		n := binary.PutUvarint(buf[:], uint64(len(v)))
+		m, err := w.Write(buf[:n])
+		total += int64(m)
+		if err != nil {
+			return total, err
+		}
+		m, err = w.Write([]byte(v))
+		total += int64(m)
+		if err != nil {
+			return total, err
+		}
+	}
+	for _, idx := range c.indexes {
+		n := binary.PutUvarint(buf[:], uint64(idx))
+		m, err := w.Write(buf[:n])
+		total += int64(m)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

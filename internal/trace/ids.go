@@ -1,0 +1,20 @@
+package trace
+
+import "sync/atomic"
+
+// IDAllocator hands out unique span, systrace, and socket identifiers.
+// It is safe for concurrent use (benchmarks run workloads in parallel).
+type IDAllocator struct {
+	span     atomic.Uint64
+	systrace atomic.Uint64
+	socket   atomic.Uint64
+}
+
+// NextSpanID returns a fresh non-zero span ID.
+func (a *IDAllocator) NextSpanID() SpanID { return SpanID(a.span.Add(1)) }
+
+// NextSysTraceID returns a fresh non-zero systrace ID.
+func (a *IDAllocator) NextSysTraceID() SysTraceID { return SysTraceID(a.systrace.Add(1)) }
+
+// NextSocketID returns a fresh non-zero globally unique socket ID.
+func (a *IDAllocator) NextSocketID() SocketID { return SocketID(a.socket.Add(1)) }

@@ -1,0 +1,368 @@
+// Package trace defines the span and trace data model shared by the DeepFlow
+// agent, server, baselines, and experiment harness.
+//
+// A span represents one request/response session observed at one capture
+// location (a process syscall boundary, a NIC tap, a gateway mirror, or a
+// third-party tracing SDK). Traces are assembled from spans by the server
+// (see internal/server) using the implicit associations carried here:
+// systrace IDs, pseudo-thread IDs, X-Request-IDs, TCP sequence numbers, and
+// third-party trace IDs.
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// SpanID uniquely identifies a span within a deployment.
+type SpanID uint64
+
+// SysTraceID is the globally unique intra-component association identifier
+// assigned by the agent's thread state machine (paper §3.3.2, Fig. 7).
+// Zero means "not assigned".
+type SysTraceID uint64
+
+// SocketID is the DeepFlow-assigned globally unique socket identifier
+// (paper §3.2.1, network information category).
+type SocketID uint64
+
+// L4Proto is the transport protocol of a flow.
+type L4Proto uint8
+
+// Transport protocols.
+const (
+	L4TCP L4Proto = 6
+	L4UDP L4Proto = 17
+)
+
+func (p L4Proto) String() string {
+	switch p {
+	case L4TCP:
+		return "TCP"
+	case L4UDP:
+		return "UDP"
+	default:
+		return fmt.Sprintf("L4(%d)", uint8(p))
+	}
+}
+
+// IP is an IPv4 address in host byte order. The simulator uses IPv4 only;
+// smart-encoding stores addresses as integers exactly as DeepFlow does.
+type IP uint32
+
+func (ip IP) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// FiveTuple identifies a flow.
+type FiveTuple struct {
+	SrcIP   IP
+	DstIP   IP
+	SrcPort uint16
+	DstPort uint16
+	Proto   L4Proto
+}
+
+// Reverse returns the tuple with endpoints swapped.
+func (ft FiveTuple) Reverse() FiveTuple {
+	return FiveTuple{SrcIP: ft.DstIP, DstIP: ft.SrcIP, SrcPort: ft.DstPort, DstPort: ft.SrcPort, Proto: ft.Proto}
+}
+
+// Canonical returns a direction-independent form (smaller endpoint first)
+// so both directions of a flow map to the same key.
+func (ft FiveTuple) Canonical() FiveTuple {
+	a := uint64(ft.SrcIP)<<16 | uint64(ft.SrcPort)
+	b := uint64(ft.DstIP)<<16 | uint64(ft.DstPort)
+	if a <= b {
+		return ft
+	}
+	return ft.Reverse()
+}
+
+func (ft FiveTuple) String() string {
+	return fmt.Sprintf("%s:%d->%s:%d/%s", ft.SrcIP, ft.SrcPort, ft.DstIP, ft.DstPort, ft.Proto)
+}
+
+// L7Proto is the inferred application protocol of a session.
+type L7Proto uint8
+
+// Application protocols recognized by the agent's protocol inference.
+const (
+	L7Unknown L7Proto = iota
+	L7HTTP
+	L7HTTP2
+	L7DNS
+	L7Redis
+	L7MySQL
+	L7Kafka
+	L7MQTT
+	L7Dubbo
+	L7TLS
+)
+
+var l7Names = [...]string{"unknown", "HTTP", "HTTP2", "DNS", "Redis", "MySQL", "Kafka", "MQTT", "Dubbo", "TLS"}
+
+func (p L7Proto) String() string {
+	if int(p) < len(l7Names) {
+		return l7Names[p]
+	}
+	return fmt.Sprintf("L7(%d)", uint8(p))
+}
+
+// Direction distinguishes ingress from egress syscalls (paper Table 3).
+type Direction uint8
+
+// Syscall directions.
+const (
+	DirIngress Direction = iota + 1
+	DirEgress
+)
+
+func (d Direction) String() string {
+	switch d {
+	case DirIngress:
+		return "ingress"
+	case DirEgress:
+		return "egress"
+	default:
+		return "dir?"
+	}
+}
+
+// MessageType is the request/response classification of a message after
+// protocol inference.
+type MessageType uint8
+
+// Message types.
+const (
+	MsgUnknown MessageType = iota
+	MsgRequest
+	MsgResponse
+)
+
+func (m MessageType) String() string {
+	switch m {
+	case MsgRequest:
+		return "request"
+	case MsgResponse:
+		return "response"
+	default:
+		return "unknown"
+	}
+}
+
+// Source identifies which tracing plane produced a span.
+type Source uint8
+
+// Span sources.
+const (
+	SourceEBPF   Source = iota + 1 // syscall-level hooks (kprobe/tracepoint)
+	SourcePacket                   // cBPF / AF_PACKET NIC taps and mirrors
+	SourceUProbe                   // user-space extension hooks (e.g. TLS)
+	SourceOTel                     // integrated third-party framework spans
+)
+
+func (s Source) String() string {
+	switch s {
+	case SourceEBPF:
+		return "ebpf"
+	case SourcePacket:
+		return "packet"
+	case SourceUProbe:
+		return "uprobe"
+	case SourceOTel:
+		return "otel"
+	default:
+		return "src?"
+	}
+}
+
+// TapSide describes where along the request path a span was captured,
+// mirroring DeepFlow's client/server-side tap sides extended with the
+// network infrastructure positions of Appendix A.
+type TapSide uint8
+
+// Capture locations along a request path, ordered from the requesting
+// process outward through the network to the serving process.
+const (
+	TapUnknown TapSide = iota
+	TapClientProcess
+	TapClientNIC  // pod/VM NIC on the client side
+	TapClientNode // node NIC on the client side
+	TapGateway    // L4/L7 gateway or top-of-rack mirror
+	TapServerNode
+	TapServerNIC
+	TapServerProcess
+	TapApp // third-party application-level span
+)
+
+var tapNames = [...]string{"?", "c", "c-nic", "c-node", "gw", "s-node", "s-nic", "s", "app"}
+
+func (t TapSide) String() string {
+	if int(t) < len(tapNames) {
+		return tapNames[t]
+	}
+	return "?"
+}
+
+// IsClientSide reports whether the tap observed the flow from the
+// requesting side of the network path.
+func (t TapSide) IsClientSide() bool {
+	return t == TapClientProcess || t == TapClientNIC || t == TapClientNode
+}
+
+// NetMetrics are the network-layer metrics DeepFlow attaches to spans
+// (paper §1, §3.2: "retrieve network metrics, such as TCP retransmissions,
+// and attach them to traces").
+type NetMetrics struct {
+	Retransmissions uint32
+	Resets          uint32
+	ZeroWindows     uint32
+	RTT             time.Duration
+	BytesSent       uint64
+	BytesReceived   uint64
+	ARPRequests     uint32 // per-hop ARP counter (case study §4.1.2)
+}
+
+// Add accumulates o into m.
+func (m *NetMetrics) Add(o NetMetrics) {
+	m.Retransmissions += o.Retransmissions
+	m.Resets += o.Resets
+	m.ZeroWindows += o.ZeroWindows
+	if o.RTT > m.RTT {
+		m.RTT = o.RTT
+	}
+	m.BytesSent += o.BytesSent
+	m.BytesReceived += o.BytesReceived
+	m.ARPRequests += o.ARPRequests
+}
+
+// ResourceTags are the smart-encoded integer resource tags injected by the
+// agent (VPC + IP) and completed by the server (pod/node/service/region IDs)
+// per Fig. 8. Zero values mean "unknown".
+type ResourceTags struct {
+	VPCID     int32
+	IP        IP
+	PodID     int32
+	NodeID    int32
+	ServiceID int32
+	NSID      int32 // namespace
+	RegionID  int32
+	AZID      int32
+}
+
+// Span is one observed request/response session.
+type Span struct {
+	ID SpanID
+
+	// Association identifiers (implicit context propagation).
+	SysTraceID     SysTraceID
+	PseudoThreadID uint64 // root coroutine chain for coroutine runtimes; 0 if n/a
+	XRequestID     string // cross-thread association via proxy-generated IDs
+	ReqTCPSeq      uint32 // TCP sequence of the request message
+	RespTCPSeq     uint32 // TCP sequence of the response message
+	TraceID        string // third-party trace ID parsed from headers, if any
+	SpanRef        string // third-party span ID, if any
+	ParentSpanRef  string // third-party parent span ID, if any
+
+	// Program information.
+	PID         uint32
+	TID         uint32
+	CoroutineID uint64
+	ProcessName string
+
+	// Network information.
+	Socket SocketID
+	Flow   FiveTuple
+	L7     L7Proto
+
+	// Tracing information.
+	Source    Source
+	TapSide   TapSide
+	HostName  string // host (node, gateway, machine) where captured
+	StartTime time.Time
+	EndTime   time.Time
+
+	// Application semantics from the protocol parser.
+	RequestType     string // e.g. HTTP method, Redis command, DNS qtype
+	RequestResource string // e.g. URL path, SQL fragment, topic
+	ResponseCode    int32
+	ResponseStatus  string // "ok" | "error" | "timeout"
+
+	// Correlation tags.
+	Resource ResourceTags
+	Custom   map[string]string // self-defined labels (k8s labels etc.)
+
+	// Attached network metrics.
+	Net NetMetrics
+
+	// Assembly output (set by the server's trace assembler).
+	ParentID SpanID `json:"parent_id"`
+}
+
+// Duration returns the span's wall time.
+func (s *Span) Duration() time.Duration { return s.EndTime.Sub(s.StartTime) }
+
+// Clone returns a deep copy of the span.
+func (s *Span) Clone() *Span {
+	c := *s
+	if s.Custom != nil {
+		c.Custom = make(map[string]string, len(s.Custom))
+		for k, v := range s.Custom {
+			c.Custom[k] = v
+		}
+	}
+	return &c
+}
+
+func (s *Span) String() string {
+	return fmt.Sprintf("span#%d[%s %s %s %s %s→%s %s %q code=%d]",
+		s.ID, s.TapSide, s.Source, s.ProcessName, s.L7,
+		s.StartTime.Format("15:04:05.000000"), s.EndTime.Format("15:04:05.000000"),
+		s.RequestType, s.RequestResource, s.ResponseCode)
+}
+
+// Trace is an assembled, display-ordered collection of spans with parent
+// links resolved.
+type Trace struct {
+	Root  *Span
+	Spans []*Span
+}
+
+// Len returns the number of spans in the trace.
+func (t *Trace) Len() int { return len(t.Spans) }
+
+// Children returns the direct children of the given span in display order.
+func (t *Trace) Children(id SpanID) []*Span {
+	var out []*Span
+	for _, s := range t.Spans {
+		if s.ParentID == id && s.ID != id {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Depth returns the maximum parent-chain depth of the trace.
+func (t *Trace) Depth() int {
+	byID := make(map[SpanID]*Span, len(t.Spans))
+	for _, s := range t.Spans {
+		byID[s.ID] = s
+	}
+	max := 0
+	for _, s := range t.Spans {
+		d, cur := 1, s
+		for cur.ParentID != 0 {
+			p, ok := byID[cur.ParentID]
+			if !ok || p == cur || d > len(t.Spans) {
+				break
+			}
+			cur = p
+			d++
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestIPString(t *testing.T) {
+	cases := map[IP]string{
+		0x0A000001: "10.0.0.1",
+		0xC0A80164: "192.168.1.100",
+		0:          "0.0.0.0",
+		0xFFFFFFFF: "255.255.255.255",
+	}
+	for ip, want := range cases {
+		if got := ip.String(); got != want {
+			t.Errorf("IP(%#x) = %q, want %q", uint32(ip), got, want)
+		}
+	}
+}
+
+func TestFiveTupleReverse(t *testing.T) {
+	ft := FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 1000, DstPort: 80, Proto: L4TCP}
+	r := ft.Reverse()
+	if r.SrcIP != 2 || r.DstIP != 1 || r.SrcPort != 80 || r.DstPort != 1000 {
+		t.Fatalf("reverse = %+v", r)
+	}
+	if r.Reverse() != ft {
+		t.Fatal("double reverse is not identity")
+	}
+}
+
+// Property: Canonical is direction-independent.
+func TestFiveTupleCanonicalProperty(t *testing.T) {
+	prop := func(sip, dip uint32, sp, dp uint16) bool {
+		ft := FiveTuple{SrcIP: IP(sip), DstIP: IP(dip), SrcPort: sp, DstPort: dp, Proto: L4TCP}
+		return ft.Canonical() == ft.Reverse().Canonical()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnumsString(t *testing.T) {
+	if L7HTTP.String() != "HTTP" || L7Dubbo.String() != "Dubbo" || L7Unknown.String() != "unknown" {
+		t.Error("L7Proto strings wrong")
+	}
+	if DirIngress.String() != "ingress" || DirEgress.String() != "egress" {
+		t.Error("Direction strings wrong")
+	}
+	if MsgRequest.String() != "request" || MsgResponse.String() != "response" {
+		t.Error("MessageType strings wrong")
+	}
+	if SourceEBPF.String() != "ebpf" || SourcePacket.String() != "packet" || SourceOTel.String() != "otel" {
+		t.Error("Source strings wrong")
+	}
+	if TapClientProcess.String() != "c" || TapServerProcess.String() != "s" || TapGateway.String() != "gw" {
+		t.Error("TapSide strings wrong")
+	}
+	if L4TCP.String() != "TCP" || L4UDP.String() != "UDP" {
+		t.Error("L4Proto strings wrong")
+	}
+}
+
+func TestTapSideClientSide(t *testing.T) {
+	for _, side := range []TapSide{TapClientProcess, TapClientNIC, TapClientNode} {
+		if !side.IsClientSide() {
+			t.Errorf("%v should be client side", side)
+		}
+	}
+	for _, side := range []TapSide{TapServerProcess, TapServerNIC, TapServerNode, TapGateway, TapApp} {
+		if side.IsClientSide() {
+			t.Errorf("%v should not be client side", side)
+		}
+	}
+}
+
+func TestNetMetricsAdd(t *testing.T) {
+	a := NetMetrics{Retransmissions: 1, Resets: 2, RTT: 5 * time.Millisecond, BytesSent: 100}
+	a.Add(NetMetrics{Retransmissions: 3, RTT: 2 * time.Millisecond, BytesReceived: 50, ARPRequests: 4})
+	if a.Retransmissions != 4 || a.Resets != 2 || a.BytesSent != 100 || a.BytesReceived != 50 || a.ARPRequests != 4 {
+		t.Fatalf("add = %+v", a)
+	}
+	if a.RTT != 5*time.Millisecond {
+		t.Fatalf("RTT should keep the max, got %v", a.RTT)
+	}
+}
+
+func TestSpanCloneIsDeep(t *testing.T) {
+	s := &Span{ID: 1, Custom: map[string]string{"k": "v"}}
+	c := s.Clone()
+	c.Custom["k"] = "changed"
+	c.XRequestID = "other"
+	if s.Custom["k"] != "v" || s.XRequestID != "" {
+		t.Fatal("clone shares state with original")
+	}
+}
+
+func TestSpanDuration(t *testing.T) {
+	start := time.Unix(100, 0)
+	s := &Span{StartTime: start, EndTime: start.Add(30 * time.Millisecond)}
+	if s.Duration() != 30*time.Millisecond {
+		t.Fatalf("duration = %v", s.Duration())
+	}
+}
+
+func TestTraceChildrenAndDepth(t *testing.T) {
+	spans := []*Span{
+		{ID: 1},
+		{ID: 2, ParentID: 1},
+		{ID: 3, ParentID: 1},
+		{ID: 4, ParentID: 3},
+	}
+	tr := &Trace{Root: spans[0], Spans: spans}
+	kids := tr.Children(1)
+	if len(kids) != 2 || kids[0].ID != 2 || kids[1].ID != 3 {
+		t.Fatalf("children(1) = %v", kids)
+	}
+	if d := tr.Depth(); d != 3 {
+		t.Fatalf("depth = %d, want 3", d)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestTraceDepthCycleSafe(t *testing.T) {
+	// A malformed parent cycle must not hang Depth.
+	spans := []*Span{{ID: 1, ParentID: 2}, {ID: 2, ParentID: 1}}
+	tr := &Trace{Spans: spans}
+	if d := tr.Depth(); d <= 0 {
+		t.Fatalf("depth = %d", d)
+	}
+}
+
+func TestIDAllocatorUnique(t *testing.T) {
+	var a IDAllocator
+	seen := make(map[SpanID]bool)
+	for i := 0; i < 1000; i++ {
+		id := a.NextSpanID()
+		if id == 0 || seen[id] {
+			t.Fatalf("duplicate or zero span id %d", id)
+		}
+		seen[id] = true
+	}
+	if a.NextSysTraceID() == 0 || a.NextSocketID() == 0 {
+		t.Fatal("zero id")
+	}
+}
