@@ -1,0 +1,17 @@
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check runs vet, the race detector over the concurrency-bearing packages,
+# and the self-monitoring overhead guard (see scripts/check.sh).
+check:
+	sh scripts/check.sh
+
+bench:
+	$(GO) test -bench 'BenchmarkHookPair' -benchmem -run '^$$' ./internal/agent

@@ -27,6 +27,7 @@ func main() {
 	duration := flag.Duration("duration", 2*time.Second, "load duration (virtual time)")
 	nTraces := flag.Int("traces", 1, "number of assembled traces to print")
 	asJSON := flag.Bool("json", false, "print traces as JSON instead of trees")
+	stats := flag.Bool("stats", false, "print the self-monitoring report (agent+server self-metrics)")
 	flag.Parse()
 
 	env := microsim.NewEnv(1)
@@ -108,5 +109,13 @@ func main() {
 	}
 	if printed == 0 {
 		fmt.Println("no completed request spans found")
+	}
+
+	if *stats {
+		fmt.Println("self-monitoring (DeepFlow observing DeepFlow):")
+		if err := d.WriteSelfStats(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "deepflow: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

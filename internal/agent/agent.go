@@ -1,11 +1,12 @@
 package agent
 
 import (
-	"fmt"
+	"io"
 	"strings"
 	"time"
 
 	"deepflow/internal/protocols"
+	"deepflow/internal/selfmon"
 	"deepflow/internal/sim"
 	"deepflow/internal/simkernel"
 	"deepflow/internal/simnet"
@@ -64,6 +65,12 @@ type Config struct {
 	HookCost  time.Duration
 	AgentCost time.Duration
 
+	// SelfmonOff disables the hot-path self-monitoring increments. It
+	// exists only so the instrumentation-overhead guard benchmark can
+	// measure an uninstrumented baseline; production deployments leave it
+	// false.
+	SelfmonOff bool
+
 	// ProxyProcesses are process-name substrings of event-loop proxies
 	// (paper §3.3.2: for HAProxy, Envoy, and Nginx "DeepFlow utilizes its
 	// original capabilities to generate X-Request-IDs ... preserving the
@@ -110,10 +117,28 @@ type Agent struct {
 	EventsHandled int
 	PacketsSeen   uint64
 
+	// HookErrors counts hook-program failures. A failing program is
+	// skipped for that event instead of killing the agent; the error is
+	// visible here and in the deepflow_agent_hook_errors series.
+	HookErrors uint64
+
 	// CPUTime accumulates real wall-clock time spent inside the agent's
 	// own code paths (hook execution plus user-space processing) — the
 	// resource self-accounting behind the Fig. 19(c) CPU panels.
 	CPUTime time.Duration
+
+	// Mon is the agent's self-monitoring registry (host/component-tagged
+	// counters, gauges, and histograms for every pipeline stage).
+	Mon   *selfmon.Registry
+	monOn bool
+
+	// Pre-resolved hot-path metric handles (one atomic add each).
+	hookEvents    [16][4]*selfmon.Counter // [ABI][Phase]
+	mUprobeEvents *selfmon.Counter
+	mEvents       *selfmon.Counter
+	mSpans        *selfmon.Counter
+	mPackets      *selfmon.Counter
+	mFlushDur     *selfmon.Histogram
 }
 
 type flowMetrics struct {
@@ -144,8 +169,52 @@ func New(host *simnet.Host, cfg Config, sink Sink) (*Agent, error) {
 	}
 	progs.VM.Clock = func() int64 { return int64(host.Net.Eng.Elapsed()) }
 	a.Progs = progs
+	a.instrument()
 	return a, nil
 }
+
+// instrument registers the agent's self-metrics (counters for every hook and
+// pipeline stage, gauges over VM and perf-buffer state) under this host's
+// uniform tags and pre-resolves the hot-path handles.
+func (a *Agent) instrument() {
+	mon := selfmon.New(a.Host.Name, "agent")
+	a.Mon = mon
+	a.monOn = !a.Cfg.SelfmonOff
+
+	a.mEvents = mon.Counter("deepflow_agent_events_handled")
+	a.mSpans = mon.Counter("deepflow_agent_spans_emitted")
+	a.mPackets = mon.Counter("deepflow_agent_packets_seen")
+	a.mUprobeEvents = mon.Counter("deepflow_agent_hook_events", selfmon.Tag{K: "hook", V: "ssl(uprobe)"})
+	a.mFlushDur = mon.Histogram("deepflow_agent_flush_seconds", selfmon.DurationBuckets())
+	for _, abi := range append(append([]simkernel.ABI{}, simkernel.IngressABIs...), simkernel.EgressABIs...) {
+		for _, ph := range []simkernel.Phase{simkernel.PhaseEnter, simkernel.PhaseExit} {
+			a.hookEvents[abi][ph] = mon.Counter("deepflow_agent_hook_events",
+				selfmon.Tag{K: "hook", V: abi.String() + "/" + ph.String()})
+		}
+	}
+
+	perf := a.Progs.Perf
+	mon.GaugeFunc("deepflow_agent_perf_emitted", func() float64 { return float64(perf.Emitted()) })
+	mon.GaugeFunc("deepflow_agent_perf_lost", func() float64 { return float64(perf.Lost()) })
+	mon.GaugeFunc("deepflow_agent_perf_pending", func() float64 { return float64(perf.Pending()) })
+	vm := a.Progs.VM
+	mon.GaugeFunc("deepflow_agent_vm_instructions", func() float64 { return float64(vm.InstCount) })
+	mon.GaugeFunc("deepflow_agent_vm_map_ops", func() float64 { return float64(vm.MapOps) })
+	mon.GaugeFunc("deepflow_agent_vm_perf_outputs", func() float64 { return float64(vm.PerfOutputs) })
+	mon.GaugeFunc("deepflow_agent_inflight_entries", func() float64 { return float64(a.Progs.InFlight.Len()) })
+	mon.GaugeFunc("deepflow_agent_flowstats_entries", func() float64 { return float64(a.Progs.Stats.Len()) })
+	mon.GaugeFunc("deepflow_agent_cpu_seconds", func() float64 { return a.CPUTime.Seconds() })
+	mon.GaugeFunc("deepflow_agent_hook_errors_total", func() float64 { return float64(a.HookErrors) })
+
+	if a.monOn {
+		a.sysSess.instrument(mon, "syscall")
+		a.nicSess.instrument(mon, "packet")
+	}
+}
+
+// WriteStats dumps the agent's self-metrics as Prometheus-style text — the
+// human-readable exposition behind `deepflow -stats`.
+func (a *Agent) WriteStats(w io.Writer) error { return a.Mon.WriteProm(w) }
 
 // Start deploys the agent: verifies and attaches hook programs on the
 // host's kernel (zero code, in-flight — no process restarts), registers the
@@ -220,19 +289,21 @@ func (a *Agent) Stop() {
 
 func (a *Agent) onEnter(ctx *simkernel.HookContext) {
 	t0 := time.Now()
+	a.countHook(ctx)
 	if err := a.Progs.RunHook(a.Progs.Enter, ctx, a.scratch); err != nil {
-		panic(fmt.Sprintf("agent: enter hook: %v", err))
+		a.hookError("df_sys_enter")
 	}
 	a.CPUTime += time.Since(t0)
 }
 
 func (a *Agent) onExit(ctx *simkernel.HookContext) {
 	t0 := time.Now()
+	a.countHook(ctx)
 	if err := a.Progs.RunHook(a.Progs.Exit, ctx, a.scratch); err != nil {
-		panic(fmt.Sprintf("agent: exit hook: %v", err))
+		a.hookError("df_sys_exit")
 	}
 	if err := a.Progs.RunHook(a.Progs.FlowStats, ctx, a.scratch); err != nil {
-		panic(fmt.Sprintf("agent: flow-stats hook: %v", err))
+		a.hookError("df_flow_stats")
 	}
 	a.drainPerf()
 	a.CPUTime += time.Since(t0)
@@ -240,11 +311,37 @@ func (a *Agent) onExit(ctx *simkernel.HookContext) {
 
 func (a *Agent) onUprobe(ctx *simkernel.HookContext) {
 	t0 := time.Now()
+	if a.monOn {
+		a.mUprobeEvents.Inc()
+	}
 	if err := a.Progs.RunHook(a.Progs.Uprobe, ctx, a.scratch); err != nil {
-		panic(fmt.Sprintf("agent: uprobe hook: %v", err))
+		a.hookError("df_uprobe")
 	}
 	a.drainPerf()
 	a.CPUTime += time.Since(t0)
+}
+
+// countHook accounts one hook firing under its ABI/phase tag.
+func (a *Agent) countHook(ctx *simkernel.HookContext) {
+	if !a.monOn {
+		return
+	}
+	if int(ctx.ABI) < len(a.hookEvents) && int(ctx.Phase) < len(a.hookEvents[0]) {
+		if c := a.hookEvents[ctx.ABI][ctx.Phase]; c != nil {
+			c.Inc()
+		}
+	}
+}
+
+// hookError accounts a hook-program failure and skips the event: one bad
+// program run must not kill the whole agent (the pre-selfmon behaviour was
+// a panic). The failure stays visible through HookErrors and the
+// deepflow_agent_hook_errors series.
+func (a *Agent) hookError(prog string) {
+	a.HookErrors++
+	if a.monOn {
+		a.Mon.Counter("deepflow_agent_hook_errors", selfmon.Tag{K: "hook", V: prog}).Inc()
+	}
 }
 
 // drainPerf moves perf records into the user-space pipeline.
@@ -263,6 +360,9 @@ func (a *Agent) drainPerf() {
 // feeds the syscall sessionizer.
 func (a *Agent) handleEvent(ctx *simkernel.HookContext) {
 	a.EventsHandled++
+	if a.monOn {
+		a.mEvents.Inc()
+	}
 	if ctx.DataLen < 0 || len(ctx.Payload) == 0 {
 		return // failed or zero-length syscalls produce no message data
 	}
@@ -316,6 +416,9 @@ func (a *Agent) onPacket(rec simnet.PacketRecord) {
 	t0 := time.Now()
 	defer func() { a.CPUTime += time.Since(t0) }()
 	a.PacketsSeen++
+	if a.monOn {
+		a.mPackets.Inc()
+	}
 	origin := a.Host
 	if rec.Host != "" && rec.Host != a.Host.Name {
 		if h := a.Host.Net.Host(rec.Host); h != nil {
@@ -398,6 +501,9 @@ func senderIsUnder(origin *simnet.Host, ip trace.IP) bool {
 // encoding tags, attach flow metrics, and ship to the sink.
 func (a *Agent) emitSpan(sp *trace.Span) {
 	a.SpansEmitted++
+	if a.monOn {
+		a.mSpans.Inc()
+	}
 	sp.Resource.VPCID = a.Cfg.VPCID
 	sp.Resource.IP = a.Host.IP
 	// Mirrored captures attribute to the origin device (Fig. 18).
@@ -426,18 +532,27 @@ func (a *Agent) IngestOTel(sp *trace.Span) {
 }
 
 // Flush expires stale sessions and exports flow-metric deltas; the
-// deployment calls it periodically and at shutdown.
+// deployment calls it periodically and at shutdown. Each flush's wall-clock
+// cost is recorded in the deepflow_agent_flush_seconds histogram.
 func (a *Agent) Flush(now time.Time) {
+	t0 := time.Now()
 	a.sysSess.Flush(now)
 	a.nicSess.Flush(now)
 	a.flushFlows(now)
+	if a.monOn {
+		a.mFlushDur.ObserveDuration(time.Since(t0))
+	}
 }
 
 // FlushAll force-completes every open session (end of experiment).
 func (a *Agent) FlushAll() {
+	t0 := time.Now()
 	a.sysSess.FlushAll()
 	a.nicSess.FlushAll()
 	a.flushFlows(a.Host.Net.Eng.Now())
+	if a.monOn {
+		a.mFlushDur.ObserveDuration(time.Since(t0))
+	}
 }
 
 func (a *Agent) flushFlows(now time.Time) {

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"deepflow/internal/protocols"
+	"deepflow/internal/selfmon"
 	"deepflow/internal/trace"
 )
 
@@ -65,6 +66,13 @@ type Sessionizer struct {
 	Inferred    map[trace.L7Proto]int
 	Unparsable  int
 	OrphanResps int
+
+	// Self-monitoring (nil when uninstrumented; see instrument).
+	mon      *selfmon.Registry
+	capture  string
+	mMiss    *selfmon.Counter
+	mOrphans *selfmon.Counter
+	mEvict   *selfmon.Counter
 }
 
 type flowKey struct {
@@ -115,6 +123,20 @@ func NewSessionizer(ids *trace.IDAllocator, tracer *SysTracer, extra []protocols
 	}
 }
 
+// instrument registers this sessionizer's self-metrics under its capture
+// point tag ("syscall" or "packet"): protocol-inference hits and misses,
+// parse errors, orphan responses, window occupancy, and evictions.
+func (sz *Sessionizer) instrument(mon *selfmon.Registry, capture string) {
+	sz.mon = mon
+	sz.capture = capture
+	tag := selfmon.Tag{K: "capture", V: capture}
+	sz.mMiss = mon.Counter("deepflow_agent_inference_misses", tag)
+	sz.mOrphans = mon.Counter("deepflow_agent_orphan_responses", tag)
+	sz.mEvict = mon.Counter("deepflow_agent_window_evictions", tag)
+	mon.GaugeFunc("deepflow_agent_window_occupancy",
+		func() float64 { return float64(sz.window.Len()) }, tag)
+}
+
 func (sz *Sessionizer) key(ev *MessageEvent) flowKey {
 	if ev.Socket != 0 {
 		return flowKey{sock: ev.Socket, uprobe: ev.Source == trace.SourceUProbe}
@@ -152,9 +174,17 @@ func (sz *Sessionizer) Feed(ev MessageEvent) {
 		if fs.codec == nil {
 			fs.inferTry++
 			sz.Unparsable++
+			if sz.mMiss != nil {
+				sz.mMiss.Inc()
+			}
 			return
 		}
 		sz.Inferred[fs.codec.Proto()]++
+		if sz.mon != nil {
+			sz.mon.Counter("deepflow_agent_inference_hits",
+				selfmon.Tag{K: "capture", V: sz.capture},
+				selfmon.Tag{K: "proto", V: fs.codec.Proto().String()}).Inc()
+		}
 	}
 	// Encrypted flows carry no parseable syscall payloads; their spans
 	// come from the uprobe plaintext stream instead.
@@ -165,6 +195,11 @@ func (sz *Sessionizer) Feed(ev MessageEvent) {
 	msg, err := fs.codec.Parse(ev.Payload)
 	if err != nil {
 		sz.Unparsable++
+		if sz.mon != nil {
+			sz.mon.Counter("deepflow_agent_parse_errors",
+				selfmon.Tag{K: "capture", V: sz.capture},
+				selfmon.Tag{K: "proto", V: fs.codec.Proto().String()}).Inc()
+		}
 		return
 	}
 
@@ -229,6 +264,9 @@ func (sz *Sessionizer) feedResponse(fs *flowState, ev MessageEvent, msg protocol
 	}
 	if req == nil {
 		sz.OrphanResps++
+		if sz.mOrphans != nil {
+			sz.mOrphans.Inc()
+		}
 		sz.emitSpan(nil, &ev, &msg)
 		return
 	}
@@ -236,6 +274,9 @@ func (sz *Sessionizer) feedResponse(fs *flowState, ev MessageEvent, msg protocol
 	// §3.3.1); responses beyond that mean the request already flushed.
 	if !sz.window.Adjacent(req.slot, sz.slotOf(ev.Start)) {
 		sz.OrphanResps++
+		if sz.mOrphans != nil {
+			sz.mOrphans.Inc()
+		}
 		sz.markTimeout(req)
 		sz.emitSpan(nil, &ev, &msg)
 		return
@@ -321,6 +362,9 @@ func (sz *Sessionizer) Flush(now time.Time) {
 
 func (sz *Sessionizer) markTimeout(req *openRequest) {
 	req.done = true
+	if sz.mEvict != nil {
+		sz.mEvict.Inc()
+	}
 	old := sz.Emit
 	sz.Emit = func(s *trace.Span) {
 		s.ResponseStatus = "timeout"

@@ -7,6 +7,8 @@ package core
 
 import (
 	"fmt"
+	"io"
+	"sort"
 	"time"
 
 	"deepflow/internal/agent"
@@ -172,6 +174,7 @@ func (d *Deployment) scheduleFlush() {
 		for _, ag := range d.agents {
 			ag.Flush(now)
 		}
+		d.ScrapeSelf(now)
 		d.Env.Eng.After(d.Opts.FlushInterval, tick)
 	}
 	d.Env.Eng.After(d.Opts.FlushInterval, tick)
@@ -182,6 +185,42 @@ func (d *Deployment) FlushAll() {
 	for _, ag := range d.agents {
 		ag.FlushAll()
 	}
+	d.ScrapeSelf(d.Env.Eng.Now())
+}
+
+// ScrapeSelf exports every agent's and the server's self-metrics into the
+// server's metrics plane as ordinary deepflow_agent_* / deepflow_server_*
+// series. They carry the same host/component resource tags as workload
+// metrics, so DeepFlow's own health is queryable through the exact path its
+// users query (§3.4 correlation turned on DeepFlow itself). Runs on every
+// flush tick and at FlushAll.
+func (d *Deployment) ScrapeSelf(now time.Time) {
+	for _, ag := range d.agents {
+		ag.Mon.Export(d.Server.Metrics, now)
+	}
+	d.Server.Mon.Export(d.Server.Metrics, now)
+}
+
+// WriteSelfStats renders the self-metrics of the server and every agent
+// (sorted by host) in Prometheus text format — the `deepflow -stats` report.
+func (d *Deployment) WriteSelfStats(w io.Writer) error {
+	if err := d.Server.WriteStats(w); err != nil {
+		return err
+	}
+	hosts := make([]string, 0, len(d.agents))
+	for name := range d.agents {
+		hosts = append(hosts, name)
+	}
+	sort.Strings(hosts)
+	for _, name := range hosts {
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		if err := d.agents[name].WriteStats(w); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Stop detaches every agent and ends the flush loop; the monitored

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"deepflow/internal/sim"
+)
+
+// TestSelfMonitoringScrape verifies that the periodic scraper lands every
+// component's self-metrics in the server's metrics plane as ordinary series,
+// queryable with the same host/component tags as workload metrics.
+func TestSelfMonitoringScrape(t *testing.T) {
+	d, _, gen := runSpringBoot(t, nil, 50, 2*time.Second)
+	defer d.Stop()
+	if gen.Completed == 0 {
+		t.Fatal("no load completed")
+	}
+	from, to := sim.Epoch, sim.Epoch.Add(time.Hour)
+
+	// Agent self-metrics: one series per host, tagged with it.
+	series := d.Server.Metrics.Query("deepflow_agent_spans_emitted",
+		map[string]string{"component": "agent"}, from, to)
+	if len(series) != d.Agents() {
+		t.Fatalf("agent spans_emitted series = %d, want one per agent (%d)", len(series), d.Agents())
+	}
+	var total float64
+	hosts := map[string]bool{}
+	for _, s := range series {
+		hosts[s.Tags["host"]] = true
+		if n := len(s.Points); n > 0 {
+			total += s.Points[n-1].Value // cumulative counter: latest point
+		}
+	}
+	if int(total) != d.SpansEmitted() {
+		t.Errorf("scraped spans_emitted = %v, agents report %d", total, d.SpansEmitted())
+	}
+	if !hosts["sb-front-0"] {
+		t.Errorf("no series for host sb-front-0; hosts = %v", hosts)
+	}
+
+	// Per-host query: exactly one series.
+	one := d.Server.Metrics.Query("deepflow_agent_events_handled",
+		map[string]string{"host": "sb-front-0"}, from, to)
+	if len(one) != 1 {
+		t.Fatalf("per-host query returned %d series", len(one))
+	}
+
+	// Server self-metrics ride the same plane.
+	srv := d.Server.Metrics.Query("deepflow_server_spans_ingested",
+		map[string]string{"component": "server"}, from, to)
+	if len(srv) != 1 || len(srv[0].Points) == 0 {
+		t.Fatalf("server spans_ingested series = %v", srv)
+	}
+	if got := srv[0].Points[len(srv[0].Points)-1].Value; int(got) != d.Server.SpansIngested {
+		t.Errorf("scraped spans_ingested = %v, server reports %d", got, d.Server.SpansIngested)
+	}
+
+	// The flush loop scrapes periodically: a 2s run with the 10s default
+	// interval still gets the FlushAll scrape, so at least one point exists;
+	// with a shorter interval we get more.
+	if len(srv[0].Points) < 1 {
+		t.Error("no scrape points")
+	}
+
+	// The human exposition includes every component.
+	var b strings.Builder
+	if err := d.WriteSelfStats(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`component="server"`,
+		`host="sb-front-0"`,
+		"deepflow_agent_hook_events",
+		"deepflow_server_parent_rule_hits",
+		"deepflow_agent_perf_lost",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteSelfStats missing %q", want)
+		}
+	}
+}

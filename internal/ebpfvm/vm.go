@@ -19,6 +19,13 @@ type Machine struct {
 	// InstCount accumulates executed instructions across all runs; the
 	// Fig. 13 overhead benchmarks read it.
 	InstCount uint64
+
+	// MapOps and PerfOutputs count helper-side resource operations
+	// (lookup/update/delete, perf submissions) for the self-monitoring
+	// plane. Like InstCount they are plain counters: one Machine runs on
+	// one kernel's hook path, never concurrently.
+	MapOps      uint64
+	PerfOutputs uint64
 }
 
 // NewMachine returns an empty machine with a zero clock.
@@ -305,6 +312,12 @@ func (vm *Machine) call(h HelperID, regs *[NumRegs]rtReg, task Task, p *Program,
 	}
 
 	var r0 rtReg
+	switch h {
+	case HelperMapLookup, HelperMapUpdate, HelperMapDelete:
+		vm.MapOps++
+	case HelperPerfOutput:
+		vm.PerfOutputs++
+	}
 	switch h {
 	case HelperMapLookup:
 		m := vm.maps[int64(regs[R1].val)]

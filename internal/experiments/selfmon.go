@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"deepflow/internal/core"
+	"deepflow/internal/k8s"
+	"deepflow/internal/microsim"
+	"deepflow/internal/selfmon"
+	"deepflow/internal/sim"
+	"deepflow/internal/trace"
+)
+
+// SelfmonSample is one fleet-aggregated self-metric: the same name+tags
+// summed across hosts (counters, gauges, histogram counts/sums) or maxed
+// (histogram quantiles — a max over hosts is a conservative fleet quantile).
+type SelfmonSample struct {
+	Name  string
+	Tags  string // non-host tags, FormatTags-style
+	Value float64
+}
+
+// RunSelfmon deploys DeepFlow over the Spring Boot workload, drives load,
+// assembles every completed client trace (exercising Algorithm 1 and the
+// parent-rule table), and returns the aggregated self-metrics of all agents
+// plus the server — DeepFlow observing DeepFlow.
+func RunSelfmon(rate float64, duration time.Duration) ([]SelfmonSample, error) {
+	env := microsim.NewEnv(7)
+	topo := microsim.BuildSpringBootDemo(env, nil)
+	d := core.NewDeployment(env, []*k8s.Cluster{topo.Cluster}, nil, core.DefaultOptions())
+	if err := d.DeployAll(); err != nil {
+		return nil, err
+	}
+
+	gen := microsim.NewLoadGen(env, "wrk", topo.ClientHost, topo.Entry, 8, rate)
+	gen.Path = "/api/items"
+	gen.Start(duration)
+	env.Run(duration + time.Second)
+	d.FlushAll()
+
+	// Assemble traces so the server-side instruments (iteration histogram,
+	// rule-hit counters) see real work.
+	for _, sp := range d.Server.SpanList(sim.Epoch, sim.Epoch.Add(24*time.Hour), 0) {
+		if sp.ProcessName == "wrk" && sp.TapSide == trace.TapClientProcess && sp.ResponseStatus == "ok" {
+			d.Server.Trace(sp.ID)
+		}
+	}
+	d.ScrapeSelf(env.Eng.Now())
+	d.Stop()
+
+	// Aggregate per-host registries into fleet-level samples.
+	var snaps []selfmon.Sample
+	snaps = append(snaps, d.Server.Mon.Snapshot()...)
+	for _, h := range env.Net.Hosts() {
+		if ag := d.Agent(h.Name); ag != nil {
+			snaps = append(snaps, ag.Mon.Snapshot()...)
+		}
+	}
+	agg := map[string]*SelfmonSample{}
+	for _, s := range snaps {
+		tags := make(map[string]string, len(s.Tags))
+		for k, v := range s.Tags {
+			if k != "host" {
+				tags[k] = v
+			}
+		}
+		key := s.Name + selfmon.FormatTags(tags)
+		a, ok := agg[key]
+		if !ok {
+			a = &SelfmonSample{Name: s.Name, Tags: selfmon.FormatTags(tags)}
+			agg[key] = a
+		}
+		if isQuantile(s.Name) {
+			if s.Value > a.Value {
+				a.Value = s.Value
+			}
+		} else {
+			a.Value += s.Value
+		}
+	}
+	out := make([]SelfmonSample, 0, len(agg))
+	for _, a := range agg {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Tags < out[j].Tags
+	})
+	return out, nil
+}
+
+func isQuantile(name string) bool {
+	return strings.HasSuffix(name, "_p50") || strings.HasSuffix(name, "_p90") ||
+		strings.HasSuffix(name, "_p99")
+}
+
+// Selfmon runs the self-monitoring experiment and formats the report.
+func Selfmon(rate float64, duration time.Duration) (*Table, error) {
+	samples, err := RunSelfmon(rate, duration)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "selfmon",
+		Title:   "Self-monitoring plane: DeepFlow observing DeepFlow",
+		Columns: []string{"metric", "tags", "value"},
+		Notes: []string{
+			"counters/gauges are summed across hosts; histogram quantiles are per-host maxima",
+			"every sample is also exported into the server's metrics plane as a series with host/component tags (query deepflow_agent_* / deepflow_server_*)",
+			"health invariants to eyeball: perf_lost = 0, hook_errors_total = 0, parent_rule_hits ≈ spans with parents, assemble_iterations p99 ≪ 30",
+		},
+	}
+	for _, s := range samples {
+		if s.Value == 0 && !interestingWhenZero(s.Name) {
+			continue
+		}
+		t.AddRow(s.Name, s.Tags, fmt.Sprintf("%g", s.Value))
+	}
+	return t, nil
+}
+
+// interestingWhenZero keeps zero-valued health metrics in the report: their
+// being zero is the finding.
+func interestingWhenZero(name string) bool {
+	switch name {
+	case "deepflow_agent_perf_lost", "deepflow_agent_hook_errors_total",
+		"deepflow_agent_orphan_responses", "deepflow_agent_window_evictions":
+		return true
+	}
+	return false
+}

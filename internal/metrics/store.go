@@ -38,14 +38,33 @@ func seriesKey(name string, tags map[string]string) string {
 	}
 	sort.Strings(keys)
 	var b strings.Builder
-	b.WriteString(name)
+	writeKeyPart(&b, name)
 	for _, k := range keys {
 		b.WriteByte('|')
-		b.WriteString(k)
+		writeKeyPart(&b, k)
 		b.WriteByte('=')
-		b.WriteString(tags[k])
+		writeKeyPart(&b, tags[k])
 	}
 	return b.String()
+}
+
+// writeKeyPart escapes the key's structural bytes ('|', '=', and the escape
+// itself) so tag values containing them cannot collide with other series
+// (e.g. {a: "b|c=d"} vs {a: "b", c: "d"}).
+func writeKeyPart(b *strings.Builder, s string) {
+	if !strings.ContainsAny(s, `|=\`) {
+		b.WriteString(s)
+		return
+	}
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '|', '=', '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		default:
+			b.WriteByte(c)
+		}
+	}
 }
 
 // Add appends a sample to the series identified by name and tags.

@@ -50,6 +50,33 @@ func TestSum(t *testing.T) {
 	}
 }
 
+func TestSeriesKeyCollisions(t *testing.T) {
+	// Tag values containing the key's structural bytes must not collide
+	// with other series.
+	cases := [][2]map[string]string{
+		{{"a": "b|c=d"}, {"a": "b", "c": "d"}},
+		{{"a": "b", "c": "d", "e": "f"}, {"a": "b", "c": "d|e=f"}},
+		{{"a": "b="}, {"a=": "b"}},
+		{{"a": `b\|c`}, {"a": `b\`, "c": ""}},
+		{{"a|b": "c"}, {"a": "b|c"}},
+	}
+	for _, c := range cases {
+		s := NewStore()
+		s.Add("m", c[0], t0, 1)
+		s.Add("m", c[1], t0, 1)
+		if s.SeriesCount() != 2 {
+			t.Fatalf("tags %v and %v collided into %d series", c[0], c[1], s.SeriesCount())
+		}
+	}
+	// Identical tags still coalesce into one series.
+	s := NewStore()
+	s.Add("m", map[string]string{"a": "b|c=d"}, t0, 1)
+	s.Add("m", map[string]string{"a": "b|c=d"}, t0.Add(time.Second), 2)
+	if s.SeriesCount() != 1 {
+		t.Fatalf("identical tags split into %d series", s.SeriesCount())
+	}
+}
+
 func TestTagIsolation(t *testing.T) {
 	s := NewStore()
 	tags := map[string]string{"k": "v"}

@@ -1,0 +1,241 @@
+package selfmon
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"deepflow/internal/metrics"
+)
+
+// Kind classifies a registered metric.
+type Kind uint8
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "kind?"
+	}
+}
+
+// Registry holds one component's self-metrics under uniform host/component
+// tags. Metric lookups (get-or-create) lock; the returned handles update
+// with single atomic operations, so callers resolve handles once at wiring
+// time and increment them on hot paths.
+type Registry struct {
+	host      string
+	component string
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	order   []*entry
+}
+
+type entry struct {
+	name string
+	tags []Tag // sorted by key; excludes host/component
+	kind Kind
+
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+}
+
+// New creates a registry for one component instance (e.g. the agent on one
+// host). Every exported sample carries host and component tags.
+func New(host, component string) *Registry {
+	return &Registry{
+		host:      host,
+		component: component,
+		entries:   make(map[string]*entry),
+	}
+}
+
+// Host returns the registry's uniform host tag.
+func (r *Registry) Host() string { return r.host }
+
+// Component returns the registry's uniform component tag.
+func (r *Registry) Component() string { return r.component }
+
+func entryKey(name string, tags []Tag) string {
+	var b strings.Builder
+	b.WriteString(name)
+	for _, t := range tags {
+		b.WriteByte(0)
+		b.WriteString(t.K)
+		b.WriteByte(0)
+		b.WriteString(t.V)
+	}
+	return b.String()
+}
+
+func sortTags(tags []Tag) []Tag {
+	out := make([]Tag, len(tags))
+	copy(out, tags)
+	sort.Slice(out, func(i, j int) bool { return out[i].K < out[j].K })
+	return out
+}
+
+// get returns the entry for (name, tags), creating it via mk on first use.
+// Re-registering with a different kind is a programming error and panics,
+// matching the storage package's schema-misuse convention.
+func (r *Registry) get(name string, kind Kind, tags []Tag, mk func(*entry)) *entry {
+	sorted := sortTags(tags)
+	key := entryKey(name, sorted)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[key]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("selfmon: %q registered as %s, requested as %s", name, e.kind, kind))
+		}
+		return e
+	}
+	e := &entry{name: name, tags: sorted, kind: kind}
+	mk(e)
+	r.entries[key] = e
+	r.order = append(r.order, e)
+	return e
+}
+
+// Counter returns the counter for (name, tags), creating it on first use.
+func (r *Registry) Counter(name string, tags ...Tag) *Counter {
+	return r.get(name, KindCounter, tags, func(e *entry) { e.counter = &Counter{} }).counter
+}
+
+// Gauge returns the settable gauge for (name, tags).
+func (r *Registry) Gauge(name string, tags ...Tag) *Gauge {
+	return r.get(name, KindGauge, tags, func(e *entry) { e.gauge = &Gauge{} }).gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at snapshot
+// time — the cheap way to expose counters owned by other subsystems (VM
+// instruction counts, map sizes, storage bytes).
+func (r *Registry) GaugeFunc(name string, fn func() float64, tags ...Tag) {
+	r.get(name, KindGauge, tags, func(e *entry) { e.gaugeFn = fn })
+}
+
+// Histogram returns the histogram for (name, tags), creating it with the
+// given bucket bounds on first use (later calls reuse the existing buckets).
+func (r *Registry) Histogram(name string, bounds []float64, tags ...Tag) *Histogram {
+	return r.get(name, KindHistogram, tags, func(e *entry) { e.hist = NewHistogram(bounds) }).hist
+}
+
+// Sample is one flattened metric value. Histograms expand into _p50, _p90,
+// _p99, _count, and _sum samples.
+type Sample struct {
+	Name  string
+	Tags  map[string]string // includes host and component
+	Value float64
+	Kind  Kind
+}
+
+func (r *Registry) baseTags(extra []Tag) map[string]string {
+	tags := make(map[string]string, len(extra)+2)
+	tags["host"] = r.host
+	tags["component"] = r.component
+	for _, t := range extra {
+		tags[t.K] = t.V
+	}
+	return tags
+}
+
+// Snapshot flattens every metric into samples, sorted by name then tags.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	entries := make([]*entry, len(r.order))
+	copy(entries, r.order)
+	r.mu.Unlock()
+
+	var out []Sample
+	for _, e := range entries {
+		tags := r.baseTags(e.tags)
+		switch e.kind {
+		case KindCounter:
+			out = append(out, Sample{Name: e.name, Tags: tags, Value: float64(e.counter.Value()), Kind: KindCounter})
+		case KindGauge:
+			v := 0.0
+			if e.gaugeFn != nil {
+				v = e.gaugeFn()
+			} else {
+				v = e.gauge.Value()
+			}
+			out = append(out, Sample{Name: e.name, Tags: tags, Value: v, Kind: KindGauge})
+		case KindHistogram:
+			h := e.hist
+			out = append(out,
+				Sample{Name: e.name + "_p50", Tags: tags, Value: h.P50(), Kind: KindHistogram},
+				Sample{Name: e.name + "_p90", Tags: tags, Value: h.P90(), Kind: KindHistogram},
+				Sample{Name: e.name + "_p99", Tags: tags, Value: h.P99(), Kind: KindHistogram},
+				Sample{Name: e.name + "_count", Tags: tags, Value: float64(h.Count()), Kind: KindHistogram},
+				Sample{Name: e.name + "_sum", Tags: tags, Value: h.Sum(), Kind: KindHistogram},
+			)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return FormatTags(out[i].Tags) < FormatTags(out[j].Tags)
+	})
+	return out
+}
+
+// Export writes every sample into the metrics store at ts, making DeepFlow's
+// own telemetry queryable through the same tag-correlated path as workload
+// metrics (§3.4). Counter series are cumulative: query the latest point or
+// difference two points for a rate.
+func (r *Registry) Export(store *metrics.Store, ts time.Time) {
+	for _, s := range r.Snapshot() {
+		store.Add(s.Name, s.Tags, ts, s.Value)
+	}
+}
+
+// FormatTags renders tags deterministically as {k="v",...}, host and
+// component first.
+func FormatTags(tags map[string]string) string {
+	keys := make([]string, 0, len(tags))
+	for k := range tags {
+		if k == "host" || k == "component" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ordered := make([]string, 0, len(tags))
+	for _, k := range []string{"component", "host"} {
+		if v, ok := tags[k]; ok {
+			ordered = append(ordered, fmt.Sprintf("%s=%q", k, v))
+		}
+	}
+	for _, k := range keys {
+		ordered = append(ordered, fmt.Sprintf("%s=%q", k, tags[k]))
+	}
+	return "{" + strings.Join(ordered, ",") + "}"
+}
+
+// WriteProm writes the registry as Prometheus-style exposition text.
+func (r *Registry) WriteProm(w io.Writer) error {
+	for _, s := range r.Snapshot() {
+		if _, err := fmt.Fprintf(w, "%s%s %g\n", s.Name, FormatTags(s.Tags), s.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+// Package selfmon is DeepFlow's self-observability plane: lock-cheap
+// counters, gauges, and fixed-bucket histograms that every pipeline stage
+// (ebpfvm, agent, server, storage) registers under uniform host/component
+// tags. The paper's own evaluation depends on this layer — Fig. 19(c) plots
+// the agent's CPU self-accounting, Fig. 13 measures per-hook overhead, and
+// §3.4 argues that uniform tags let users correlate traces with *any*
+// metric series, including DeepFlow's own ("show perf-buffer loss on the
+// host of this slow trace"). A periodic scraper exports every self-metric
+// into internal/metrics.Store as deepflow_agent_* / deepflow_server_*
+// series carrying the same resource tags as workload metrics.
+//
+// Hot-path updates are single atomic operations; registration (get-or-
+// create) takes a mutex and is expected once per metric, at wiring time.
+package selfmon
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Tag is one extra key/value pair attached to a metric at registration
+// (e.g. {"hook", "read/exit"} or {"proto", "HTTP"}). The registry adds the
+// uniform host and component tags on top.
+type Tag struct{ K, V string }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomically settable float64 value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (compare-and-swap loop; gauges are not hot-path metrics).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + d
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram with atomic bucket counters. Bucket
+// i counts observations v <= bounds[i]; one implicit overflow bucket counts
+// everything beyond the last bound. Quantiles are read out by linear
+// interpolation within the containing bucket; observations that landed in
+// the overflow bucket report the last bound (the histogram cannot resolve
+// beyond its range).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the overflow bucket
+	sum    Gauge
+}
+
+// NewHistogram creates a histogram over ascending upper bounds. Callers
+// normally obtain histograms from a Registry instead.
+func NewHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a latency sample in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Quantile returns the q-th quantile (q in [0,1]) by linear interpolation
+// within the containing bucket. An empty histogram returns 0; observations
+// in the overflow bucket are reported as the last bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Nearest-rank with interpolation: find the bucket holding the rank-th
+	// observation (1-based).
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			if i == len(h.bounds) {
+				// Overflow bucket: unbounded above, clamp to the last bound.
+				if len(h.bounds) == 0 {
+					return 0
+				}
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			upper := h.bounds[i]
+			frac := float64(rank-cum) / float64(n)
+			return lower + (upper-lower)*frac
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1] // unreachable for total > 0
+}
+
+// P50, P90, P99 are the standard latency readouts.
+func (h *Histogram) P50() float64 { return h.Quantile(0.50) }
+
+// P90 returns the 90th percentile.
+func (h *Histogram) P90() float64 { return h.Quantile(0.90) }
+
+// P99 returns the 99th percentile.
+func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
+
+// LinearBuckets returns n ascending bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExpBuckets returns n ascending bounds start, start*factor, ...
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DurationBuckets is the default latency bucketing: 1µs to ~17s in
+// quarter-decade steps, wide enough for both sub-microsecond hook costs and
+// multi-second flush stalls.
+func DurationBuckets() []float64 { return ExpBuckets(1e-6, math.Sqrt2, 49) }

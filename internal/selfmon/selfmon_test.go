@@ -1,0 +1,185 @@
+package selfmon
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"deepflow/internal/metrics"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := New("h1", "agent")
+	c := r.Counter("deepflow_agent_test_ops")
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*per {
+		t.Fatalf("counter = %d, want %d", got, goroutines*per)
+	}
+}
+
+func TestCounterSharedHandle(t *testing.T) {
+	r := New("h1", "agent")
+	a := r.Counter("m", Tag{"proto", "HTTP"})
+	b := r.Counter("m", Tag{"proto", "HTTP"})
+	if a != b {
+		t.Fatal("same (name, tags) must return the same counter")
+	}
+	c := r.Counter("m", Tag{"proto", "DNS"})
+	if a == c {
+		t.Fatal("different tags must return distinct counters")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := New("h1", "server")
+	g := r.Gauge("g")
+	g.Set(2.5)
+	g.Add(1.5)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %v", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(LinearBuckets(1, 1, 10))
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram q%v = %v, want 0", q, got)
+		}
+	}
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("empty histogram count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := NewHistogram(LinearBuckets(1, 1, 10)) // bounds 1..10
+	h.Observe(3.5)
+	// Every quantile must land inside the containing bucket (3, 4].
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got <= 3 || got > 4 {
+			t.Fatalf("single-sample q%v = %v, want within (3,4]", q, got)
+		}
+	}
+	if h.Count() != 1 || h.Sum() != 3.5 {
+		t.Fatalf("count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramAllOverflow(t *testing.T) {
+	h := NewHistogram(LinearBuckets(1, 1, 4)) // bounds 1..4
+	for i := 0; i < 100; i++ {
+		h.Observe(1e9)
+	}
+	// Everything beyond the last bound clamps to it.
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if got := h.Quantile(q); got != 4 {
+			t.Fatalf("overflow q%v = %v, want clamp to 4", q, got)
+		}
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(LinearBuckets(1, 1, 100))
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) - 0.5) // one sample per bucket
+	}
+	if p50 := h.P50(); math.Abs(p50-50) > 1 {
+		t.Fatalf("p50 = %v, want ~50", p50)
+	}
+	if p90 := h.P90(); math.Abs(p90-90) > 1 {
+		t.Fatalf("p90 = %v, want ~90", p90)
+	}
+	if p99 := h.P99(); math.Abs(p99-99) > 1 {
+		t.Fatalf("p99 = %v, want ~99", p99)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1, 2, 16))
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				h.Observe(float64(g*100 + i%64))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != 20000 {
+		t.Fatalf("count = %d, want 20000", got)
+	}
+}
+
+func TestRegistryExport(t *testing.T) {
+	r := New("node-1", "agent")
+	r.Counter("deepflow_agent_perf_lost").Add(7)
+	r.GaugeFunc("deepflow_agent_vm_instructions", func() float64 { return 42 })
+	h := r.Histogram("deepflow_agent_flush_seconds", DurationBuckets())
+	h.ObserveDuration(3 * time.Millisecond)
+
+	store := metrics.NewStore()
+	ts := time.Unix(1000, 0)
+	r.Export(store, ts)
+
+	// Counter series carries uniform host/component tags and is queryable
+	// by host — the §3.4 correlation path on DeepFlow's own telemetry.
+	got := store.Query("deepflow_agent_perf_lost", map[string]string{"host": "node-1"}, ts, ts)
+	if len(got) != 1 || got[0].Points[0].Value != 7 {
+		t.Fatalf("perf_lost query = %+v", got)
+	}
+	if got[0].Tags["component"] != "agent" {
+		t.Fatalf("missing component tag: %+v", got[0].Tags)
+	}
+	if n := store.Query("deepflow_agent_vm_instructions", nil, ts, ts); len(n) != 1 || n[0].Points[0].Value != 42 {
+		t.Fatalf("gauge func query = %+v", n)
+	}
+	for _, name := range []string{"deepflow_agent_flush_seconds_p50", "deepflow_agent_flush_seconds_p99", "deepflow_agent_flush_seconds_count"} {
+		if n := store.Query(name, nil, ts, ts); len(n) != 1 {
+			t.Fatalf("histogram export missing %s", name)
+		}
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	r := New("node-1", "server")
+	r.Counter("deepflow_server_spans_ingested", Tag{"encoding", "smart-encoding"}).Add(3)
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `deepflow_server_spans_ingested{component="server",host="node-1",encoding="smart-encoding"} 3`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("prom output %q missing %q", b.String(), want)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := New("h", "c")
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("m")
+}

@@ -50,7 +50,9 @@ func (s *SpanStore) AssembleMasked(start trace.SpanID, iterations int, mask Asso
 	// Phase 1: iterative span search (Algorithm 1 lines 2–16).
 	inSet := map[int]bool{startRow: true}
 	frontier := []int{startRow}
+	itersUsed := 0
 	for iter := 0; iter < iterations && len(frontier) > 0; iter++ {
+		itersUsed = iter + 1
 		var next []int
 		for _, row := range frontier {
 			for _, rel := range s.relatedMasked(s.spans[row], mask) {
@@ -63,6 +65,9 @@ func (s *SpanStore) AssembleMasked(start trace.SpanID, iterations int, mask Asso
 		// Termination on fixed point (lines 13–14): no new related spans.
 		frontier = next
 	}
+	if s.mAssembleIters != nil {
+		s.mAssembleIters.Observe(float64(itersUsed))
+	}
 
 	spans := make([]*trace.Span, 0, len(inSet))
 	for row := range inSet {
@@ -71,8 +76,11 @@ func (s *SpanStore) AssembleMasked(start trace.SpanID, iterations int, mask Asso
 
 	// Phase 2: set parents (lines 18–24).
 	for _, sp := range spans {
-		if parent := chooseParent(sp, spans); parent != nil {
+		if parent, ruleIdx := chooseParentRule(sp, spans); parent != nil {
 			sp.ParentID = parent.ID
+			if s.ruleHits != nil {
+				s.ruleHits[ruleIdx].Inc()
+			}
 		}
 	}
 	breakCycles(spans)

@@ -190,7 +190,15 @@ func chainRule(side trace.TapSide) func(c, p *trace.Span) bool {
 // rule the nearest-hop (highest tap rank) then tightest-interval candidate
 // wins.
 func chooseParent(child *trace.Span, candidates []*trace.Span) *trace.Span {
-	for _, r := range parentRules {
+	p, _ := chooseParentRule(child, candidates)
+	return p
+}
+
+// chooseParentRule is chooseParent plus the index into parentRules of the
+// winning rule (-1 when none fires), so the self-monitoring plane can
+// attribute parent decisions to individual rules.
+func chooseParentRule(child *trace.Span, candidates []*trace.Span) (*trace.Span, int) {
+	for ri, r := range parentRules {
 		var best *trace.Span
 		for _, p := range candidates {
 			if p == child || p.ID == child.ID {
@@ -204,10 +212,10 @@ func chooseParent(child *trace.Span, candidates []*trace.Span) *trace.Span {
 			}
 		}
 		if best != nil {
-			return best
+			return best, ri
 		}
 	}
-	return nil
+	return nil, -1
 }
 
 // betterParent prefers the nearest upstream hop, then the tightest

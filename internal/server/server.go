@@ -2,10 +2,12 @@ package server
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"deepflow/internal/agent"
 	"deepflow/internal/metrics"
+	"deepflow/internal/selfmon"
 	"deepflow/internal/trace"
 )
 
@@ -18,9 +20,16 @@ type Server struct {
 	Store    *SpanStore
 	Metrics  *metrics.Store
 
+	// Mon is the server's self-monitoring registry (Fig. 19-style
+	// self-accounting applied to the server itself).
+	Mon *selfmon.Registry
+
 	// Stats.
 	SpansIngested int
 	FlowsIngested int
+
+	mSpans *selfmon.Counter
+	mFlows *selfmon.Counter
 }
 
 // New creates a server with the given tag encoding.
@@ -31,12 +40,34 @@ func New(reg *ResourceRegistry, enc Encoding) *Server {
 // NewWide creates a server whose store materializes `wide` extra derived
 // tag columns under non-smart encodings (see NewSpanStoreWide).
 func NewWide(reg *ResourceRegistry, enc Encoding, wide int) *Server {
-	return &Server{
+	s := &Server{
 		Registry: reg,
 		Store:    NewSpanStoreWide(enc, reg, wide),
 		Metrics:  metrics.NewStore(),
+		Mon:      selfmon.New("server", "server"),
 	}
+	s.mSpans = s.Mon.Counter("deepflow_server_spans_ingested")
+	s.mFlows = s.Mon.Counter("deepflow_server_flows_ingested")
+	s.Store.instrument(s.Mon)
+	// Smart-encoding dictionary cardinalities (Fig. 8's query-time name
+	// resolution depends on these staying small relative to span volume).
+	for name, d := range map[string]*dictionary{
+		"pods":       reg.pods,
+		"nodes":      reg.nodes,
+		"services":   reg.services,
+		"namespaces": reg.namespaces,
+		"regions":    reg.regions,
+		"azs":        reg.azs,
+	} {
+		s.Mon.GaugeFunc("deepflow_server_dictionary_size",
+			func() float64 { return float64(len(d.names)) },
+			selfmon.Tag{K: "dict", V: name})
+	}
+	return s
 }
+
+// WriteStats renders the server's self-metrics in Prometheus text format.
+func (s *Server) WriteStats(w io.Writer) error { return s.Mon.WriteProm(w) }
 
 // IngestSpan implements agent.Sink: smart-encoding phase 2 (resolve VPC+IP
 // to integer resource tags) happens here, then the span is stored.
@@ -44,6 +75,7 @@ func (s *Server) IngestSpan(sp *trace.Span) {
 	sp.Resource = s.Registry.Enrich(sp.Resource)
 	s.Store.Insert(sp)
 	s.SpansIngested++
+	s.mSpans.Inc()
 }
 
 // IngestFlow implements agent.Sink: flow metric deltas become series in the
@@ -71,6 +103,7 @@ func (s *Server) IngestFlow(f agent.FlowSample) {
 		s.Metrics.Add("net.rtt_us", tags, f.TS, float64(f.Delta.RTT.Microseconds()))
 	}
 	s.FlowsIngested++
+	s.mFlows.Inc()
 }
 
 // SpanList answers the span-list query of Fig. 15.

@@ -1,10 +1,12 @@
 package server
 
 import (
+	"fmt"
 	"sort"
 	"strconv"
 	"time"
 
+	"deepflow/internal/selfmon"
 	"deepflow/internal/storage"
 	"deepflow/internal/trace"
 )
@@ -66,6 +68,10 @@ type SpanStore struct {
 	wide      int
 	wideNames []string
 	table     *storage.Table
+
+	// Self-monitoring handles (nil when the store is not instrumented).
+	mAssembleIters *selfmon.Histogram
+	ruleHits       []*selfmon.Counter
 }
 
 // NewSpanStore creates a store with the given tag encoding.
@@ -123,6 +129,29 @@ func NewSpanStoreWide(enc Encoding, reg *ResourceRegistry, wide int) *SpanStore 
 	s.wide = wide
 	s.table = storage.NewTable("spans_"+enc.String(), schema)
 	return s
+}
+
+// instrument registers the store's self-monitoring instruments: storage
+// resource gauges per encoding, the Algorithm-1 iterations-to-fixed-point
+// histogram, and per-rule parent-selection hit counters (pre-resolved so the
+// assembly hot path pays one atomic add per decision).
+func (s *SpanStore) instrument(mon *selfmon.Registry) {
+	enc := selfmon.Tag{K: "encoding", V: s.Encoding.String()}
+	mon.GaugeFunc("deepflow_server_storage_rows",
+		func() float64 { return float64(s.table.Rows()) }, enc)
+	mon.GaugeFunc("deepflow_server_storage_blocks",
+		func() float64 { return float64(s.table.Blocks()) }, enc)
+	mon.GaugeFunc("deepflow_server_storage_mem_bytes",
+		func() float64 { return float64(s.table.MemBytes()) }, enc)
+	mon.GaugeFunc("deepflow_server_storage_disk_bytes",
+		func() float64 { return float64(s.table.DiskSize()) }, enc)
+	s.mAssembleIters = mon.Histogram("deepflow_server_assemble_iterations",
+		selfmon.LinearBuckets(1, 1, DefaultIterations))
+	s.ruleHits = make([]*selfmon.Counter, len(parentRules))
+	for i, r := range parentRules {
+		s.ruleHits[i] = mon.Counter("deepflow_server_parent_rule_hits",
+			selfmon.Tag{K: "rule", V: fmt.Sprintf("%02d-%s", r.id, r.name)})
+	}
 }
 
 // Insert ingests one span (whose resource tags have been enriched) plus any

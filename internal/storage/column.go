@@ -50,8 +50,23 @@ type Column interface {
 	Str(i int) string
 	// MemBytes estimates resident memory.
 	MemBytes() int
+	// DiskSize returns the serialized size, maintained incrementally on
+	// append so the self-monitoring plane can scrape it without
+	// serializing the column. Always equal to what WriteTo would produce.
+	DiskSize() int64
 	// WriteTo serializes the column block (the "disk" representation).
 	WriteTo(w io.Writer) (int64, error)
+}
+
+// varintLen / uvarintLen return the encoded size of one value.
+func varintLen(v int64) int64 {
+	var buf [binary.MaxVarintLen64]byte
+	return int64(binary.PutVarint(buf[:], v))
+}
+
+func uvarintLen(v uint64) int64 {
+	var buf [binary.MaxVarintLen64]byte
+	return int64(binary.PutUvarint(buf[:], v))
 }
 
 // NewColumn creates an empty column of the given type.
@@ -71,11 +86,18 @@ func NewColumn(t ColumnType) Column {
 }
 
 // intColumn stores 64-bit integers.
-type intColumn struct{ vals []int64 }
+type intColumn struct {
+	vals []int64
+	disk int64
+}
 
-func (c *intColumn) Type() ColumnType    { return TypeInt64 }
-func (c *intColumn) Len() int            { return len(c.vals) }
-func (c *intColumn) AppendInt(v int64)   { c.vals = append(c.vals, v) }
+func (c *intColumn) Type() ColumnType { return TypeInt64 }
+func (c *intColumn) Len() int         { return len(c.vals) }
+func (c *intColumn) AppendInt(v int64) {
+	c.vals = append(c.vals, v)
+	c.disk += varintLen(v)
+}
+func (c *intColumn) DiskSize() int64     { return c.disk }
 func (c *intColumn) AppendString(string) { panic("storage: AppendString on Int64 column") }
 func (c *intColumn) Int(i int) int64     { return c.vals[i] }
 func (c *intColumn) Str(i int) string    { return fmt.Sprintf("%d", c.vals[i]) }
@@ -98,11 +120,18 @@ func (c *intColumn) WriteTo(w io.Writer) (int64, error) {
 
 // int32Column stores 32-bit integers — the natural width for
 // smart-encoded resource tag IDs.
-type int32Column struct{ vals []int32 }
+type int32Column struct {
+	vals []int32
+	disk int64
+}
 
-func (c *int32Column) Type() ColumnType    { return TypeInt32 }
-func (c *int32Column) Len() int            { return len(c.vals) }
-func (c *int32Column) AppendInt(v int64)   { c.vals = append(c.vals, int32(v)) }
+func (c *int32Column) Type() ColumnType { return TypeInt32 }
+func (c *int32Column) Len() int         { return len(c.vals) }
+func (c *int32Column) AppendInt(v int64) {
+	c.vals = append(c.vals, int32(v))
+	c.disk += varintLen(int64(int32(v)))
+}
+func (c *int32Column) DiskSize() int64     { return c.disk }
 func (c *int32Column) AppendString(string) { panic("storage: AppendString on Int32 column") }
 func (c *int32Column) Int(i int) int64     { return int64(c.vals[i]) }
 func (c *int32Column) Str(i int) string    { return fmt.Sprintf("%d", c.vals[i]) }
@@ -126,6 +155,7 @@ func (c *int32Column) WriteTo(w io.Writer) (int64, error) {
 type strColumn struct {
 	offsets []int
 	data    []byte
+	disk    int64
 }
 
 func (c *strColumn) Type() ColumnType { return TypeString }
@@ -134,7 +164,9 @@ func (c *strColumn) AppendInt(int64)  { panic("storage: AppendInt on String colu
 func (c *strColumn) AppendString(v string) {
 	c.data = append(c.data, v...)
 	c.offsets = append(c.offsets, len(c.data))
+	c.disk += uvarintLen(uint64(len(v))) + int64(len(v))
 }
+func (c *strColumn) DiskSize() int64 { return c.disk }
 func (c *strColumn) Int(i int) int64 { panic("storage: Int on String column") }
 func (c *strColumn) Str(i int) string {
 	start := 0
@@ -173,6 +205,9 @@ type lowCardColumn struct {
 	dict    map[string]uint32
 	values  []string
 	indexes []uint32
+
+	dictDisk  int64 // serialized dictionary entries
+	indexDisk int64 // serialized per-row indexes
 }
 
 func newLowCardColumn() *lowCardColumn {
@@ -188,9 +223,17 @@ func (c *lowCardColumn) AppendString(v string) {
 		idx = uint32(len(c.values))
 		c.dict[v] = idx
 		c.values = append(c.values, v)
+		c.dictDisk += uvarintLen(uint64(len(v))) + int64(len(v))
 	}
 	c.indexes = append(c.indexes, idx)
+	c.indexDisk += uvarintLen(uint64(idx))
 }
+func (c *lowCardColumn) DiskSize() int64 {
+	return uvarintLen(uint64(len(c.values))) + c.dictDisk + c.indexDisk
+}
+
+// DictLen returns the dictionary cardinality (self-monitoring gauge).
+func (c *lowCardColumn) DictLen() int     { return len(c.values) }
 func (c *lowCardColumn) Int(i int) int64  { return int64(c.indexes[i]) }
 func (c *lowCardColumn) Str(i int) string { return c.values[c.indexes[i]] }
 func (c *lowCardColumn) MemBytes() int {

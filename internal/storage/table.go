@@ -102,6 +102,20 @@ func (t *Table) MemBytes() int {
 	return n
 }
 
+// Blocks returns the number of column blocks the table serializes to.
+func (t *Table) Blocks() int { return len(t.cols) }
+
+// DiskSize returns the serialized size from the columns' incremental
+// accounting — equal to DiskBytes but O(columns) instead of a full
+// serialization, cheap enough for periodic self-monitoring scrapes.
+func (t *Table) DiskSize() int64 {
+	var n int64
+	for _, c := range t.cols {
+		n += c.DiskSize()
+	}
+	return n
+}
+
 // WriteTo serializes all column blocks (the on-disk representation) and
 // returns the total bytes written.
 func (t *Table) WriteTo(w io.Writer) (int64, error) {

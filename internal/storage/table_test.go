@@ -3,6 +3,7 @@ package storage
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"testing"
@@ -174,6 +175,49 @@ func TestTablePersist(t *testing.T) {
 	}
 	if st.Size() != n || n != tbl.DiskBytes() {
 		t.Fatalf("file=%d returned=%d DiskBytes=%d", st.Size(), n, tbl.DiskBytes())
+	}
+}
+
+// Property: the incremental DiskSize accounting matches an actual
+// serialization for every column type, including negative ints (worst-case
+// varints) and repeated/unique strings (dictionary growth).
+func TestDiskSizeMatchesSerialization(t *testing.T) {
+	prop := func(ints []int64, strs []string) bool {
+		i64, i32 := NewColumn(TypeInt64), NewColumn(TypeInt32)
+		for _, v := range ints {
+			i64.AppendInt(v)
+			i32.AppendInt(v)
+		}
+		s, l := NewColumn(TypeString), NewColumn(TypeLowCardinality)
+		for _, v := range strs {
+			s.AppendString(v)
+			l.AppendString(v)
+			l.AppendString(v) // repeats exercise the dictionary path
+		}
+		for _, c := range []Column{i64, i32, s, l} {
+			n, err := c.WriteTo(io.Discard)
+			if err != nil || n != c.DiskSize() {
+				t.Logf("%s: serialized=%d DiskSize=%d err=%v", c.Type(), n, c.DiskSize(), err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableDiskSize(t *testing.T) {
+	tbl := NewTable("spans", testSchema())
+	for i := 0; i < 1000; i++ {
+		tbl.NewRow().Int("id", int64(i)).Str("pod", "p").Str("note", "note-"+string(rune('a'+i%7))).Commit()
+	}
+	if got, want := tbl.DiskSize(), tbl.DiskBytes(); got != want {
+		t.Fatalf("DiskSize=%d, serialized=%d", got, want)
+	}
+	if tbl.Blocks() != len(testSchema()) {
+		t.Fatalf("blocks = %d", tbl.Blocks())
 	}
 }
 

@@ -1,0 +1,21 @@
+#!/bin/sh
+# check.sh — the repo's fast verification gate.
+#
+# Runs vet over everything, the race detector over the packages with real
+# concurrency surface (selfmon atomics, the metrics plane, the agent
+# pipeline), and the self-monitoring instrumentation-overhead guard, which
+# asserts the instrumented hook path stays within 5% of the uninstrumented
+# baseline (needs a reasonably quiet machine).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo ">> go vet ./..."
+go vet ./...
+
+echo ">> go test -race (selfmon, metrics, agent)"
+go test -race ./internal/selfmon ./internal/metrics ./internal/agent
+
+echo ">> instrumentation-overhead guard (<5% on the hook path)"
+DF_GUARD=1 go test -run TestHookInstrumentationGuard -count=1 ./internal/agent
+
+echo "check.sh: all green"
