@@ -5,11 +5,13 @@
 // Usage:
 //
 //	deepflow [-workload springboot|bookinfo|nginx] [-rate 200] [-duration 2s] [-traces 1]
+//	         [-profile] [-debug-addr :6060]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
@@ -28,6 +30,8 @@ func main() {
 	nTraces := flag.Int("traces", 1, "number of assembled traces to print")
 	asJSON := flag.Bool("json", false, "print traces as JSON instead of trees")
 	stats := flag.Bool("stats", false, "print the self-monitoring report (agent+server self-metrics)")
+	profile := flag.Bool("profile", false, "enable the continuous profiling plane (99 Hz on-CPU sampling) and print top functions")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics (Prometheus) and /debug/pprof/ on this address after the run")
 	flag.Parse()
 
 	env := microsim.NewEnv(1)
@@ -44,7 +48,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	d := core.NewDeployment(env, []*k8s.Cluster{topo.Cluster}, nil, core.DefaultOptions())
+	opts := core.DefaultOptions()
+	opts.Agent.EnableProfiling = *profile
+	d := core.NewDeployment(env, []*k8s.Cluster{topo.Cluster}, nil, opts)
 	if err := d.DeployAll(); err != nil {
 		fmt.Fprintf(os.Stderr, "deepflow: %v\n", err)
 		os.Exit(1)
@@ -111,9 +117,39 @@ func main() {
 		fmt.Println("no completed request spans found")
 	}
 
+	if *profile {
+		from, to := sim.Epoch, env.Eng.Now()
+		fmt.Println("continuous profiling (99 Hz on-CPU, zero code):")
+		fmt.Println("top functions (self samples):")
+		for _, fs := range d.Server.Profiles.TopFunctions(from, to, server.ProfileFilter{}, 10) {
+			fmt.Printf("  %-40s self=%-6d total=%d\n", fs.Frame, fs.Self, fs.Total)
+		}
+		fmt.Println("\nfolded stacks (pipe into flamegraph.pl):")
+		if err := d.Server.Profiles.WriteFolded(os.Stdout, from, to, server.ProfileFilter{}); err != nil {
+			fmt.Fprintf(os.Stderr, "deepflow: %v\n", err)
+			os.Exit(1)
+		}
+		if len(slow) > 0 {
+			if sp, prof := d.Server.SlowestSpanProfile(d.Server.Trace(slow[0].ID)); sp != nil {
+				dec := d.Server.Decorate(sp)
+				fmt.Printf("\nslowest trace hot span: pod %q (%v); correlated profile rows: %d\n",
+					dec.Tags.Pod, sp.Duration(), len(prof))
+			}
+		}
+		fmt.Println()
+	}
+
 	if *stats {
 		fmt.Println("self-monitoring (DeepFlow observing DeepFlow):")
 		if err := d.WriteSelfStats(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "deepflow: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *debugAddr != "" {
+		fmt.Printf("debug endpoint on %s (/metrics, /debug/pprof/); Ctrl-C to exit\n", *debugAddr)
+		if err := http.ListenAndServe(*debugAddr, d.DebugMux()); err != nil {
 			fmt.Fprintf(os.Stderr, "deepflow: %v\n", err)
 			os.Exit(1)
 		}

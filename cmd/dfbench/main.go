@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dfbench [-scale small|paper] fig2|fig3|fig13|fig14|fig15|fig16a|fig16b|fig19|ablation|selfmon|all
+//	dfbench [-scale small|paper] fig2|fig3|fig13|fig14|fig15|fig16a|fig16b|fig19|ablation|selfmon|profile|all
 //
 // Output for each experiment is a plain-text table plus notes comparing
 // against the paper's reported numbers. EXPERIMENTS.md records a captured
@@ -24,7 +24,7 @@ func main() {
 	md := flag.Bool("md", false, "emit markdown instead of plain text")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: dfbench [-scale small|paper] [-md] <fig2|fig3|fig13|fig14|fig15|fig16a|fig16b|fig19|ablation|selfmon|all>")
+		fmt.Fprintln(os.Stderr, "usage: dfbench [-scale small|paper] [-md] <fig2|fig3|fig13|fig14|fig15|fig16a|fig16b|fig19|ablation|selfmon|profile|all>")
 		os.Exit(2)
 	}
 
@@ -74,7 +74,10 @@ func main() {
 	runners["selfmon"] = func() (*experiments.Table, error) {
 		return experiments.Selfmon(float64(pick(500, 2000)), time.Duration(pick(2, 10))*time.Second)
 	}
-	order := []string{"fig2", "fig3", "fig13", "fig14", "fig15", "fig16a", "fig16b", "fig19", "ablation", "selfmon"}
+	runners["profile"] = func() (*experiments.Table, error) {
+		return experiments.Profile(float64(pick(30, 100)), time.Duration(pick(2, 8))*time.Second)
+	}
+	order := []string{"fig2", "fig3", "fig13", "fig14", "fig15", "fig16a", "fig16b", "fig19", "ablation", "selfmon", "profile"}
 
 	targets := flag.Args()
 	if len(targets) == 1 && targets[0] == "all" {

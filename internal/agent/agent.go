@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"deepflow/internal/profiling"
 	"deepflow/internal/protocols"
 	"deepflow/internal/selfmon"
 	"deepflow/internal/sim"
@@ -46,6 +47,7 @@ type FlowSample struct {
 type Sink interface {
 	IngestSpan(*trace.Span)
 	IngestFlow(FlowSample)
+	IngestProfile(profiling.Sample)
 }
 
 // Config tunes an agent deployment.
@@ -64,6 +66,15 @@ type Config struct {
 	// full mode. Both are calibrated from the Fig. 13 microbenchmarks.
 	HookCost  time.Duration
 	AgentCost time.Duration
+
+	// EnableProfiling arms the continuous on-CPU profiling plane: a
+	// perf-event timer at ProfileFreqHz drives the verified sampling
+	// program, and the count map is scraped into ProfileSample rows at
+	// flush time. Off by default — profiling is opt-in per agent group,
+	// as in production DeepFlow.
+	EnableProfiling   bool
+	ProfileFreqHz     int // sampling frequency (default 99 Hz)
+	ProfileStackDepth int // frames kept per stack (default 32)
 
 	// SelfmonOff disables the hot-path self-monitoring increments. It
 	// exists only so the instrumentation-overhead guard benchmark can
@@ -111,6 +122,11 @@ type Agent struct {
 	scratch []byte
 	atts    []*simkernel.Attachment
 	tap     *simnet.Tap
+
+	// Profiler is the continuous-profiling plane (nil unless
+	// Config.EnableProfiling); profScratch is its marshalling buffer.
+	Profiler    *profiling.Profiler
+	profScratch []byte
 
 	// Stats.
 	SpansEmitted  int
@@ -169,6 +185,14 @@ func New(host *simnet.Host, cfg Config, sink Sink) (*Agent, error) {
 	}
 	progs.VM.Clock = func() int64 { return int64(host.Net.Eng.Elapsed()) }
 	a.Progs = progs
+	if cfg.EnableProfiling {
+		prof, err := profiling.New(progs.VM, profiling.Config{StackDepth: cfg.ProfileStackDepth})
+		if err != nil {
+			return nil, err
+		}
+		a.Profiler = prof
+		a.profScratch = make([]byte, simkernel.CtxSize)
+	}
 	a.instrument()
 	return a, nil
 }
@@ -205,6 +229,13 @@ func (a *Agent) instrument() {
 	mon.GaugeFunc("deepflow_agent_flowstats_entries", func() float64 { return float64(a.Progs.Stats.Len()) })
 	mon.GaugeFunc("deepflow_agent_cpu_seconds", func() float64 { return a.CPUTime.Seconds() })
 	mon.GaugeFunc("deepflow_agent_hook_errors_total", func() float64 { return float64(a.HookErrors) })
+
+	if prof := a.Profiler; prof != nil {
+		mon.GaugeFunc("deepflow_agent_profile_samples", func() float64 { return float64(prof.SamplesRun) })
+		mon.GaugeFunc("deepflow_agent_profile_stack_evictions", func() float64 { return float64(prof.Stacks.Collisions) })
+		mon.GaugeFunc("deepflow_agent_profile_stacks_truncated", func() float64 { return float64(prof.Stacks.Truncations) })
+		mon.GaugeFunc("deepflow_agent_profile_stacks_interned", func() float64 { return float64(prof.Stacks.Len()) })
+	}
 
 	if a.monOn {
 		a.sysSess.instrument(mon, "syscall")
@@ -268,6 +299,20 @@ func (a *Agent) Start() error {
 		a.tracer.ObserveCoroutine(parent, child)
 	})
 
+	if a.Profiler != nil {
+		freq := a.Cfg.ProfileFreqHz
+		if freq <= 0 {
+			freq = 99
+		}
+		// Each delivered sample steals about one hook execution of CPU.
+		k.SampleCost = a.Cfg.HookCost
+		at, err := k.AttachPerfEvent(freq, "df_profile", a.onSample)
+		if err != nil {
+			return err
+		}
+		a.atts = append(a.atts, at)
+	}
+
 	if a.Cfg.EnablePacket {
 		a.tap = a.Host.NIC.AddTap(a.onPacket)
 	}
@@ -285,6 +330,16 @@ func (a *Agent) Stop() {
 		a.tap = nil
 	}
 	a.Host.Kernel.HookCost = 0
+	a.Host.Kernel.SampleCost = 0
+}
+
+// onSample runs the verified sampling program for one perf-event hit.
+func (a *Agent) onSample(ctx *simkernel.HookContext) {
+	t0 := time.Now()
+	if err := a.Profiler.OnSample(ctx, a.profScratch); err != nil {
+		a.hookError("df_profile")
+	}
+	a.CPUTime += time.Since(t0)
 }
 
 func (a *Agent) onEnter(ctx *simkernel.HookContext) {
@@ -539,6 +594,7 @@ func (a *Agent) Flush(now time.Time) {
 	a.sysSess.Flush(now)
 	a.nicSess.Flush(now)
 	a.flushFlows(now)
+	a.flushProfiles()
 	if a.monOn {
 		a.mFlushDur.ObserveDuration(time.Since(t0))
 	}
@@ -550,8 +606,28 @@ func (a *Agent) FlushAll() {
 	a.sysSess.FlushAll()
 	a.nicSess.FlushAll()
 	a.flushFlows(a.Host.Net.Eng.Now())
+	a.flushProfiles()
 	if a.monOn {
 		a.mFlushDur.ObserveDuration(time.Since(t0))
+	}
+}
+
+// flushProfiles scrapes the profiler's count map into tagged sample rows
+// (the profiling analogue of flushFlows' scrape-and-clear cycle). The agent
+// contributes the phase-1 tags — VPC and host IP — exactly as emitSpan
+// does; the server's registry expands them to pod/service under smart
+// encoding, so profiles share the spans' tag vocabulary for free.
+func (a *Agent) flushProfiles() {
+	if a.Profiler == nil || a.sink == nil {
+		return
+	}
+	for _, s := range a.Profiler.Scrape(a.Host.Name) {
+		if p := a.Host.Kernel.Process(s.PID); p != nil {
+			s.ProcName = p.Name
+		}
+		s.Resource.VPCID = a.Cfg.VPCID
+		s.Resource.IP = a.Host.IP
+		a.sink.IngestProfile(s)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"deepflow/internal/profiling"
 	"deepflow/internal/protocols"
 	"deepflow/internal/sim"
 	"deepflow/internal/simkernel"
@@ -13,12 +14,14 @@ import (
 
 // memSink collects agent output in memory.
 type memSink struct {
-	spans []*trace.Span
-	flows []FlowSample
+	spans    []*trace.Span
+	flows    []FlowSample
+	profiles []profiling.Sample
 }
 
-func (m *memSink) IngestSpan(s *trace.Span) { m.spans = append(m.spans, s) }
-func (m *memSink) IngestFlow(f FlowSample)  { m.flows = append(m.flows, f) }
+func (m *memSink) IngestSpan(s *trace.Span)         { m.spans = append(m.spans, s) }
+func (m *memSink) IngestFlow(f FlowSample)          { m.flows = append(m.flows, f) }
+func (m *memSink) IngestProfile(s profiling.Sample) { m.profiles = append(m.profiles, s) }
 
 func (m *memSink) byTap(side trace.TapSide) []*trace.Span {
 	var out []*trace.Span

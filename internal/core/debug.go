@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux builds the deployment's operator debug endpoint: Go's runtime
+// profiling handlers under /debug/pprof/ (the real deepflow-agent exposes
+// the same) plus /metrics serving every self-monitoring registry — server
+// and all agents — in full Prometheus exposition format, histograms
+// included. Serve it with `deepflow -debug-addr`.
+func (d *Deployment) DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := d.WriteSelfStatsProm(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "deepflow debug endpoint: /metrics, /debug/pprof/")
+	})
+	return mux
+}
+
+// WriteSelfStatsProm renders the server's and every agent's registry in
+// full Prometheus exposition format (TYPE lines, cumulative histogram
+// buckets), sorted by host for determinism.
+func (d *Deployment) WriteSelfStatsProm(w interface{ Write([]byte) (int, error) }) error {
+	if err := d.Server.Mon.WritePromFull(w); err != nil {
+		return err
+	}
+	for _, name := range d.agentNames() {
+		if err := d.agents[name].Mon.WritePromFull(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

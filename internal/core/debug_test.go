@@ -1,0 +1,65 @@
+package core
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"deepflow/internal/k8s"
+	"deepflow/internal/microsim"
+)
+
+func TestDebugMuxServesMetricsAndPprof(t *testing.T) {
+	env := microsim.NewEnv(1)
+	topo := microsim.BuildBookinfo(env, nil)
+	d := NewDeployment(env, []*k8s.Cluster{topo.Cluster}, nil, DefaultOptions())
+	if err := d.DeployAll(); err != nil {
+		t.Fatal(err)
+	}
+	gen := microsim.NewLoadGen(env, "wrk", topo.ClientHost, topo.Entry, 4, 100)
+	gen.Start(time.Second)
+	env.Run(2 * time.Second)
+	d.FlushAll()
+
+	srv := httptest.NewServer(d.DebugMux())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE deepflow_server_spans_ingested counter",
+		"deepflow_agent_spans_emitted",
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q; first 2KB:\n%s", want, body[:min(len(body), 2048)])
+		}
+	}
+
+	code, body = get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status %d body %.200s", code, body)
+	}
+
+	if code, _ = get("/nosuch"); code != http.StatusNotFound {
+		t.Fatalf("unknown path status %d, want 404", code)
+	}
+}

@@ -207,12 +207,7 @@ func (d *Deployment) WriteSelfStats(w io.Writer) error {
 	if err := d.Server.WriteStats(w); err != nil {
 		return err
 	}
-	hosts := make([]string, 0, len(d.agents))
-	for name := range d.agents {
-		hosts = append(hosts, name)
-	}
-	sort.Strings(hosts)
-	for _, name := range hosts {
+	for _, name := range d.agentNames() {
 		if _, err := fmt.Fprintln(w); err != nil {
 			return err
 		}
@@ -221,6 +216,16 @@ func (d *Deployment) WriteSelfStats(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// agentNames returns deployed host names sorted for deterministic output.
+func (d *Deployment) agentNames() []string {
+	hosts := make([]string, 0, len(d.agents))
+	for name := range d.agents {
+		hosts = append(hosts, name)
+	}
+	sort.Strings(hosts)
+	return hosts
 }
 
 // Stop detaches every agent and ends the flush loop; the monitored

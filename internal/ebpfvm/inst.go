@@ -182,6 +182,10 @@ const (
 	HelperKtimeNS HelperID = 5
 	// HelperGetPidTgid: returns tgid<<32 | tid of the current task.
 	HelperGetPidTgid HelperID = 6
+	// HelperGetStackID: R1=stack-trace map handle, R2=flags (must be 0).
+	// Walks the current task's stack into the map and returns its id, or a
+	// negative error (as in bpf_get_stackid: -EEXIST on bucket collision).
+	HelperGetStackID HelperID = 7
 )
 
 func (h HelperID) String() string {
@@ -198,6 +202,8 @@ func (h HelperID) String() string {
 		return "ktime_get_ns"
 	case HelperGetPidTgid:
 		return "get_current_pid_tgid"
+	case HelperGetStackID:
+		return "get_stackid"
 	default:
 		return fmt.Sprintf("helper#%d", int64(h))
 	}

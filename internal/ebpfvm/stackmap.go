@@ -1,0 +1,108 @@
+package ebpfvm
+
+import "hash/fnv"
+
+// EEXIST is the errno returned by get_stackid when the hashed bucket is
+// already occupied by a different stack (the kernel's default behavior
+// without BPF_F_REUSE_STACKID: the new stack is dropped, never the old).
+const EEXIST = 17
+
+// StackTraceMap models BPF_MAP_TYPE_STACK_TRACE: a fixed-size array of
+// buckets indexed by a hash of the stack's frames. get_stackid either
+// deduplicates (same stack hashes to an occupied bucket holding the same
+// frames), inserts (empty bucket), or fails with -EEXIST (occupied bucket
+// holding a different stack). It never blocks and never evicts — under
+// pressure new stacks are dropped and counted, mirroring the perf-buffer
+// lost policy.
+type StackTraceMap struct {
+	Name       string
+	MaxDepth   int // frames kept per stack; deeper stacks are truncated
+	MaxEntries int // bucket count
+
+	buckets [][]string
+
+	// Collisions counts stacks dropped because their bucket held a
+	// different stack (includes the map-full regime, where every new stack
+	// collides). Truncations counts stacks cut at MaxDepth. Both feed the
+	// self-monitoring plane.
+	Collisions  uint64
+	Truncations uint64
+}
+
+// NewStackTraceMap returns an empty stack-trace map.
+func NewStackTraceMap(name string, maxDepth, maxEntries int) *StackTraceMap {
+	if maxDepth <= 0 {
+		maxDepth = 127 // PERF_MAX_STACK_DEPTH
+	}
+	if maxEntries <= 0 {
+		maxEntries = 16384
+	}
+	return &StackTraceMap{
+		Name:       name,
+		MaxDepth:   maxDepth,
+		MaxEntries: maxEntries,
+		buckets:    make([][]string, maxEntries),
+	}
+}
+
+// GetStackID stores frames (truncated to MaxDepth) and returns the stack id,
+// or -EEXIST when the bucket is occupied by a different stack.
+func (m *StackTraceMap) GetStackID(frames []string) int64 {
+	if len(frames) > m.MaxDepth {
+		frames = frames[:m.MaxDepth]
+		m.Truncations++
+	}
+	h := fnv.New64a()
+	for _, f := range frames {
+		h.Write([]byte(f))
+		h.Write([]byte{0})
+	}
+	id := int64(h.Sum64() % uint64(m.MaxEntries))
+	switch b := m.buckets[id]; {
+	case b == nil:
+		m.buckets[id] = append([]string(nil), frames...)
+	case !equalFrames(b, frames):
+		m.Collisions++
+		return -EEXIST
+	}
+	return id
+}
+
+// Stack returns the frames stored under id, or nil.
+func (m *StackTraceMap) Stack(id int64) []string {
+	if id < 0 || id >= int64(m.MaxEntries) {
+		return nil
+	}
+	return m.buckets[id]
+}
+
+// Len reports how many buckets are occupied.
+func (m *StackTraceMap) Len() int {
+	n := 0
+	for _, b := range m.buckets {
+		if b != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Clear empties every bucket (counters are preserved: they are cumulative,
+// like the perf-buffer lost counter).
+func (m *StackTraceMap) Clear() {
+	for i := range m.buckets {
+		m.buckets[i] = nil
+	}
+}
+
+func equalFrames(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

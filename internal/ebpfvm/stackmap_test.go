@@ -1,0 +1,168 @@
+package ebpfvm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestStackMapDedup(t *testing.T) {
+	m := NewStackTraceMap("stacks", 8, 64)
+	a := []string{"main", "handler", "parse"}
+	id1 := m.GetStackID(a)
+	id2 := m.GetStackID([]string{"main", "handler", "parse"})
+	if id1 < 0 || id1 != id2 {
+		t.Fatalf("same stack got ids %d, %d", id1, id2)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+	got := m.Stack(id1)
+	if len(got) != 3 || got[2] != "parse" {
+		t.Fatalf("Stack(%d) = %v", id1, got)
+	}
+	if m.Stack(-EEXIST) != nil || m.Stack(int64(m.MaxEntries)) != nil {
+		t.Fatal("out-of-range ids must resolve to nil")
+	}
+}
+
+func TestStackMapMaxDepthTruncation(t *testing.T) {
+	m := NewStackTraceMap("stacks", 4, 64)
+	deep := []string{"f0", "f1", "f2", "f3", "f4", "f5"}
+	id := m.GetStackID(deep)
+	if id < 0 {
+		t.Fatalf("GetStackID = %d", id)
+	}
+	if m.Truncations != 1 {
+		t.Fatalf("Truncations = %d, want 1", m.Truncations)
+	}
+	if got := m.Stack(id); len(got) != 4 || got[3] != "f3" {
+		t.Fatalf("stored stack = %v, want first 4 frames", got)
+	}
+	// The truncated prefix and the deep stack are the same entry now.
+	if id2 := m.GetStackID([]string{"f0", "f1", "f2", "f3"}); id2 != id {
+		t.Fatalf("truncated stack id %d != prefix id %d", id, id2)
+	}
+}
+
+// TestStackMapCollisionAndFull drives the map into the full regime with a
+// single bucket: the first stack wins, every different stack afterwards is
+// dropped with -EEXIST and counted — never blocking, never evicting the
+// resident stack (PR 1's perf-lost policy applied to stacks).
+func TestStackMapCollisionAndFull(t *testing.T) {
+	m := NewStackTraceMap("stacks", 8, 1)
+	first := []string{"svc.handle"}
+	id := m.GetStackID(first)
+	if id != 0 {
+		t.Fatalf("single-bucket id = %d, want 0", id)
+	}
+	for i := 0; i < 10; i++ {
+		got := m.GetStackID([]string{fmt.Sprintf("other.%d", i)})
+		if got != -EEXIST {
+			t.Fatalf("collision returned %d, want %d", got, -EEXIST)
+		}
+	}
+	if m.Collisions != 10 {
+		t.Fatalf("Collisions = %d, want 10", m.Collisions)
+	}
+	if got := m.Stack(id); len(got) != 1 || got[0] != "svc.handle" {
+		t.Fatalf("resident stack evicted: %v", got)
+	}
+	// The resident stack still deduplicates while the map is full.
+	if id2 := m.GetStackID(first); id2 != id {
+		t.Fatalf("resident stack id %d, want %d", id2, id)
+	}
+	m.Clear()
+	if m.Len() != 0 {
+		t.Fatal("Clear left occupied buckets")
+	}
+	if m.Collisions != 10 {
+		t.Fatal("Clear must preserve cumulative counters")
+	}
+}
+
+// stackidProg returns a verified program that calls get_stackid and stores
+// the result in a one-entry hash map so the test can observe it.
+func stackidProg(t *testing.T, vm *Machine, stackFD, outFD int64) *Program {
+	t.Helper()
+	p := NewAsm("stackid_test").
+		MovImm(R1, stackFD).
+		MovImm(R2, 0).
+		Call(HelperGetStackID).
+		MovReg(R7, R0).
+		MovImm(R2, 0).
+		Stx(SizeDW, R10, -8, R2).  // key = 0
+		Stx(SizeDW, R10, -16, R7). // value = stackid
+		MovImm(R1, outFD).
+		MovReg(R2, R10).
+		AddImm(R2, -8).
+		MovReg(R3, R10).
+		AddImm(R3, -16).
+		Call(HelperMapUpdate).
+		MovImm(R0, 0).
+		Exit().
+		MustBuild()
+	if err := Verify(p, VerifyEnv{CtxSize: 16, Resolve: vm.Resolve}); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestGetStackIDHelperEndToEnd(t *testing.T) {
+	vm := NewMachine()
+	sm := NewStackTraceMap("stacks", 8, 64)
+	stackFD := vm.RegisterStackMap(sm)
+	out := NewHashMap("out", 8, 8, 4)
+	outFD := vm.RegisterMap(out)
+	p := stackidProg(t, vm, stackFD, outFD)
+
+	ctx := make([]byte, 16)
+	task := Task{PID: 3, TID: 4, Stack: []string{"app.request", "app.handle"}}
+	if _, err := vm.Run(p, ctx, task); err != nil {
+		t.Fatal(err)
+	}
+	key := make([]byte, 8)
+	v := out.Lookup(key)
+	if v == nil {
+		t.Fatal("program did not record a stackid")
+	}
+	id := int64(uint64(v[0]) | uint64(v[1])<<8 | uint64(v[2])<<16 | uint64(v[3])<<24 |
+		uint64(v[4])<<32 | uint64(v[5])<<40 | uint64(v[6])<<48 | uint64(v[7])<<56)
+	got := sm.Stack(id)
+	if len(got) != 2 || got[1] != "app.handle" {
+		t.Fatalf("map stack for id %d = %v, want task stack", id, got)
+	}
+}
+
+func TestGetStackIDVerifierRejections(t *testing.T) {
+	vm := NewMachine()
+	hm := NewHashMap("plain", 8, 8, 4)
+	hmFD := vm.RegisterMap(hm)
+	sm := NewStackTraceMap("stacks", 8, 64)
+	smFD := vm.RegisterStackMap(sm)
+	env := VerifyEnv{CtxSize: 16, Resolve: vm.Resolve}
+
+	// A plain hash map is not a valid stack-map handle.
+	p := NewAsm("wrong_kind").
+		MovImm(R1, hmFD).
+		MovImm(R2, 0).
+		Call(HelperGetStackID).
+		MovImm(R0, 0).
+		Exit().
+		MustBuild()
+	if err := Verify(p, env); err == nil || !strings.Contains(err.Error(), "not a valid resource") {
+		t.Fatalf("hash-map handle accepted by get_stackid: %v", err)
+	}
+
+	// Flags must be the constant zero.
+	p2 := NewAsm("bad_flags").
+		MovImm(R1, smFD).
+		MovImm(R2, 1).
+		Call(HelperGetStackID).
+		MovImm(R0, 0).
+		Exit().
+		MustBuild()
+	if err := Verify(p2, env); err == nil || !strings.Contains(err.Error(), "flags") {
+		t.Fatalf("nonzero flags accepted: %v", err)
+	}
+}

@@ -62,6 +62,7 @@ const (
 	ResourceNone ResourceKind = iota
 	ResourceMap
 	ResourcePerf
+	ResourceStack
 )
 
 // Resource is verification metadata for a handle referenced by a program.
@@ -504,6 +505,16 @@ func checkCall(st *vstate, pc int, p *Program, h HelperID, env VerifyEnv) error 
 		ret = regState{kind: kindScalar}
 
 	case HelperKtimeNS, HelperGetPidTgid:
+		ret = regState{kind: kindScalar}
+
+	case HelperGetStackID:
+		if _, err := resolveHandle(R1, ResourceStack); err != nil {
+			return err
+		}
+		flags := st.regs[R2]
+		if flags.kind != kindScalar || !flags.known || flags.constVal != 0 {
+			return reject("r2 (flags) must be the constant 0")
+		}
 		ret = regState{kind: kindScalar}
 
 	default:

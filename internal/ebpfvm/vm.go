@@ -11,6 +11,7 @@ import (
 type Machine struct {
 	maps   map[int64]*HashMap
 	perfs  map[int64]*PerfBuffer
+	stacks map[int64]*StackTraceMap
 	nextFD int64
 
 	// Clock returns the current time in nanoseconds for HelperKtimeNS.
@@ -33,6 +34,7 @@ func NewMachine() *Machine {
 	return &Machine{
 		maps:   make(map[int64]*HashMap),
 		perfs:  make(map[int64]*PerfBuffer),
+		stacks: make(map[int64]*StackTraceMap),
 		nextFD: 1,
 		Clock:  func() int64 { return 0 },
 	}
@@ -54,6 +56,14 @@ func (vm *Machine) RegisterPerf(b *PerfBuffer) int64 {
 	return fd
 }
 
+// RegisterStackMap installs m and returns its handle.
+func (vm *Machine) RegisterStackMap(m *StackTraceMap) int64 {
+	fd := vm.nextFD
+	vm.nextFD++
+	vm.stacks[fd] = m
+	return fd
+}
+
 // Resolve implements the verifier's resource resolver.
 func (vm *Machine) Resolve(handle int64) (Resource, bool) {
 	if m, ok := vm.maps[handle]; ok {
@@ -61,6 +71,9 @@ func (vm *Machine) Resolve(handle int64) (Resource, bool) {
 	}
 	if _, ok := vm.perfs[handle]; ok {
 		return Resource{Kind: ResourcePerf}, true
+	}
+	if _, ok := vm.stacks[handle]; ok {
+		return Resource{Kind: ResourceStack}, true
 	}
 	return Resource{}, false
 }
@@ -71,10 +84,16 @@ func (vm *Machine) Map(handle int64) *HashMap { return vm.maps[handle] }
 // Perf returns the perf buffer for a handle.
 func (vm *Machine) Perf(handle int64) *PerfBuffer { return vm.perfs[handle] }
 
+// StackMap returns the stack-trace map for a handle.
+func (vm *Machine) StackMap(handle int64) *StackTraceMap { return vm.stacks[handle] }
+
 // Task is the current-task view helpers expose to programs.
 type Task struct {
 	PID uint32
 	TID uint32
+	// Stack is the current call stack (outermost first) for get_stackid;
+	// the simulation analogue of the kernel walking frame pointers.
+	Stack []string
 }
 
 // runtime pointer regions
@@ -387,6 +406,14 @@ func (vm *Machine) call(h HelperID, regs *[NumRegs]rtReg, task Task, p *Program,
 
 	case HelperGetPidTgid:
 		r0 = rtReg{val: uint64(task.PID)<<32 | uint64(task.TID)}
+
+	case HelperGetStackID:
+		m := vm.stacks[int64(regs[R1].val)]
+		if m == nil {
+			return fail("bad stack map handle")
+		}
+		vm.MapOps++
+		r0 = rtReg{val: uint64(m.GetStackID(task.Stack))}
 
 	default:
 		return fail("unknown helper")

@@ -17,6 +17,10 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+	// Raw is free-form machine-readable output appended after the table —
+	// e.g. flamegraph.pl folded stacks from the profile experiment. Format
+	// emits it verbatim; Markdown fences it.
+	Raw string
 }
 
 // AddRow appends a row, formatting each cell with %v.
@@ -71,6 +75,12 @@ func (t *Table) Format() string {
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
+	if t.Raw != "" {
+		b.WriteString(t.Raw)
+		if !strings.HasSuffix(t.Raw, "\n") {
+			b.WriteByte('\n')
+		}
+	}
 	return b.String()
 }
 
@@ -85,6 +95,14 @@ func (t *Table) Markdown() string {
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	if t.Raw != "" {
+		b.WriteString("\n```\n")
+		b.WriteString(t.Raw)
+		if !strings.HasSuffix(t.Raw, "\n") {
+			b.WriteByte('\n')
+		}
+		b.WriteString("```\n")
 	}
 	b.WriteByte('\n')
 	return b.String()

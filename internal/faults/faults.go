@@ -9,6 +9,7 @@ import (
 
 	"deepflow/internal/microsim"
 	"deepflow/internal/server"
+	"deepflow/internal/sim"
 	"deepflow/internal/simnet"
 	"deepflow/internal/trace"
 )
@@ -28,6 +29,14 @@ const (
 	ClassClusterService  Class = "cluster-service"
 	ClassNodeConfig      Class = "node-configuration"
 )
+
+// InjectCPUHog makes a component burn extra CPU in a hot loop on every
+// request (application-class failure for the profiling plane): the served
+// spans slow down with no slow child to blame, and only the correlated
+// profile — whose top stack carries frame — explains where the time went.
+func InjectCPUHog(c *microsim.Component, extra sim.Dist, frame string) {
+	c.SetHotLoop(extra, frame)
+}
 
 // InjectPodError makes a component answer a path with an error code
 // (application-class failure; §4.1.1's Nginx 404).
@@ -153,4 +162,47 @@ func LocalizeResets(srv *server.Server, from, to time.Time) ResetSource {
 		}
 	}
 	return best
+}
+
+// CPUHogResult is the verdict of the trace→profile correlation workflow:
+// which pod the trace's hottest span localized, and which profiled frame
+// explains the time.
+type CPUHogResult struct {
+	Pod      string        // pod owning the hottest span
+	Proc     string        // its process
+	SelfTime time.Duration // the span's self time (duration minus children)
+	TopFrame string        // leaf frame with the most self samples in the span window
+	Samples  uint64        // sample count behind TopFrame
+}
+
+// LocalizeCPUHog runs the §4.1.3 workflow extended to the profiling pillar:
+// take the slowest entry span in the window, assemble its trace, find the
+// span with the largest self time (the trace's real hot spot), then pull
+// that pod's profile slice for the span's [start, end] window and report
+// the dominant stack frame. A slow span with no slow child plus a hot frame
+// is the signature of an application-class CPU hog.
+func LocalizeCPUHog(srv *server.Server, from, to time.Time) CPUHogResult {
+	slow := srv.SlowestSpans(from, to, server.SpanFilter{TapSide: trace.TapServerProcess}, 1)
+	if len(slow) == 0 {
+		return CPUHogResult{}
+	}
+	tr := srv.Trace(slow[0].ID)
+	sp, self := server.TraceHotSpan(tr)
+	if sp == nil {
+		return CPUHogResult{}
+	}
+	res := CPUHogResult{
+		Pod:      srv.Decorate(sp).Tags.Pod,
+		Proc:     sp.ProcessName,
+		SelfTime: self,
+	}
+	for _, ps := range srv.SpanProfile(sp) {
+		if len(ps.Stack) == 0 {
+			continue
+		}
+		if leaf := ps.Stack[len(ps.Stack)-1]; ps.Count > res.Samples {
+			res.TopFrame, res.Samples = leaf, ps.Count
+		}
+	}
+	return res
 }

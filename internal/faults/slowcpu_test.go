@@ -1,0 +1,80 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"deepflow/internal/core"
+	"deepflow/internal/k8s"
+	"deepflow/internal/microsim"
+	"deepflow/internal/server"
+	"deepflow/internal/sim"
+	"deepflow/internal/trace"
+)
+
+// TestSlowCPULocalizedByTraceProfileCorrelation is the examples/slowcpu
+// integration test: a hot loop injected into the Bookinfo details pod makes
+// its spans slow with no slow child to blame; the slowest-span query
+// localizes the pod and the correlated profile's top folded stack names the
+// hot frame.
+func TestSlowCPULocalizedByTraceProfileCorrelation(t *testing.T) {
+	env := microsim.NewEnv(11)
+	topo := microsim.BuildBookinfo(env, nil)
+	InjectCPUHog(env.Component("details"), sim.Const{D: 25 * time.Millisecond}, "details.handle.hotloop")
+
+	opts := core.DefaultOptions()
+	opts.Agent.EnableProfiling = true
+	df := core.NewDeployment(env, []*k8s.Cluster{topo.Cluster}, nil, opts)
+	if err := df.DeployAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	gen := microsim.NewLoadGen(env, "client", topo.ClientHost, topo.Entry, 4, 30)
+	gen.Start(2 * time.Second)
+	env.Run(3 * time.Second)
+	df.FlushAll()
+
+	if df.Server.ProfilesIngested == 0 {
+		t.Fatal("no profile samples reached the server")
+	}
+
+	from, to := sim.Epoch, env.Eng.Now()
+	verdict := LocalizeCPUHog(df.Server, from, to)
+	if verdict.Pod != "bi-details-0" {
+		t.Fatalf("hot span localized to pod %q, want bi-details-0 (verdict %+v)", verdict.Pod, verdict)
+	}
+	if verdict.TopFrame != "details.handle.hotloop" {
+		t.Fatalf("top profiled frame = %q, want details.handle.hotloop", verdict.TopFrame)
+	}
+	if verdict.SelfTime < 20*time.Millisecond {
+		t.Fatalf("hot span self time = %v, want >= 20ms", verdict.SelfTime)
+	}
+
+	// The correlated profile slice comes through the Server query too: the
+	// hottest span's pod profile, restricted to its window, folds with the
+	// hot frame on top.
+	slow := df.Server.SlowestSpans(from, to, server.SpanFilter{TapSide: trace.TapServerProcess}, 1)
+	sp, prof := df.Server.SlowestSpanProfile(df.Server.Trace(slow[0].ID))
+	if sp == nil || len(prof) == 0 {
+		t.Fatalf("SlowestSpanProfile: span %v, %d samples", sp, len(prof))
+	}
+	var best string
+	var bestCount uint64
+	for _, ps := range prof {
+		if ps.Count > bestCount {
+			bestCount = ps.Count
+			best = strings.Join(ps.Stack, ";")
+		}
+	}
+	if !strings.HasSuffix(best, "details.handle.hotloop") {
+		t.Fatalf("top folded stack = %q, want suffix details.handle.hotloop", best)
+	}
+
+	// Profiles inherited the smart-encoded tag vocabulary: the pod decodes
+	// through the same registry dictionaries spans use.
+	top := df.Server.Profiles.TopFunctions(from, to, server.ProfileFilter{Pod: "bi-details-0"}, 1)
+	if len(top) != 1 || top[0].Frame != "details.handle.hotloop" {
+		t.Fatalf("TopFunctions for bi-details-0 = %+v", top)
+	}
+}

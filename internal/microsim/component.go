@@ -95,10 +95,51 @@ type Component struct {
 	backlog  int
 	xridSeq  int
 
+	// Hot-loop fault injection (the profiling plane's application-class
+	// fault): extra CPU burned per request under a dedicated stack frame.
+	hotLoop  sim.Dist
+	hotFrame string
+
 	// Stats.
 	Handled uint64
 	Errors  uint64
 	Resets  uint64
+}
+
+// SetHotLoop injects an extra CPU-burning loop into every request handled by
+// this component; frame names the loop in sampled stacks (defaults to
+// "<name>.handle.hotloop"). Used by faults.InjectCPUHog.
+func (c *Component) SetHotLoop(extra sim.Dist, frame string) {
+	if frame == "" {
+		frame = c.Name + ".handle.hotloop"
+	}
+	c.hotLoop, c.hotFrame = extra, frame
+}
+
+// burn models the request spending d on CPU with a call stack of
+// component.behaviour.step frames, visible to the profiling plane's
+// perf-event sampler, then continues with done. The carrier thread is
+// switched to the request's coroutine first (as send/read do), and the
+// kernel slice captures that coroutine for sample attribution.
+func (c *Component) burn(req *request, behaviour, step string, d time.Duration, done func()) {
+	req.th.CurrentCoroutine = req.coro
+	frames := []string{
+		c.Name + ".request",
+		c.Name + "." + behaviour,
+		c.Name + "." + behaviour + "." + step,
+	}
+	c.Host.Kernel.RunOnCPU(req.th, frames, d, done)
+}
+
+// burnHot runs the injected hot loop (if any) before done.
+func (c *Component) burnHot(req *request, done func()) {
+	if c.hotLoop == nil {
+		done()
+		return
+	}
+	req.th.CurrentCoroutine = req.coro
+	frames := []string{c.Name + ".request", c.Name + ".handle", c.hotFrame}
+	c.Host.Kernel.RunOnCPU(req.th, frames, c.hotLoop.Sample(c.Env.Eng.Rand()), done)
 }
 
 type worker struct {
@@ -319,15 +360,15 @@ func (c *Component) handle(req *request, payload []byte) {
 	if c.FailFn != nil {
 		if code, hit := c.FailFn(msg.Resource); hit {
 			c.Errors++
-			c.Env.Eng.After(c.ServiceTime.Sample(c.Env.Eng.Rand())+instr, func() {
+			c.burn(req, "handle", "fail", c.ServiceTime.Sample(c.Env.Eng.Rand())+instr, func() {
 				c.respond(req, code)
 			})
 			return
 		}
 	}
 
-	c.Env.Eng.After(c.ServiceTime.Sample(c.Env.Eng.Rand())+instr, func() {
-		c.doCall(req, 0)
+	c.burn(req, "handle", "service", c.ServiceTime.Sample(c.Env.Eng.Rand())+instr, func() {
+		c.burnHot(req, func() { c.doCall(req, 0) })
 	})
 }
 
@@ -352,7 +393,7 @@ func (c *Component) handleQueued(req *request, instr time.Duration) {
 			c.backlog--
 		}
 	})
-	c.Env.Eng.After(c.ServiceTime.Sample(c.Env.Eng.Rand())+instr, func() {
+	c.burn(req, "queue", "service", c.ServiceTime.Sample(c.Env.Eng.Rand())+instr, func() {
 		c.respond(req, okCode(c.Proto))
 	})
 }
@@ -363,7 +404,7 @@ func (c *Component) Backlog() int { return c.backlog }
 // doCall issues the i-th downstream call, then recurses.
 func (c *Component) doCall(req *request, i int) {
 	if i >= len(c.Calls) {
-		c.Env.Eng.After(c.PostTime.Sample(c.Env.Eng.Rand()), func() {
+		c.burn(req, "handle", "post", c.PostTime.Sample(c.Env.Eng.Rand()), func() {
 			c.respond(req, okCode(c.Proto))
 		})
 		return

@@ -1,0 +1,81 @@
+// Overhead guard for the profiling plane, in the spirit of the paper's
+// Appendix B (Fig. 19) Nginx experiment: continuous 99 Hz on-CPU sampling
+// must not meaningfully dent the monitored workload's throughput. External
+// test package so it can deploy the full stack (core → agent → profiling)
+// without an import cycle.
+package profiling_test
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"deepflow/internal/agent"
+	"deepflow/internal/core"
+	"deepflow/internal/k8s"
+	"deepflow/internal/microsim"
+)
+
+// nginxRPS runs the Fig. 19 single-host Nginx workload under a full agent
+// and returns the achieved throughput. Virtual time makes the run
+// deterministic for a fixed seed and config; the only run-to-run variance
+// comes through the measured hook cost feeding SampleCost.
+func nginxRPS(tb testing.TB, cfg agent.Config, rate float64, duration time.Duration) float64 {
+	tb.Helper()
+	env := microsim.NewEnv(43)
+	topo, _ := microsim.BuildNginx(env)
+	opts := core.DefaultOptions()
+	opts.Agent = cfg
+	d := core.NewDeployment(env, []*k8s.Cluster{topo.Cluster}, nil, opts)
+	if err := d.DeployAll(); err != nil {
+		tb.Fatal(err)
+	}
+	gen := microsim.NewLoadGen(env, "wrk2", topo.ClientHost, topo.Entry, 32, rate)
+	gen.Start(duration)
+	env.Run(duration + time.Second)
+	if cfg.EnableProfiling && d.Server.ProfilesIngested == 0 {
+		d.FlushAll()
+		if d.Server.ProfilesIngested == 0 {
+			tb.Fatal("profiling enabled but no samples ingested — guard would measure nothing")
+		}
+	}
+	return gen.Throughput(duration)
+}
+
+// TestProfilingOverheadGuard asserts that turning on 99 Hz perf-event
+// sampling (each delivered sample stealing one hook cost of CPU from the
+// running thread, §2.3.1's "not exceed the processing cost" budget) costs
+// < 3% of Nginx RPS versus the same agent without profiling. Guarded by
+// DF_GUARD=1 like the other overhead guards; scripts/check.sh sets it.
+func TestProfilingOverheadGuard(t *testing.T) {
+	if os.Getenv("DF_GUARD") == "" {
+		t.Skip("set DF_GUARD=1 to run the profiling-overhead guard")
+	}
+	// 60k offered RPS saturates the single-host Nginx (Fig. 19's knee), so
+	// stolen CPU shows up as lost throughput instead of absorbed queueing.
+	const (
+		rate     = 60000.0
+		duration = 2 * time.Second
+	)
+	base := agent.DefaultConfig()
+	base.Mode = agent.ModeFull
+	base.HookCost = 3 * time.Microsecond // calibrated-scale per-hook cost
+	base.AgentCost = base.HookCost / 2
+
+	prof := base
+	prof.EnableProfiling = true
+	prof.ProfileFreqHz = 99
+
+	baseRPS := nginxRPS(t, base, rate, duration)
+	profRPS := nginxRPS(t, prof, rate, duration)
+	if baseRPS <= 0 {
+		t.Fatalf("baseline produced no throughput (%.1f RPS)", baseRPS)
+	}
+	overhead := (baseRPS - profRPS) / baseRPS
+	t.Logf("nginx: baseline %.1f RPS, 99 Hz profiling %.1f RPS, overhead %+.2f%%",
+		baseRPS, profRPS, overhead*100)
+	if overhead > 0.03 {
+		t.Errorf("99 Hz profiling costs %.2f%% RPS, budget is 3%% (baseline %.1f, profiled %.1f)",
+			overhead*100, baseRPS, profRPS)
+	}
+}

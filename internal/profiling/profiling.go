@@ -1,0 +1,230 @@
+// Package profiling is the agent half of the continuous on-CPU profiling
+// plane: a verified ebpfvm sampling program that counts (stackid, pid) hits
+// in a hash map off a perf-event timer, and the user-space scraper that
+// drains those counts at flush time into tagged ProfileSample rows.
+//
+// The pipeline deliberately reuses every stage the tracing plane built:
+// the simkernel perf-event timer stands in for PERF_COUNT_SW_CPU_CLOCK, the
+// program is verified under the same §2.3.1 safety argument as the Table-3
+// hooks (the unbounded variant is rejected — see the tests), the stack map
+// is a BPF_MAP_TYPE_STACK_TRACE analogue with the perf-lost drop policy,
+// and samples inherit the same smart-encoded resource tags as spans once
+// the server enriches them.
+package profiling
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"deepflow/internal/ebpfvm"
+	"deepflow/internal/sim"
+	"deepflow/internal/simkernel"
+	"deepflow/internal/trace"
+)
+
+func nsTime(ns int64) time.Time { return sim.Epoch.Add(time.Duration(ns)) }
+
+// Config sizes the profiler's kernel-side resources.
+type Config struct {
+	StackDepth   int // frames kept per stack (default 32)
+	StackEntries int // stack-trace map buckets (default 16384)
+	CountEntries int // (stackid,pid) count map entries (default 65536)
+}
+
+// Count-map layout: key = stackid u32 | pid u32, value = hits u64,
+// first_ns i64, last_ns i64. Carrying first/last hit times in the value
+// gives the server per-entry time bounds for span-window correlation even
+// though scraping is interval-granular.
+const (
+	countKeySize = 8
+	countValSize = 24
+)
+
+// Sample is one folded profile row shipped to the server: a call stack, how
+// many perf-event hits it took for one process during one scrape interval,
+// and where (resource tags filled by the agent, enriched server-side exactly
+// like span tags).
+type Sample struct {
+	Host     string
+	PID      uint32
+	ProcName string
+	Stack    []string // outermost frame first
+	Count    uint64
+	// FirstNS/LastNS bound the hits in virtual ns since sim.Epoch.
+	FirstNS int64
+	LastNS  int64
+	// Resource carries the agent-side tags (VPC, IP); the server's registry
+	// expands them to pod/service/node under smart encoding.
+	Resource trace.ResourceTags
+}
+
+// Profiler owns the sampling program and its maps on one agent's VM.
+type Profiler struct {
+	Prog   *ebpfvm.Program
+	Stacks *ebpfvm.StackTraceMap
+	Counts *ebpfvm.HashMap
+
+	vm      *ebpfvm.Machine
+	stackFD int64
+	countFD int64
+
+	// SamplesRun counts sampling-program executions (one per perf-event hit
+	// delivered to this profiler).
+	SamplesRun uint64
+}
+
+// New builds and verifies the sampling program against vm. It fails only if
+// the program does not verify — which would mean the §2.3.1 argument broke.
+func New(vm *ebpfvm.Machine, cfg Config) (*Profiler, error) {
+	if cfg.StackDepth <= 0 {
+		cfg.StackDepth = 32
+	}
+	if cfg.StackEntries <= 0 {
+		cfg.StackEntries = 16384
+	}
+	if cfg.CountEntries <= 0 {
+		cfg.CountEntries = 65536
+	}
+	p := &Profiler{
+		Stacks: ebpfvm.NewStackTraceMap("profile_stacks", cfg.StackDepth, cfg.StackEntries),
+		Counts: ebpfvm.NewHashMap("profile_counts", countKeySize, countValSize, cfg.CountEntries),
+		vm:     vm,
+	}
+	p.stackFD = vm.RegisterStackMap(p.Stacks)
+	p.countFD = vm.RegisterMap(p.Counts)
+	p.Prog = SampleProgram(p.stackFD, p.countFD)
+	env := ebpfvm.VerifyEnv{CtxSize: simkernel.CtxSize, Resolve: vm.Resolve}
+	if err := ebpfvm.Verify(p.Prog, env); err != nil {
+		return nil, fmt.Errorf("profiling: sampling program rejected: %w", err)
+	}
+	return p, nil
+}
+
+// SampleProgram assembles the on-CPU sampling program: resolve the current
+// pid, intern the stack via get_stackid, and bump the (stackid, pid) entry
+// in the count map — updating last_ns on hits, initializing {1, now, now}
+// on misses. All control flow is forward; the verifier accepts it under the
+// same no-loops rule as the syscall hooks.
+func SampleProgram(stackFD, countFD int64) *ebpfvm.Program {
+	return ebpfvm.NewAsm("df_profile").
+		Call(ebpfvm.HelperGetPidTgid).
+		RshImm(ebpfvm.R0, 32). // keep the pid (tgid) half
+		MovReg(ebpfvm.R7, ebpfvm.R0).
+		Call(ebpfvm.HelperKtimeNS).
+		MovReg(ebpfvm.R8, ebpfvm.R0).
+		MovImm(ebpfvm.R1, stackFD).
+		MovImm(ebpfvm.R2, 0).
+		Call(ebpfvm.HelperGetStackID).
+		JgtImm(ebpfvm.R0, 0x7fffffff, "drop"). // negative (u64) => stack dropped
+		// key at fp-8: stackid u32, pid u32.
+		Stx(ebpfvm.SizeW, ebpfvm.R10, -8, ebpfvm.R0).
+		Stx(ebpfvm.SizeW, ebpfvm.R10, -4, ebpfvm.R7).
+		MovImm(ebpfvm.R1, countFD).
+		MovReg(ebpfvm.R2, ebpfvm.R10).
+		AddImm(ebpfvm.R2, -8).
+		Call(ebpfvm.HelperMapLookup).
+		JeqImm(ebpfvm.R0, 0, "miss").
+		// Hit: hits++, last_ns = now.
+		Ldx(ebpfvm.SizeDW, ebpfvm.R2, ebpfvm.R0, 0).
+		AddImm(ebpfvm.R2, 1).
+		Stx(ebpfvm.SizeDW, ebpfvm.R0, 0, ebpfvm.R2).
+		Stx(ebpfvm.SizeDW, ebpfvm.R0, 16, ebpfvm.R8).
+		MovImm(ebpfvm.R0, 0).
+		Exit().
+		Label("miss").
+		// New value at fp-40: {hits: 1, first_ns: now, last_ns: now}. A full
+		// count map fails the update; the sample is dropped, never blocks.
+		MovImm(ebpfvm.R2, 1).
+		Stx(ebpfvm.SizeDW, ebpfvm.R10, -40, ebpfvm.R2).
+		Stx(ebpfvm.SizeDW, ebpfvm.R10, -32, ebpfvm.R8).
+		Stx(ebpfvm.SizeDW, ebpfvm.R10, -24, ebpfvm.R8).
+		MovImm(ebpfvm.R1, countFD).
+		MovReg(ebpfvm.R2, ebpfvm.R10).
+		AddImm(ebpfvm.R2, -8).
+		MovReg(ebpfvm.R3, ebpfvm.R10).
+		AddImm(ebpfvm.R3, -40).
+		Call(ebpfvm.HelperMapUpdate).
+		Label("drop").
+		MovImm(ebpfvm.R0, 0).
+		Exit().
+		MustBuild()
+}
+
+// OnSample runs the verified program for one perf-event hit. scratch must
+// hold simkernel.CtxSize bytes.
+func (p *Profiler) OnSample(ctx *simkernel.HookContext, scratch []byte) error {
+	p.SamplesRun++
+	ctx.Marshal(scratch)
+	task := ebpfvm.Task{PID: ctx.PID, TID: ctx.TID, Stack: ctx.Stack}
+	_, err := p.vm.Run(p.Prog, scratch, task)
+	return err
+}
+
+// Scrape drains the count map into Sample rows and clears it (the
+// scrape-and-clear cycle the flow-stats path established). The stack map is
+// left in place: stacks are interned across intervals. Rows carry only what
+// the kernel knows; the agent fills ProcName and Resource before shipping.
+func (p *Profiler) Scrape(host string) []Sample {
+	if p.Counts.Len() == 0 {
+		return nil
+	}
+	var out []Sample
+	p.Counts.Iterate(func(key string, val []byte) bool {
+		le := binary.LittleEndian
+		stackid := int64(le.Uint32([]byte(key[0:4])))
+		pid := le.Uint32([]byte(key[4:8]))
+		stack := p.Stacks.Stack(stackid)
+		if stack == nil {
+			return true // cleared or bogus id; nothing to attribute
+		}
+		out = append(out, Sample{
+			Host:    host,
+			PID:     pid,
+			Stack:   append([]string(nil), stack...),
+			Count:   le.Uint64(val[0:8]),
+			FirstNS: int64(le.Uint64(val[8:16])),
+			LastNS:  int64(le.Uint64(val[16:24])),
+		})
+		return true
+	})
+	p.Counts.Clear()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PID != out[j].PID {
+			return out[i].PID < out[j].PID
+		}
+		return Fold(out[i].Stack) < Fold(out[j].Stack)
+	})
+	return out
+}
+
+// Fold renders a stack in flamegraph.pl folded form: frames joined by
+// semicolons, outermost first.
+func Fold(stack []string) string { return strings.Join(stack, ";") }
+
+// FoldedText renders samples as flamegraph.pl input: one "stack count" line
+// per distinct folded stack, counts aggregated, sorted by stack for
+// deterministic output.
+func FoldedText(samples []Sample) string {
+	agg := make(map[string]uint64)
+	for _, s := range samples {
+		agg[Fold(s.Stack)] += s.Count
+	}
+	keys := make([]string, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s %d\n", k, agg[k])
+	}
+	return b.String()
+}
+
+// Window reports the sample's hit bounds as times.
+func (s *Sample) Window() (time.Time, time.Time) {
+	return nsTime(s.FirstNS), nsTime(s.LastNS)
+}

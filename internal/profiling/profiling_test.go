@@ -1,0 +1,147 @@
+package profiling
+
+import (
+	"strings"
+	"testing"
+
+	"deepflow/internal/ebpfvm"
+	"deepflow/internal/simkernel"
+)
+
+func testProfiler(t *testing.T, cfg Config) (*Profiler, *ebpfvm.Machine, *int64) {
+	t.Helper()
+	vm := ebpfvm.NewMachine()
+	now := int64(0)
+	vm.Clock = func() int64 { return now }
+	p, err := New(vm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, vm, &now
+}
+
+func sampleCtx(pid, tid uint32, stack ...string) *simkernel.HookContext {
+	return &simkernel.HookContext{PID: pid, TID: tid, ProcName: "app", Stack: stack}
+}
+
+func TestSamplingProgramCountsHits(t *testing.T) {
+	p, _, now := testProfiler(t, Config{})
+	scratch := make([]byte, simkernel.CtxSize)
+
+	*now = 1000
+	if err := p.OnSample(sampleCtx(7, 7, "app.request", "app.handle"), scratch); err != nil {
+		t.Fatal(err)
+	}
+	*now = 2000
+	if err := p.OnSample(sampleCtx(7, 7, "app.request", "app.handle"), scratch); err != nil {
+		t.Fatal(err)
+	}
+	*now = 3000
+	if err := p.OnSample(sampleCtx(9, 9, "app.request", "app.gc"), scratch); err != nil {
+		t.Fatal(err)
+	}
+
+	rows := p.Scrape("node-1")
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2: %+v", len(rows), rows)
+	}
+	byFold := map[string]Sample{}
+	for _, r := range rows {
+		byFold[Fold(r.Stack)] = r
+	}
+	h := byFold["app.request;app.handle"]
+	if h.Count != 2 || h.PID != 7 || h.FirstNS != 1000 || h.LastNS != 2000 {
+		t.Fatalf("handle row = %+v", h)
+	}
+	g := byFold["app.request;app.gc"]
+	if g.Count != 1 || g.PID != 9 || g.FirstNS != 3000 || g.LastNS != 3000 {
+		t.Fatalf("gc row = %+v", g)
+	}
+	if p.SamplesRun != 3 {
+		t.Errorf("SamplesRun = %d, want 3", p.SamplesRun)
+	}
+
+	// Scrape clears the counts but keeps the interned stacks.
+	if got := p.Scrape("node-1"); got != nil {
+		t.Fatalf("second scrape returned %d rows, want none", len(got))
+	}
+	if p.Stacks.Len() != 2 {
+		t.Errorf("interned stacks = %d, want 2 after scrape", p.Stacks.Len())
+	}
+}
+
+// TestCollisionDropsSampleNotProgram: when get_stackid returns -EEXIST the
+// program takes the drop branch and exits cleanly; the loss is visible in
+// the stack map's collision counter, not as an error.
+func TestCollisionDropsSampleNotProgram(t *testing.T) {
+	p, _, _ := testProfiler(t, Config{StackEntries: 1})
+	scratch := make([]byte, simkernel.CtxSize)
+	if err := p.OnSample(sampleCtx(1, 1, "a.x"), scratch); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.OnSample(sampleCtx(1, 1, "b.y"), scratch); err != nil {
+		t.Fatal(err)
+	}
+	rows := p.Scrape("n")
+	if len(rows) != 1 || Fold(rows[0].Stack) != "a.x" {
+		t.Fatalf("rows = %+v, want only the resident stack", rows)
+	}
+	if p.Stacks.Collisions != 1 {
+		t.Errorf("Collisions = %d, want 1", p.Stacks.Collisions)
+	}
+}
+
+func TestDeepStackTruncated(t *testing.T) {
+	p, _, _ := testProfiler(t, Config{StackDepth: 2})
+	scratch := make([]byte, simkernel.CtxSize)
+	if err := p.OnSample(sampleCtx(1, 1, "a", "b", "c", "d"), scratch); err != nil {
+		t.Fatal(err)
+	}
+	rows := p.Scrape("n")
+	if len(rows) != 1 || Fold(rows[0].Stack) != "a;b" {
+		t.Fatalf("rows = %+v, want truncated a;b", rows)
+	}
+	if p.Stacks.Truncations != 1 {
+		t.Errorf("Truncations = %d, want 1", p.Stacks.Truncations)
+	}
+}
+
+// TestUnboundedSamplerRejected is the §2.3.1 negative test for the new
+// program class: a sampler that loops (walking frames with a back edge)
+// must be rejected by the verifier, exactly like a looping syscall hook.
+func TestUnboundedSamplerRejected(t *testing.T) {
+	vm := ebpfvm.NewMachine()
+	sm := ebpfvm.NewStackTraceMap("stacks", 32, 64)
+	stackFD := vm.RegisterStackMap(sm)
+	loop := ebpfvm.NewAsm("df_profile_unbounded").
+		MovImm(ebpfvm.R6, 0).
+		Label("walk").
+		MovImm(ebpfvm.R1, stackFD).
+		MovImm(ebpfvm.R2, 0).
+		Call(ebpfvm.HelperGetStackID).
+		AddImm(ebpfvm.R6, 1).
+		JltImm(ebpfvm.R6, 128, "walk"). // back edge: walk "every frame"
+		MovImm(ebpfvm.R0, 0).
+		Exit().
+		MustBuild()
+	err := ebpfvm.Verify(loop, ebpfvm.VerifyEnv{CtxSize: simkernel.CtxSize, Resolve: vm.Resolve})
+	if err == nil {
+		t.Fatal("unbounded sampling program passed the verifier")
+	}
+	if !strings.Contains(err.Error(), "back edge") {
+		t.Fatalf("rejection reason = %v, want back-edge violation", err)
+	}
+}
+
+func TestFoldedText(t *testing.T) {
+	samples := []Sample{
+		{Stack: []string{"svc.request", "svc.handle"}, Count: 3},
+		{Stack: []string{"svc.request", "svc.handle"}, Count: 2},
+		{Stack: []string{"svc.request", "svc.gc"}, Count: 1},
+	}
+	got := FoldedText(samples)
+	want := "svc.request;svc.gc 1\nsvc.request;svc.handle 5\n"
+	if got != want {
+		t.Fatalf("FoldedText:\n%s\nwant:\n%s", got, want)
+	}
+}

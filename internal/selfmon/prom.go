@@ -1,0 +1,94 @@
+package selfmon
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WritePromFull writes the registry in full Prometheus exposition format:
+// `# TYPE` lines for every metric family, counters and gauges as single
+// samples, and histograms expanded into cumulative `_bucket{le="..."}`
+// series (ending with le="+Inf"), `_sum`, and `_count` — the shape real
+// scrapers ingest, unlike WriteProm's flattened quantile summary.
+func (r *Registry) WritePromFull(w io.Writer) error {
+	r.mu.Lock()
+	entries := make([]*entry, len(r.order))
+	copy(entries, r.order)
+	r.mu.Unlock()
+
+	typed := map[string]bool{}
+	writeType := func(name string, kind Kind) error {
+		if typed[name] {
+			return nil
+		}
+		typed[name] = true
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+		return err
+	}
+
+	for _, e := range entries {
+		tags := r.baseTags(e.tags)
+		if err := writeType(e.name, e.kind); err != nil {
+			return err
+		}
+		switch e.kind {
+		case KindCounter:
+			if _, err := fmt.Fprintf(w, "%s%s %g\n", e.name, FormatTags(tags), float64(e.counter.Value())); err != nil {
+				return err
+			}
+		case KindGauge:
+			v := 0.0
+			if e.gaugeFn != nil {
+				v = e.gaugeFn()
+			} else {
+				v = e.gauge.Value()
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %g\n", e.name, FormatTags(tags), v); err != nil {
+				return err
+			}
+		case KindHistogram:
+			bounds, counts := e.hist.Buckets()
+			var cum uint64
+			for i, n := range counts {
+				cum += n
+				le := "+Inf"
+				if i < len(bounds) {
+					le = formatLE(bounds[i])
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+					e.name, withLE(tags, le), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", e.name, FormatTags(tags), e.hist.Sum()); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", e.name, FormatTags(tags), cum); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatLE renders a bucket bound the way Prometheus clients do: shortest
+// float representation that round-trips.
+func formatLE(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// withLE renders a tag set with an le label appended last, as exposition
+// convention has it.
+func withLE(tags map[string]string, le string) string {
+	base := FormatTags(tags)
+	inner := strings.TrimSuffix(strings.TrimPrefix(base, "{"), "}")
+	if inner == "" {
+		return fmt.Sprintf("{le=%q}", le)
+	}
+	return fmt.Sprintf("{%s,le=%q}", inner, le)
+}

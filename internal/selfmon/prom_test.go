@@ -1,0 +1,135 @@
+package selfmon
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseExposition is a minimal Prometheus text-format reader: it returns
+// TYPE declarations and all samples keyed by "name{labels}".
+func parseExposition(t *testing.T, text string) (types map[string]string, samples map[string]float64) {
+	t.Helper()
+	types = map[string]string{}
+	samples = map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			types[f[2]] = f[3]
+			continue
+		}
+		i := strings.LastIndex(line, " ")
+		if i < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		samples[line[:i]] = v
+	}
+	return types, samples
+}
+
+// TestWritePromFullHistogramParseBack round-trips a histogram through the
+// full exposition format: buckets must be cumulative and monotone, the
+// +Inf bucket must equal _count, _sum must match, and per-bucket counts
+// reconstructed by differencing must equal the histogram's own buckets.
+func TestWritePromFullHistogramParseBack(t *testing.T) {
+	r := New("h1", "agent")
+	h := r.Histogram("deepflow_agent_flush_seconds", []float64{0.001, 0.01, 0.1, 1})
+	obs := []float64{0.0005, 0.002, 0.003, 0.05, 0.05, 0.5, 42} // 42 overflows
+	for _, v := range obs {
+		h.Observe(v)
+	}
+	r.Counter("deepflow_agent_spans").Add(7)
+	r.Gauge("deepflow_agent_mem_bytes").Set(1024)
+
+	var b strings.Builder
+	if err := r.WritePromFull(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	types, samples := parseExposition(t, text)
+
+	if types["deepflow_agent_flush_seconds"] != "histogram" {
+		t.Fatalf("TYPE for histogram = %q, text:\n%s", types["deepflow_agent_flush_seconds"], text)
+	}
+	if types["deepflow_agent_spans"] != "counter" || types["deepflow_agent_mem_bytes"] != "gauge" {
+		t.Fatalf("counter/gauge TYPE lines missing:\n%s", text)
+	}
+
+	base := `{component="agent",host="h1"`
+	bucket := func(le string) float64 {
+		k := "deepflow_agent_flush_seconds_bucket" + base + `,le="` + le + `"}`
+		v, ok := samples[k]
+		if !ok {
+			t.Fatalf("missing bucket %s in:\n%s", k, text)
+		}
+		return v
+	}
+
+	les := []string{"0.001", "0.01", "0.1", "1", "+Inf"}
+	cum := make([]float64, len(les))
+	for i, le := range les {
+		cum[i] = bucket(le)
+	}
+	if !sort.Float64sAreSorted(cum) {
+		t.Fatalf("buckets not monotone: %v", cum)
+	}
+
+	count := samples["deepflow_agent_flush_seconds_count"+base+"}"]
+	if cum[len(cum)-1] != count || count != float64(len(obs)) {
+		t.Fatalf("+Inf bucket %v, _count %v, want %d", cum[len(cum)-1], count, len(obs))
+	}
+	sum := samples["deepflow_agent_flush_seconds_sum"+base+"}"]
+	var want float64
+	for _, v := range obs {
+		want += v
+	}
+	if math.Abs(sum-want) > 1e-9 {
+		t.Fatalf("_sum = %v, want %v", sum, want)
+	}
+
+	// Difference the cumulative series back to per-bucket counts and compare
+	// with the histogram's own view.
+	_, counts := h.Buckets()
+	prev := 0.0
+	for i, c := range cum {
+		if got, wantN := uint64(c-prev), counts[i]; got != wantN {
+			t.Fatalf("bucket %s per-bucket count = %d, want %d", les[i], got, wantN)
+		}
+		prev = c
+	}
+
+	if samples["deepflow_agent_spans"+base+"}"] != 7 {
+		t.Fatalf("counter sample wrong:\n%s", text)
+	}
+	if samples["deepflow_agent_mem_bytes"+base+"}"] != 1024 {
+		t.Fatalf("gauge sample wrong:\n%s", text)
+	}
+}
+
+// TestWritePromFullTaggedHistogram checks that extra registration tags
+// coexist with the le label.
+func TestWritePromFullTaggedHistogram(t *testing.T) {
+	r := New("h1", "agent")
+	h := r.Histogram("deepflow_agent_hook_seconds", []float64{1}, Tag{K: "hook", V: "read/exit"})
+	h.Observe(0.5)
+	var b strings.Builder
+	if err := r.WritePromFull(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `deepflow_agent_hook_seconds_bucket{component="agent",host="h1",hook="read/exit",le="1"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("missing %q in:\n%s", want, b.String())
+	}
+}

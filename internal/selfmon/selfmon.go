@@ -107,6 +107,20 @@ func (h *Histogram) Count() uint64 {
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return h.sum.Value() }
 
+// Buckets returns the bucket upper bounds and per-bucket (NOT cumulative)
+// counts. counts has len(bounds)+1 entries; the last is the overflow bucket
+// (observations above the final bound, i.e. the +Inf bucket of a Prometheus
+// exposition).
+func (h *Histogram) Buckets() (bounds []float64, counts []uint64) {
+	bounds = make([]float64, len(h.bounds))
+	copy(bounds, h.bounds)
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return bounds, counts
+}
+
 // Quantile returns the q-th quantile (q in [0,1]) by linear interpolation
 // within the containing bucket. An empty histogram returns 0; observations
 // in the overflow bucket are reported as the last bound.

@@ -18,6 +18,7 @@ import (
 type Server struct {
 	Registry *ResourceRegistry
 	Store    *SpanStore
+	Profiles *ProfileStore
 	Metrics  *metrics.Store
 
 	// Mon is the server's self-monitoring registry (Fig. 19-style
@@ -25,11 +26,13 @@ type Server struct {
 	Mon *selfmon.Registry
 
 	// Stats.
-	SpansIngested int
-	FlowsIngested int
+	SpansIngested    int
+	FlowsIngested    int
+	ProfilesIngested int
 
-	mSpans *selfmon.Counter
-	mFlows *selfmon.Counter
+	mSpans    *selfmon.Counter
+	mFlows    *selfmon.Counter
+	mProfiles *selfmon.Counter
 }
 
 // New creates a server with the given tag encoding.
@@ -43,12 +46,15 @@ func NewWide(reg *ResourceRegistry, enc Encoding, wide int) *Server {
 	s := &Server{
 		Registry: reg,
 		Store:    NewSpanStoreWide(enc, reg, wide),
+		Profiles: NewProfileStore(enc, reg),
 		Metrics:  metrics.NewStore(),
 		Mon:      selfmon.New("server", "server"),
 	}
 	s.mSpans = s.Mon.Counter("deepflow_server_spans_ingested")
 	s.mFlows = s.Mon.Counter("deepflow_server_flows_ingested")
+	s.mProfiles = s.Mon.Counter("deepflow_server_profiles_ingested")
 	s.Store.instrument(s.Mon)
+	s.Profiles.instrument(s.Mon)
 	// Smart-encoding dictionary cardinalities (Fig. 8's query-time name
 	// resolution depends on these staying small relative to span volume).
 	for name, d := range map[string]*dictionary{

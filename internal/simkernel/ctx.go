@@ -100,6 +100,12 @@ type HookContext struct {
 	// Syscall information.
 	DataLen int32  // total bytes read/written by this call; <0 = errno
 	Payload []byte // payload prefix available to the tracing plane
+
+	// Stack is the sampled call stack for perf-event hooks (outermost frame
+	// first). It is not part of the marshalled context: programs reach it
+	// through the get_stackid helper, the way real BPF samplers walk stacks
+	// into a BPF_MAP_TYPE_STACK_TRACE rather than reading them from ctx.
+	Stack []string
 }
 
 // PayloadPrefixLen is how many payload bytes the kernel copies into the

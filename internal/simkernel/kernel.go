@@ -18,6 +18,7 @@ const (
 	AttachTracepoint
 	AttachUprobe
 	AttachUretprobe
+	AttachPerfEventKind
 )
 
 func (k AttachKind) String() string {
@@ -30,6 +31,8 @@ func (k AttachKind) String() string {
 		return "uprobe"
 	case AttachUretprobe:
 		return "uretprobe"
+	case AttachPerfEventKind:
+		return "perf_event"
 	default:
 		return "attach?"
 	}
@@ -135,6 +138,10 @@ type Kernel struct {
 	// HookCost is the simulated added latency per attached hook execution
 	// (calibrated from the Fig. 13 microbenchmarks when an agent deploys).
 	HookCost time.Duration
+	// SampleCost is the simulated CPU stolen from the sampled slice by one
+	// perf-event sample (the profiling analogue of HookCost; zero when no
+	// profiler is attached).
+	SampleCost time.Duration
 
 	nextPID  uint32
 	nextTID  uint32
@@ -144,10 +151,12 @@ type Kernel struct {
 	syscalls map[ABI]map[Phase][]*Attachment
 	uprobes  map[string][]*Attachment // key: symbol; Kind selects enter/ret
 	coroSubs []func(proc *Process, parent, child uint64)
+	running  []*cpuSlice // on-CPU execution slices the sampler can hit
 
 	// Counters for tests and benchmarks.
 	SyscallCount uint64
 	HookRuns     uint64
+	SampleCount  uint64 // perf-event samples delivered across all slices
 }
 
 // NewKernel creates a kernel for the named host.

@@ -1,0 +1,127 @@
+package simkernel
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file is the kernel half of the continuous profiling plane: simulated
+// on-CPU execution slices and the perf-event sampling timer that observes
+// them. Workloads describe what a thread is doing with RunOnCPU — an explicit
+// call stack plus a duration — and a profiler attached via AttachPerfEvent is
+// ticked at a fixed frequency, firing its hook once per running slice with
+// the slice's stack. This mirrors PERF_COUNT_SW_CPU_CLOCK sampling feeding a
+// BPF program: the hook sees "what was on CPU when the timer fired".
+
+// cpuSlice is one contiguous stretch of simulated on-CPU work. It captures
+// the execution context at the moment the work starts: in particular the
+// coroutine then current on the carrier thread, because coroutine runtimes
+// mutate Thread.CurrentCoroutine whenever another coroutine is scheduled
+// onto the same carrier — a sample landing mid-slice must attribute to the
+// coroutine that owns the work, not whatever the carrier happens to point at
+// when the timer fires.
+type cpuSlice struct {
+	thread *Thread
+	coro   uint64 // Thread.CurrentCoroutine captured at RunOnCPU time
+	frames []string
+	end    time.Duration // virtual completion time; samples push it out
+}
+
+// RunOnCPU models the thread spending d of on-CPU time with the given call
+// stack (outermost frame first), then invoking done. While the slice runs it
+// is visible to perf-event samplers, each sample stealing SampleCost of CPU
+// (the completion is pushed out accordingly). d <= 0 completes on the next
+// event-loop turn without becoming sampleable.
+func (k *Kernel) RunOnCPU(th *Thread, frames []string, d time.Duration, done func()) {
+	if th == nil {
+		panic("simkernel: RunOnCPU on nil thread")
+	}
+	if d <= 0 {
+		k.Eng.After(0, done)
+		return
+	}
+	s := &cpuSlice{
+		thread: th,
+		coro:   th.CurrentCoroutine,
+		frames: frames,
+		end:    k.Eng.Elapsed() + d,
+	}
+	k.running = append(k.running, s)
+	var fire func()
+	fire = func() {
+		// Samples may have extended the slice since this completion was
+		// scheduled; keep rescheduling until the (possibly moved) end.
+		if now := k.Eng.Elapsed(); now < s.end {
+			k.Eng.After(s.end-now, fire)
+			return
+		}
+		k.removeSlice(s)
+		done()
+	}
+	k.Eng.After(d, fire)
+}
+
+func (k *Kernel) removeSlice(s *cpuSlice) {
+	for i, r := range k.running {
+		if r == s {
+			last := len(k.running) - 1
+			k.running[i] = k.running[last]
+			k.running[last] = nil
+			k.running = k.running[:last]
+			return
+		}
+	}
+}
+
+// RunningSlices reports how many on-CPU slices are live (for tests).
+func (k *Kernel) RunningSlices() int { return len(k.running) }
+
+// AttachPerfEvent arms a sampling timer at freqHz and fires fn once per
+// running on-CPU slice at every tick — the analogue of attaching a BPF
+// program to a PERF_COUNT_SW_CPU_CLOCK perf event on every core. The hook
+// context carries the sampled slice's PID/TID, its captured coroutine, and
+// its call stack in HookContext.Stack (out of band, the way a real program
+// reads stacks via bpf_get_stackid rather than from its context struct).
+// Each delivered sample steals SampleCost from the sampled slice. Sampling
+// stops when the returned attachment is detached.
+func (k *Kernel) AttachPerfEvent(freqHz int, name string, fn HookFn) (*Attachment, error) {
+	if freqHz <= 0 {
+		return nil, fmt.Errorf("simkernel: perf event frequency must be positive, got %d", freqHz)
+	}
+	at := &Attachment{Kind: AttachPerfEventKind, Name: name, Fn: fn}
+	period := time.Duration(int64(time.Second) / int64(freqHz))
+	if period <= 0 {
+		period = time.Nanosecond
+	}
+	var tick func()
+	tick = func() {
+		if at.detached {
+			return
+		}
+		now := int64(k.Eng.Elapsed())
+		// Snapshot: a hook that starts or completes work must not perturb
+		// this tick's view of what was on CPU.
+		snap := append([]*cpuSlice(nil), k.running...)
+		for _, s := range snap {
+			if s.end <= k.Eng.Elapsed() {
+				continue // completing this very instant; not on CPU anymore
+			}
+			k.SampleCount++
+			k.HookRuns++
+			ctx := &HookContext{
+				PID:         s.thread.Proc.PID,
+				TID:         s.thread.TID,
+				CoroutineID: s.coro,
+				ProcName:    s.thread.Proc.Name,
+				EnterNS:     now,
+				ExitNS:      now,
+				Stack:       s.frames,
+			}
+			fn(ctx)
+			s.end += k.SampleCost // the sample itself steals CPU
+		}
+		k.Eng.After(period, tick)
+	}
+	k.Eng.After(period, tick)
+	return at, nil
+}

@@ -1,0 +1,165 @@
+package simkernel
+
+import (
+	"testing"
+	"time"
+
+	"deepflow/internal/sim"
+	"deepflow/internal/trace"
+)
+
+func TestRunOnCPUCompletesAndIsSampled(t *testing.T) {
+	k, eng := newTestKernel()
+	proc := k.NewProcess("app")
+	th := proc.Threads()[0]
+
+	var samples []*HookContext
+	if _, err := k.AttachPerfEvent(100, "sampler", func(ctx *HookContext) {
+		samples = append(samples, ctx)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	frames := []string{"app.request", "app.handle", "app.handle.service"}
+	var doneAt time.Duration
+	k.RunOnCPU(th, frames, 35*time.Millisecond, func() { doneAt = eng.Elapsed() })
+	eng.Run(time.Second)
+
+	if doneAt != 35*time.Millisecond {
+		t.Fatalf("slice completed at %v, want 35ms (SampleCost is zero)", doneAt)
+	}
+	// 100 Hz over a 35ms slice: ticks at 10, 20, 30ms land inside it.
+	if len(samples) != 3 {
+		t.Fatalf("got %d samples, want 3", len(samples))
+	}
+	for _, s := range samples {
+		if s.PID != proc.PID || s.TID != th.TID {
+			t.Errorf("sample attributed to pid/tid %d/%d, want %d/%d", s.PID, s.TID, proc.PID, th.TID)
+		}
+		if len(s.Stack) != 3 || s.Stack[2] != "app.handle.service" {
+			t.Errorf("sample stack = %v, want %v", s.Stack, frames)
+		}
+	}
+	if k.RunningSlices() != 0 {
+		t.Errorf("%d slices still running after completion", k.RunningSlices())
+	}
+	if k.SampleCount != 3 {
+		t.Errorf("SampleCount = %d, want 3", k.SampleCount)
+	}
+}
+
+func TestSampleCostStealsCPU(t *testing.T) {
+	k, eng := newTestKernel()
+	k.SampleCost = time.Millisecond // exaggerated to be visible
+	proc := k.NewProcess("app")
+	th := proc.Threads()[0]
+
+	var n int
+	if _, err := k.AttachPerfEvent(100, "sampler", func(*HookContext) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+
+	var doneAt time.Duration
+	k.RunOnCPU(th, []string{"app.f"}, 25*time.Millisecond, func() { doneAt = eng.Elapsed() })
+	eng.Run(time.Second)
+
+	// Ticks at 10 and 20ms land in the original window; each steals 1ms,
+	// pushing completion to 27ms — which exposes the slice to ticks nominally
+	// past its end, but completion at 27ms precedes the 30ms tick.
+	if n != 2 {
+		t.Fatalf("got %d samples, want 2", n)
+	}
+	if doneAt != 27*time.Millisecond {
+		t.Fatalf("slice completed at %v, want 27ms (25ms + 2 samples x 1ms)", doneAt)
+	}
+}
+
+func TestDetachStopsSampling(t *testing.T) {
+	k, eng := newTestKernel()
+	proc := k.NewProcess("app")
+	th := proc.Threads()[0]
+
+	var n int
+	at, err := k.AttachPerfEvent(100, "sampler", func(*HookContext) { n++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RunOnCPU(th, []string{"app.f"}, 15*time.Millisecond, func() {})
+	eng.Run(12 * time.Millisecond)
+	if n != 1 {
+		t.Fatalf("got %d samples before detach, want 1", n)
+	}
+	at.Detach()
+	eng.Run(time.Second)
+	if n != 1 {
+		t.Fatalf("sampler fired after detach: %d samples", n)
+	}
+}
+
+func TestAttachPerfEventRejectsBadFrequency(t *testing.T) {
+	k, _ := newTestKernel()
+	if _, err := k.AttachPerfEvent(0, "sampler", func(*HookContext) {}); err == nil {
+		t.Fatal("freq 0 accepted")
+	}
+	if _, err := k.AttachPerfEvent(-5, "sampler", func(*HookContext) {}); err == nil {
+		t.Fatal("negative freq accepted")
+	}
+}
+
+// TestSampleAttributesCoroutineNotCarrierThread is the regression test for
+// the coroutine-switch attribution bug: when another coroutine is scheduled
+// onto the carrier thread mid-slice (Thread.CurrentCoroutine changes), a
+// sample landing afterwards must still attribute to the coroutine that owns
+// the sampled work, captured when the slice started.
+func TestSampleAttributesCoroutineNotCarrierThread(t *testing.T) {
+	k, eng := newTestKernel()
+	proc := k.NewProcess("go-app")
+	th := proc.Threads()[0]
+
+	var samples []*HookContext
+	if _, err := k.AttachPerfEvent(100, "sampler", func(ctx *HookContext) {
+		samples = append(samples, ctx)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const owner, intruder = 7, 8
+	th.CurrentCoroutine = owner
+	k.RunOnCPU(th, []string{"go-app.worker"}, 25*time.Millisecond, func() {})
+	// Another coroutine is switched onto the carrier before the first tick.
+	eng.After(5*time.Millisecond, func() { th.CurrentCoroutine = intruder })
+	eng.Run(time.Second)
+
+	if len(samples) == 0 {
+		t.Fatal("no samples delivered")
+	}
+	for _, s := range samples {
+		if s.CoroutineID != owner {
+			t.Fatalf("sample attributed to coroutine %d (the carrier's current), want owner %d", s.CoroutineID, owner)
+		}
+	}
+}
+
+func TestZeroDurationRunOnCPU(t *testing.T) {
+	k, eng := newTestKernel()
+	proc := k.NewProcess("app")
+	th := proc.Threads()[0]
+	done := false
+	k.RunOnCPU(th, nil, 0, func() { done = true })
+	if k.RunningSlices() != 0 {
+		t.Fatal("zero-duration work should not become a sampleable slice")
+	}
+	eng.RunAll()
+	if !done {
+		t.Fatal("done not invoked")
+	}
+}
+
+// Guard the attach-kind string table against silent drift.
+func TestPerfEventAttachKindString(t *testing.T) {
+	if got := AttachPerfEventKind.String(); got != "perf_event" {
+		t.Fatalf("AttachPerfEventKind.String() = %q", got)
+	}
+	_ = trace.FiveTuple{} // keep the import in line with sibling tests
+	_ = sim.Epoch
+}
