@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test vet check bench
 
 build:
 	$(GO) build ./...
@@ -8,8 +8,14 @@ build:
 test:
 	$(GO) test ./...
 
-# check runs vet, the race detector over the concurrency-bearing packages,
-# and the self-monitoring overhead guard (see scripts/check.sh).
+# vet runs Go's own static analysis plus dfvet, the repo's eBPF verifier
+# CLI, over every hook program the agent ships.
+vet:
+	$(GO) vet ./...
+	$(GO) run ./cmd/dfvet
+
+# check runs vet + dfvet, the race detector over the whole tree, and the
+# self-monitoring overhead guard (see scripts/check.sh).
 check:
 	sh scripts/check.sh
 

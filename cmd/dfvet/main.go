@@ -1,0 +1,110 @@
+// Command dfvet is the offline static checker for the eBPF hook programs
+// this repo ships: it assembles every tracing-plane and profiling-plane
+// program exactly as the agent would, runs the abstract-interpretation
+// verifier over each, and prints a per-program analysis report. It exits
+// nonzero if any program is rejected, so CI (scripts/check.sh, `make vet`)
+// fails the moment a code change breaks verifiability — the paper's §2.3.1
+// safety argument enforced before deploy time, not at it.
+//
+// Usage:
+//
+//	dfvet [-v] [-disasm] [-prog substring]
+//
+//	-v       print the verifier's structured log (branch splits, pruned
+//	         edges, state-cache prunes/merges, per-instruction register
+//	         states) for each program
+//	-disasm  print each program's disassembly
+//	-prog    only check programs whose name contains the substring
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"deepflow/internal/agent"
+	"deepflow/internal/ebpfvm"
+	"deepflow/internal/profiling"
+	"deepflow/internal/simkernel"
+)
+
+// target is one shipped program plus the environment it must verify under.
+type target struct {
+	plane string
+	prog  *ebpfvm.Program
+	env   ebpfvm.VerifyEnv
+}
+
+// shippedPrograms assembles (without verifying) every hook program the
+// repo deploys: the agent's tracing plane and the profiling sampler.
+func shippedPrograms() ([]target, error) {
+	var out []target
+
+	ps, err := agent.AssemblePrograms(1 << 16)
+	if err != nil {
+		return nil, fmt.Errorf("tracing plane: %w", err)
+	}
+	env := ps.VerifyEnv()
+	for _, p := range ps.All() {
+		out = append(out, target{plane: "tracing", prog: p, env: env})
+	}
+
+	vm := ebpfvm.NewMachine()
+	stackFD := vm.RegisterStackMap(ebpfvm.NewStackTraceMap("profile_stacks", 32, 16384))
+	countFD := vm.RegisterMap(ebpfvm.NewHashMap("profile_counts", 8, 24, 65536))
+	out = append(out, target{
+		plane: "profiling",
+		prog:  profiling.SampleProgram(stackFD, countFD),
+		env:   ebpfvm.VerifyEnv{CtxSize: simkernel.CtxSize, Resolve: vm.Resolve},
+	})
+	return out, nil
+}
+
+func main() {
+	verbose := flag.Bool("v", false, "print the full verifier log per program")
+	disasm := flag.Bool("disasm", false, "print each program's disassembly")
+	progFilter := flag.String("prog", "", "only check programs whose name contains this substring")
+	flag.Parse()
+
+	targets, err := shippedPrograms()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dfvet: failed to assemble shipped programs: %v\n", err)
+		os.Exit(1)
+	}
+
+	checked, rejected := 0, 0
+	for _, t := range targets {
+		if *progFilter != "" && !strings.Contains(t.prog.Name, *progFilter) {
+			continue
+		}
+		checked++
+		res, err := ebpfvm.VerifyDetailed(t.prog, t.env, ebpfvm.VerifyOptions{Trace: *verbose})
+		if err != nil {
+			rejected++
+			fmt.Printf("%-16s [%s]  REJECTED\n    %v\n", t.prog.Name, t.plane, err)
+		} else {
+			fmt.Printf("%-16s [%s]  OK  %s\n", t.prog.Name, t.plane, res.Stats)
+		}
+		if *disasm {
+			for _, line := range strings.Split(strings.TrimRight(t.prog.Disasm(), "\n"), "\n") {
+				fmt.Printf("    %s\n", line)
+			}
+		}
+		if *verbose || err != nil {
+			for _, line := range res.Log {
+				fmt.Printf("    | %s\n", line)
+			}
+		}
+	}
+
+	if rejected > 0 {
+		fmt.Printf("dfvet: %d of %d programs REJECTED\n", rejected, checked)
+		os.Exit(1)
+	}
+	if checked == 0 {
+		fmt.Printf("dfvet: no programs matched -prog %q\n", *progFilter)
+		os.Exit(1)
+	}
+	fmt.Printf("dfvet: %d programs verified, 0 rejected\n", checked)
+}

@@ -230,6 +230,22 @@ func (a *Agent) instrument() {
 	mon.GaugeFunc("deepflow_agent_cpu_seconds", func() float64 { return a.CPUTime.Seconds() })
 	mon.GaugeFunc("deepflow_agent_hook_errors_total", func() float64 { return float64(a.HookErrors) })
 
+	// Verifier analysis stats per hook program: static after Start, but
+	// exported as gauges so a program growing past its complexity budget is
+	// visible in the same place as every other agent metric.
+	verifierProgs := a.Progs.All()
+	if a.Profiler != nil {
+		verifierProgs = append(verifierProgs, a.Profiler.Prog)
+	}
+	for _, p := range verifierProgs {
+		p := p
+		tag := selfmon.Tag{K: "prog", V: p.Name}
+		mon.GaugeFunc("deepflow_agent_verifier_insts", func() float64 { return float64(p.Stats.Insts) }, tag)
+		mon.GaugeFunc("deepflow_agent_verifier_states_explored", func() float64 { return float64(p.Stats.StatesExplored) }, tag)
+		mon.GaugeFunc("deepflow_agent_verifier_states_pruned", func() float64 { return float64(p.Stats.StatesPruned) }, tag)
+		mon.GaugeFunc("deepflow_agent_verifier_peak_stack_bytes", func() float64 { return float64(p.Stats.PeakStackBytes) }, tag)
+	}
+
 	if prof := a.Profiler; prof != nil {
 		mon.GaugeFunc("deepflow_agent_profile_samples", func() float64 { return float64(prof.SamplesRun) })
 		mon.GaugeFunc("deepflow_agent_profile_stack_evictions", func() float64 { return float64(prof.Stacks.Collisions) })

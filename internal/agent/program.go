@@ -27,8 +27,10 @@ const pidTgidKeySize = 8
 const enterValSize = 8
 
 // flowStatValSize is the per-socket in-kernel statistics record:
-// packets (u64) + bytes (u64).
-const flowStatValSize = 16
+// packets (u64) + bytes (u64) + payload hint (u64, OR-accumulated
+// first/last payload bytes — a cheap in-kernel protocol-inference
+// signature, §3.2.2).
+const flowStatValSize = 24
 
 // Programs bundles the loaded tracing-plane resources for one kernel.
 type Programs struct {
@@ -50,6 +52,34 @@ type Programs struct {
 // fresh VM. PerfCapacity bounds the perf ring (records are dropped, not
 // blocked, on overflow).
 func BuildPrograms(perfCapacity int) (*Programs, error) {
+	ps, err := AssemblePrograms(perfCapacity)
+	if err != nil {
+		return nil, err
+	}
+	env := ps.VerifyEnv()
+	for _, p := range ps.All() {
+		if err := ebpfvm.Verify(p, env); err != nil {
+			return nil, fmt.Errorf("agent: %w", err)
+		}
+	}
+	return ps, nil
+}
+
+// All returns the tracing-plane hook programs in a stable order, for
+// verification, selfmon export, and the dfvet static checker.
+func (p *Programs) All() []*ebpfvm.Program {
+	return []*ebpfvm.Program{p.Enter, p.Exit, p.Uprobe, p.FlowStats, p.Empty}
+}
+
+// VerifyEnv returns the verification environment the programs run under.
+func (p *Programs) VerifyEnv() ebpfvm.VerifyEnv {
+	return ebpfvm.VerifyEnv{CtxSize: simkernel.CtxSize, Resolve: p.VM.Resolve}
+}
+
+// AssemblePrograms builds the hook programs and their maps without
+// verifying them — the assembly half of BuildPrograms, split out so dfvet
+// can run the verifier itself and report per-program analysis logs.
+func AssemblePrograms(perfCapacity int) (*Programs, error) {
 	vm := ebpfvm.NewMachine()
 	inflight := ebpfvm.NewHashMap("df_inflight", pidTgidKeySize, enterValSize, 65536)
 	mapFD := vm.RegisterMap(inflight)
@@ -121,6 +151,21 @@ func BuildPrograms(perfCapacity int) (*Programs, error) {
 		// Skip failed syscalls (DataLen sign bit set).
 		Ldx(ebpfvm.SizeW, ebpfvm.R7, ebpfvm.R1, simkernel.CtxOffDataLen).
 		JsetImm(ebpfvm.R7, int64(1)<<31, "skip").
+		// Payload hint: OR of the payload's last byte, read at the
+		// runtime-variable offset ctx[CtxOffPayload + paylen - 1]. The clamp
+		// below hands the verifier the interval [1,PayloadPrefixLen] it
+		// needs to prove the access in bounds — before range analysis this
+		// read needed a PayloadPrefixLen-way unrolled branch chain.
+		Ldx(ebpfvm.SizeH, ebpfvm.R8, ebpfvm.R1, simkernel.CtxOffPayLen). // r8 = paylen, in [0,65535]
+		JeqImm(ebpfvm.R8, 0, "nopay").
+		JgtImm(ebpfvm.R8, simkernel.PayloadPrefixLen, "nopay"). // fallthrough: r8 in [1,192]
+		MovReg(ebpfvm.R9, ebpfvm.R1).
+		AddReg(ebpfvm.R9, ebpfvm.R8). // ctx + paylen: range-bounded pointer
+		Ldx(ebpfvm.SizeB, ebpfvm.R8, ebpfvm.R9, simkernel.CtxOffPayload-1).
+		Ja("key").
+		Label("nopay").
+		MovImm(ebpfvm.R8, 0).
+		Label("key").
 		// key = socket id at fp-8.
 		Ldx(ebpfvm.SizeDW, ebpfvm.R6, ebpfvm.R1, simkernel.CtxOffSocket).
 		Stx(ebpfvm.SizeDW, ebpfvm.R10, -8, ebpfvm.R6).
@@ -136,18 +181,22 @@ func BuildPrograms(perfCapacity int) (*Programs, error) {
 		Ldx(ebpfvm.SizeDW, ebpfvm.R2, ebpfvm.R0, 8).
 		AddReg(ebpfvm.R2, ebpfvm.R7).
 		Stx(ebpfvm.SizeDW, ebpfvm.R0, 8, ebpfvm.R2).
+		Ldx(ebpfvm.SizeDW, ebpfvm.R2, ebpfvm.R0, 16).
+		OrReg(ebpfvm.R2, ebpfvm.R8).
+		Stx(ebpfvm.SizeDW, ebpfvm.R0, 16, ebpfvm.R2).
 		MovImm(ebpfvm.R0, 0).
 		Exit().
 		Label("init").
-		// Miss: write the initial {1, datalen} record.
+		// Miss: write the initial {1, datalen, hint} record.
 		MovImm(ebpfvm.R2, 1).
-		Stx(ebpfvm.SizeDW, ebpfvm.R10, -24, ebpfvm.R2).
-		Stx(ebpfvm.SizeDW, ebpfvm.R10, -16, ebpfvm.R7).
+		Stx(ebpfvm.SizeDW, ebpfvm.R10, -32, ebpfvm.R2).
+		Stx(ebpfvm.SizeDW, ebpfvm.R10, -24, ebpfvm.R7).
+		Stx(ebpfvm.SizeDW, ebpfvm.R10, -16, ebpfvm.R8).
 		MovImm(ebpfvm.R1, statsFD).
 		MovReg(ebpfvm.R2, ebpfvm.R10).
 		AddImm(ebpfvm.R2, -8).
 		MovReg(ebpfvm.R3, ebpfvm.R10).
-		AddImm(ebpfvm.R3, -24).
+		AddImm(ebpfvm.R3, -32).
 		Call(ebpfvm.HelperMapUpdate).
 		Label("skip").
 		MovImm(ebpfvm.R0, 0).
@@ -161,12 +210,6 @@ func BuildPrograms(perfCapacity int) (*Programs, error) {
 		Exit().
 		MustBuild()
 
-	env := ebpfvm.VerifyEnv{CtxSize: simkernel.CtxSize, Resolve: vm.Resolve}
-	for _, p := range []*ebpfvm.Program{enter, exit, uprobe, flow, empty} {
-		if err := ebpfvm.Verify(p, env); err != nil {
-			return nil, fmt.Errorf("agent: %w", err)
-		}
-	}
 	return &Programs{
 		VM: vm, Enter: enter, Exit: exit, Uprobe: uprobe, FlowStats: flow, Empty: empty,
 		MapFD: mapFD, PerfFD: perfFD, StatsFD: statsFD,
@@ -178,6 +221,10 @@ func BuildPrograms(perfCapacity int) (*Programs, error) {
 type SocketStat struct {
 	Packets uint64
 	Bytes   uint64
+	// PayloadHint is the OR of observed last-payload bytes on this socket,
+	// computed in kernel space via a range-bounded ctx access — a cheap
+	// protocol-inference signature (e.g. HTTP/1 responses end in '\n').
+	PayloadHint uint64
 }
 
 // ScrapeFlowStats drains the in-kernel statistics map, returning the
@@ -190,8 +237,9 @@ func (p *Programs) ScrapeFlowStats() map[uint64]SocketStat {
 		}
 		le := binary.LittleEndian
 		out[le.Uint64([]byte(key))] = SocketStat{
-			Packets: le.Uint64(val[0:]),
-			Bytes:   le.Uint64(val[8:]),
+			Packets:     le.Uint64(val[0:]),
+			Bytes:       le.Uint64(val[8:]),
+			PayloadHint: le.Uint64(val[16:]),
 		}
 		return true
 	})

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 )
@@ -24,14 +25,42 @@ func (d *Deployment) DebugMux() *http.ServeMux {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/verifier", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := d.WriteVerifierReport(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "deepflow debug endpoint: /metrics, /debug/pprof/")
+		fmt.Fprintln(w, "deepflow debug endpoint: /metrics, /verifier, /debug/pprof/")
 	})
 	return mux
+}
+
+// WriteVerifierReport renders every deployed agent's hook programs with
+// their verifier analysis stats — the deploy-time evidence behind the
+// paper's §2.3.1 safety claim, one line per verified program.
+func (d *Deployment) WriteVerifierReport(w io.Writer) error {
+	for _, name := range d.agentNames() {
+		ag := d.agents[name]
+		if _, err := fmt.Fprintf(w, "# host %s\n", name); err != nil {
+			return err
+		}
+		progs := ag.Progs.All()
+		if ag.Profiler != nil {
+			progs = append(progs, ag.Profiler.Prog)
+		}
+		for _, p := range progs {
+			if _, err := fmt.Fprintf(w, "%-16s %s\n", p.Name, p.Stats); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // WriteSelfStatsProm renders the server's and every agent's registry in

@@ -54,6 +54,23 @@ func TestDebugMuxServesMetricsAndPprof(t *testing.T) {
 		}
 	}
 
+	code, body = get("/verifier")
+	if code != http.StatusOK {
+		t.Fatalf("/verifier status %d", code)
+	}
+	for _, want := range []string{"# host", "df_flow_stats", "insts", "states explored"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/verifier missing %q; body:\n%s", want, body)
+		}
+	}
+	// Every deployed program has been through the verifier, so no report
+	// line may show a zero instruction count.
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.Contains(line, " 0 insts") {
+			t.Fatalf("/verifier has unverified program line %q", line)
+		}
+	}
+
 	code, body = get("/debug/pprof/")
 	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
 		t.Fatalf("/debug/pprof/ status %d body %.200s", code, body)

@@ -1,0 +1,232 @@
+package ebpfvm
+
+import (
+	"strings"
+	"testing"
+)
+
+// The acceptance-criterion pair for the abstract interpreter: a program
+// that loads a u16 payload length from ctx, clamps it with a conditional
+// branch, and uses it as a variable pointer offset must verify — and the
+// same program without the clamp must be rejected with a message naming
+// the offending register's inferred interval.
+
+const testCtxSize = 288 // mirrors simkernel.CtxSize
+
+func rangeBoundedProg(clamped bool) *Program {
+	a := NewAsm("range-bounded").
+		Ldx(SizeH, R2, R1, 64) // r2 = payload length, in [0,65535]
+	if clamped {
+		a.JgtImm(R2, 192, "skip") // fallthrough: r2 in [0,192]
+	} else {
+		a.JeqImm(R2, 99999, "skip") // keeps the skip block reachable, refines nothing
+	}
+	return a.
+		MovReg(R3, R1).
+		AddReg(R3, R2). // r3 = ctx + len: range-bounded ctx pointer
+		Ldx(SizeB, R0, R3, 95).
+		Exit().
+		Label("skip").
+		MovImm(R0, 0).
+		Exit().
+		MustBuild()
+}
+
+func TestVerifierAcceptsRangeBoundedCtxAccess(t *testing.T) {
+	p := rangeBoundedProg(true)
+	if err := Verify(p, VerifyEnv{CtxSize: testCtxSize}); err != nil {
+		t.Fatalf("range-bounded ctx access rejected: %v", err)
+	}
+}
+
+func TestVerifierRejectsUnclampedCtxOffset(t *testing.T) {
+	p := rangeBoundedProg(false)
+	err := Verify(p, VerifyEnv{CtxSize: testCtxSize})
+	if err == nil {
+		t.Fatal("unclamped variable ctx offset verified")
+	}
+	// The rejection must name the inferred interval of the offset register
+	// so the author can see what bound the verifier actually proved.
+	if !strings.Contains(err.Error(), "[0,65535]") {
+		t.Fatalf("rejection %q does not name the inferred interval [0,65535]", err)
+	}
+	if !strings.Contains(err.Error(), "ctx access") {
+		t.Fatalf("rejection %q does not identify the ctx access", err)
+	}
+}
+
+func TestVerifierRejectsUnboundedPointerAdd(t *testing.T) {
+	// A full-width scalar (no width cap, no clamp) added to a pointer must
+	// be rejected at the ALU op itself, before any access.
+	p := NewAsm("unbounded-add").
+		Ldx(SizeDW, R2, R1, 0).
+		MovReg(R3, R1).
+		AddReg(R3, R2).
+		MovImm(R0, 0).
+		Exit().
+		MustBuild()
+	expectReject(t, p, VerifyEnv{CtxSize: 16}, "unbounded scalar")
+}
+
+func TestVerifierRejectsDeadCode(t *testing.T) {
+	p := &Program{Name: "dead", Insts: []Inst{
+		{Op: OpMovImm, Dst: R0, Imm: 0},
+		{Op: OpJa, Off: 1},
+		{Op: OpMovImm, Dst: R0, Imm: 7}, // statically unreachable
+		{Op: OpExit},
+	}}
+	expectReject(t, p, VerifyEnv{}, "unreachable")
+}
+
+func TestVerifierPrunesInfeasibleBranch(t *testing.T) {
+	// r2 is the constant 5, so the jgt-10 edge is infeasible: the ctx
+	// access on that path is out of bounds but must never be analyzed.
+	p := NewAsm("infeasible").
+		MovImm(R2, 5).
+		JgtImm(R2, 10, "bad").
+		MovImm(R0, 0).
+		Exit().
+		Label("bad").
+		Ldx(SizeDW, R0, R1, 4096).
+		Exit().
+		MustBuild()
+	if err := Verify(p, VerifyEnv{CtxSize: 16}); err != nil {
+		t.Fatalf("infeasible branch not pruned: %v", err)
+	}
+	if p.Stats.BranchesPruned == 0 {
+		t.Fatalf("BranchesPruned = 0, want >= 1 (stats: %s)", p.Stats)
+	}
+}
+
+func TestVerifierBranchRefinement(t *testing.T) {
+	// jne against a constant refines the fallthrough to exactly that
+	// constant, which then proves the variable-offset access in range.
+	p := NewAsm("refine").
+		Ldx(SizeW, R2, R1, 0). // [0, 2^32)
+		JneImm(R2, 3, "out").  // fallthrough: r2 == 3
+		MovReg(R3, R1).
+		AddReg(R3, R2).
+		Ldx(SizeB, R0, R3, 0). // byte 3 of an 8-byte ctx
+		Exit().
+		Label("out").
+		MovImm(R0, 0).
+		Exit().
+		MustBuild()
+	if err := Verify(p, VerifyEnv{CtxSize: 8}); err != nil {
+		t.Fatalf("jne refinement failed: %v", err)
+	}
+}
+
+func TestVerifierJoinsDiamond(t *testing.T) {
+	// Two paths reach the join with r3=1 and r3=2; the second visit must
+	// be merged (interval hull) or pruned, not re-explored from scratch.
+	p := NewAsm("diamond").
+		Ldx(SizeW, R2, R1, 0).
+		JeqImm(R2, 0, "a").
+		MovImm(R3, 1).
+		Ja("join").
+		Label("a").
+		MovImm(R3, 2).
+		Label("join").
+		MovImm(R0, 0).
+		Exit().
+		MustBuild()
+	if err := Verify(p, VerifyEnv{CtxSize: 8}); err != nil {
+		t.Fatalf("diamond rejected: %v", err)
+	}
+	if p.Stats.StatesPruned+p.Stats.StatesMerged == 0 {
+		t.Fatalf("no prune/merge at join point (stats: %s)", p.Stats)
+	}
+}
+
+func TestVerifierAcceptsRangeBoundedPerfLen(t *testing.T) {
+	vm := NewMachine()
+	perfFD := vm.RegisterPerf(NewPerfBuffer("events", 16))
+	p := NewAsm("perflen").
+		MovImm(R4, 0).
+		Stx(SizeDW, R10, -16, R4).
+		Stx(SizeDW, R10, -8, R4).
+		Ldx(SizeH, R3, R1, 0). // length from ctx, [0,65535]
+		JeqImm(R3, 0, "skip").
+		JgtImm(R3, 16, "skip"). // fallthrough: r3 in [1,16]
+		MovImm(R1, perfFD).
+		MovReg(R2, R10).
+		AddImm(R2, -16).
+		Call(HelperPerfOutput).
+		Label("skip").
+		MovImm(R0, 0).
+		Exit().
+		MustBuild()
+	if err := Verify(p, VerifyEnv{CtxSize: 8, Resolve: vm.Resolve}); err != nil {
+		t.Fatalf("range-bounded perf_output length rejected: %v", err)
+	}
+}
+
+func TestVerifierErrorNamesPCAndInstruction(t *testing.T) {
+	p := NewAsm("ctxoob2").Ldx(SizeDW, R0, R1, 8).Exit().MustBuild()
+	err := Verify(p, VerifyEnv{CtxSize: 8})
+	if err == nil {
+		t.Fatal("out-of-bounds ctx access verified")
+	}
+	for _, want := range []string{"at #0", "ldx64 r0, [r1+8]"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestVerifyDetailedTraceLog(t *testing.T) {
+	p := rangeBoundedProg(true)
+	res, err := VerifyDetailed(p, VerifyEnv{CtxSize: testCtxSize}, VerifyOptions{Trace: true})
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if len(res.Log) == 0 {
+		t.Fatal("Trace enabled but log is empty")
+	}
+	joined := strings.Join(res.Log, "\n")
+	for _, want := range []string{"r2", "ldx16"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace log missing %q:\n%s", want, joined)
+		}
+	}
+	if res.Stats.Insts != len(p.Insts) {
+		t.Errorf("Stats.Insts = %d, want %d", res.Stats.Insts, len(p.Insts))
+	}
+	if res.Stats.StatesExplored == 0 {
+		t.Error("Stats.StatesExplored = 0")
+	}
+}
+
+func TestAsmReportsAllUnresolvedLabels(t *testing.T) {
+	_, err := NewAsm("multi").
+		JeqImm(R1, 0, "first").
+		Ja("second").
+		Exit().
+		Build()
+	if err == nil {
+		t.Fatal("unresolved labels accepted")
+	}
+	for _, want := range []string{`"first"`, `"second"`, "#0", "#1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestAsmRejectsLabelPastEnd(t *testing.T) {
+	// A label placed after the final instruction would assemble into a
+	// jump past the program; Build must refuse it.
+	_, err := NewAsm("pastend").
+		MovImm(R0, 0).
+		Ja("end").
+		Exit().
+		Label("end").
+		Build()
+	if err == nil {
+		t.Fatal("label past last instruction accepted")
+	}
+	if !strings.Contains(err.Error(), "past the last instruction") {
+		t.Errorf("error %q does not mention label past end", err)
+	}
+}

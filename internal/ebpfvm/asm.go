@@ -1,6 +1,10 @@
 package ebpfvm
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
 
 // Asm builds programs with a fluent API and symbolic labels, playing the
 // role of the restricted C + clang toolchain used to author real eBPF
@@ -44,6 +48,18 @@ func (a *Asm) AddImm(dst Reg, imm int64) *Asm { return a.emit(Inst{Op: OpAddImm,
 
 // AddReg sets dst += src.
 func (a *Asm) AddReg(dst, src Reg) *Asm { return a.emit(Inst{Op: OpAddReg, Dst: dst, Src: src}) }
+
+// SubReg sets dst -= src.
+func (a *Asm) SubReg(dst, src Reg) *Asm { return a.emit(Inst{Op: OpSubReg, Dst: dst, Src: src}) }
+
+// AndReg sets dst &= src.
+func (a *Asm) AndReg(dst, src Reg) *Asm { return a.emit(Inst{Op: OpAndReg, Dst: dst, Src: src}) }
+
+// OrReg sets dst |= src.
+func (a *Asm) OrReg(dst, src Reg) *Asm { return a.emit(Inst{Op: OpOrReg, Dst: dst, Src: src}) }
+
+// XorReg sets dst ^= src.
+func (a *Asm) XorReg(dst, src Reg) *Asm { return a.emit(Inst{Op: OpXorReg, Dst: dst, Src: src}) }
 
 // SubImm sets dst -= imm.
 func (a *Asm) SubImm(dst Reg, imm int64) *Asm { return a.emit(Inst{Op: OpSubImm, Dst: dst, Imm: imm}) }
@@ -132,20 +148,45 @@ func (a *Asm) Call(h HelperID) *Asm { return a.emit(Inst{Op: OpCall, Imm: int64(
 // Exit terminates the program; R0 is the return value.
 func (a *Asm) Exit() *Asm { return a.emit(Inst{Op: OpExit}) }
 
-// Build resolves labels and returns the program. It fails on unresolved or
-// duplicate labels, leaving safety checks to the verifier.
+// Build resolves labels and returns the program. Every unresolved forward
+// label, label past the last instruction, and out-of-encoding jump
+// distance is reported (all of them, with the offending instruction
+// disassembled) instead of leaving the jump offset dangling at 0 — a
+// dangling offset would silently turn the jump into a fallthrough. Safety
+// checks beyond encoding are left to the verifier.
 func (a *Asm) Build() (*Program, error) {
-	if len(a.errs) > 0 {
-		return nil, a.errs[0]
-	}
+	errs := append([]error(nil), a.errs...)
 	insts := make([]Inst, len(a.insts))
 	copy(insts, a.insts)
-	for idx, label := range a.fixups {
+	idxs := make([]int, 0, len(a.fixups))
+	for idx := range a.fixups {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		label := a.fixups[idx]
 		target, ok := a.labels[label]
 		if !ok {
-			return nil, fmt.Errorf("undefined label %q", label)
+			errs = append(errs, fmt.Errorf("#%d (%s): undefined label %q", idx, insts[idx], label))
+			continue
 		}
-		insts[idx].Off = int16(target - idx - 1)
+		if target >= len(insts) {
+			errs = append(errs, fmt.Errorf("#%d (%s): label %q resolves past the last instruction", idx, insts[idx], label))
+			continue
+		}
+		off := target - idx - 1
+		if off < -1<<15 || off > 1<<15-1 {
+			errs = append(errs, fmt.Errorf("#%d (%s): jump to %q spans %d instructions, beyond int16 encoding", idx, insts[idx], label, off))
+			continue
+		}
+		insts[idx].Off = int16(off)
+	}
+	if len(errs) > 0 {
+		msgs := make([]string, len(errs))
+		for i, e := range errs {
+			msgs[i] = e.Error()
+		}
+		return nil, fmt.Errorf("asm %q: %s", a.name, strings.Join(msgs, "; "))
 	}
 	return &Program{Name: a.name, Insts: insts}, nil
 }

@@ -1,0 +1,189 @@
+package ebpfvm
+
+import "fmt"
+
+// Helper-call contracts: one declarative row per helper describing what
+// each argument register must hold, replacing per-helper ad-hoc checks.
+// checkCall interprets the row against the abstract state, so adding a
+// helper means adding a table entry, not new verifier control flow.
+
+// argKind is the contract for one helper argument (R1 upward).
+type argKind uint8
+
+const (
+	// argMapHandle: known-constant scalar resolving to a ResourceMap.
+	argMapHandle argKind = iota + 1
+	// argPerfHandle: known-constant scalar resolving to a ResourcePerf.
+	argPerfHandle
+	// argStackMapHandle: known-constant scalar resolving to a ResourceStack.
+	argStackMapHandle
+	// argKeyPtr: stack pointer to an initialized buffer of the R1 map's
+	// KeySize bytes.
+	argKeyPtr
+	// argValPtr: stack pointer to an initialized buffer of the R1 map's
+	// ValueSize bytes.
+	argValPtr
+	// argDataPtr: readable pointer (stack, ctx, or map value); the byte
+	// count is the next argument (argLen).
+	argDataPtr
+	// argLen: scalar byte count for the preceding argDataPtr. May be
+	// range-bounded; the buffer is checked against the range's maximum.
+	argLen
+	// argZero: the known constant 0 (reserved flags arguments).
+	argZero
+)
+
+// retKind is a helper's effect on R0.
+type retKind uint8
+
+const (
+	retScalar         retKind = iota + 1
+	retMapValueOrNull         // pointer to the R1 map's value, or null
+)
+
+type helperContract struct {
+	args []argKind // contracts for R1..R(len)
+	ret  retKind
+}
+
+// helperContracts is the verifier's helper signature table.
+var helperContracts = map[HelperID]helperContract{
+	HelperMapLookup:  {args: []argKind{argMapHandle, argKeyPtr}, ret: retMapValueOrNull},
+	HelperMapUpdate:  {args: []argKind{argMapHandle, argKeyPtr, argValPtr}, ret: retScalar},
+	HelperMapDelete:  {args: []argKind{argMapHandle, argKeyPtr}, ret: retScalar},
+	HelperPerfOutput: {args: []argKind{argPerfHandle, argDataPtr, argLen}, ret: retScalar},
+	HelperKtimeNS:    {ret: retScalar},
+	HelperGetPidTgid: {ret: retScalar},
+	HelperGetStackID: {args: []argKind{argStackMapHandle, argZero}, ret: retScalar},
+}
+
+// maxPerfOutput bounds one perf submission (stack plus a page, as before).
+const maxPerfOutput = StackSize + 4096
+
+// checkCall validates helper arguments against the contract table and
+// applies the helper's effect on the abstract state.
+func (v *verifier) checkCall(st *vstate, pc int, h HelperID) error {
+	reject := func(reason string) error { return v.reject(pc, reason) }
+	contract, ok := helperContracts[h]
+	if !ok {
+		return reject(fmt.Sprintf("unknown helper %d", int64(h)))
+	}
+
+	resolveHandle := func(r Reg, want ResourceKind) (Resource, error) {
+		reg := st.regs[r]
+		if !reg.isConstScalar() {
+			return Resource{}, reject(fmt.Sprintf("%s must be a constant handle (have %s)", r, reg))
+		}
+		if v.env.Resolve == nil {
+			return Resource{}, reject("no resource resolver")
+		}
+		res, found := v.env.Resolve(int64(reg.rng.lo))
+		if !found || res.Kind != want {
+			return Resource{}, reject(fmt.Sprintf("%s: handle %d is not a valid resource", r, int64(reg.rng.lo)))
+		}
+		return res, nil
+	}
+
+	// requireStackBuf checks that reg points into the stack and every byte
+	// the (possibly range-offset) buffer can cover is in bounds and
+	// initialized.
+	requireStackBuf := func(r Reg, n int) error {
+		reg := st.regs[r]
+		if reg.kind != kindPtrStack {
+			return reject(fmt.Sprintf("%s must point to the stack (have %s)", r, reg))
+		}
+		lo := reg.off + int64(reg.rng.lo)
+		hi := reg.off + int64(reg.rng.hi) + int64(n)
+		if lo < -StackSize || hi > 0 {
+			return reject(fmt.Sprintf("%s buffer [%d,%d) out of stack", r, lo, hi))
+		}
+		v.noteStackDepth(lo)
+		for i := lo; i < hi; i++ {
+			if !st.stack[StackSize+i] {
+				return reject(fmt.Sprintf("%s buffer has uninitialized byte %d", r, i))
+			}
+		}
+		return nil
+	}
+
+	var mapRes Resource // from an argMapHandle, for key/value sizing
+	var mapHandle int64
+	for i, ak := range contract.args {
+		r := R1 + Reg(i)
+		switch ak {
+		case argMapHandle:
+			res, err := resolveHandle(r, ResourceMap)
+			if err != nil {
+				return err
+			}
+			mapRes = res
+			mapHandle = int64(st.regs[r].rng.lo)
+		case argPerfHandle:
+			if _, err := resolveHandle(r, ResourcePerf); err != nil {
+				return err
+			}
+		case argStackMapHandle:
+			if _, err := resolveHandle(r, ResourceStack); err != nil {
+				return err
+			}
+		case argKeyPtr:
+			if err := requireStackBuf(r, mapRes.KeySize); err != nil {
+				return err
+			}
+		case argValPtr:
+			if err := requireStackBuf(r, mapRes.ValueSize); err != nil {
+				return err
+			}
+		case argZero:
+			reg := st.regs[r]
+			if !reg.isConstScalar() || reg.rng.lo != 0 {
+				return reject(fmt.Sprintf("%s (flags) must be the constant 0 (have %s)", r, reg))
+			}
+		case argDataPtr:
+			// Validated together with its argLen below.
+		case argLen:
+			lenReg := st.regs[r]
+			if lenReg.kind != kindScalar {
+				return reject(fmt.Sprintf("%s (length) must be a scalar (have %s)", r, lenReg))
+			}
+			if lenReg.rng.lo < 1 || lenReg.rng.hi > maxPerfOutput {
+				return reject(fmt.Sprintf("%s (length) interval %s outside [1,%d]", r, lenReg.rng, maxPerfOutput))
+			}
+			n := int(lenReg.rng.hi)
+			src := st.regs[r-1] // the paired argDataPtr
+			switch src.kind {
+			case kindPtrStack:
+				if err := requireStackBuf(r-1, n); err != nil {
+					return err
+				}
+			case kindPtrCtx:
+				lo := src.off + int64(src.rng.lo)
+				hi := src.off + int64(src.rng.hi) + int64(n)
+				if lo < 0 || hi > int64(v.env.CtxSize) {
+					return reject(fmt.Sprintf("%s data [%d,%d) reads past context [0,%d)", r-1, lo, hi, v.env.CtxSize))
+				}
+			case kindPtrMapValue:
+				res, found := v.env.Resolve(src.mapRef)
+				lo := src.off + int64(src.rng.lo)
+				hi := src.off + int64(src.rng.hi) + int64(n)
+				if !found || lo < 0 || hi > int64(res.ValueSize) {
+					return reject(fmt.Sprintf("%s data [%d,%d) reads past map value", r-1, lo, hi))
+				}
+			default:
+				return reject(fmt.Sprintf("%s must be a pointer (have %s)", r-1, src))
+			}
+		}
+	}
+
+	// Caller-saved registers are clobbered; apply the return contract.
+	for r := R1; r <= R5; r++ {
+		st.regs[r] = regState{kind: kindUninit}
+	}
+	switch contract.ret {
+	case retMapValueOrNull:
+		st.regs[R0] = regState{kind: kindMaybeNullMapValue, mapRef: mapHandle}
+	default:
+		st.regs[R0] = scalar(ivTop)
+	}
+	return nil
+}

@@ -153,8 +153,21 @@ type Program struct {
 	Name  string
 	Insts []Inst
 
+	// Stats holds the verifier's analysis statistics, populated when the
+	// program passes verification (exported through selfmon and dfvet).
+	Stats VerifyStats
+
 	// verified is set by Verify; the VM refuses to run unverified programs.
 	verified bool
+}
+
+// Disasm renders the whole program, one numbered instruction per line.
+func (p *Program) Disasm() string {
+	var b []byte
+	for i, in := range p.Insts {
+		b = append(b, fmt.Sprintf("%3d: %s\n", i, in)...)
+	}
+	return string(b)
 }
 
 // StackSize is the per-program stack size in bytes, as in Linux eBPF.

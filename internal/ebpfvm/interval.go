@@ -1,0 +1,193 @@
+package ebpfvm
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// ival is the verifier's scalar abstract domain: an inclusive unsigned
+// 64-bit interval [lo, hi]. All VM arithmetic and all conditional jumps are
+// unsigned 64-bit, so a single unsigned range is both sound and precise
+// enough for the bounds proofs hook programs need (payload lengths, map
+// handles, clamped offsets). Operations that may wrap return ivTop rather
+// than a wrapped range.
+type ival struct{ lo, hi uint64 }
+
+// ivTop is the unconstrained scalar: any 64-bit value.
+var ivTop = ival{0, ^uint64(0)}
+
+func ivConst(v uint64) ival { return ival{v, v} }
+
+func (a ival) isConst() bool          { return a.lo == a.hi }
+func (a ival) contains(v uint64) bool { return a.lo <= v && v <= a.hi }
+
+func (a ival) String() string {
+	if a.isConst() {
+		return fmt.Sprintf("%d", a.lo)
+	}
+	if a == ivTop {
+		return "[0,2^64)"
+	}
+	return fmt.Sprintf("[%d,%d]", a.lo, a.hi)
+}
+
+// ivHull is the join: the smallest interval containing both.
+func ivHull(a, b ival) ival {
+	return ival{minU(a.lo, b.lo), maxU(a.hi, b.hi)}
+}
+
+func minU(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ivAdd returns the range of a+b, or ivTop if the sum may wrap.
+func ivAdd(a, b ival) ival {
+	hi, carry := bits.Add64(a.hi, b.hi, 0)
+	if carry != 0 {
+		return ivTop
+	}
+	return ival{a.lo + b.lo, hi}
+}
+
+// ivSub returns the range of a-b, or ivTop if the difference may wrap
+// below zero.
+func ivSub(a, b ival) ival {
+	if a.lo < b.hi {
+		return ivTop
+	}
+	return ival{a.lo - b.hi, a.hi - b.lo}
+}
+
+// ivAddImm folds a signed immediate into an unsigned range.
+func ivAddImm(a ival, imm int64) ival {
+	if imm >= 0 {
+		return ivAdd(a, ivConst(uint64(imm)))
+	}
+	return ivSub(a, ivConst(uint64(-imm)))
+}
+
+// ivMul returns the range of a*b, or ivTop on possible overflow.
+func ivMul(a, b ival) ival {
+	over, prod := bits.Mul64(a.hi, b.hi)
+	if over != 0 {
+		return ivTop
+	}
+	return ival{a.lo * b.lo, prod}
+}
+
+// ivDivImm models the VM's division: divide-by-zero yields 0.
+func ivDivImm(a ival, imm int64) ival {
+	d := uint64(imm)
+	if d == 0 {
+		return ivConst(0)
+	}
+	return ival{a.lo / d, a.hi / d}
+}
+
+// ivModImm models the VM's modulo: mod-by-zero yields 0.
+func ivModImm(a ival, imm int64) ival {
+	m := uint64(imm)
+	if m == 0 {
+		return ivConst(0)
+	}
+	if a.hi < m {
+		return a
+	}
+	return ival{0, m - 1}
+}
+
+// ivAndImm: x&m is bounded by both operands (unsigned).
+func ivAndImm(a ival, imm int64) ival {
+	m := uint64(imm)
+	if a.isConst() {
+		return ivConst(a.lo & m)
+	}
+	return ival{0, minU(a.hi, m)}
+}
+
+// orUpper bounds x|y for x<=a, y<=b: the result fits in the bit-length of
+// a|b.
+func orUpper(a, b uint64) uint64 {
+	n := bits.Len64(a | b)
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << n) - 1
+}
+
+func ivOr(a, b ival) ival {
+	if a.isConst() && b.isConst() {
+		return ivConst(a.lo | b.lo)
+	}
+	return ival{maxU(a.lo, b.lo), orUpper(a.hi, b.hi)}
+}
+
+func ivXor(a, b ival) ival {
+	if a.isConst() && b.isConst() {
+		return ivConst(a.lo ^ b.lo)
+	}
+	return ival{0, orUpper(a.hi, b.hi)}
+}
+
+func ivAnd(a, b ival) ival {
+	if a.isConst() && b.isConst() {
+		return ivConst(a.lo & b.lo)
+	}
+	return ival{0, minU(a.hi, b.hi)}
+}
+
+// ivLshImm models the VM's shift (Go semantics: count >= 64 yields 0).
+func ivLshImm(a ival, imm int64) ival {
+	s := uint(imm)
+	if imm < 0 || s >= 64 {
+		return ivConst(0)
+	}
+	if a.hi > (^uint64(0))>>s {
+		return ivTop
+	}
+	return ival{a.lo << s, a.hi << s}
+}
+
+// ivRshImm models the VM's logical right shift.
+func ivRshImm(a ival, imm int64) ival {
+	s := uint(imm)
+	if imm < 0 || s >= 64 {
+		return ivConst(0)
+	}
+	return ival{a.lo >> s, a.hi >> s}
+}
+
+// ivNeg models two's-complement negation; only constants stay precise.
+func ivNeg(a ival) ival {
+	if a.isConst() {
+		return ivConst(uint64(-int64(a.lo)))
+	}
+	return ivTop
+}
+
+// loadRange is the value range of a load of the given width: the memory
+// byte content is unknown, but the width caps it. This is what lets a
+// program load a u16 payload length and have the verifier know it is at
+// most 65535 before any explicit bound check.
+func loadRange(size Size) ival {
+	switch size {
+	case SizeB:
+		return ival{0, 0xff}
+	case SizeH:
+		return ival{0, 0xffff}
+	case SizeW:
+		return ival{0, 0xffffffff}
+	default:
+		return ivTop
+	}
+}

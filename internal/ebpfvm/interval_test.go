@@ -1,0 +1,66 @@
+package ebpfvm
+
+import "testing"
+
+func TestIntervalArith(t *testing.T) {
+	cases := []struct {
+		name string
+		got  ival
+		want ival
+	}{
+		{"add", ivAdd(ival{1, 10}, ival{2, 20}), ival{3, 30}},
+		{"add-wrap", ivAdd(ival{0, ^uint64(0)}, ivConst(1)), ivTop},
+		{"sub", ivSub(ival{10, 20}, ival{1, 3}), ival{7, 19}},
+		{"sub-wrap", ivSub(ival{0, 5}, ivConst(1)), ivTop},
+		{"addimm-pos", ivAddImm(ival{0, 10}, 5), ival{5, 15}},
+		{"addimm-neg", ivAddImm(ival{8, 10}, -3), ival{5, 7}},
+		{"mul", ivMul(ival{2, 3}, ival{4, 5}), ival{8, 15}},
+		{"mul-wrap", ivMul(ival{0, 1 << 40}, ival{0, 1 << 40}), ivTop},
+		{"div", ivDivImm(ival{10, 21}, 2), ival{5, 10}},
+		{"div-zero", ivDivImm(ival{10, 21}, 0), ivConst(0)},
+		{"mod-below", ivModImm(ival{1, 6}, 8), ival{1, 6}},
+		{"mod-clamp", ivModImm(ival{1, 100}, 8), ival{0, 7}},
+		{"mod-zero", ivModImm(ival{1, 100}, 0), ivConst(0)},
+		{"and-mask", ivAndImm(ival{0, 1000}, 0xff), ival{0, 0xff}},
+		{"and-const", ivAndImm(ivConst(0x1234), 0xff), ivConst(0x34)},
+		{"or-bits", ivOr(ival{0, 0x0f}, ival{0, 0x30}), ival{0, 0x3f}},
+		{"or-const", ivOr(ivConst(0x10), ivConst(0x02)), ivConst(0x12)},
+		{"lsh", ivLshImm(ival{1, 4}, 3), ival{8, 32}},
+		{"lsh-over", ivLshImm(ival{0, 1 << 62}, 3), ivTop},
+		{"lsh-64", ivLshImm(ival{1, 4}, 64), ivConst(0)},
+		{"rsh", ivRshImm(ival{8, 32}, 3), ival{1, 4}},
+		{"neg-const", ivNeg(ivConst(1)), ivConst(^uint64(0))},
+		{"neg-range", ivNeg(ival{1, 2}), ivTop},
+		{"hull", ivHull(ival{1, 5}, ival{10, 12}), ival{1, 12}},
+		{"load-b", loadRange(SizeB), ival{0, 0xff}},
+		{"load-h", loadRange(SizeH), ival{0, 0xffff}},
+		{"load-w", loadRange(SizeW), ival{0, 0xffffffff}},
+		{"load-dw", loadRange(SizeDW), ivTop},
+	}
+	for _, tc := range cases {
+		if tc.got != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, tc.got, tc.want)
+		}
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	if s := ivConst(7).String(); s != "7" {
+		t.Errorf("const String = %q", s)
+	}
+	if s := (ival{0, 65535}).String(); s != "[0,65535]" {
+		t.Errorf("range String = %q", s)
+	}
+	if s := ivTop.String(); s != "[0,2^64)" {
+		t.Errorf("top String = %q", s)
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	r := ival{3, 9}
+	for v, want := range map[uint64]bool{2: false, 3: true, 9: true, 10: false} {
+		if got := r.contains(v); got != want {
+			t.Errorf("contains(%d) = %v, want %v", v, got, want)
+		}
+	}
+}

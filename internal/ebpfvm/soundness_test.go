@@ -1,0 +1,250 @@
+package ebpfvm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Soundness harness: the verifier's one job is that every program it
+// accepts cannot trap at runtime. This test generates a corpus of random
+// programs from memory-safe building blocks, verifies each, and executes
+// every accepted program in the interpreter against random inputs — any
+// runtime error from an accepted program is a verifier soundness bug.
+// (The converse — rejected programs — is covered by the targeted
+// rejection tests; here a rejection only shrinks the corpus.)
+
+const (
+	soundCtxSize  = 288
+	soundPrograms = 200
+	soundRuns     = 3
+)
+
+// progGen emits one random program built only from fragments the
+// verifier should prove safe. It tracks which registers currently hold
+// initialized scalars and which 8-byte stack slots are initialized, so
+// every emitted instruction is well-formed by construction.
+type progGen struct {
+	rng     *rand.Rand
+	a       *Asm
+	scalars []Reg          // regs holding initialized scalar values
+	slots   map[int16]bool // initialized 8-byte stack slots (negative offsets)
+	labels  int
+	mapFD   int64
+	perfFD  int64
+}
+
+func (g *progGen) label() string {
+	g.labels++
+	return fmt.Sprintf("L%d", g.labels)
+}
+
+func (g *progGen) pickScalar() Reg {
+	return g.scalars[g.rng.Intn(len(g.scalars))]
+}
+
+func (g *progGen) addScalar(r Reg) {
+	for _, have := range g.scalars {
+		if have == r {
+			return
+		}
+	}
+	g.scalars = append(g.scalars, r)
+}
+
+func (g *progGen) removeScalar(r Reg) {
+	kept := g.scalars[:0]
+	for _, have := range g.scalars {
+		if have != r {
+			kept = append(kept, have)
+		}
+	}
+	g.scalars = kept
+}
+
+// dropCallerSaved models a helper call clobbering R0–R5.
+func (g *progGen) dropCallerSaved() {
+	kept := g.scalars[:0]
+	for _, r := range g.scalars {
+		if r >= R6 {
+			kept = append(kept, r)
+		}
+	}
+	g.scalars = kept
+}
+
+// scratch picks a destination register for a new scalar. R6 is reserved
+// for the saved ctx pointer; R7–R9 survive calls, R2–R5 do not.
+func (g *progGen) scratch() Reg {
+	choices := []Reg{R2, R3, R4, R5, R7, R8, R9}
+	return choices[g.rng.Intn(len(choices))]
+}
+
+func (g *progGen) fragment() {
+	switch g.rng.Intn(9) {
+	case 0: // load an immediate
+		r := g.scratch()
+		g.a.MovImm(r, int64(g.rng.Intn(1<<16)))
+		g.addScalar(r)
+	case 1: // ALU with immediate on an initialized scalar
+		r := g.pickScalar()
+		switch g.rng.Intn(6) {
+		case 0:
+			g.a.AddImm(r, int64(g.rng.Intn(1<<20)))
+		case 1:
+			g.a.SubImm(r, int64(g.rng.Intn(1<<20)))
+		case 2:
+			g.a.MulImm(r, int64(g.rng.Intn(1<<10)))
+		case 3:
+			g.a.AndImm(r, int64(g.rng.Intn(1<<16)))
+		case 4:
+			g.a.LshImm(r, int64(g.rng.Intn(64)))
+		case 5:
+			g.a.RshImm(r, int64(g.rng.Intn(64)))
+		}
+	case 2: // ALU between two initialized scalars
+		dst, src := g.pickScalar(), g.pickScalar()
+		switch g.rng.Intn(4) {
+		case 0:
+			g.a.AddReg(dst, src)
+		case 1:
+			g.a.SubReg(dst, src)
+		case 2:
+			g.a.OrReg(dst, src)
+		case 3:
+			g.a.XorReg(dst, src)
+		}
+	case 3: // fixed-offset ctx load (ctx saved in R6)
+		r := g.scratch()
+		sizes := []Size{SizeB, SizeH, SizeW, SizeDW}
+		sz := sizes[g.rng.Intn(len(sizes))]
+		off := int16(g.rng.Intn(soundCtxSize - 8))
+		g.a.Ldx(sz, r, R6, off)
+		g.addScalar(r)
+	case 4: // stack spill, then reload from a known-initialized slot
+		slot := int16(-8 * (1 + g.rng.Intn(8))) // -8..-64
+		g.a.Stx(SizeDW, R10, slot, g.pickScalar())
+		g.slots[slot] = true
+		if g.rng.Intn(2) == 0 {
+			r := g.scratch()
+			g.a.Ldx(SizeDW, r, R10, slot)
+			g.addScalar(r)
+		}
+	case 5: // range-bounded variable-offset ctx access
+		skip := g.label()
+		// R9 is this fragment's pointer register — keep it out of the
+		// scalar picks or AddReg(R9, R9) would be pointer arithmetic.
+		safe := []Reg{R2, R3, R4, R5, R7, R8}
+		lenReg, dstReg := safe[g.rng.Intn(len(safe))], safe[g.rng.Intn(len(safe))]
+		g.removeScalar(R9)                                             // R9 becomes a pointer below
+		g.a.Ldx(SizeH, lenReg, R6, int16(g.rng.Intn(soundCtxSize-2))). // [0,65535]
+										JgtImm(lenReg, 128, skip). // fallthrough: [0,128]
+										MovReg(R9, R6).
+										AddReg(R9, lenReg).
+										Ldx(SizeB, dstReg, R9, int16(g.rng.Intn(soundCtxSize-129))).
+										Label(skip)
+		// dstReg and lenReg are only set on the fallthrough path, so
+		// neither is initialized on every path — don't record them.
+	case 6: // null-checked map lookup and value read
+		skip := g.label()
+		key := int64(g.rng.Intn(4))
+		g.a.MovImm(R2, key).
+			Stx(SizeDW, R10, -72, R2).
+			MovImm(R1, g.mapFD).
+			MovReg(R2, R10).
+			AddImm(R2, -72).
+			Call(HelperMapLookup)
+		g.dropCallerSaved()
+		g.a.JeqImm(R0, 0, skip).
+			Ldx(SizeDW, R7, R0, int16(8*g.rng.Intn(2))).
+			Label(skip)
+		g.slots[-72] = true
+	case 7: // perf event output with a constant length
+		g.a.MovImm(R4, int64(g.rng.Intn(1<<16))).
+			Stx(SizeDW, R10, -88, R4).
+			Stx(SizeDW, R10, -80, R4).
+			MovImm(R1, g.perfFD).
+			MovReg(R2, R10).
+			AddImm(R2, -88).
+			MovImm(R3, 16).
+			Call(HelperPerfOutput)
+		g.dropCallerSaved()
+		g.slots[-88], g.slots[-80] = true, true
+	case 8: // argument-free helper call
+		if g.rng.Intn(2) == 0 {
+			g.a.Call(HelperKtimeNS)
+		} else {
+			g.a.Call(HelperGetPidTgid)
+		}
+		g.dropCallerSaved()
+		g.addScalar(R0)
+	}
+	// Occasionally bail early to the shared epilogue on a data-dependent
+	// condition, exercising join-point merging at the epilogue.
+	if len(g.scalars) > 0 && g.rng.Intn(4) == 0 {
+		g.a.JgtImm(g.pickScalar(), int64(g.rng.Intn(1<<20)), "epilogue")
+	}
+}
+
+func (g *progGen) build(name string) (*Program, error) {
+	g.a = NewAsm(name).MovReg(R6, R1) // save ctx across helper calls
+	g.scalars = g.scalars[:0]
+	g.slots = map[int16]bool{}
+	// Seed one callee-saved scalar so pickScalar always has a choice even
+	// right after a helper call clobbers R0–R5.
+	g.a.MovImm(R7, int64(g.rng.Intn(1<<16)))
+	g.addScalar(R7)
+	for n := 4 + g.rng.Intn(7); n > 0; n-- {
+		g.fragment()
+	}
+	return g.a.Label("epilogue").MovImm(R0, 0).Exit().Build()
+}
+
+func TestSoundnessAcceptedProgramsNeverTrap(t *testing.T) {
+	vm := NewMachine()
+	m := NewHashMap("sound_map", 8, 16, 1024)
+	// Pre-populate half the key space so both lookup outcomes run.
+	for k := 0; k < 2; k++ {
+		key := make([]byte, 8)
+		binary.LittleEndian.PutUint64(key, uint64(k))
+		if err := m.Update(key, make([]byte, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mapFD := vm.RegisterMap(m)
+	perfFD := vm.RegisterPerf(NewPerfBuffer("sound_perf", 1<<16))
+	env := VerifyEnv{CtxSize: soundCtxSize, Resolve: vm.Resolve}
+
+	rng := rand.New(rand.NewSource(42))
+	g := &progGen{rng: rng, mapFD: mapFD, perfFD: perfFD}
+
+	accepted, rejected := 0, 0
+	for i := 0; i < soundPrograms; i++ {
+		p, err := g.build(fmt.Sprintf("sound_%03d", i))
+		if err != nil {
+			t.Fatalf("program %d failed to assemble: %v", i, err)
+		}
+		if err := Verify(p, env); err != nil {
+			rejected++
+			t.Logf("corpus reject: %v", err)
+			continue
+		}
+		accepted++
+		for run := 0; run < soundRuns; run++ {
+			ctx := make([]byte, soundCtxSize)
+			rng.Read(ctx)
+			task := Task{PID: uint32(rng.Intn(1 << 16)), TID: 1, Stack: []string{"main", "handler"}}
+			if _, err := vm.Run(p, ctx, task); err != nil {
+				t.Fatalf("SOUNDNESS VIOLATION: verified program %q trapped at runtime: %v\n%s",
+					p.Name, err, p.Disasm())
+			}
+		}
+	}
+	t.Logf("soundness corpus: %d accepted, %d rejected", accepted, rejected)
+	// The generator only emits verifiable patterns; a large rejection rate
+	// means the corpus stopped testing anything.
+	if accepted < soundPrograms*9/10 {
+		t.Fatalf("only %d/%d programs accepted — corpus too small to be meaningful", accepted, soundPrograms)
+	}
+}

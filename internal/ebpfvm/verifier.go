@@ -1,6 +1,27 @@
 package ebpfvm
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
+
+// The verifier is a forward abstract interpreter over the program's CFG,
+// modeled on the Linux eBPF verifier (§2.3.1 of the paper leans on it for
+// the whole zero-code safety argument):
+//
+//   - Scalars carry an unsigned interval [lo,hi] (interval.go), refined at
+//     conditional branches; infeasible edges are pruned, so a bound check
+//     really does narrow what the verifier believes downstream.
+//   - Pointers carry a fixed offset plus a bounded variable-offset range,
+//     so ctx/map accesses indexed by a *clamped* runtime value (payload
+//     lengths, protocol offsets) verify without constant unrolling.
+//   - A per-pc states_seen cache prunes re-arrivals that a previously
+//     explored (more general) state subsumes, and merges compatible states
+//     into their interval hull at join points, keeping exploration
+//     near-linear in program size.
+//   - Statically unreachable instructions are rejected (dead code), and
+//     helper calls are checked against a declarative contract table
+//     (contracts.go).
 
 // regKind classifies what a register holds during verification.
 type regKind uint8
@@ -33,25 +54,136 @@ func (k regKind) String() string {
 	}
 }
 
-// regState is the verifier's abstract value for one register.
-type regState struct {
-	kind     regKind
-	off      int64 // pointer offset from region base (R10: 0 = frame top)
-	mapRef   int64 // map handle for map-value pointers
-	constVal int64 // known constant for scalars
-	known    bool  // constVal is valid
+func (k regKind) isPtr() bool {
+	return k == kindPtrCtx || k == kindPtrStack || k == kindPtrMapValue || k == kindMaybeNullMapValue
 }
+
+// maxPtrVar bounds the variable part of a pointer offset (as in the Linux
+// verifier's 29-bit access range): adding a scalar whose range exceeds it
+// is rejected as unbounded pointer arithmetic.
+const maxPtrVar = 1 << 29
+
+// regState is the verifier's abstract value for one register.
+//
+// For kindScalar, rng is the value interval. For pointer kinds, off is the
+// fixed offset from the region base (R10: 0 = frame top) and rng is the
+// bounded variable offset added by register arithmetic (usually [0,0]).
+type regState struct {
+	kind   regKind
+	rng    ival
+	off    int64
+	mapRef int64 // map handle for map-value pointers
+}
+
+func (r regState) String() string {
+	switch r.kind {
+	case kindScalar:
+		return "scalar" + rngSuffix(r.rng)
+	case kindPtrCtx, kindPtrStack:
+		return fmt.Sprintf("%s%+d%s", r.kind, r.off, varSuffix(r.rng))
+	case kindPtrMapValue, kindMaybeNullMapValue:
+		return fmt.Sprintf("%s(map=%d)%+d%s", r.kind, r.mapRef, r.off, varSuffix(r.rng))
+	default:
+		return r.kind.String()
+	}
+}
+
+func rngSuffix(rng ival) string {
+	if rng == ivTop {
+		return ""
+	}
+	if rng.isConst() {
+		return fmt.Sprintf("(=%d)", rng.lo)
+	}
+	return rng.String()
+}
+
+func varSuffix(rng ival) string {
+	if rng.isConst() && rng.lo == 0 {
+		return ""
+	}
+	return "+" + rng.String()
+}
+
+// scalar constructs a scalar regState over rng.
+func scalar(rng ival) regState { return regState{kind: kindScalar, rng: rng} }
+
+// isConstScalar reports whether r is a scalar with exactly one value.
+func (r regState) isConstScalar() bool { return r.kind == kindScalar && r.rng.isConst() }
 
 // vstate is a verification state at one program point.
 type vstate struct {
 	pc    int
 	regs  [NumRegs]regState
-	stack [StackSize]bool // byte initialized?
+	stack [StackSize]bool // byte definitely initialized?
 }
 
 func (s *vstate) clone() *vstate {
 	c := *s
 	return &c
+}
+
+// regLine renders the live registers for the trace log.
+func (s *vstate) regLine() string {
+	var parts []string
+	for r := Reg(0); r < NumRegs; r++ {
+		if s.regs[r].kind == kindUninit {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s=%s", r, s.regs[r]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// subsumes reports whether general covers specific: every concrete machine
+// state described by specific is also described by general, so a program
+// proven safe from general is safe from specific.
+func (s *vstate) subsumes(o *vstate) bool {
+	for r := Reg(0); r < NumRegs; r++ {
+		a, b := s.regs[r], o.regs[r]
+		if a.kind == kindUninit {
+			// Uninit is the top element: the explored state never relied
+			// on (nor read) this register.
+			continue
+		}
+		if a.kind != b.kind || a.off != b.off || a.mapRef != b.mapRef {
+			return false
+		}
+		if a.rng.lo > b.rng.lo || a.rng.hi < b.rng.hi {
+			return false
+		}
+	}
+	// general may only assume initialized bytes that specific also has.
+	for i := range s.stack {
+		if s.stack[i] && !o.stack[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// joinable reports whether two states differ only in value ranges, so
+// their hull is a meaningful single state.
+func (s *vstate) joinable(o *vstate) bool {
+	for r := Reg(0); r < NumRegs; r++ {
+		a, b := s.regs[r], o.regs[r]
+		if a.kind != b.kind || a.off != b.off || a.mapRef != b.mapRef {
+			return false
+		}
+	}
+	return s.stack == o.stack
+}
+
+// join hulls the value ranges of two joinable states.
+func (s *vstate) join(o *vstate) *vstate {
+	j := s.clone()
+	for r := Reg(0); r < NumRegs; r++ {
+		if j.regs[r].kind == kindUninit {
+			continue
+		}
+		j.regs[r].rng = ivHull(s.regs[r].rng, o.regs[r].rng)
+	}
+	return j
 }
 
 // ResourceKind describes what a handle refers to.
@@ -79,8 +211,8 @@ type VerifyEnv struct {
 	Resolve func(handle int64) (Resource, bool)
 }
 
-// VerifyError describes why a program was rejected, including the offending
-// instruction.
+// VerifyError describes why a program was rejected, including the pc and
+// the disassembled offending instruction.
 type VerifyError struct {
 	Prog   string
 	PC     int
@@ -92,52 +224,104 @@ func (e *VerifyError) Error() string {
 	return fmt.Sprintf("ebpfvm: verifier rejected %q at #%d (%s): %s", e.Prog, e.PC, e.Inst, e.Reason)
 }
 
-// Verify statically checks the program: register initialization, pointer
-// bounds, stack initialization, read-only context, helper signatures,
-// null-checked map values, and forward-only control flow (termination).
-// On success the program is marked runnable.
+// Verify statically checks the program and, on success, marks it runnable
+// and records its VerifyStats. It is VerifyDetailed without log capture —
+// the form the agent's attach path uses.
 func Verify(p *Program, env VerifyEnv) error {
+	_, err := verify(p, env, nil)
+	return err
+}
+
+// VerifyDetailed verifies with a structured log: branch splits, pruned
+// edges, cache prunes/merges, and (with opts.Trace) the abstract register
+// file at every explored instruction. dfvet and the debug endpoint use it.
+func VerifyDetailed(p *Program, env VerifyEnv, opts VerifyOptions) (VerifyResult, error) {
+	log := &vlogger{trace: opts.Trace}
+	stats, err := verify(p, env, log)
+	return VerifyResult{Stats: stats, Log: log.lines}, err
+}
+
+// verifier carries the state of one verification run.
+type verifier struct {
+	p        *Program
+	env      VerifyEnv
+	log      *vlogger
+	stats    VerifyStats
+	seen     map[int][]*vstate // states_seen pruning cache, per jump target
+	isTarget []bool            // pc is a jump target (join point candidate)
+}
+
+// seenCap bounds the pruning cache per pc; beyond it, states are explored
+// without being cached (correct, just less pruning).
+const seenCap = 64
+
+func verify(p *Program, env VerifyEnv, log *vlogger) (VerifyStats, error) {
+	v := &verifier{p: p, env: env, log: log, seen: make(map[int][]*vstate)}
+	v.stats.Insts = len(p.Insts)
+	if err := v.run(); err != nil {
+		return v.stats, err
+	}
+	p.verified = true
+	p.Stats = v.stats
+	return v.stats, nil
+}
+
+func (v *verifier) reject(pc int, reason string) error {
+	err := &VerifyError{Prog: v.p.Name, PC: pc, Inst: v.p.Insts[pc], Reason: reason}
+	v.log.eventf("REJECT at #%d (%s): %s", pc, v.p.Insts[pc], reason)
+	return err
+}
+
+func (v *verifier) run() error {
+	p := v.p
 	if len(p.Insts) == 0 {
 		return fmt.Errorf("ebpfvm: empty program %q", p.Name)
 	}
 	if len(p.Insts) > MaxInsts {
 		return fmt.Errorf("ebpfvm: program %q exceeds %d instructions", p.Name, MaxInsts)
 	}
-	reject := func(pc int, reason string) error {
-		return &VerifyError{Prog: p.Name, PC: pc, Inst: p.Insts[pc], Reason: reason}
-	}
 
 	// Structural pass: opcode validity and forward-only jumps.
+	v.isTarget = make([]bool, len(p.Insts))
 	for pc, in := range p.Insts {
 		switch in.Op {
 		case OpInvalid:
-			return reject(pc, "invalid opcode")
+			return v.reject(pc, "invalid opcode")
 		case OpJa, OpJeqImm, OpJeqReg, OpJneImm, OpJneReg, OpJgtImm, OpJgtReg,
 			OpJgeImm, OpJltImm, OpJleImm, OpJsetImm:
 			tgt := pc + 1 + int(in.Off)
 			if tgt <= pc {
-				return reject(pc, "back edge: loops are not allowed")
+				return v.reject(pc, "back edge: loops are not allowed")
 			}
 			if tgt >= len(p.Insts) {
-				return reject(pc, "jump out of range")
+				return v.reject(pc, "jump out of range")
 			}
+			v.isTarget[tgt] = true
 		case OpLdx, OpStx:
 			switch in.Size {
 			case SizeB, SizeH, SizeW, SizeDW:
 			default:
-				return reject(pc, "bad access size")
+				return v.reject(pc, "bad access size")
 			}
 		}
 		if in.Dst >= NumRegs || in.Src >= NumRegs {
-			return reject(pc, "bad register")
+			return v.reject(pc, "bad register")
 		}
 	}
 	if last := p.Insts[len(p.Insts)-1]; last.Op != OpExit && last.Op != OpJa {
 		return fmt.Errorf("ebpfvm: program %q does not end with exit", p.Name)
 	}
 
+	// Dead-code pass: every instruction must be statically reachable from
+	// pc 0 (value-based pruning below never runs code the CFG can't reach,
+	// but unreachable code is a program bug and is rejected, as in Linux).
+	if err := v.checkReachable(); err != nil {
+		return err
+	}
+
 	// Abstract interpretation over all paths. Forward-only jumps bound the
-	// path count; a work budget guards against pathological branch fans.
+	// path count; the states_seen cache and a work budget guard against
+	// pathological branch fans.
 	init := &vstate{}
 	init.regs[R1] = regState{kind: kindPtrCtx}
 	init.regs[R10] = regState{kind: kindPtrStack}
@@ -149,6 +333,13 @@ func Verify(p *Program, env VerifyEnv) error {
 		work = work[:len(work)-1]
 	path:
 		for {
+			if v.isTarget[st.pc] {
+				pruned, merged := v.checkSeen(st)
+				if pruned {
+					break path
+				}
+				st = merged
+			}
 			if budget--; budget < 0 {
 				return fmt.Errorf("ebpfvm: program %q too complex", p.Name)
 			}
@@ -157,10 +348,14 @@ func Verify(p *Program, env VerifyEnv) error {
 			}
 			pc := st.pc
 			in := p.Insts[pc]
+			v.stats.StatesExplored++
+			if v.log != nil && v.log.trace {
+				v.log.tracef("#%-3d %-28s ; %s", pc, in.String(), st.regLine())
+			}
 
 			readable := func(r Reg) error {
 				if st.regs[r].kind == kindUninit {
-					return reject(pc, fmt.Sprintf("read of uninitialized %s", r))
+					return v.reject(pc, fmt.Sprintf("read of uninitialized %s", r))
 				}
 				return nil
 			}
@@ -174,13 +369,13 @@ func Verify(p *Program, env VerifyEnv) error {
 
 			case OpMovImm:
 				if in.Dst == R10 {
-					return reject(pc, "write to frame pointer")
+					return v.reject(pc, "write to frame pointer")
 				}
-				st.regs[in.Dst] = regState{kind: kindScalar, constVal: in.Imm, known: true}
+				st.regs[in.Dst] = scalar(ivConst(uint64(in.Imm)))
 
 			case OpMovReg:
 				if in.Dst == R10 {
-					return reject(pc, "write to frame pointer")
+					return v.reject(pc, "write to frame pointer")
 				}
 				if err := readable(in.Src); err != nil {
 					return err
@@ -189,28 +384,28 @@ func Verify(p *Program, env VerifyEnv) error {
 
 			case OpAddImm, OpSubImm:
 				if in.Dst == R10 {
-					return reject(pc, "write to frame pointer")
+					return v.reject(pc, "write to frame pointer")
 				}
 				if err := readable(in.Dst); err != nil {
 					return err
 				}
 				d := &st.regs[in.Dst]
-				delta := in.Imm
+				imm := in.Imm
 				if in.Op == OpSubImm {
-					delta = -delta
+					imm = -imm
 				}
 				switch d.kind {
 				case kindScalar:
-					d.constVal += delta // stays known iff it was known
+					d.rng = ivAddImm(d.rng, imm)
 				case kindPtrCtx, kindPtrStack, kindPtrMapValue:
-					d.off += delta
+					d.off += imm
 				default:
-					return reject(pc, fmt.Sprintf("arithmetic on %s", d.kind))
+					return v.reject(pc, fmt.Sprintf("arithmetic on %s", d.kind))
 				}
 
 			case OpAddReg:
 				if in.Dst == R10 {
-					return reject(pc, "write to frame pointer")
+					return v.reject(pc, "write to frame pointer")
 				}
 				if err := readable(in.Dst); err != nil {
 					return err
@@ -221,62 +416,87 @@ func Verify(p *Program, env VerifyEnv) error {
 				d, s := &st.regs[in.Dst], st.regs[in.Src]
 				switch {
 				case d.kind == kindScalar && s.kind == kindScalar:
-					d.known = d.known && s.known
-					d.constVal += s.constVal
-				case d.kind.isPtr() && s.kind == kindScalar && s.known:
-					d.off += s.constVal
+					d.rng = ivAdd(d.rng, s.rng)
+				case d.kind.isPtr() && d.kind != kindMaybeNullMapValue && s.kind == kindScalar:
+					// Range-bounded pointer arithmetic: the scalar's interval
+					// becomes part of the pointer's variable offset. The sum
+					// must stay bounded or every later access check would be
+					// vacuous.
+					sum := ivAdd(d.rng, s.rng)
+					if s.rng.hi > maxPtrVar || sum.hi > maxPtrVar {
+						return v.reject(pc, fmt.Sprintf(
+							"adding unbounded scalar %s (interval %s) to pointer %s", in.Src, s.rng, in.Dst))
+					}
+					d.rng = sum
 				default:
-					return reject(pc, "unsupported pointer arithmetic")
+					return v.reject(pc, "unsupported pointer arithmetic")
 				}
 
 			case OpSubReg, OpMulImm, OpMulReg, OpDivImm, OpAndImm, OpAndReg,
 				OpOrImm, OpOrReg, OpXorImm, OpXorReg, OpLshImm, OpRshImm, OpModImm, OpNeg:
 				if in.Dst == R10 {
-					return reject(pc, "write to frame pointer")
+					return v.reject(pc, "write to frame pointer")
 				}
 				if err := readable(in.Dst); err != nil {
 					return err
 				}
 				if st.regs[in.Dst].kind != kindScalar {
-					return reject(pc, fmt.Sprintf("ALU on %s", st.regs[in.Dst].kind))
+					return v.reject(pc, fmt.Sprintf("ALU on %s", st.regs[in.Dst].kind))
 				}
+				var src ival
 				switch in.Op {
 				case OpSubReg, OpAndReg, OpOrReg, OpXorReg, OpMulReg:
 					if err := readable(in.Src); err != nil {
 						return err
 					}
 					if st.regs[in.Src].kind != kindScalar {
-						return reject(pc, "ALU with pointer source")
+						return v.reject(pc, "ALU with pointer source")
 					}
+					src = st.regs[in.Src].rng
 				}
-				// Constant folding for the cases the tracing programs use.
 				d := &st.regs[in.Dst]
-				if d.known {
-					switch in.Op {
-					case OpAndImm:
-						d.constVal &= in.Imm
-					case OpOrImm:
-						d.constVal |= in.Imm
-					case OpLshImm:
-						d.constVal <<= uint(in.Imm)
-					case OpRshImm:
-						d.constVal = int64(uint64(d.constVal) >> uint(in.Imm))
-					default:
-						d.known = false
-					}
+				switch in.Op {
+				case OpSubReg:
+					d.rng = ivSub(d.rng, src)
+				case OpMulReg:
+					d.rng = ivMul(d.rng, src)
+				case OpAndReg:
+					d.rng = ivAnd(d.rng, src)
+				case OpOrReg:
+					d.rng = ivOr(d.rng, src)
+				case OpXorReg:
+					d.rng = ivXor(d.rng, src)
+				case OpMulImm:
+					d.rng = ivMul(d.rng, ivConst(uint64(in.Imm)))
+				case OpDivImm:
+					d.rng = ivDivImm(d.rng, in.Imm)
+				case OpModImm:
+					d.rng = ivModImm(d.rng, in.Imm)
+				case OpAndImm:
+					d.rng = ivAndImm(d.rng, in.Imm)
+				case OpOrImm:
+					d.rng = ivOr(d.rng, ivConst(uint64(in.Imm)))
+				case OpXorImm:
+					d.rng = ivXor(d.rng, ivConst(uint64(in.Imm)))
+				case OpLshImm:
+					d.rng = ivLshImm(d.rng, in.Imm)
+				case OpRshImm:
+					d.rng = ivRshImm(d.rng, in.Imm)
+				case OpNeg:
+					d.rng = ivNeg(d.rng)
 				}
 
 			case OpLdx:
 				if in.Dst == R10 {
-					return reject(pc, "write to frame pointer")
+					return v.reject(pc, "write to frame pointer")
 				}
 				if err := readable(in.Src); err != nil {
 					return err
 				}
-				if err := checkMem(st, pc, p, in.Src, int64(in.Off), int(in.Size), false, env); err != nil {
+				if err := v.checkMem(st, pc, in.Src, int64(in.Off), int(in.Size), false); err != nil {
 					return err
 				}
-				st.regs[in.Dst] = regState{kind: kindScalar}
+				st.regs[in.Dst] = scalar(loadRange(in.Size))
 
 			case OpStx:
 				if err := readable(in.Dst); err != nil {
@@ -286,9 +506,9 @@ func Verify(p *Program, env VerifyEnv) error {
 					return err
 				}
 				if st.regs[in.Src].kind.isPtr() && st.regs[in.Dst].kind != kindPtrStack {
-					return reject(pc, "pointer spill outside stack")
+					return v.reject(pc, "pointer spill outside stack")
 				}
-				if err := checkMem(st, pc, p, in.Dst, int64(in.Off), int(in.Size), true, env); err != nil {
+				if err := v.checkMem(st, pc, in.Dst, int64(in.Off), int(in.Size), true); err != nil {
 					return err
 				}
 
@@ -296,235 +516,388 @@ func Verify(p *Program, env VerifyEnv) error {
 				st.pc = pc + 1 + int(in.Off)
 				continue
 
-			case OpJeqImm, OpJneImm, OpJgtImm, OpJgeImm, OpJltImm, OpJleImm, OpJsetImm:
-				if err := readable(in.Dst); err != nil {
+			case OpJeqImm, OpJneImm, OpJgtImm, OpJgeImm, OpJltImm, OpJleImm, OpJsetImm,
+				OpJeqReg, OpJneReg, OpJgtReg:
+				next, err := v.branch(st, pc, in, &work)
+				if err != nil {
 					return err
 				}
-				d := st.regs[in.Dst]
-				if d.kind.isPtr() && d.kind != kindMaybeNullMapValue {
-					return reject(pc, "conditional jump on pointer")
+				if next == nil {
+					break path // no feasible successor on this path
 				}
-				taken := st.clone()
-				taken.pc = pc + 1 + int(in.Off)
-				// Null-check refinement for map values.
-				if d.kind == kindMaybeNullMapValue && in.Imm == 0 {
-					switch in.Op {
-					case OpJeqImm: // taken => null, fallthrough => valid
-						taken.regs[in.Dst] = regState{kind: kindScalar, known: true}
-						st.regs[in.Dst] = regState{kind: kindPtrMapValue, mapRef: d.mapRef}
-					case OpJneImm: // taken => valid, fallthrough => null
-						taken.regs[in.Dst] = regState{kind: kindPtrMapValue, mapRef: d.mapRef}
-						st.regs[in.Dst] = regState{kind: kindScalar, known: true}
-					}
-				}
-				work = append(work, taken)
-
-			case OpJeqReg, OpJneReg, OpJgtReg:
-				if err := readable(in.Dst); err != nil {
-					return err
-				}
-				if err := readable(in.Src); err != nil {
-					return err
-				}
-				taken := st.clone()
-				taken.pc = pc + 1 + int(in.Off)
-				work = append(work, taken)
+				st = next
+				continue
 
 			case OpCall:
-				if err := checkCall(st, pc, p, HelperID(in.Imm), env); err != nil {
+				if err := v.checkCall(st, pc, HelperID(in.Imm)); err != nil {
 					return err
 				}
 
 			default:
-				return reject(pc, "unhandled opcode")
+				return v.reject(pc, "unhandled opcode")
 			}
 			st.pc = pc + 1
 		}
 	}
 
-	p.verified = true
+	for _, states := range v.seen {
+		v.stats.CachedStates += len(states)
+	}
 	return nil
 }
 
-func (k regKind) isPtr() bool {
-	return k == kindPtrCtx || k == kindPtrStack || k == kindPtrMapValue || k == kindMaybeNullMapValue
+// checkReachable rejects statically dead code: instructions no CFG path
+// from pc 0 can reach.
+func (v *verifier) checkReachable() error {
+	p := v.p
+	reach := make([]bool, len(p.Insts))
+	stack := []int{0}
+	for len(stack) > 0 {
+		pc := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if reach[pc] {
+			continue
+		}
+		reach[pc] = true
+		in := p.Insts[pc]
+		switch in.Op {
+		case OpExit:
+		case OpJa:
+			stack = append(stack, pc+1+int(in.Off))
+		case OpJeqImm, OpJeqReg, OpJneImm, OpJneReg, OpJgtImm, OpJgtReg,
+			OpJgeImm, OpJltImm, OpJleImm, OpJsetImm:
+			stack = append(stack, pc+1, pc+1+int(in.Off))
+		default:
+			stack = append(stack, pc+1)
+		}
+	}
+	for pc, r := range reach {
+		if !r {
+			return v.reject(pc, "unreachable instruction (dead code)")
+		}
+	}
+	return nil
 }
 
-// checkMem validates a memory access through reg+off of the given size.
-func checkMem(st *vstate, pc int, p *Program, reg Reg, off int64, size int, write bool, env VerifyEnv) error {
+// checkSeen consults the states_seen cache at a jump target. It returns
+// (true, nil) when a cached state subsumes st (path pruned), or (false,
+// next) where next is st itself or the merged hull state to explore.
+func (v *verifier) checkSeen(st *vstate) (bool, *vstate) {
+	states := v.seen[st.pc]
+	for i, s := range states {
+		if s.subsumes(st) {
+			v.stats.StatesPruned++
+			v.log.eventf("prune at #%d: state subsumed by cached state", st.pc)
+			return true, nil
+		}
+		if s.joinable(st) {
+			j := s.join(st)
+			states[i] = j.clone()
+			v.stats.StatesMerged++
+			v.log.eventf("merge at #%d: joined with cached state", st.pc)
+			return false, j
+		}
+	}
+	if len(states) < seenCap {
+		v.seen[st.pc] = append(states, st.clone())
+	}
+	return false, st
+}
+
+// branch handles a conditional jump: refine the operand ranges on each
+// edge, prune edges range analysis proves infeasible, queue the taken
+// state, and return the state to continue with (nil if neither edge is
+// feasible from this path — possible only for maybe-null pointers handled
+// below, so in practice the fallthrough or taken state).
+func (v *verifier) branch(st *vstate, pc int, in Inst, work *[]*vstate) (*vstate, error) {
+	d := st.regs[in.Dst]
+	if err := v.branchReadable(st, pc, in); err != nil {
+		return nil, err
+	}
+	tgt := pc + 1 + int(in.Off)
+
+	// Null-check refinement for map values (imm comparisons against 0).
+	if d.kind == kindMaybeNullMapValue {
+		taken := st.clone()
+		taken.pc = tgt
+		if in.Imm == 0 {
+			switch in.Op {
+			case OpJeqImm: // taken => null, fallthrough => valid
+				taken.regs[in.Dst] = scalar(ivConst(0))
+				st.regs[in.Dst] = regState{kind: kindPtrMapValue, mapRef: d.mapRef}
+			case OpJneImm: // taken => valid, fallthrough => null
+				taken.regs[in.Dst] = regState{kind: kindPtrMapValue, mapRef: d.mapRef}
+				st.regs[in.Dst] = scalar(ivConst(0))
+			}
+		}
+		*work = append(*work, taken)
+		st.pc = pc + 1
+		return st, nil
+	}
+	if d.kind.isPtr() {
+		return nil, v.reject(pc, "conditional jump on pointer")
+	}
+
+	isRegCmp := in.Op == OpJeqReg || in.Op == OpJneReg || in.Op == OpJgtReg
+	var s regState
+	if isRegCmp {
+		s = st.regs[in.Src]
+		if s.kind.isPtr() {
+			return nil, v.reject(pc, "conditional jump on pointer")
+		}
+	}
+
+	var tk, fl branchEdge
+	if isRegCmp {
+		tk, fl = refineRegBranch(in.Op, d.rng, s.rng)
+	} else {
+		td, fd, tok, fok := refineImmBranch(in.Op, d.rng, uint64(in.Imm))
+		tk = branchEdge{dst: td, src: s.rng, ok: tok}
+		fl = branchEdge{dst: fd, src: s.rng, ok: fok}
+	}
+
+	if tk.ok {
+		taken := st.clone()
+		taken.pc = tgt
+		taken.regs[in.Dst].rng = tk.dst
+		if isRegCmp {
+			taken.regs[in.Src].rng = tk.src
+		}
+		if fl.ok {
+			*work = append(*work, taken)
+		} else {
+			// Fallthrough infeasible: this path continues at the target.
+			v.stats.BranchesPruned++
+			v.log.eventf("prune edge at #%d (%s): fallthrough infeasible, %s = %s", pc, in, in.Dst, d.rng)
+			return taken, nil
+		}
+	} else {
+		v.stats.BranchesPruned++
+		v.log.eventf("prune edge at #%d (%s): taken edge infeasible, %s = %s", pc, in, in.Dst, d.rng)
+	}
+	if !fl.ok && !tk.ok {
+		return nil, v.reject(pc, "branch with no feasible edge")
+	}
+	if !fl.ok {
+		return nil, nil // handled above; unreachable
+	}
+	st.regs[in.Dst].rng = fl.dst
+	if isRegCmp {
+		st.regs[in.Src].rng = fl.src
+	}
+	st.pc = pc + 1
+	return st, nil
+}
+
+func (v *verifier) branchReadable(st *vstate, pc int, in Inst) error {
+	if st.regs[in.Dst].kind == kindUninit {
+		return v.reject(pc, fmt.Sprintf("read of uninitialized %s", in.Dst))
+	}
+	switch in.Op {
+	case OpJeqReg, OpJneReg, OpJgtReg:
+		if st.regs[in.Src].kind == kindUninit {
+			return v.reject(pc, fmt.Sprintf("read of uninitialized %s", in.Src))
+		}
+	}
+	return nil
+}
+
+// branchEdge is the refined operand ranges along one edge of a branch.
+type branchEdge struct {
+	dst, src ival
+	ok       bool // edge feasible
+}
+
+func evalCond(op Op, d, imm uint64) bool {
+	switch op {
+	case OpJeqImm:
+		return d == imm
+	case OpJneImm:
+		return d != imm
+	case OpJgtImm:
+		return d > imm
+	case OpJgeImm:
+		return d >= imm
+	case OpJltImm:
+		return d < imm
+	case OpJleImm:
+		return d <= imm
+	case OpJsetImm:
+		return d&imm != 0
+	}
+	return false
+}
+
+// refineImmBranch computes the dst interval on the taken and fallthrough
+// edges of an imm-comparison, marking infeasible edges.
+func refineImmBranch(op Op, d ival, imm uint64) (taken, fall ival, takenOK, fallOK bool) {
+	taken, fall = d, d
+	if d.isConst() {
+		t := evalCond(op, d.lo, imm)
+		return d, d, t, !t
+	}
+	switch op {
+	case OpJeqImm:
+		if d.contains(imm) {
+			taken, takenOK = ivConst(imm), true
+		}
+		fallOK = true
+		if fall.lo == imm {
+			fall.lo++
+		} else if fall.hi == imm {
+			fall.hi--
+		}
+	case OpJneImm:
+		takenOK = true
+		if taken.lo == imm {
+			taken.lo++
+		} else if taken.hi == imm {
+			taken.hi--
+		}
+		if d.contains(imm) {
+			fall, fallOK = ivConst(imm), true
+		}
+	case OpJgtImm:
+		if d.hi > imm {
+			taken, takenOK = ival{maxU(d.lo, imm+1), d.hi}, true
+		}
+		if d.lo <= imm {
+			fall, fallOK = ival{d.lo, minU(d.hi, imm)}, true
+		}
+	case OpJgeImm:
+		if d.hi >= imm {
+			taken, takenOK = ival{maxU(d.lo, imm), d.hi}, true
+		}
+		if imm > 0 && d.lo < imm {
+			fall, fallOK = ival{d.lo, minU(d.hi, imm-1)}, true
+		}
+	case OpJltImm:
+		if imm > 0 && d.lo < imm {
+			taken, takenOK = ival{d.lo, minU(d.hi, imm-1)}, true
+		}
+		if d.hi >= imm {
+			fall, fallOK = ival{maxU(d.lo, imm), d.hi}, true
+		}
+	case OpJleImm:
+		if d.lo <= imm {
+			taken, takenOK = ival{d.lo, minU(d.hi, imm)}, true
+		}
+		if d.hi > imm {
+			fall, fallOK = ival{maxU(d.lo, imm+1), d.hi}, true
+		}
+	case OpJsetImm:
+		// taken needs d & imm != 0: impossible when every value in d is
+		// below imm's lowest set bit, or imm is 0.
+		low := imm & (^imm + 1)
+		takenOK = imm != 0 && d.hi >= low
+		fallOK = true
+	default:
+		takenOK, fallOK = true, true
+	}
+	return
+}
+
+// refineRegBranch refines both operands of a reg-reg comparison.
+func refineRegBranch(op Op, d, s ival) (taken, fall branchEdge) {
+	taken = branchEdge{dst: d, src: s}
+	fall = branchEdge{dst: d, src: s}
+	switch op {
+	case OpJeqReg:
+		lo, hi := maxU(d.lo, s.lo), minU(d.hi, s.hi)
+		if lo <= hi {
+			taken = branchEdge{dst: ival{lo, hi}, src: ival{lo, hi}, ok: true}
+		}
+		fall.ok = !(d.isConst() && s.isConst() && d.lo == s.lo)
+	case OpJneReg:
+		taken.ok = !(d.isConst() && s.isConst() && d.lo == s.lo)
+		lo, hi := maxU(d.lo, s.lo), minU(d.hi, s.hi)
+		if lo <= hi {
+			fall = branchEdge{dst: ival{lo, hi}, src: ival{lo, hi}, ok: true}
+		}
+	case OpJgtReg:
+		if d.hi > s.lo { // some dst value can exceed some src value
+			taken = branchEdge{
+				dst: ival{maxU(d.lo, s.lo+1), d.hi},
+				src: ival{s.lo, minU(s.hi, d.hi-1)},
+				ok:  true,
+			}
+		}
+		if d.lo <= s.hi {
+			fall = branchEdge{
+				dst: ival{d.lo, minU(d.hi, s.hi)},
+				src: ival{maxU(s.lo, d.lo), s.hi},
+				ok:  true,
+			}
+		}
+	default:
+		taken.ok, fall.ok = true, true
+	}
+	return
+}
+
+// checkMem validates a memory access through reg+disp of the given size,
+// accounting for the pointer's variable-offset range. Rejection messages
+// name the register's inferred interval so a missing bound check is
+// diagnosable from the error alone.
+func (v *verifier) checkMem(st *vstate, pc int, reg Reg, disp int64, size int, write bool) error {
 	r := st.regs[reg]
-	total := r.off + off
-	reject := func(reason string) error {
-		return &VerifyError{Prog: p.Name, PC: pc, Inst: p.Insts[pc], Reason: reason}
+	base := r.off + disp
+	lo := base + int64(r.rng.lo)
+	hi := base + int64(r.rng.hi) + int64(size)
+	span := func() string {
+		if r.rng.isConst() && r.rng.lo == 0 {
+			return fmt.Sprintf("[%d,%d)", lo, hi)
+		}
+		return fmt.Sprintf("[%d,%d) (%s offset = %d + %s)", lo, hi, reg, base, r.rng)
 	}
 	switch r.kind {
 	case kindPtrCtx:
 		if write {
-			return reject("context is read-only")
+			return v.reject(pc, "context is read-only")
 		}
-		if total < 0 || total+int64(size) > int64(env.CtxSize) {
-			return reject(fmt.Sprintf("ctx access [%d,%d) out of [0,%d)", total, total+int64(size), env.CtxSize))
+		if lo < 0 || hi > int64(v.env.CtxSize) {
+			return v.reject(pc, fmt.Sprintf("ctx access %s out of [0,%d)", span(), v.env.CtxSize))
 		}
 	case kindPtrStack:
-		lo := total
-		hi := total + int64(size)
 		if lo < -StackSize || hi > 0 {
-			return reject(fmt.Sprintf("stack access [%d,%d) out of [-%d,0)", lo, hi, StackSize))
+			return v.reject(pc, fmt.Sprintf("stack access %s out of [-%d,0)", span(), StackSize))
 		}
+		v.noteStackDepth(lo)
 		if write {
-			for i := lo; i < hi; i++ {
-				st.stack[StackSize+i] = true
+			// A variable-offset store lands at one unknown byte range; no
+			// byte becomes *definitely* initialized unless the offset is
+			// exact. The store itself is memory-safe either way.
+			if r.rng.isConst() {
+				for i := lo; i < hi; i++ {
+					st.stack[StackSize+i] = true
+				}
 			}
 		} else {
 			for i := lo; i < hi; i++ {
 				if !st.stack[StackSize+i] {
-					return reject(fmt.Sprintf("read of uninitialized stack byte %d", i))
+					return v.reject(pc, fmt.Sprintf("read of uninitialized stack byte %d", i))
 				}
 			}
 		}
 	case kindPtrMapValue:
-		res, ok := env.Resolve(r.mapRef)
+		res, ok := v.env.Resolve(r.mapRef)
 		if !ok || res.Kind != ResourceMap {
-			return reject("stale map reference")
+			return v.reject(pc, "stale map reference")
 		}
-		if total < 0 || total+int64(size) > int64(res.ValueSize) {
-			return reject("map value access out of bounds")
+		if lo < 0 || hi > int64(res.ValueSize) {
+			return v.reject(pc, fmt.Sprintf("map value access %s out of bounds [0,%d)", span(), res.ValueSize))
 		}
 	case kindMaybeNullMapValue:
-		return reject("map value not null-checked before access")
+		return v.reject(pc, "map value not null-checked before access")
 	default:
-		return reject(fmt.Sprintf("memory access through %s", r.kind))
+		return v.reject(pc, fmt.Sprintf("memory access through %s", r.kind))
 	}
 	return nil
 }
 
-// checkCall validates helper arguments and applies the helper's effect on
-// the abstract state.
-func checkCall(st *vstate, pc int, p *Program, h HelperID, env VerifyEnv) error {
-	reject := func(reason string) error {
-		return &VerifyError{Prog: p.Name, PC: pc, Inst: p.Insts[pc], Reason: reason}
+// noteStackDepth records the deepest stack byte proven reachable.
+func (v *verifier) noteStackDepth(lo int64) {
+	if depth := int(-lo); depth > v.stats.PeakStackBytes {
+		v.stats.PeakStackBytes = depth
 	}
-	resolveHandle := func(r Reg, want ResourceKind) (Resource, error) {
-		reg := st.regs[r]
-		if reg.kind != kindScalar || !reg.known {
-			return Resource{}, reject(fmt.Sprintf("%s must be a constant handle", r))
-		}
-		if env.Resolve == nil {
-			return Resource{}, reject("no resource resolver")
-		}
-		res, ok := env.Resolve(reg.constVal)
-		if !ok || res.Kind != want {
-			return Resource{}, reject(fmt.Sprintf("%s: handle %d is not a valid resource", r, reg.constVal))
-		}
-		return res, nil
-	}
-	// requireStackBuf checks that reg points into the stack and [ptr, ptr+n)
-	// is in bounds and initialized.
-	requireStackBuf := func(r Reg, n int) error {
-		reg := st.regs[r]
-		if reg.kind != kindPtrStack {
-			return reject(fmt.Sprintf("%s must point to the stack", r))
-		}
-		lo, hi := reg.off, reg.off+int64(n)
-		if lo < -StackSize || hi > 0 {
-			return reject(fmt.Sprintf("%s buffer [%d,%d) out of stack", r, lo, hi))
-		}
-		for i := lo; i < hi; i++ {
-			if !st.stack[StackSize+i] {
-				return reject(fmt.Sprintf("%s buffer has uninitialized byte %d", r, i))
-			}
-		}
-		return nil
-	}
-
-	var ret regState
-	switch h {
-	case HelperMapLookup:
-		res, err := resolveHandle(R1, ResourceMap)
-		if err != nil {
-			return err
-		}
-		if err := requireStackBuf(R2, res.KeySize); err != nil {
-			return err
-		}
-		ret = regState{kind: kindMaybeNullMapValue, mapRef: st.regs[R1].constVal}
-
-	case HelperMapUpdate:
-		res, err := resolveHandle(R1, ResourceMap)
-		if err != nil {
-			return err
-		}
-		if err := requireStackBuf(R2, res.KeySize); err != nil {
-			return err
-		}
-		if err := requireStackBuf(R3, res.ValueSize); err != nil {
-			return err
-		}
-		ret = regState{kind: kindScalar}
-
-	case HelperMapDelete:
-		res, err := resolveHandle(R1, ResourceMap)
-		if err != nil {
-			return err
-		}
-		if err := requireStackBuf(R2, res.KeySize); err != nil {
-			return err
-		}
-		ret = regState{kind: kindScalar}
-
-	case HelperPerfOutput:
-		if _, err := resolveHandle(R1, ResourcePerf); err != nil {
-			return err
-		}
-		lenReg := st.regs[R3]
-		if lenReg.kind != kindScalar || !lenReg.known {
-			return reject("r3 (length) must be a known constant")
-		}
-		n := int(lenReg.constVal)
-		if n <= 0 || n > StackSize+4096 {
-			return reject("unreasonable perf output length")
-		}
-		src := st.regs[R2]
-		switch src.kind {
-		case kindPtrStack:
-			if err := requireStackBuf(R2, n); err != nil {
-				return err
-			}
-		case kindPtrCtx:
-			if src.off < 0 || src.off+int64(n) > int64(env.CtxSize) {
-				return reject("perf output reads past context")
-			}
-		case kindPtrMapValue:
-			res, ok := env.Resolve(src.mapRef)
-			if !ok || src.off < 0 || src.off+int64(n) > int64(res.ValueSize) {
-				return reject("perf output reads past map value")
-			}
-		default:
-			return reject("r2 must be a pointer")
-		}
-		ret = regState{kind: kindScalar}
-
-	case HelperKtimeNS, HelperGetPidTgid:
-		ret = regState{kind: kindScalar}
-
-	case HelperGetStackID:
-		if _, err := resolveHandle(R1, ResourceStack); err != nil {
-			return err
-		}
-		flags := st.regs[R2]
-		if flags.kind != kindScalar || !flags.known || flags.constVal != 0 {
-			return reject("r2 (flags) must be the constant 0")
-		}
-		ret = regState{kind: kindScalar}
-
-	default:
-		return reject(fmt.Sprintf("unknown helper %d", int64(h)))
-	}
-
-	// Caller-saved registers are clobbered.
-	for r := R1; r <= R5; r++ {
-		st.regs[r] = regState{kind: kindUninit}
-	}
-	st.regs[R0] = ret
-	return nil
 }

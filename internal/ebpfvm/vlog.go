@@ -1,0 +1,72 @@
+package ebpfvm
+
+import "fmt"
+
+// VerifyStats summarizes one verification run — the analysis-cost numbers
+// the Linux verifier prints at the end of its log (processed insns,
+// states). They are exported through selfmon gauges and the dfvet CLI so a
+// regression in program complexity is visible before it becomes a
+// deploy-time rejection.
+type VerifyStats struct {
+	// Insts is the program length in instructions.
+	Insts int
+	// StatesExplored counts abstract instruction-states processed (one
+	// instruction visited under one register state).
+	StatesExplored int
+	// StatesPruned counts path arrivals skipped because a cached state at
+	// the same pc already subsumed them (the states_seen cache).
+	StatesPruned int
+	// StatesMerged counts join-point merges: two compatible states hulled
+	// into one wider state instead of being explored separately.
+	StatesMerged int
+	// BranchesPruned counts conditional edges proven infeasible by range
+	// analysis and never explored.
+	BranchesPruned int
+	// CachedStates is the number of states held in the pruning cache at
+	// the end of the run.
+	CachedStates int
+	// PeakStackBytes is the deepest stack byte the program can touch
+	// (bytes below the frame pointer), proven statically.
+	PeakStackBytes int
+}
+
+func (s VerifyStats) String() string {
+	return fmt.Sprintf("%d insts, %d states explored, %d pruned, %d merged, %d branches pruned, peak stack %dB",
+		s.Insts, s.StatesExplored, s.StatesPruned, s.StatesMerged, s.BranchesPruned, s.PeakStackBytes)
+}
+
+// VerifyOptions controls the optional analysis log.
+type VerifyOptions struct {
+	// Trace records one log line per explored instruction-state showing
+	// the abstract register file, in addition to the always-on structural
+	// events (branch splits, prunes, merges, rejection).
+	Trace bool
+}
+
+// VerifyResult is the structured outcome of a verification run: the stats
+// plus the human-readable log (empty unless requested via VerifyDetailed).
+type VerifyResult struct {
+	Stats VerifyStats
+	Log   []string
+}
+
+// vlogger collects verifier log lines. A nil vlogger is valid and free:
+// the hot attach path (agent startup) verifies with logging off.
+type vlogger struct {
+	trace bool
+	lines []string
+}
+
+func (l *vlogger) eventf(format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.lines = append(l.lines, fmt.Sprintf(format, args...))
+}
+
+func (l *vlogger) tracef(format string, args ...any) {
+	if l == nil || !l.trace {
+		return
+	}
+	l.lines = append(l.lines, fmt.Sprintf(format, args...))
+}

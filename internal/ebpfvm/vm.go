@@ -209,7 +209,7 @@ func (vm *Machine) Run(p *Program, ctx []byte, task Task) (uint64, error) {
 
 		case OpStx:
 			if regs[in.Dst].region == regCtx {
-				return 0, fmt.Errorf("ebpfvm: %q: store to read-only ctx", p.Name)
+				return 0, fmt.Errorf("ebpfvm: %q #%d (%s): store to read-only ctx", p.Name, pc, in)
 			}
 			buf, off, err := resolve(&regs[in.Dst], int64(in.Off), int(in.Size), p, pc)
 			if err != nil {
@@ -276,7 +276,7 @@ func (vm *Machine) Run(p *Program, ctx []byte, task Task) (uint64, error) {
 			}
 
 		default:
-			return 0, fmt.Errorf("ebpfvm: %q: bad opcode at %d", p.Name, pc)
+			return 0, fmt.Errorf("ebpfvm: %q #%d (%s): bad opcode", p.Name, pc, in)
 		}
 		switch in.Op {
 		case OpJa, OpJeqImm, OpJeqReg, OpJneImm, OpJneReg, OpJgtImm, OpJgtReg,
@@ -306,18 +306,18 @@ func (r *rtReg) isNullOrVal(imm uint64) bool {
 // backing slice and offset.
 func resolve(r *rtReg, off int64, size int, p *Program, pc int) ([]byte, int64, error) {
 	if r.region == regNone || r.buf == nil {
-		return nil, 0, fmt.Errorf("ebpfvm: %q #%d: dereference of non-pointer", p.Name, pc)
+		return nil, 0, fmt.Errorf("ebpfvm: %q #%d (%s): dereference of non-pointer", p.Name, pc, p.Insts[pc])
 	}
 	total := int64(r.val) + off
 	if total < 0 || total+int64(size) > int64(len(r.buf)) {
-		return nil, 0, fmt.Errorf("ebpfvm: %q #%d: access [%d,%d) out of region %d", p.Name, pc, total, total+int64(size), len(r.buf))
+		return nil, 0, fmt.Errorf("ebpfvm: %q #%d (%s): access [%d,%d) out of region %d", p.Name, pc, p.Insts[pc], total, total+int64(size), len(r.buf))
 	}
 	return r.buf, total, nil
 }
 
 // call dispatches a helper at run time.
 func (vm *Machine) call(h HelperID, regs *[NumRegs]rtReg, task Task, p *Program, pc int) error {
-	fail := func(msg string) error { return fmt.Errorf("ebpfvm: %q #%d: %s", p.Name, pc, msg) }
+	fail := func(msg string) error { return fmt.Errorf("ebpfvm: %q #%d (%s): %s", p.Name, pc, p.Insts[pc], msg) }
 	stackBuf := func(r Reg, n int) ([]byte, error) {
 		reg := regs[r]
 		if reg.region != regStack {

@@ -1,19 +1,22 @@
 #!/bin/sh
 # check.sh — the repo's fast verification gate.
 #
-# Runs vet over everything, the race detector over the packages with real
-# concurrency surface (selfmon atomics, the metrics plane, the agent
-# pipeline), and the self-monitoring instrumentation-overhead guard, which
-# asserts the instrumented hook path stays within 5% of the uninstrumented
-# baseline (needs a reasonably quiet machine).
+# Runs vet over everything, dfvet (the eBPF static checker) over every
+# shipped hook program, the race detector over the whole tree, and the
+# self-monitoring instrumentation-overhead guard, which asserts the
+# instrumented hook path stays within 5% of the uninstrumented baseline
+# (needs a reasonably quiet machine).
 set -eu
 cd "$(dirname "$0")/.."
 
 echo ">> go vet ./..."
 go vet ./...
 
-echo ">> go test -race (selfmon, metrics, agent)"
-go test -race ./internal/selfmon ./internal/metrics ./internal/agent
+echo ">> dfvet (verify all shipped hook programs)"
+go run ./cmd/dfvet
+
+echo ">> go test -race ./..."
+go test -race ./...
 
 echo ">> instrumentation-overhead guard (<5% on the hook path)"
 DF_GUARD=1 go test -run TestHookInstrumentationGuard -count=1 ./internal/agent
