@@ -31,6 +31,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "print traces as JSON instead of trees")
 	stats := flag.Bool("stats", false, "print the self-monitoring report (agent+server self-metrics)")
 	profile := flag.Bool("profile", false, "enable the continuous profiling plane (99 Hz on-CPU sampling) and print top functions")
+	shards := flag.Int("shards", 1, "server ingest shards (parallel batch decode+insert workers)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics (Prometheus) and /debug/pprof/ on this address after the run")
 	flag.Parse()
 
@@ -50,6 +51,7 @@ func main() {
 
 	opts := core.DefaultOptions()
 	opts.Agent.EnableProfiling = *profile
+	opts.Shards = *shards
 	d := core.NewDeployment(env, []*k8s.Cluster{topo.Cluster}, nil, opts)
 	if err := d.DeployAll(); err != nil {
 		fmt.Fprintf(os.Stderr, "deepflow: %v\n", err)
@@ -70,7 +72,7 @@ func main() {
 	fmt.Printf("load: %d completed, %d errors, p50=%v p90=%v\n",
 		gen.Completed, gen.Errors, gen.Latency.Percentile(50), gen.Latency.Percentile(90))
 	fmt.Printf("server: %d spans ingested, %d flow samples\n\n",
-		d.Server.SpansIngested, d.Server.FlowsIngested)
+		d.Server.SpansIngested(), d.Server.FlowsIngested())
 
 	// RED-style overview per service, then drill into slow invocations.
 	fmt.Println("service overview:")
@@ -121,11 +123,11 @@ func main() {
 		from, to := sim.Epoch, env.Eng.Now()
 		fmt.Println("continuous profiling (99 Hz on-CPU, zero code):")
 		fmt.Println("top functions (self samples):")
-		for _, fs := range d.Server.Profiles.TopFunctions(from, to, server.ProfileFilter{}, 10) {
+		for _, fs := range d.Server.TopFunctions(from, to, server.ProfileFilter{}, 10) {
 			fmt.Printf("  %-40s self=%-6d total=%d\n", fs.Frame, fs.Self, fs.Total)
 		}
 		fmt.Println("\nfolded stacks (pipe into flamegraph.pl):")
-		if err := d.Server.Profiles.WriteFolded(os.Stdout, from, to, server.ProfileFilter{}); err != nil {
+		if err := d.Server.WriteFolded(os.Stdout, from, to, server.ProfileFilter{}); err != nil {
 			fmt.Fprintf(os.Stderr, "deepflow: %v\n", err)
 			os.Exit(1)
 		}

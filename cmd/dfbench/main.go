@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dfbench [-scale small|paper] fig2|fig3|fig13|fig14|fig15|fig16a|fig16b|fig19|ablation|selfmon|profile|all
+//	dfbench [-scale small|paper] fig2|fig3|fig13|fig14|fig15|fig16a|fig16b|fig19|ablation|selfmon|profile|ingest|all
 //
 // Output for each experiment is a plain-text table plus notes comparing
 // against the paper's reported numbers. EXPERIMENTS.md records a captured
@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,7 +25,7 @@ func main() {
 	md := flag.Bool("md", false, "emit markdown instead of plain text")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: dfbench [-scale small|paper] [-md] <fig2|fig3|fig13|fig14|fig15|fig16a|fig16b|fig19|ablation|selfmon|profile|all>")
+		fmt.Fprintln(os.Stderr, "usage: dfbench [-scale small|paper] [-md] <fig2|fig3|fig13|fig14|fig15|fig16a|fig16b|fig19|ablation|selfmon|profile|ingest|all>")
 		os.Exit(2)
 	}
 
@@ -77,7 +78,10 @@ func main() {
 	runners["profile"] = func() (*experiments.Table, error) {
 		return experiments.Profile(float64(pick(30, 100)), time.Duration(pick(2, 8))*time.Second)
 	}
-	order := []string{"fig2", "fig3", "fig13", "fig14", "fig15", "fig16a", "fig16b", "fig19", "ablation", "selfmon", "profile"}
+	runners["ingest"] = func() (*experiments.Table, error) {
+		return experiments.Ingest(pick(60000, 400000), pick(2000, 10000))
+	}
+	order := []string{"fig2", "fig3", "fig13", "fig14", "fig15", "fig16a", "fig16b", "fig19", "ablation", "selfmon", "profile", "ingest"}
 
 	targets := flag.Args()
 	if len(targets) == 1 && targets[0] == "all" {
@@ -99,6 +103,19 @@ func main() {
 			fmt.Print(table.Markdown())
 		} else {
 			fmt.Print(table.Format())
+		}
+		if table.JSON != nil {
+			raw, err := json.MarshalIndent(table.JSON, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dfbench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			file := fmt.Sprintf("BENCH_%s.json", table.ID)
+			if err := os.WriteFile(file, append(raw, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "dfbench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", file)
 		}
 		fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}

@@ -98,7 +98,7 @@ func TestDeterministicRuns(t *testing.T) {
 		gen.Start(time.Second)
 		env.Run(2 * time.Second)
 		df.FlushAll()
-		return gen.Completed, df.Server.SpansIngested
+		return gen.Completed, df.Server.SpansIngested()
 	}
 	c1, s1 := run()
 	c2, s2 := run()

@@ -12,6 +12,7 @@ import (
 	"deepflow/internal/simkernel"
 	"deepflow/internal/simnet"
 	"deepflow/internal/trace"
+	"deepflow/internal/transport"
 )
 
 // Mode selects how much of the agent runs (the Fig. 19 scenarios).
@@ -30,18 +31,9 @@ const (
 
 // FlowSample is one interval's network metrics for a flow at a capture
 // point, exported to the metrics plane for tag-based correlation (§3.4).
-type FlowSample struct {
-	TS    time.Time
-	Host  string
-	NIC   string
-	Tuple trace.FiveTuple // canonical
-	Delta trace.NetMetrics
-
-	// KernelPackets/KernelBytes are scraped from the in-kernel
-	// flow-statistics map (aggregated by the eBPF plane, not per-event).
-	KernelPackets uint64
-	KernelBytes   uint64
-}
+// It lives in the transport package — it is part of the wire format — and
+// is aliased here for the agent-facing API.
+type FlowSample = transport.FlowSample
 
 // Sink receives the agent's output (the DeepFlow server implements it).
 type Sink interface {
@@ -60,6 +52,12 @@ type Config struct {
 
 	// VPCID is the smart-encoding phase-1 tag injected by the agent.
 	VPCID int32
+
+	// Wire selects the batch wire encoding used when the sink implements
+	// BatchSink. The zero value is transport.WireSmart — ints only, the
+	// paper's smart encoding — which production deployments keep; the
+	// alternatives exist so experiments can measure bytes on the wire.
+	Wire transport.WireEncoding
 
 	// HookCost is the per-hook latency the eBPF plane adds to each
 	// syscall; AgentCost is the additional user-space processing share in
@@ -116,6 +114,10 @@ type Agent struct {
 	nicSess *Sessionizer
 	sink    Sink
 
+	// out is the delivery path wrapped around sink: batched wire shipping
+	// when the sink implements BatchSink, per-item calls otherwise.
+	out shipper
+
 	flows      map[trace.FiveTuple]*flowMetrics
 	sockTuples map[trace.SocketID]trace.FiveTuple
 
@@ -171,6 +173,7 @@ func New(host *simnet.Host, cfg Config, sink Sink) (*Agent, error) {
 		Host:       host,
 		Cfg:        cfg,
 		sink:       sink,
+		out:        newShipper(sink, cfg.Wire),
 		flows:      make(map[trace.FiveTuple]*flowMetrics),
 		sockTuples: make(map[trace.SocketID]trace.FiveTuple),
 		scratch:    make([]byte, simkernel.CtxSize),
@@ -251,6 +254,12 @@ func (a *Agent) instrument() {
 		mon.GaugeFunc("deepflow_agent_profile_stack_evictions", func() float64 { return float64(prof.Stacks.Collisions) })
 		mon.GaugeFunc("deepflow_agent_profile_stacks_truncated", func() float64 { return float64(prof.Stacks.Truncations) })
 		mon.GaugeFunc("deepflow_agent_profile_stacks_interned", func() float64 { return float64(prof.Stacks.Len()) })
+	}
+
+	if bs, ok := a.out.(*batchShipper); ok {
+		bs.shipped = mon.Counter("deepflow_agent_batches_shipped")
+		bs.bytes = mon.Counter("deepflow_agent_batch_bytes")
+		bs.errors = mon.Counter("deepflow_agent_batch_errors")
 	}
 
 	if a.monOn {
@@ -586,8 +595,8 @@ func (a *Agent) emitSpan(sp *trace.Span) {
 	if fm := a.flows[sp.Flow.Canonical()]; fm != nil {
 		sp.Net = fm.total
 	}
-	if a.sink != nil {
-		a.sink.IngestSpan(sp)
+	if a.out != nil {
+		a.out.span(sp)
 	}
 }
 
@@ -611,6 +620,7 @@ func (a *Agent) Flush(now time.Time) {
 	a.nicSess.Flush(now)
 	a.flushFlows(now)
 	a.flushProfiles()
+	a.shipOut()
 	if a.monOn {
 		a.mFlushDur.ObserveDuration(time.Since(t0))
 	}
@@ -623,8 +633,18 @@ func (a *Agent) FlushAll() {
 	a.nicSess.FlushAll()
 	a.flushFlows(a.Host.Net.Eng.Now())
 	a.flushProfiles()
+	a.shipOut()
 	if a.monOn {
 		a.mFlushDur.ObserveDuration(time.Since(t0))
+	}
+}
+
+// shipOut closes the current flush window: on the wire path, the buffered
+// batch is encoded and shipped in one IngestBatch call (the paper's
+// once-per-window export); on the per-item path it is a no-op.
+func (a *Agent) shipOut() {
+	if a.out != nil {
+		a.out.ship(a.Host.Name)
 	}
 }
 
@@ -634,7 +654,7 @@ func (a *Agent) FlushAll() {
 // does; the server's registry expands them to pod/service under smart
 // encoding, so profiles share the spans' tag vocabulary for free.
 func (a *Agent) flushProfiles() {
-	if a.Profiler == nil || a.sink == nil {
+	if a.Profiler == nil || a.out == nil {
 		return
 	}
 	for _, s := range a.Profiler.Scrape(a.Host.Name) {
@@ -643,12 +663,12 @@ func (a *Agent) flushProfiles() {
 		}
 		s.Resource.VPCID = a.Cfg.VPCID
 		s.Resource.IP = a.Host.IP
-		a.sink.IngestProfile(s)
+		a.out.profile(s)
 	}
 }
 
 func (a *Agent) flushFlows(now time.Time) {
-	if a.sink == nil {
+	if a.out == nil {
 		return
 	}
 	// In-kernel aggregated flow statistics (scrape-and-clear).
@@ -657,7 +677,7 @@ func (a *Agent) flushFlows(now time.Time) {
 		if !ok {
 			continue
 		}
-		a.sink.IngestFlow(FlowSample{
+		a.out.flow(FlowSample{
 			TS: now, Host: a.Host.Name, NIC: a.Host.NIC.Name,
 			Tuple: tuple, KernelPackets: stat.Packets, KernelBytes: stat.Bytes,
 		})
@@ -668,7 +688,7 @@ func (a *Agent) flushFlows(now time.Time) {
 			continue
 		}
 		fm.lastFlush = fm.total
-		a.sink.IngestFlow(FlowSample{
+		a.out.flow(FlowSample{
 			TS: now, Host: a.Host.Name, NIC: a.Host.NIC.Name,
 			Tuple: tuple, Delta: delta,
 		})

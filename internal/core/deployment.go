@@ -30,6 +30,9 @@ type Options struct {
 	// FlushInterval is the periodic session/metric flush cadence in
 	// virtual time (default 10s).
 	FlushInterval time.Duration
+	// Shards is the number of parallel server ingest shards, each decoding
+	// and storing batches in its own store partition (default 1).
+	Shards int
 }
 
 // DefaultOptions returns a full-featured deployment.
@@ -81,7 +84,7 @@ func NewDeployment(env *microsim.Env, clusters []*k8s.Cluster, cl *cloud.Registr
 	return &Deployment{
 		Env:      env,
 		Opts:     opts,
-		Server:   server.New(reg, opts.Encoding),
+		Server:   server.NewSharded(reg, opts.Encoding, 0, opts.Shards),
 		Registry: reg,
 		Cloud:    cl,
 		agents:   make(map[string]*agent.Agent),
@@ -174,6 +177,9 @@ func (d *Deployment) scheduleFlush() {
 		for _, ag := range d.agents {
 			ag.Flush(now)
 		}
+		// Wait for the ingest shards to absorb the shipped batches so the
+		// self-scrape below sees settled store state.
+		d.Server.Drain()
 		d.ScrapeSelf(now)
 		d.Env.Eng.After(d.Opts.FlushInterval, tick)
 	}
@@ -185,6 +191,7 @@ func (d *Deployment) FlushAll() {
 	for _, ag := range d.agents {
 		ag.FlushAll()
 	}
+	d.Server.Drain()
 	d.ScrapeSelf(d.Env.Eng.Now())
 }
 
@@ -228,13 +235,15 @@ func (d *Deployment) agentNames() []string {
 	return hosts
 }
 
-// Stop detaches every agent and ends the flush loop; the monitored
+// Stop detaches every agent, ends the flush loop, and shuts down the
+// server's ingest shards (stored data stays queryable); the monitored
 // services keep running.
 func (d *Deployment) Stop() {
 	d.stopped = true
 	for _, ag := range d.agents {
 		ag.Stop()
 	}
+	d.Server.Close()
 }
 
 // TraceOf is a convenience query: assemble the trace containing the given

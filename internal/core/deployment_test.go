@@ -360,8 +360,8 @@ func TestPerfOverflowDegradesGracefully(t *testing.T) {
 			lost += ag.Progs.Perf.Lost()
 		}
 	}
-	if d.Server.SpansIngested == 0 {
+	if d.Server.SpansIngested() == 0 {
 		t.Fatal("no spans despite running pipeline")
 	}
-	t.Logf("spans=%d lostRecords=%d", d.Server.SpansIngested, lost)
+	t.Logf("spans=%d lostRecords=%d", d.Server.SpansIngested(), lost)
 }

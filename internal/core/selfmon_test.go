@@ -53,8 +53,8 @@ func TestSelfMonitoringScrape(t *testing.T) {
 	if len(srv) != 1 || len(srv[0].Points) == 0 {
 		t.Fatalf("server spans_ingested series = %v", srv)
 	}
-	if got := srv[0].Points[len(srv[0].Points)-1].Value; int(got) != d.Server.SpansIngested {
-		t.Errorf("scraped spans_ingested = %v, server reports %d", got, d.Server.SpansIngested)
+	if got := srv[0].Points[len(srv[0].Points)-1].Value; int(got) != d.Server.SpansIngested() {
+		t.Errorf("scraped spans_ingested = %v, server reports %d", got, d.Server.SpansIngested())
 	}
 
 	// The flush loop scrapes periodically: a 2s run with the 10s default

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestIngestCorrectness always holds, on any machine: shard-merged queries
+// are exact (identical digests at every shard count) and the smart wire
+// encoding is strictly the smallest of the three.
+func TestIngestCorrectness(t *testing.T) {
+	rows, wire, err := MeasureIngest(8000, 500, 256, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows[1:] {
+		if r.QueryDigest != rows[0].QueryDigest {
+			t.Fatalf("query digest diverges at %d shards: %016x vs %016x",
+				r.Shards, r.QueryDigest, rows[0].QueryDigest)
+		}
+	}
+	smart := wire[0]
+	for _, w := range wire[1:] {
+		if smart.TotalBytes >= w.TotalBytes {
+			t.Fatalf("smart encoding (%d B) not strictly smaller than %s (%d B)",
+				smart.TotalBytes, w.Encoding, w.TotalBytes)
+		}
+	}
+}
+
+// TestIngestScalingGuard is check.sh's ingest-throughput gate: 4 ingest
+// shards must deliver ≥1.5× the 1-shard rows/s. Parallel speedup needs
+// parallel hardware, so the guard skips — loudly, not silently passing —
+// on machines without enough CPUs to ever satisfy it.
+func TestIngestScalingGuard(t *testing.T) {
+	if os.Getenv("DF_GUARD") == "" {
+		t.Skip("set DF_GUARD=1 to run the ingest scaling guard (timing-sensitive)")
+	}
+	if n := runtime.NumCPU(); n < 4 {
+		t.Skipf("ingest scaling guard needs >=4 CPUs to show parallel speedup; this machine has %d "+
+			"(correctness is still covered by TestIngestCorrectness)", n)
+	}
+	rows, _, err := MeasureIngest(120000, 2000, 512, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rows[len(rows)-1]
+	if got.Speedup < 1.5 {
+		t.Fatalf("4-shard ingest speedup %.2fx < 1.5x (1 shard: %.0f rows/s, 4 shards: %.0f rows/s)",
+			got.Speedup, rows[0].RowsPerSec, got.RowsPerSec)
+	}
+}

@@ -42,13 +42,13 @@ func Profile(rate float64, duration time.Duration) (*Table, error) {
 		Title:   "Continuous on-CPU profiling (99 Hz, zero code) — Bookinfo with a CPU hog in details",
 		Columns: []string{"function", "self samples", "total samples"},
 	}
-	for _, fs := range d.Server.Profiles.TopFunctions(from, to, server.ProfileFilter{}, 12) {
+	for _, fs := range d.Server.TopFunctions(from, to, server.ProfileFilter{}, 12) {
 		t.AddRow(fs.Frame, fs.Self, fs.Total)
 	}
 
 	var folded strings.Builder
 	folded.WriteString("-- folded stacks (flamegraph.pl input) --\n")
-	if err := d.Server.Profiles.WriteFolded(&folded, from, to, server.ProfileFilter{}); err != nil {
+	if err := d.Server.WriteFolded(&folded, from, to, server.ProfileFilter{}); err != nil {
 		return nil, err
 	}
 	t.Raw = folded.String()
@@ -56,7 +56,7 @@ func Profile(rate float64, duration time.Duration) (*Table, error) {
 	v := faults.LocalizeCPUHog(d.Server, from, to)
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("profile rows ingested: %d; samples share the spans' smart-encoded tag vocabulary",
-			d.Server.ProfilesIngested),
+			d.Server.ProfilesIngested()),
 		fmt.Sprintf("trace→profile correlation: slowest trace's hot span is pod %q (self %v); its window's top frame is %q (%d samples)",
 			v.Pod, v.SelfTime.Round(100*time.Microsecond), v.TopFrame, v.Samples))
 	if v.Pod != "bi-details-0" || v.TopFrame != "details.handle.hotloop" {

@@ -21,6 +21,9 @@ type Table struct {
 	// e.g. flamegraph.pl folded stacks from the profile experiment. Format
 	// emits it verbatim; Markdown fences it.
 	Raw string
+	// JSON, when non-nil, is a machine-readable result summary; dfbench
+	// writes it to BENCH_<ID>.json so CI can assert on measured numbers.
+	JSON any
 }
 
 // AddRow appends a row, formatting each cell with %v.

@@ -35,7 +35,7 @@ func TestSlowCPULocalizedByTraceProfileCorrelation(t *testing.T) {
 	env.Run(3 * time.Second)
 	df.FlushAll()
 
-	if df.Server.ProfilesIngested == 0 {
+	if df.Server.ProfilesIngested() == 0 {
 		t.Fatal("no profile samples reached the server")
 	}
 
@@ -73,7 +73,7 @@ func TestSlowCPULocalizedByTraceProfileCorrelation(t *testing.T) {
 
 	// Profiles inherited the smart-encoded tag vocabulary: the pod decodes
 	// through the same registry dictionaries spans use.
-	top := df.Server.Profiles.TopFunctions(from, to, server.ProfileFilter{Pod: "bi-details-0"}, 1)
+	top := df.Server.TopFunctions(from, to, server.ProfileFilter{Pod: "bi-details-0"}, 1)
 	if len(top) != 1 || top[0].Frame != "details.handle.hotloop" {
 		t.Fatalf("TopFunctions for bi-details-0 = %+v", top)
 	}

@@ -7,6 +7,7 @@ package metrics
 import (
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -23,8 +24,11 @@ type Series struct {
 	Points []Point
 }
 
-// Store holds series keyed by name + sorted tags.
+// Store holds series keyed by name + sorted tags. It is concurrency-safe:
+// with sharded ingest, several workers append flow samples while queries
+// and the self-monitoring scraper read.
 type Store struct {
+	mu     sync.RWMutex
 	series map[string]*Series
 }
 
@@ -70,6 +74,8 @@ func writeKeyPart(b *strings.Builder, s string) {
 // Add appends a sample to the series identified by name and tags.
 func (s *Store) Add(name string, tags map[string]string, ts time.Time, value float64) {
 	key := seriesKey(name, tags)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	sr := s.series[key]
 	if sr == nil {
 		copied := make(map[string]string, len(tags))
@@ -86,6 +92,8 @@ func (s *Store) Add(name string, tags map[string]string, ts time.Time, value flo
 // match, restricted to points in [from, to].
 func (s *Store) Query(name string, match map[string]string, from, to time.Time) []Series {
 	var out []Series
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for _, sr := range s.series {
 		if sr.Name != name || !tagsMatch(sr.Tags, match) {
 			continue
@@ -118,7 +126,11 @@ func (s *Store) Sum(name string, match map[string]string, from, to time.Time) fl
 }
 
 // SeriesCount returns the number of stored series.
-func (s *Store) SeriesCount() int { return len(s.series) }
+func (s *Store) SeriesCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.series)
+}
 
 func tagsMatch(have, want map[string]string) bool {
 	for k, v := range want {

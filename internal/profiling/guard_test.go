@@ -33,9 +33,9 @@ func nginxRPS(tb testing.TB, cfg agent.Config, rate float64, duration time.Durat
 	gen := microsim.NewLoadGen(env, "wrk2", topo.ClientHost, topo.Entry, 32, rate)
 	gen.Start(duration)
 	env.Run(duration + time.Second)
-	if cfg.EnableProfiling && d.Server.ProfilesIngested == 0 {
+	if cfg.EnableProfiling && d.Server.ProfilesIngested() == 0 {
 		d.FlushAll()
-		if d.Server.ProfilesIngested == 0 {
+		if d.Server.ProfilesIngested() == 0 {
 			tb.Fatal("profiling enabled but no samples ingested — guard would measure nothing")
 		}
 	}

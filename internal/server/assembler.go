@@ -3,6 +3,7 @@ package server
 import (
 	"sort"
 
+	"deepflow/internal/selfmon"
 	"deepflow/internal/trace"
 )
 
@@ -39,15 +40,19 @@ func (s *SpanStore) Assemble(start trace.SpanID, iterations int) *trace.Trace {
 
 // AssembleMasked is Assemble restricted to the given association keys.
 func (s *SpanStore) AssembleMasked(start trace.SpanID, iterations int, mask AssocMask) *trace.Trace {
-	startRow, ok := s.byID[start]
-	if !ok {
-		return nil
-	}
 	if iterations <= 0 {
 		iterations = DefaultIterations
 	}
 
-	// Phase 1: iterative span search (Algorithm 1 lines 2–16).
+	// Phase 1: iterative span search (Algorithm 1 lines 2–16), under the
+	// read lock so ingest workers can keep inserting. The clones taken
+	// here make the later phases lock-free.
+	s.mu.RLock()
+	startRow, ok := s.byID[start]
+	if !ok {
+		s.mu.RUnlock()
+		return nil
+	}
 	inSet := map[int]bool{startRow: true}
 	frontier := []int{startRow}
 	itersUsed := 0
@@ -65,21 +70,32 @@ func (s *SpanStore) AssembleMasked(start trace.SpanID, iterations int, mask Asso
 		// Termination on fixed point (lines 13–14): no new related spans.
 		frontier = next
 	}
-	if s.mAssembleIters != nil {
-		s.mAssembleIters.Observe(float64(itersUsed))
-	}
-
 	spans := make([]*trace.Span, 0, len(inSet))
 	for row := range inSet {
 		spans = append(spans, s.spans[row].Clone())
 	}
+	s.mu.RUnlock()
+
+	if s.mAssembleIters != nil {
+		s.mAssembleIters.Observe(float64(itersUsed))
+	}
+	return finishTrace(spans, s.ruleHits)
+}
+
+// finishTrace runs Algorithm 1's phases 2–3 on an assembled span set: pick
+// a parent for every span, break fallback-rule cycles, and order for
+// display. The set is canonically ID-sorted first so the parent chosen
+// among equally-matching candidates never depends on map iteration order —
+// or, for a partitioned store, on which partition contributed which span.
+func finishTrace(spans []*trace.Span, ruleHits []*selfmon.Counter) *trace.Trace {
+	sort.Slice(spans, func(i, j int) bool { return spans[i].ID < spans[j].ID })
 
 	// Phase 2: set parents (lines 18–24).
 	for _, sp := range spans {
 		if parent, ruleIdx := chooseParentRule(sp, spans); parent != nil {
 			sp.ParentID = parent.ID
-			if s.ruleHits != nil {
-				s.ruleHits[ruleIdx].Inc()
+			if ruleHits != nil {
+				ruleHits[ruleIdx].Inc()
 			}
 		}
 	}
@@ -108,6 +124,55 @@ func (s *SpanStore) AssembleMasked(start trace.SpanID, iterations int, mask Asso
 		tr.Root = spans[0]
 	}
 	return tr
+}
+
+// assembleAcross is Algorithm 1 over a partitioned store: the iterative
+// span search probes every partition's association indexes, so a trace
+// whose spans were hashed to different ingest shards still assembles
+// whole. The result is byte-identical to a single-partition assembly of
+// the same corpus — phase 1's span set is order-insensitive and
+// finishTrace canonicalizes the rest.
+func assembleAcross(stores []*SpanStore, start trace.SpanID, iterations int, mask AssocMask) *trace.Trace {
+	if iterations <= 0 {
+		iterations = DefaultIterations
+	}
+	var startSp *trace.Span
+	for _, st := range stores {
+		if sp := st.Span(start); sp != nil {
+			startSp = sp.Clone()
+			break
+		}
+	}
+	if startSp == nil {
+		return nil
+	}
+	inSet := map[trace.SpanID]*trace.Span{startSp.ID: startSp}
+	frontier := []*trace.Span{startSp}
+	itersUsed := 0
+	for iter := 0; iter < iterations && len(frontier) > 0; iter++ {
+		itersUsed = iter + 1
+		var next []*trace.Span
+		for _, sp := range frontier {
+			for _, st := range stores {
+				for _, rel := range st.relatedSpans(sp, mask) {
+					if _, seen := inSet[rel.ID]; !seen {
+						c := rel.Clone()
+						inSet[c.ID] = c
+						next = append(next, c)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	spans := make([]*trace.Span, 0, len(inSet))
+	for _, sp := range inSet {
+		spans = append(spans, sp)
+	}
+	if stores[0].mAssembleIters != nil {
+		stores[0].mAssembleIters.Observe(float64(itersUsed))
+	}
+	return finishTrace(spans, stores[0].ruleHits)
 }
 
 // breakCycles detaches the back edge of any parent cycle (possible only

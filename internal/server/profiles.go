@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"time"
 
 	"deepflow/internal/profiling"
@@ -22,12 +23,18 @@ type ProfileStore struct {
 	Encoding Encoding
 	reg      *ResourceRegistry
 
+	mu      sync.RWMutex
 	samples []profiling.Sample
 	table   *storage.Table
 }
 
 // NewProfileStore creates a profile store with the given tag encoding.
 func NewProfileStore(enc Encoding, reg *ResourceRegistry) *ProfileStore {
+	return newProfileStorePart(enc, reg, "")
+}
+
+// newProfileStorePart creates one partition of a sharded profile store.
+func newProfileStorePart(enc Encoding, reg *ResourceRegistry, part string) *ProfileStore {
 	schema := []storage.ColumnDef{
 		{Name: "first_ns", Type: storage.TypeInt64},
 		{Name: "last_ns", Type: storage.TypeInt64},
@@ -49,20 +56,33 @@ func NewProfileStore(enc Encoding, reg *ResourceRegistry) *ProfileStore {
 	return &ProfileStore{
 		Encoding: enc,
 		reg:      reg,
-		table:    storage.NewTable("profiles_"+enc.String(), schema),
+		table:    storage.NewTable("profiles_"+enc.String()+part, schema),
 	}
 }
 
-func (s *ProfileStore) instrument(mon *selfmon.Registry) {
-	enc := selfmon.Tag{K: "encoding", V: s.Encoding.String()}
+// instrumentProfiles registers the partitioned profile stores' storage
+// gauges, summed across partitions like the span-store gauges.
+func instrumentProfiles(mon *selfmon.Registry, stores []*ProfileStore) {
+	enc := selfmon.Tag{K: "encoding", V: stores[0].Encoding.String()}
+	sum := func(per func(*ProfileStore) float64) func() float64 {
+		return func() float64 {
+			var t float64
+			for _, s := range stores {
+				t += per(s)
+			}
+			return t
+		}
+	}
 	mon.GaugeFunc("deepflow_server_profile_rows",
-		func() float64 { return float64(s.table.Rows()) }, enc)
+		sum(func(s *ProfileStore) float64 { return float64(s.table.Rows()) }), enc)
 	mon.GaugeFunc("deepflow_server_profile_mem_bytes",
-		func() float64 { return float64(s.table.MemBytes()) }, enc)
+		sum(func(s *ProfileStore) float64 { return float64(s.table.MemBytes()) }), enc)
 }
 
 // Insert stores one enriched sample.
 func (s *ProfileStore) Insert(ps profiling.Sample) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.samples = append(s.samples, ps)
 	w := s.table.NewRow().
 		Int("first_ns", ps.FirstNS).
@@ -92,7 +112,11 @@ func (s *ProfileStore) Insert(ps profiling.Sample) {
 }
 
 // Len returns the number of stored samples.
-func (s *ProfileStore) Len() int { return len(s.samples) }
+func (s *ProfileStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.samples)
+}
 
 // Table exposes the backing columnar table.
 func (s *ProfileStore) Table() *storage.Table { return s.table }
@@ -126,6 +150,8 @@ func (f ProfileFilter) matches(s *ProfileStore, ps *profiling.Sample) bool {
 func (s *ProfileStore) Query(from, to time.Time, f ProfileFilter) []profiling.Sample {
 	fromNS := from.Sub(sim.Epoch).Nanoseconds()
 	toNS := to.Sub(sim.Epoch).Nanoseconds()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []profiling.Sample
 	for i := range s.samples {
 		ps := &s.samples[i]
@@ -153,9 +179,16 @@ type FuncStat struct {
 // tiebreak), capped at n (0 = all) — the profile-plane analogue of the
 // span-list "slowest endpoints" view.
 func (s *ProfileStore) TopFunctions(from, to time.Time, f ProfileFilter, n int) []FuncStat {
+	return topFunctions(s.Query(from, to, f), n)
+}
+
+// topFunctions ranks frames across an already-collected sample set; the
+// aggregation is map-based so the caller's sample order does not matter —
+// partition-merged and single-store queries rank identically.
+func topFunctions(samples []profiling.Sample, n int) []FuncStat {
 	self := make(map[string]uint64)
 	total := make(map[string]uint64)
-	for _, ps := range s.Query(from, to, f) {
+	for _, ps := range samples {
 		if len(ps.Stack) == 0 {
 			continue
 		}
@@ -196,11 +229,54 @@ func (s *ProfileStore) WriteFolded(w io.Writer, from, to time.Time, f ProfileFil
 // IngestProfile implements the profile leg of agent.Sink: like IngestSpan,
 // the agent's phase-1 tags (VPC, IP) are enriched to integer resource tags
 // here, so profile rows decode through the same dictionaries as spans.
+// Like IngestSpan, the per-item path writes partition 0.
 func (s *Server) IngestProfile(ps profiling.Sample) {
 	ps.Resource = s.Registry.Enrich(ps.Resource)
 	s.Profiles.Insert(ps)
-	s.ProfilesIngested++
 	s.mProfiles.Inc()
+}
+
+// ProfileSamples answers a profile query merged across the store
+// partitions, in a canonical order (hit window, then identity fields) so
+// the result is identical for any shard count over the same corpus.
+func (s *Server) ProfileSamples(from, to time.Time, f ProfileFilter) []profiling.Sample {
+	var all []profiling.Sample
+	for _, p := range s.profiles {
+		all = append(all, p.Query(from, to, f)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := &all[i], &all[j]
+		if a.FirstNS != b.FirstNS {
+			return a.FirstNS < b.FirstNS
+		}
+		if a.LastNS != b.LastNS {
+			return a.LastNS < b.LastNS
+		}
+		if a.Host != b.Host {
+			return a.Host < b.Host
+		}
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		if sa, sb := profiling.Fold(a.Stack), profiling.Fold(b.Stack); sa != sb {
+			return sa < sb
+		}
+		return a.Count < b.Count
+	})
+	return all
+}
+
+// TopFunctions ranks frames across all partitions (see
+// ProfileStore.TopFunctions).
+func (s *Server) TopFunctions(from, to time.Time, f ProfileFilter, n int) []FuncStat {
+	return topFunctions(s.ProfileSamples(from, to, f), n)
+}
+
+// WriteFolded writes the window's samples from all partitions as
+// flamegraph.pl folded text.
+func (s *Server) WriteFolded(w io.Writer, from, to time.Time, f ProfileFilter) error {
+	_, err := io.WriteString(w, profiling.FoldedText(s.ProfileSamples(from, to, f)))
+	return err
 }
 
 // SpanProfile returns the profile slice correlated with one span: the
@@ -212,7 +288,7 @@ func (s *Server) SpanProfile(sp *trace.Span) []profiling.Sample {
 	if d.Pod == "" {
 		f.Proc = sp.ProcessName
 	}
-	return s.Profiles.Query(sp.StartTime, sp.EndTime, f)
+	return s.ProfileSamples(sp.StartTime, sp.EndTime, f)
 }
 
 // TraceHotSpan returns the trace's slowest span by self time — duration
@@ -268,7 +344,7 @@ func (s *Server) SlowestSpanProfile(tr *trace.Trace) (*trace.Span, []profiling.S
 
 // FormatProfile renders top functions plus folded stacks for CLI display.
 func (s *Server) FormatProfile(from, to time.Time, f ProfileFilter, topN int) string {
-	top := s.Profiles.TopFunctions(from, to, f, topN)
+	top := s.TopFunctions(from, to, f, topN)
 	if len(top) == 0 {
 		return "(no profile samples)\n"
 	}

@@ -56,7 +56,7 @@ func (f SpanFilter) matches(s *Server, sp *trace.Span) bool {
 // newest first (limit 0 = unlimited).
 func (s *Server) QuerySpans(from, to time.Time, f SpanFilter, limit int) []*trace.Span {
 	var out []*trace.Span
-	for _, sp := range s.Store.SpanList(from, to, 0) {
+	for _, sp := range s.SpanList(from, to, 0) {
 		if !f.matches(s, sp) {
 			continue
 		}
@@ -102,7 +102,7 @@ type ServiceSummary struct {
 func (s *Server) SummarizeServices(from, to time.Time) []ServiceSummary {
 	byService := map[string]*ServiceSummary{}
 	var order []string
-	for _, sp := range s.Store.SpanList(from, to, 0) {
+	for _, sp := range s.SpanList(from, to, 0) {
 		if sp.TapSide != trace.TapServerProcess {
 			continue
 		}

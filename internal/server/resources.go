@@ -6,6 +6,8 @@
 package server
 
 import (
+	"sync"
+
 	"deepflow/internal/cloud"
 	"deepflow/internal/k8s"
 	"deepflow/internal/trace"
@@ -13,7 +15,10 @@ import (
 
 // dictionary interns strings to dense int32 IDs and back — the core of
 // smart encoding: traces store the int, names resolve only at query time.
+// It is concurrency-safe: with sharded ingest, N workers resolve names
+// (name) while late host registration (id) may still be interning.
 type dictionary struct {
+	mu    sync.RWMutex
 	ids   map[string]int32
 	names []string
 }
@@ -23,20 +28,45 @@ func newDictionary() *dictionary {
 }
 
 func (d *dictionary) id(name string) int32 {
+	d.mu.RLock()
+	id, ok := d.ids[name]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if id, ok := d.ids[name]; ok {
 		return id
 	}
-	id := int32(len(d.names))
+	id = int32(len(d.names))
 	d.ids[name] = id
 	d.names = append(d.names, name)
 	return id
 }
 
 func (d *dictionary) name(id int32) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if id < 0 || int(id) >= len(d.names) {
 		return ""
 	}
 	return d.names[id]
+}
+
+// size returns the dictionary cardinality (self-monitoring gauge).
+func (d *dictionary) size() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.names)
+}
+
+// lookup returns a name's ID without interning it.
+func (d *dictionary) lookup(name string) (int32, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.ids[name]
+	return id, ok
 }
 
 // ResourceRegistry resolves (VPC, IP) to integer resource tags during
@@ -50,6 +80,7 @@ type ResourceRegistry struct {
 	regions    *dictionary
 	azs        *dictionary
 
+	mu     sync.RWMutex // guards byIP and labels (ingest shards read while hosts register)
 	byIP   map[trace.IP]trace.ResourceTags
 	labels map[int32]map[string]string // pod id → self-defined labels
 }
@@ -106,13 +137,18 @@ func (r *ResourceRegistry) placeCloud(tags *trace.ResourceTags, cl *cloud.Regist
 func (r *ResourceRegistry) RegisterHost(name string, ip trace.IP, cl *cloud.Registry) {
 	tags := trace.ResourceTags{IP: ip, NodeID: r.nodes.id(name)}
 	r.placeCloud(&tags, cl, name)
+	r.mu.Lock()
 	r.byIP[ip] = tags
+	r.mu.Unlock()
 }
 
 // Enrich completes a span's smart-encoded resource tags from its VPC+IP
-// (ingestion-time injection, Fig. 8 ④–⑦).
+// (ingestion-time injection, Fig. 8 ④–⑦). Safe for concurrent use from
+// the ingest shards.
 func (r *ResourceRegistry) Enrich(tags trace.ResourceTags) trace.ResourceTags {
+	r.mu.RLock()
 	known, ok := r.byIP[tags.IP]
+	r.mu.RUnlock()
 	if !ok {
 		return tags
 	}
@@ -136,14 +172,16 @@ type DecodedTags struct {
 
 // IPOf returns the IP of a named resource (pod or node), or 0.
 func (r *ResourceRegistry) IPOf(name string) trace.IP {
-	if id, ok := r.pods.ids[name]; ok {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if id, ok := r.pods.lookup(name); ok {
 		for ip, tags := range r.byIP {
 			if tags.PodID == id && id != 0 {
 				return ip
 			}
 		}
 	}
-	if id, ok := r.nodes.ids[name]; ok && id != 0 {
+	if id, ok := r.nodes.lookup(name); ok && id != 0 {
 		for ip, tags := range r.byIP {
 			if tags.NodeID == id && tags.PodID == 0 {
 				return ip
@@ -156,7 +194,9 @@ func (r *ResourceRegistry) IPOf(name string) trace.IP {
 // DecodeIP resolves an IP address to its resource names (for flow
 // endpoints, where only the address is known).
 func (r *ResourceRegistry) DecodeIP(ip trace.IP) DecodedTags {
+	r.mu.RLock()
 	tags, ok := r.byIP[ip]
+	r.mu.RUnlock()
 	if !ok {
 		return DecodedTags{}
 	}
@@ -164,8 +204,11 @@ func (r *ResourceRegistry) DecodeIP(ip trace.IP) DecodedTags {
 }
 
 // Decode resolves integer tags to names and attaches self-defined labels
-// (query-time injection, Fig. 8 ⑧).
+// (query-time injection, Fig. 8 ⑧). Safe for concurrent use.
 func (r *ResourceRegistry) Decode(tags trace.ResourceTags) DecodedTags {
+	r.mu.RLock()
+	labels := r.labels[tags.PodID]
+	r.mu.RUnlock()
 	return DecodedTags{
 		Pod:       r.pods.name(tags.PodID),
 		Node:      r.nodes.name(tags.NodeID),
@@ -173,6 +216,6 @@ func (r *ResourceRegistry) Decode(tags trace.ResourceTags) DecodedTags {
 		Namespace: r.namespaces.name(tags.NSID),
 		Region:    r.regions.name(tags.RegionID),
 		AZ:        r.azs.name(tags.AZID),
-		Labels:    r.labels[tags.PodID],
+		Labels:    labels,
 	}
 }

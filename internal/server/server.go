@@ -3,58 +3,107 @@ package server
 import (
 	"fmt"
 	"io"
+	"sort"
+	"sync"
 	"time"
 
-	"deepflow/internal/agent"
 	"deepflow/internal/metrics"
 	"deepflow/internal/selfmon"
 	"deepflow/internal/trace"
+	"deepflow/internal/transport"
 )
 
 // Server is the cluster-level DeepFlow server process: it ingests spans and
 // flow metrics from agents, injects smart-encoded resource tags, stores
 // spans, and answers span-list, trace-assembly, and correlated-metric
 // queries.
+//
+// Ingest is sharded: encoded batches land on a bounded queue and N workers
+// decode and enrich them in parallel, each into its own store partition
+// (the ClickHouse-style parallel-ingest architecture behind the paper's
+// 2·10⁵ rows/s/node figure). Queries merge across partitions, so callers
+// never see the sharding. The per-item IngestSpan/IngestFlow/IngestProfile
+// methods remain as the synchronous single-partition path (agent.Sink).
 type Server struct {
 	Registry *ResourceRegistry
-	Store    *SpanStore
-	Profiles *ProfileStore
+	Store    *SpanStore    // partition 0: target of the per-item ingest path
+	Profiles *ProfileStore // partition 0
 	Metrics  *metrics.Store
 
 	// Mon is the server's self-monitoring registry (Fig. 19-style
 	// self-accounting applied to the server itself).
 	Mon *selfmon.Registry
 
-	// Stats.
-	SpansIngested    int
-	FlowsIngested    int
-	ProfilesIngested int
+	stores   []*SpanStore
+	profiles []*ProfileStore
 
-	mSpans    *selfmon.Counter
-	mFlows    *selfmon.Counter
-	mProfiles *selfmon.Counter
+	queue        *transport.Queue
+	startWorkers sync.Once
+	workersDone  sync.WaitGroup
+	pending      sync.WaitGroup
+
+	mSpans       *selfmon.Counter
+	mFlows       *selfmon.Counter
+	mProfiles    *selfmon.Counter
+	mBatches     *selfmon.Counter
+	mBatchBytes  *selfmon.Counter
+	mBatchErrors *selfmon.Counter
 }
 
-// New creates a server with the given tag encoding.
+// New creates a single-shard server with the given tag encoding.
 func New(reg *ResourceRegistry, enc Encoding) *Server {
-	return NewWide(reg, enc, 0)
+	return NewSharded(reg, enc, 0, 1)
 }
 
 // NewWide creates a server whose store materializes `wide` extra derived
 // tag columns under non-smart encodings (see NewSpanStoreWide).
 func NewWide(reg *ResourceRegistry, enc Encoding, wide int) *Server {
+	return NewSharded(reg, enc, wide, 1)
+}
+
+// NewSharded creates a server with `shards` parallel ingest workers, each
+// owning its own span and profile store partition. Workers start lazily on
+// the first IngestBatch, so a server used only through the per-item path
+// never spawns goroutines.
+func NewSharded(reg *ResourceRegistry, enc Encoding, wide, shards int) *Server {
+	if shards <= 0 {
+		shards = 1
+	}
 	s := &Server{
 		Registry: reg,
-		Store:    NewSpanStoreWide(enc, reg, wide),
-		Profiles: NewProfileStore(enc, reg),
 		Metrics:  metrics.NewStore(),
 		Mon:      selfmon.New("server", "server"),
+		queue:    transport.NewQueue(0),
 	}
+	for i := 0; i < shards; i++ {
+		part := ""
+		if i > 0 {
+			part = fmt.Sprintf(".p%d", i)
+		}
+		s.stores = append(s.stores, newSpanStorePart(enc, reg, wide, part))
+		s.profiles = append(s.profiles, newProfileStorePart(enc, reg, part))
+	}
+	s.Store = s.stores[0]
+	s.Profiles = s.profiles[0]
+
 	s.mSpans = s.Mon.Counter("deepflow_server_spans_ingested")
 	s.mFlows = s.Mon.Counter("deepflow_server_flows_ingested")
 	s.mProfiles = s.Mon.Counter("deepflow_server_profiles_ingested")
-	s.Store.instrument(s.Mon)
-	s.Profiles.instrument(s.Mon)
+	s.mBatches = s.Mon.Counter("deepflow_server_batches_ingested")
+	s.mBatchBytes = s.Mon.Counter("deepflow_server_batch_bytes")
+	s.mBatchErrors = s.Mon.Counter("deepflow_server_batch_errors")
+	s.Mon.GaugeFunc("deepflow_server_ingest_shards",
+		func() float64 { return float64(shards) })
+	s.Mon.GaugeFunc("deepflow_server_ingest_queue_depth",
+		func() float64 { return float64(s.queue.Len()) })
+	s.Mon.GaugeFunc("deepflow_server_batches_dropped",
+		func() float64 { return float64(s.queue.Dropped()) })
+	s.Mon.GaugeFunc("deepflow_server_ingest_backpressure_waits",
+		func() float64 { return float64(s.queue.Waits()) })
+	s.Mon.GaugeFunc("deepflow_server_ingest_backpressure_seconds",
+		func() float64 { return s.queue.WaitTime().Seconds() })
+	instrumentStores(s.Mon, s.stores)
+	instrumentProfiles(s.Mon, s.profiles)
 	// Smart-encoding dictionary cardinalities (Fig. 8's query-time name
 	// resolution depends on these staying small relative to span volume).
 	for name, d := range map[string]*dictionary{
@@ -66,27 +115,111 @@ func NewWide(reg *ResourceRegistry, enc Encoding, wide int) *Server {
 		"azs":        reg.azs,
 	} {
 		s.Mon.GaugeFunc("deepflow_server_dictionary_size",
-			func() float64 { return float64(len(d.names)) },
+			func() float64 { return float64(d.size()) },
 			selfmon.Tag{K: "dict", V: name})
 	}
 	return s
 }
 
+// Shards returns the number of ingest shards.
+func (s *Server) Shards() int { return len(s.stores) }
+
+// SpansIngested returns the number of spans ingested (batch + per-item).
+func (s *Server) SpansIngested() int { return int(s.mSpans.Value()) }
+
+// FlowsIngested returns the number of flow samples ingested.
+func (s *Server) FlowsIngested() int { return int(s.mFlows.Value()) }
+
+// ProfilesIngested returns the number of profile samples ingested.
+func (s *Server) ProfilesIngested() int { return int(s.mProfiles.Value()) }
+
 // WriteStats renders the server's self-metrics in Prometheus text format.
 func (s *Server) WriteStats(w io.Writer) error { return s.Mon.WriteProm(w) }
 
+// IngestBatch accepts one wire-encoded batch (transport.Encode) and queues
+// it for the ingest shards. It blocks only when the queue is full
+// (backpressure, accounted in the selfmon gauges) and errors only when the
+// server is closed — in which case the batch is counted dropped, never
+// silently lost.
+func (s *Server) IngestBatch(data []byte) error {
+	s.startWorkers.Do(s.spawnWorkers)
+	s.mBatches.Inc()
+	s.mBatchBytes.Add(uint64(len(data)))
+	s.pending.Add(1)
+	if !s.queue.Push(data) {
+		s.pending.Done()
+		return fmt.Errorf("server: ingest queue closed, batch dropped")
+	}
+	return nil
+}
+
+// Drain blocks until every batch accepted so far has been fully ingested.
+// Call it before querying when batches may still be in flight.
+func (s *Server) Drain() { s.pending.Wait() }
+
+// Close shuts the ingest plane down: queued batches are still drained, new
+// IngestBatch calls fail, and the shard workers exit. Idempotent.
+func (s *Server) Close() {
+	s.queue.Close()
+	s.workersDone.Wait()
+}
+
+func (s *Server) spawnWorkers() {
+	for i := range s.stores {
+		s.workersDone.Add(1)
+		go s.ingestWorker(i)
+	}
+}
+
+// ingestWorker is one shard: it pulls whole batches off the shared queue
+// and decodes + enriches + stores them into its own partition. Work steals
+// naturally — a slow batch occupies one shard while the others keep
+// pulling.
+func (s *Server) ingestWorker(shard int) {
+	defer s.workersDone.Done()
+	st, pf := s.stores[shard], s.profiles[shard]
+	for {
+		data, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
+		b, err := transport.Decode(data)
+		if err != nil {
+			s.mBatchErrors.Inc()
+			s.pending.Done()
+			continue
+		}
+		for _, sp := range b.Spans {
+			sp.Resource = s.Registry.Enrich(sp.Resource)
+			st.Insert(sp)
+			s.mSpans.Inc()
+		}
+		for _, f := range b.Flows {
+			s.ingestFlow(f)
+		}
+		for _, ps := range b.Profiles {
+			ps.Resource = s.Registry.Enrich(ps.Resource)
+			pf.Insert(ps)
+			s.mProfiles.Inc()
+		}
+		s.pending.Done()
+	}
+}
+
 // IngestSpan implements agent.Sink: smart-encoding phase 2 (resolve VPC+IP
-// to integer resource tags) happens here, then the span is stored.
+// to integer resource tags) happens here, then the span is stored in
+// partition 0.
 func (s *Server) IngestSpan(sp *trace.Span) {
 	sp.Resource = s.Registry.Enrich(sp.Resource)
 	s.Store.Insert(sp)
-	s.SpansIngested++
 	s.mSpans.Inc()
 }
 
 // IngestFlow implements agent.Sink: flow metric deltas become series in the
 // metrics plane, tagged so they correlate with traces (§3.4).
-func (s *Server) IngestFlow(f agent.FlowSample) {
+func (s *Server) IngestFlow(f transport.FlowSample) { s.ingestFlow(f) }
+
+func (s *Server) ingestFlow(f transport.FlowSample) {
 	tags := map[string]string{
 		"host": f.Host,
 		"nic":  f.NIC,
@@ -108,19 +241,58 @@ func (s *Server) IngestFlow(f agent.FlowSample) {
 	if f.Delta.RTT > 0 {
 		s.Metrics.Add("net.rtt_us", tags, f.TS, float64(f.Delta.RTT.Microseconds()))
 	}
-	s.FlowsIngested++
 	s.mFlows.Inc()
 }
 
-// SpanList answers the span-list query of Fig. 15.
+// SpanList answers the span-list query of Fig. 15, merged across the store
+// partitions. The merged order — StartTime descending, span ID descending
+// on ties — is a total order, so the result is identical for any shard
+// count over the same corpus.
 func (s *Server) SpanList(from, to time.Time, limit int) []*trace.Span {
-	return s.Store.SpanList(from, to, limit)
+	var all []*trace.Span
+	for _, st := range s.stores {
+		// A span in the global top-`limit` is in its own partition's
+		// top-`limit`, so the per-partition cap is sufficient.
+		all = append(all, st.SpanList(from, to, limit)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if !a.StartTime.Equal(b.StartTime) {
+			return a.StartTime.After(b.StartTime)
+		}
+		return a.ID > b.ID
+	})
+	if limit > 0 && len(all) > limit {
+		all = all[:limit]
+	}
+	return all
+}
+
+// SpanByID finds a span in any partition.
+func (s *Server) SpanByID(id trace.SpanID) *trace.Span {
+	for _, st := range s.stores {
+		if sp := st.Span(id); sp != nil {
+			return sp
+		}
+	}
+	return nil
+}
+
+// SpanCount returns the number of stored spans across all partitions.
+func (s *Server) SpanCount() int {
+	n := 0
+	for _, st := range s.stores {
+		n += st.Len()
+	}
+	return n
 }
 
 // Trace assembles the distributed trace containing the given span
-// (Algorithm 1) with the default iteration bound.
+// (Algorithm 1) with the default iteration bound, searching every store
+// partition — a trace whose spans were ingested by different shards still
+// assembles whole.
 func (s *Server) Trace(start trace.SpanID) *trace.Trace {
-	return s.Store.Assemble(start, DefaultIterations)
+	return assembleAcross(s.stores, start, DefaultIterations, AssocAll)
 }
 
 // DecoratedSpan is a span expanded with query-time tag names (Fig. 8 ⑧).

@@ -335,7 +335,7 @@ func TestIngestFlowAndCorrelation(t *testing.T) {
 	if srv.Metrics.Sum("net.rtt_us", nil, sim.Epoch, sim.Epoch.Add(time.Minute)) != 1000 {
 		t.Fatal("rtt series missing")
 	}
-	if srv.FlowsIngested != 1 || srv.SpansIngested != 1 {
+	if srv.FlowsIngested() != 1 || srv.SpansIngested() != 1 {
 		t.Fatal("ingest counters wrong")
 	}
 }

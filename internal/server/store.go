@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"deepflow/internal/selfmon"
@@ -46,11 +47,14 @@ var resourceTagNames = []string{"pod", "node", "service", "namespace", "region",
 
 // SpanStore holds ingested spans: an in-memory span set with the inverted
 // indexes Algorithm 1 queries, plus the columnar table that accounts for
-// storage resources under the configured encoding.
+// storage resources under the configured encoding. Each sharded-ingest
+// worker owns one SpanStore partition; the store's own mutex makes
+// queries safe against a concurrently inserting worker.
 type SpanStore struct {
 	Encoding Encoding
 	reg      *ResourceRegistry
 
+	mu    sync.RWMutex
 	spans []*trace.Span
 	byID  map[trace.SpanID]int
 
@@ -86,6 +90,12 @@ func NewSpanStore(enc Encoding, reg *ResourceRegistry) *SpanStore {
 // the saving Fig. 14 measures ("up to 100 tags might be related to a
 // single trace").
 func NewSpanStoreWide(enc Encoding, reg *ResourceRegistry, wide int) *SpanStore {
+	return newSpanStorePart(enc, reg, wide, "")
+}
+
+// newSpanStorePart creates one partition of a sharded store; part suffixes
+// the backing table's name so per-partition tables stay distinguishable.
+func newSpanStorePart(enc Encoding, reg *ResourceRegistry, wide int, part string) *SpanStore {
 	s := &SpanStore{
 		Encoding:   enc,
 		reg:        reg,
@@ -131,32 +141,51 @@ func NewSpanStoreWide(enc Encoding, reg *ResourceRegistry, wide int) *SpanStore 
 	return s
 }
 
-// instrument registers the store's self-monitoring instruments: storage
-// resource gauges per encoding, the Algorithm-1 iterations-to-fixed-point
-// histogram, and per-rule parent-selection hit counters (pre-resolved so the
-// assembly hot path pays one atomic add per decision).
-func (s *SpanStore) instrument(mon *selfmon.Registry) {
-	enc := selfmon.Tag{K: "encoding", V: s.Encoding.String()}
+// instrumentStores registers the partitioned span stores' self-monitoring
+// instruments: storage resource gauges per encoding (summed across the
+// partitions — the queries they answer are partition-merged too), the
+// Algorithm-1 iterations-to-fixed-point histogram, and per-rule parent-
+// selection hit counters (pre-resolved so the assembly hot path pays one
+// atomic add per decision). The assembly instruments are shared: every
+// partition observes into the same histogram and counters, which the
+// selfmon registry's get-or-create semantics would collapse to anyway.
+func instrumentStores(mon *selfmon.Registry, stores []*SpanStore) {
+	enc := selfmon.Tag{K: "encoding", V: stores[0].Encoding.String()}
+	sum := func(per func(*SpanStore) float64) func() float64 {
+		return func() float64 {
+			var t float64
+			for _, s := range stores {
+				t += per(s)
+			}
+			return t
+		}
+	}
 	mon.GaugeFunc("deepflow_server_storage_rows",
-		func() float64 { return float64(s.table.Rows()) }, enc)
+		sum(func(s *SpanStore) float64 { return float64(s.table.Rows()) }), enc)
 	mon.GaugeFunc("deepflow_server_storage_blocks",
-		func() float64 { return float64(s.table.Blocks()) }, enc)
+		sum(func(s *SpanStore) float64 { return float64(s.table.Blocks()) }), enc)
 	mon.GaugeFunc("deepflow_server_storage_mem_bytes",
-		func() float64 { return float64(s.table.MemBytes()) }, enc)
+		sum(func(s *SpanStore) float64 { return float64(s.table.MemBytes()) }), enc)
 	mon.GaugeFunc("deepflow_server_storage_disk_bytes",
-		func() float64 { return float64(s.table.DiskSize()) }, enc)
-	s.mAssembleIters = mon.Histogram("deepflow_server_assemble_iterations",
+		sum(func(s *SpanStore) float64 { return float64(s.table.DiskSize()) }), enc)
+	iters := mon.Histogram("deepflow_server_assemble_iterations",
 		selfmon.LinearBuckets(1, 1, DefaultIterations))
-	s.ruleHits = make([]*selfmon.Counter, len(parentRules))
+	ruleHits := make([]*selfmon.Counter, len(parentRules))
 	for i, r := range parentRules {
-		s.ruleHits[i] = mon.Counter("deepflow_server_parent_rule_hits",
+		ruleHits[i] = mon.Counter("deepflow_server_parent_rule_hits",
 			selfmon.Tag{K: "rule", V: fmt.Sprintf("%02d-%s", r.id, r.name)})
+	}
+	for _, s := range stores {
+		s.mAssembleIters = iters
+		s.ruleHits = ruleHits
 	}
 }
 
 // Insert ingests one span (whose resource tags have been enriched) plus any
 // extra custom tags already folded into span.Custom.
 func (s *SpanStore) Insert(sp *trace.Span) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	row := len(s.spans)
 	s.spans = append(s.spans, sp)
 	s.byID[sp.ID] = row
@@ -218,10 +247,16 @@ func (s *SpanStore) Insert(sp *trace.Span) {
 }
 
 // Len returns the number of stored spans.
-func (s *SpanStore) Len() int { return len(s.spans) }
+func (s *SpanStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.spans)
+}
 
 // Span returns a span by ID, or nil.
 func (s *SpanStore) Span(id trace.SpanID) *trace.Span {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	row, ok := s.byID[id]
 	if !ok {
 		return nil
@@ -241,6 +276,8 @@ func (s *SpanStore) Table() *storage.Table { return s.table }
 // SpanList returns spans with StartTime in [from, to), newest-first,
 // capped at limit (0 = unlimited) — the paper's span-list query (Fig. 15).
 func (s *SpanStore) SpanList(from, to time.Time, limit int) []*trace.Span {
+	s.mu.Lock() // full lock: the query lazily re-sorts the time index
+	defer s.mu.Unlock()
 	if s.timeDirty {
 		sort.Slice(s.timeIdx, func(i, j int) bool {
 			return s.spans[s.timeIdx[i]].StartTime.Before(s.spans[s.timeIdx[j]].StartTime)
@@ -285,4 +322,19 @@ func (s *SpanStore) relatedMasked(sp *trace.Span, mask AssocMask) []int {
 		rows = append(rows, s.byTraceID[sp.TraceID]...)
 	}
 	return rows
+}
+
+// relatedSpans is the cross-partition face of relatedMasked: it returns the
+// live spans of this partition sharing any enabled association key with sp
+// (which may live in another partition). Callers must dedupe by span ID —
+// a span can reach the result through several keys.
+func (s *SpanStore) relatedSpans(sp *trace.Span, mask AssocMask) []*trace.Span {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rows := s.relatedMasked(sp, mask)
+	out := make([]*trace.Span, 0, len(rows))
+	for _, row := range rows {
+		out = append(out, s.spans[row])
+	}
+	return out
 }

@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"strconv"
 )
 
 // ColumnType enumerates supported column encodings.
@@ -100,7 +101,7 @@ func (c *intColumn) AppendInt(v int64) {
 func (c *intColumn) DiskSize() int64     { return c.disk }
 func (c *intColumn) AppendString(string) { panic("storage: AppendString on Int64 column") }
 func (c *intColumn) Int(i int) int64     { return c.vals[i] }
-func (c *intColumn) Str(i int) string    { return fmt.Sprintf("%d", c.vals[i]) }
+func (c *intColumn) Str(i int) string    { return strconv.FormatInt(c.vals[i], 10) }
 func (c *intColumn) MemBytes() int       { return cap(c.vals) * 8 }
 func (c *intColumn) WriteTo(w io.Writer) (int64, error) {
 	// Varint encoding: small IDs (the common case for smart-encoded tags)
@@ -134,7 +135,7 @@ func (c *int32Column) AppendInt(v int64) {
 func (c *int32Column) DiskSize() int64     { return c.disk }
 func (c *int32Column) AppendString(string) { panic("storage: AppendString on Int32 column") }
 func (c *int32Column) Int(i int) int64     { return int64(c.vals[i]) }
-func (c *int32Column) Str(i int) string    { return fmt.Sprintf("%d", c.vals[i]) }
+func (c *int32Column) Str(i int) string    { return strconv.FormatInt(int64(c.vals[i]), 10) }
 func (c *int32Column) MemBytes() int       { return cap(c.vals) * 4 }
 func (c *int32Column) WriteTo(w io.Writer) (int64, error) {
 	var buf [binary.MaxVarintLen64]byte

@@ -1,0 +1,278 @@
+package trace
+
+// Wire serialization for spans — the row format agents put on the wire
+// (paper §3.4: agents ship compact int-tagged rows; smart encoding means
+// "agents send only ints" for every resource tag). All integers are
+// varint/uvarint encoded so the common case — small IDs, zero tags — costs
+// one byte per field; strings are length-prefixed. The batch envelope
+// around rows lives in internal/transport; this file owns the per-span
+// layout so the data model and its serialization evolve together.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// AppendSpan appends sp's wire encoding to buf and returns the extended
+// slice. DecodeSpan reverses it exactly (see the transport round-trip
+// property test).
+func AppendSpan(buf []byte, sp *Span) []byte {
+	buf = binary.AppendUvarint(buf, uint64(sp.ID))
+	buf = binary.AppendUvarint(buf, uint64(sp.SysTraceID))
+	buf = binary.AppendUvarint(buf, sp.PseudoThreadID)
+	buf = appendString(buf, sp.XRequestID)
+	buf = binary.AppendUvarint(buf, uint64(sp.ReqTCPSeq))
+	buf = binary.AppendUvarint(buf, uint64(sp.RespTCPSeq))
+	buf = appendString(buf, sp.TraceID)
+	buf = appendString(buf, sp.SpanRef)
+	buf = appendString(buf, sp.ParentSpanRef)
+	buf = binary.AppendUvarint(buf, uint64(sp.PID))
+	buf = binary.AppendUvarint(buf, uint64(sp.TID))
+	buf = binary.AppendUvarint(buf, sp.CoroutineID)
+	buf = appendString(buf, sp.ProcessName)
+	buf = binary.AppendUvarint(buf, uint64(sp.Socket))
+	buf = AppendFiveTuple(buf, sp.Flow)
+	buf = append(buf, byte(sp.L7), byte(sp.Source), byte(sp.TapSide))
+	buf = appendString(buf, sp.HostName)
+	startNS := sp.StartTime.UnixNano()
+	buf = binary.AppendVarint(buf, startNS)
+	buf = binary.AppendVarint(buf, sp.EndTime.UnixNano()-startNS)
+	buf = appendString(buf, sp.RequestType)
+	buf = appendString(buf, sp.RequestResource)
+	buf = binary.AppendVarint(buf, int64(sp.ResponseCode))
+	buf = appendString(buf, sp.ResponseStatus)
+	buf = AppendResourceTags(buf, sp.Resource)
+	buf = appendCustom(buf, sp.Custom)
+	buf = appendNetMetrics(buf, sp.Net)
+	buf = binary.AppendUvarint(buf, uint64(sp.ParentID))
+	return buf
+}
+
+// DecodeSpan decodes one span from the front of data, returning the span
+// and the number of bytes consumed.
+func DecodeSpan(data []byte) (*Span, int, error) {
+	r := WireReader{Data: data}
+	sp := &Span{}
+	sp.ID = SpanID(r.Uvarint())
+	sp.SysTraceID = SysTraceID(r.Uvarint())
+	sp.PseudoThreadID = r.Uvarint()
+	sp.XRequestID = r.String()
+	sp.ReqTCPSeq = uint32(r.Uvarint())
+	sp.RespTCPSeq = uint32(r.Uvarint())
+	sp.TraceID = r.String()
+	sp.SpanRef = r.String()
+	sp.ParentSpanRef = r.String()
+	sp.PID = uint32(r.Uvarint())
+	sp.TID = uint32(r.Uvarint())
+	sp.CoroutineID = r.Uvarint()
+	sp.ProcessName = r.String()
+	sp.Socket = SocketID(r.Uvarint())
+	sp.Flow = r.FiveTuple()
+	sp.L7 = L7Proto(r.Byte())
+	sp.Source = Source(r.Byte())
+	sp.TapSide = TapSide(r.Byte())
+	sp.HostName = r.String()
+	startNS := r.Varint()
+	durNS := r.Varint()
+	sp.StartTime = time.Unix(0, startNS).UTC()
+	sp.EndTime = time.Unix(0, startNS+durNS).UTC()
+	sp.RequestType = r.String()
+	sp.RequestResource = r.String()
+	sp.ResponseCode = int32(r.Varint())
+	sp.ResponseStatus = r.String()
+	sp.Resource = r.ResourceTags()
+	sp.Custom = r.custom()
+	sp.Net = r.netMetrics()
+	sp.ParentID = SpanID(r.Uvarint())
+	if r.Err != nil {
+		return nil, 0, r.Err
+	}
+	return sp, r.Pos, nil
+}
+
+// AppendFiveTuple appends a flow tuple's wire encoding.
+func AppendFiveTuple(buf []byte, ft FiveTuple) []byte {
+	buf = binary.AppendUvarint(buf, uint64(ft.SrcIP))
+	buf = binary.AppendUvarint(buf, uint64(ft.DstIP))
+	buf = binary.AppendUvarint(buf, uint64(ft.SrcPort))
+	buf = binary.AppendUvarint(buf, uint64(ft.DstPort))
+	return append(buf, byte(ft.Proto))
+}
+
+// AppendResourceTags appends the smart-encoded tag block: eight small
+// integers, which is the entirety of what an agent says about where a row
+// came from (VPC + IP phase 1; the rest are zero until the server enriches).
+func AppendResourceTags(buf []byte, rt ResourceTags) []byte {
+	buf = binary.AppendVarint(buf, int64(rt.VPCID))
+	buf = binary.AppendUvarint(buf, uint64(rt.IP))
+	buf = binary.AppendVarint(buf, int64(rt.PodID))
+	buf = binary.AppendVarint(buf, int64(rt.NodeID))
+	buf = binary.AppendVarint(buf, int64(rt.ServiceID))
+	buf = binary.AppendVarint(buf, int64(rt.NSID))
+	buf = binary.AppendVarint(buf, int64(rt.RegionID))
+	return binary.AppendVarint(buf, int64(rt.AZID))
+}
+
+func appendCustom(buf []byte, m map[string]string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(m)))
+	if len(m) == 0 {
+		return buf
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic bytes for identical spans
+	for _, k := range keys {
+		buf = appendString(buf, k)
+		buf = appendString(buf, m[k])
+	}
+	return buf
+}
+
+func appendNetMetrics(buf []byte, nm NetMetrics) []byte {
+	buf = binary.AppendUvarint(buf, uint64(nm.Retransmissions))
+	buf = binary.AppendUvarint(buf, uint64(nm.Resets))
+	buf = binary.AppendUvarint(buf, uint64(nm.ZeroWindows))
+	buf = binary.AppendVarint(buf, int64(nm.RTT))
+	buf = binary.AppendUvarint(buf, nm.BytesSent)
+	buf = binary.AppendUvarint(buf, nm.BytesReceived)
+	return binary.AppendUvarint(buf, uint64(nm.ARPRequests))
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// WireReader is a cursor over wire-encoded bytes. Reads after an error
+// return zero values; the first error sticks in Err, so callers check once
+// at the end of a record instead of after every field.
+type WireReader struct {
+	Data []byte
+	Pos  int
+	Err  error
+}
+
+func (r *WireReader) fail(what string) {
+	if r.Err == nil {
+		r.Err = fmt.Errorf("trace: wire decode: truncated %s at offset %d", what, r.Pos)
+	}
+}
+
+// Fail records a decode error at the current position; higher-level codecs
+// (internal/transport) use it when a composed record is inconsistent.
+func (r *WireReader) Fail(what string) { r.fail(what) }
+
+// Uvarint reads one unsigned varint.
+func (r *WireReader) Uvarint() uint64 {
+	if r.Err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.Data[r.Pos:])
+	if n <= 0 {
+		r.fail("uvarint")
+		return 0
+	}
+	r.Pos += n
+	return v
+}
+
+// Varint reads one signed varint.
+func (r *WireReader) Varint() int64 {
+	if r.Err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.Data[r.Pos:])
+	if n <= 0 {
+		r.fail("varint")
+		return 0
+	}
+	r.Pos += n
+	return v
+}
+
+// Byte reads one raw byte.
+func (r *WireReader) Byte() byte {
+	if r.Err != nil {
+		return 0
+	}
+	if r.Pos >= len(r.Data) {
+		r.fail("byte")
+		return 0
+	}
+	b := r.Data[r.Pos]
+	r.Pos++
+	return b
+}
+
+// String reads one length-prefixed string.
+func (r *WireReader) String() string {
+	n := r.Uvarint()
+	if r.Err != nil {
+		return ""
+	}
+	if n > uint64(len(r.Data)-r.Pos) {
+		r.fail("string")
+		return ""
+	}
+	s := string(r.Data[r.Pos : r.Pos+int(n)])
+	r.Pos += int(n)
+	return s
+}
+
+// FiveTuple reads a flow tuple.
+func (r *WireReader) FiveTuple() FiveTuple {
+	return FiveTuple{
+		SrcIP:   IP(r.Uvarint()),
+		DstIP:   IP(r.Uvarint()),
+		SrcPort: uint16(r.Uvarint()),
+		DstPort: uint16(r.Uvarint()),
+		Proto:   L4Proto(r.Byte()),
+	}
+}
+
+// ResourceTags reads a smart-encoded tag block.
+func (r *WireReader) ResourceTags() ResourceTags {
+	return ResourceTags{
+		VPCID:     int32(r.Varint()),
+		IP:        IP(r.Uvarint()),
+		PodID:     int32(r.Varint()),
+		NodeID:    int32(r.Varint()),
+		ServiceID: int32(r.Varint()),
+		NSID:      int32(r.Varint()),
+		RegionID:  int32(r.Varint()),
+		AZID:      int32(r.Varint()),
+	}
+}
+
+func (r *WireReader) custom() map[string]string {
+	n := r.Uvarint()
+	if n == 0 || r.Err != nil {
+		return nil
+	}
+	if n > uint64(len(r.Data)-r.Pos) { // each entry takes ≥2 bytes
+		r.fail("custom map")
+		return nil
+	}
+	m := make(map[string]string, n)
+	for i := uint64(0); i < n && r.Err == nil; i++ {
+		k := r.String()
+		m[k] = r.String()
+	}
+	return m
+}
+
+func (r *WireReader) netMetrics() NetMetrics {
+	return NetMetrics{
+		Retransmissions: uint32(r.Uvarint()),
+		Resets:          uint32(r.Uvarint()),
+		ZeroWindows:     uint32(r.Uvarint()),
+		RTT:             time.Duration(r.Varint()),
+		BytesSent:       r.Uvarint(),
+		BytesReceived:   r.Uvarint(),
+		ARPRequests:     uint32(r.Uvarint()),
+	}
+}

@@ -24,4 +24,10 @@ DF_GUARD=1 go test -run TestHookInstrumentationGuard -count=1 ./internal/agent
 echo ">> profiling-overhead guard (99 Hz sampling <3% RPS on the Fig. 19 Nginx workload)"
 DF_GUARD=1 go test -run TestProfilingOverheadGuard -count=1 ./internal/profiling
 
+echo ">> ingest-scaling guard (4-shard batched ingest >=1.5x 1-shard rows/s; skips below 4 CPUs)"
+DF_GUARD=1 go test -run 'TestIngestScalingGuard|TestIngestCorrectness' -count=1 ./internal/experiments
+
+echo ">> dfbench ingest (writes BENCH_ingest.json)"
+go run ./cmd/dfbench ingest
+
 echo "check.sh: all green"
