@@ -5,7 +5,7 @@
 // Usage:
 //
 //	deepflow [-workload springboot|bookinfo|nginx] [-rate 200] [-duration 2s] [-traces 1]
-//	         [-profile] [-debug-addr :6060]
+//	         [-map] [-dot] [-profile] [-debug-addr :6060]
 package main
 
 import (
@@ -30,6 +30,8 @@ func main() {
 	nTraces := flag.Int("traces", 1, "number of assembled traces to print")
 	asJSON := flag.Bool("json", false, "print traces as JSON instead of trees")
 	stats := flag.Bool("stats", false, "print the self-monitoring report (agent+server self-metrics)")
+	svcMap := flag.Bool("map", false, "print the universal service map (rollup-backed client→server edges with RED + kernel flow stats)")
+	dot := flag.Bool("dot", false, "print the service map as a Graphviz digraph (pipe into `dot -Tsvg`)")
 	profile := flag.Bool("profile", false, "enable the continuous profiling plane (99 Hz on-CPU sampling) and print top functions")
 	shards := flag.Int("shards", 1, "server ingest shards (parallel batch decode+insert workers)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics (Prometheus) and /debug/pprof/ on this address after the run")
@@ -74,11 +76,24 @@ func main() {
 	fmt.Printf("server: %d spans ingested, %d flow samples\n\n",
 		d.Server.SpansIngested(), d.Server.FlowsIngested())
 
-	// RED-style overview per service, then drill into slow invocations.
+	// RED-style overview per service — answered from the streaming rollup
+	// tiers (O(buckets)), not a raw span scan; equal to SummarizeServices.
 	fmt.Println("service overview:")
-	for _, sum := range d.Server.SummarizeServices(sim.Epoch, sim.Epoch.Add(24*time.Hour)) {
+	for _, sum := range d.Server.ServiceSummaryFast(sim.Epoch, sim.Epoch.Add(24*time.Hour)) {
 		fmt.Printf("  %-16s %5d req  %3d err  mean=%-10v max=%v\n",
 			sum.Service, sum.Requests, sum.Errors, sum.MeanDur, sum.MaxDur)
+	}
+	if *svcMap || *dot {
+		m := d.Server.ServiceMap(sim.Epoch, sim.Epoch.Add(24*time.Hour))
+		fmt.Println()
+		if *dot {
+			if err := m.WriteDOT(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "deepflow: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Print(m.Text())
+		}
 	}
 	slow := d.Server.SlowestSpans(sim.Epoch, sim.Epoch.Add(24*time.Hour),
 		server.SpanFilter{TapSide: trace.TapServerProcess}, 3)

@@ -33,6 +33,11 @@ type Options struct {
 	// Shards is the number of parallel server ingest shards, each decoding
 	// and storing batches in its own store partition (default 1).
 	Shards int
+	// RollupFineRetention bounds the fine (1 s) rollup tier: on every flush
+	// tick, 1 s buckets older than now-retention are evicted and queries over
+	// that range answer from the 1 m tier instead. Zero keeps the fine tier
+	// forever (experiments and short simulations).
+	RollupFineRetention time.Duration
 }
 
 // DefaultOptions returns a full-featured deployment.
@@ -180,6 +185,11 @@ func (d *Deployment) scheduleFlush() {
 		// Wait for the ingest shards to absorb the shipped batches so the
 		// self-scrape below sees settled store state.
 		d.Server.Drain()
+		if d.Opts.RollupFineRetention > 0 {
+			// One global cutoff for all shard partials, so eviction never
+			// makes the shard count observable.
+			d.Server.EvictRollups(now.Add(-d.Opts.RollupFineRetention))
+		}
 		d.ScrapeSelf(now)
 		d.Env.Eng.After(d.Opts.FlushInterval, tick)
 	}

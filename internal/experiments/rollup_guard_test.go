@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"deepflow/internal/core"
+	"deepflow/internal/k8s"
+	"deepflow/internal/microsim"
+	"deepflow/internal/sim"
+)
+
+// bookinfoServer deploys DeepFlow over Bookinfo with the given shard count,
+// drives load, and returns the settled deployment.
+func bookinfoServer(t *testing.T, shards int) *core.Deployment {
+	t.Helper()
+	env := microsim.NewEnv(7)
+	topo := microsim.BuildBookinfo(env, nil)
+	opts := core.DefaultOptions()
+	opts.Shards = shards
+	d := core.NewDeployment(env, []*k8s.Cluster{topo.Cluster}, nil, opts)
+	if err := d.DeployAll(); err != nil {
+		t.Fatal(err)
+	}
+	gen := microsim.NewLoadGen(env, "load", topo.ClientHost, topo.Entry, 8, 150)
+	gen.Path = "/productpage"
+	gen.Start(2 * time.Second)
+	env.Run(3 * time.Second)
+	d.FlushAll()
+	return d
+}
+
+// TestRollupEquivalenceGate is check.sh's rollup gate: on the full Bookinfo
+// pipeline (agents, sessionizer, wire batches, sharded ingest) the rollup
+// plane's answers must equal the raw span scan exactly, and must not depend
+// on the shard count — ServiceSummaryFast and the service map are
+// pre-aggregated views of the same truth, never approximations of it.
+func TestRollupEquivalenceGate(t *testing.T) {
+	d1 := bookinfoServer(t, 1)
+	d4 := bookinfoServer(t, 4)
+	defer d1.Stop()
+	defer d4.Stop()
+
+	from, to := sim.Epoch, sim.Epoch.Add(24*time.Hour)
+	for _, d := range []*core.Deployment{d1, d4} {
+		raw := d.Server.SummarizeServices(from, to)
+		fast := d.Server.ServiceSummaryFast(from, to)
+		if len(raw) == 0 {
+			t.Fatal("no services summarized — load did not reach the server")
+		}
+		if !reflect.DeepEqual(raw, fast) {
+			t.Fatalf("rollup summary != raw scan:\nraw:  %+v\nfast: %+v", raw, fast)
+		}
+	}
+	if f1, f4 := d1.Server.ServiceSummaryFast(from, to), d4.Server.ServiceSummaryFast(from, to); !reflect.DeepEqual(f1, f4) {
+		t.Fatalf("ServiceSummaryFast depends on shard count:\n1: %+v\n4: %+v", f1, f4)
+	}
+	m1, m4 := d1.Server.ServiceMap(from, to), d4.Server.ServiceMap(from, to)
+	if len(m1.Edges) == 0 {
+		t.Fatal("service map has no edges")
+	}
+	if m1.Text() != m4.Text() {
+		t.Fatalf("ServiceMap depends on shard count:\n1-shard:\n%s\n4-shard:\n%s", m1.Text(), m4.Text())
+	}
+	// Every edge's drill-down filter reproduces exactly as many raw spans
+	// as the edge aggregated.
+	for _, e := range m4.Edges {
+		if got := len(d4.Server.EdgeSpans(m4, e, 0)); got != int(e.Requests) {
+			t.Fatalf("edge %s → %s: drill-down found %d spans, edge aggregated %d",
+				e.Client, e.Server, got, e.Requests)
+		}
+	}
+}

@@ -27,13 +27,21 @@ type Series struct {
 // Store holds series keyed by name + sorted tags. It is concurrency-safe:
 // with sharded ingest, several workers append flow samples while queries
 // and the self-monitoring scraper read.
+//
+// Queries always name a metric, so series are additionally indexed by name:
+// Query and Sum touch only the name's own series instead of scanning the
+// whole store (a flow-metrics store holds net.* series for every 5-tuple;
+// a dashboard query for one name must not pay for all of them).
 type Store struct {
 	mu     sync.RWMutex
 	series map[string]*Series
+	byName map[string][]*Series
 }
 
 // NewStore creates an empty store.
-func NewStore() *Store { return &Store{series: make(map[string]*Series)} }
+func NewStore() *Store {
+	return &Store{series: make(map[string]*Series), byName: make(map[string][]*Series)}
+}
 
 func seriesKey(name string, tags map[string]string) string {
 	keys := make([]string, 0, len(tags))
@@ -84,6 +92,7 @@ func (s *Store) Add(name string, tags map[string]string, ts time.Time, value flo
 		}
 		sr = &Series{Name: name, Tags: copied}
 		s.series[key] = sr
+		s.byName[name] = append(s.byName[name], sr)
 	}
 	sr.Points = append(sr.Points, Point{TS: ts, Value: value})
 }
@@ -94,8 +103,8 @@ func (s *Store) Query(name string, match map[string]string, from, to time.Time) 
 	var out []Series
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	for _, sr := range s.series {
-		if sr.Name != name || !tagsMatch(sr.Tags, match) {
+	for _, sr := range s.byName[name] {
+		if !tagsMatch(sr.Tags, match) {
 			continue
 		}
 		filtered := Series{Name: sr.Name, Tags: sr.Tags}

@@ -1,0 +1,237 @@
+package rollup
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"deepflow/internal/trace"
+	"deepflow/internal/transport"
+)
+
+var epoch = time.Date(2023, time.September, 10, 0, 0, 0, 0, time.UTC)
+
+// testResolver maps a small static IP set to tags the way the server
+// registry would.
+func testResolver(ip trace.IP) trace.ResourceTags {
+	switch ip {
+	case 10:
+		return trace.ResourceTags{IP: ip, ServiceID: 1, PodID: 1, NodeID: 1}
+	case 11:
+		return trace.ResourceTags{IP: ip, ServiceID: 2, PodID: 2, NodeID: 1}
+	case 20:
+		return trace.ResourceTags{IP: ip, NodeID: 3}
+	default:
+		return trace.ResourceTags{IP: ip}
+	}
+}
+
+func span(at time.Time, dur time.Duration, clientIP, serverIP trace.IP, status string) *trace.Span {
+	sp := &trace.Span{
+		TapSide:        trace.TapServerProcess,
+		L7:             trace.L7HTTP,
+		StartTime:      at,
+		EndTime:        at.Add(dur),
+		ResponseStatus: status,
+		Flow:           trace.FiveTuple{SrcIP: clientIP, DstIP: serverIP, SrcPort: 40000, DstPort: 80, Proto: trace.L4TCP},
+		ProcessName:    "proc",
+	}
+	sp.Resource = testResolver(serverIP)
+	return sp
+}
+
+func totals(groups map[Key]*Agg) (requests, errors uint64, durSum int64) {
+	for _, a := range groups {
+		requests += a.Requests
+		errors += a.Errors
+		durSum += a.DurSumNS
+	}
+	return
+}
+
+// TestBucketBoundaries: spans landing exactly on 1 s and 1 m boundaries
+// belong to the bucket they start (half-open windows), so an aligned query
+// window includes exactly the spans a raw [from, to) scan would.
+func TestBucketBoundaries(t *testing.T) {
+	p := NewPartial(testResolver)
+	// One span exactly at a minute boundary, one at a second boundary, one
+	// just before each.
+	p.ObserveSpan(span(epoch.Add(time.Minute), time.Millisecond, 10, 11, "ok"))
+	p.ObserveSpan(span(epoch.Add(time.Minute-time.Nanosecond), time.Millisecond, 10, 11, "ok"))
+	p.ObserveSpan(span(epoch.Add(time.Second), time.Millisecond, 10, 11, "ok"))
+	p.ObserveSpan(span(epoch.Add(time.Second-time.Nanosecond), time.Millisecond, 10, 11, "ok"))
+
+	cases := []struct {
+		from, to time.Time
+		want     uint64
+	}{
+		{epoch, epoch.Add(time.Second), 1},                          // only the sub-second span
+		{epoch, epoch.Add(time.Second).Add(time.Nanosecond), 2},     // 1 ns past the boundary pulls in the 1 s bucket
+		{epoch.Add(time.Second), epoch.Add(2 * time.Second), 1},     // exactly the on-boundary span
+		{epoch, epoch.Add(time.Minute), 3},                          // everything before the minute mark
+		{epoch.Add(time.Minute), epoch.Add(2 * time.Minute), 1},     // exactly the on-minute span
+		{epoch, epoch.Add(time.Hour), 4},                            // all
+		{epoch.Add(2 * time.Minute), epoch.Add(3 * time.Minute), 0}, // empty window
+	}
+	for i, c := range cases {
+		req, _, _ := totals(CollectGroups([]*Partial{p}, c.from, c.to))
+		if req != c.want {
+			t.Errorf("case %d [%v,%v): requests = %d, want %d", i, c.from, c.to, req, c.want)
+		}
+	}
+}
+
+// TestOutOfOrderArrival: spans arriving in any order within (or beyond) a
+// flush window fold into the same buckets with identical aggregates —
+// the rollup is order-independent by construction.
+func TestOutOfOrderArrival(t *testing.T) {
+	mk := func() []*trace.Span {
+		return []*trace.Span{
+			span(epoch.Add(500*time.Millisecond), 2*time.Millisecond, 10, 11, "ok"),
+			span(epoch.Add(100*time.Millisecond), 7*time.Millisecond, 10, 11, "error"),
+			span(epoch.Add(1500*time.Millisecond), 3*time.Millisecond, 12, 11, "ok"),
+			span(epoch.Add(900*time.Millisecond), 5*time.Millisecond, 10, 11, "timeout"),
+		}
+	}
+	forward, backward := NewPartial(testResolver), NewPartial(testResolver)
+	spans := mk()
+	for _, sp := range spans {
+		forward.ObserveSpan(sp)
+	}
+	for i := len(spans) - 1; i >= 0; i-- {
+		backward.ObserveSpan(spans[i])
+	}
+	from, to := epoch, epoch.Add(time.Hour)
+	gf := CollectGroups([]*Partial{forward}, from, to)
+	gb := CollectGroups([]*Partial{backward}, from, to)
+	if !reflect.DeepEqual(gf, gb) {
+		t.Fatalf("arrival order changed the rollup:\nforward:  %+v\nbackward: %+v", gf, gb)
+	}
+	ef, ff := CollectEdges([]*Partial{forward}, from, to)
+	eb, fb := CollectEdges([]*Partial{backward}, from, to)
+	if !reflect.DeepEqual(ef, eb) || !reflect.DeepEqual(ff, fb) {
+		t.Fatal("arrival order changed the edge rollup")
+	}
+}
+
+// TestPartialSplitDeterminism: the same spans split across N partials merge
+// to exactly the aggregates of one partial holding everything — the shard
+// determinism contract at the rollup layer.
+func TestPartialSplitDeterminism(t *testing.T) {
+	var spans []*trace.Span
+	for i := 0; i < 97; i++ {
+		status := "ok"
+		if i%7 == 0 {
+			status = "error"
+		}
+		spans = append(spans, span(
+			epoch.Add(time.Duration(i)*777*time.Millisecond),
+			time.Duration(i%13)*time.Millisecond,
+			trace.IP(10+uint32(i%3)), 11, status))
+	}
+	one := NewPartial(testResolver)
+	four := []*Partial{NewPartial(testResolver), NewPartial(testResolver), NewPartial(testResolver), NewPartial(testResolver)}
+	for i, sp := range spans {
+		one.ObserveSpan(sp)
+		four[i%4].ObserveSpan(sp)
+		f := transport.FlowSample{
+			TS: sp.StartTime, Tuple: sp.Flow.Canonical(),
+			Delta:         trace.NetMetrics{Resets: uint32(i % 2), BytesSent: uint64(i)},
+			KernelPackets: uint64(i), KernelBytes: uint64(64 * i),
+		}
+		one.ObserveFlow(f)
+		four[(i+1)%4].ObserveFlow(f)
+	}
+	from, to := epoch, epoch.Add(time.Hour)
+	if g1, g4 := CollectGroups([]*Partial{one}, from, to), CollectGroups(four, from, to); !reflect.DeepEqual(g1, g4) {
+		t.Fatalf("split partials diverge:\n1: %+v\n4: %+v", g1, g4)
+	}
+	e1, f1 := CollectEdges([]*Partial{one}, from, to)
+	e4, f4 := CollectEdges(four, from, to)
+	if !reflect.DeepEqual(e1, e4) || !reflect.DeepEqual(f1, f4) {
+		t.Fatal("split partials diverge on the service map")
+	}
+}
+
+// TestEvictionStraddle: evicting the fine tier keeps queries answerable —
+// a window straddling the watermark reads the coarse tier for the evicted
+// range and the fine tier beyond it, with no double counting and no loss.
+func TestEvictionStraddle(t *testing.T) {
+	p := NewPartial(testResolver)
+	// Minute 0: 3 spans; minute 1: 2 spans; minute 2: 1 span.
+	for _, at := range []time.Duration{
+		5 * time.Second, 30 * time.Second, 59 * time.Second,
+		61 * time.Second, 90 * time.Second,
+		125 * time.Second,
+	} {
+		p.ObserveSpan(span(epoch.Add(at), time.Millisecond, 10, 11, "ok"))
+	}
+	from, to := epoch, epoch.Add(time.Hour)
+	before := CollectGroups([]*Partial{p}, from, to)
+
+	// Evict fine buckets older than minute 1 (watermark rounds down to the
+	// coarse boundary even when the cutoff is mid-minute).
+	p.EvictFineBefore(epoch.Add(90 * time.Second))
+	if got, want := p.FineFloor(), epoch.Add(time.Minute); !got.Equal(want) {
+		t.Fatalf("watermark = %v, want coarse-aligned %v", got, want)
+	}
+	if p.Snapshot().FineEvicted == 0 {
+		t.Fatal("no fine buckets evicted")
+	}
+
+	after := CollectGroups([]*Partial{p}, from, to)
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("straddling query changed after eviction:\nbefore: %+v\nafter:  %+v", before, after)
+	}
+
+	// A window entirely inside the evicted range answers from coarse.
+	req, _, _ := totals(CollectGroups([]*Partial{p}, epoch, epoch.Add(time.Minute)))
+	if req != 3 {
+		t.Fatalf("evicted-range query = %d requests, want 3", req)
+	}
+	// A window entirely in the live fine range is still 1 s-resolved.
+	req, _, _ = totals(CollectGroups([]*Partial{p}, epoch.Add(61*time.Second), epoch.Add(62*time.Second)))
+	if req != 1 {
+		t.Fatalf("fine-range query = %d requests, want 1", req)
+	}
+	// Eviction is idempotent and never moves the watermark backwards.
+	p.EvictFineBefore(epoch.Add(30 * time.Second))
+	if got := p.FineFloor(); !got.Equal(epoch.Add(time.Minute)) {
+		t.Fatalf("watermark moved backwards to %v", got)
+	}
+}
+
+// TestEndpointIdentity: endpoint identities collapse pods to services, fall
+// back to nodes and raw IPs, and flow pairs are direction-independent.
+func TestEndpointIdentity(t *testing.T) {
+	if id := identOf(testResolver(10), 10); id != (EndpointID{Service: 1}) {
+		t.Fatalf("pod IP identity = %+v", id)
+	}
+	if id := identOf(testResolver(20), 20); id != (EndpointID{Node: 3}) {
+		t.Fatalf("node IP identity = %+v", id)
+	}
+	if id := identOf(testResolver(99), 99); id != (EndpointID{IP: 99}) {
+		t.Fatalf("unknown IP identity = %+v", id)
+	}
+	a, b := EndpointID{Service: 1}, EndpointID{Service: 2}
+	if pairOf(a, b) != pairOf(b, a) {
+		t.Fatal("pair is direction-dependent")
+	}
+}
+
+// TestClientSpansIgnored: only server-process spans contribute, so each
+// request counts once regardless of how many taps observed it.
+func TestClientSpansIgnored(t *testing.T) {
+	p := NewPartial(testResolver)
+	sp := span(epoch, time.Millisecond, 10, 11, "ok")
+	sp.TapSide = trace.TapClientProcess
+	p.ObserveSpan(sp)
+	for _, side := range []trace.TapSide{trace.TapClientNIC, trace.TapGateway, trace.TapServerNIC} {
+		c := span(epoch, time.Millisecond, 10, 11, "ok")
+		c.TapSide = side
+		p.ObserveSpan(c)
+	}
+	if req, _, _ := totals(CollectGroups([]*Partial{p}, epoch, epoch.Add(time.Hour))); req != 0 {
+		t.Fatalf("non-server spans counted: %d requests", req)
+	}
+}

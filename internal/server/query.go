@@ -1,6 +1,7 @@
 package server
 
 import (
+	"sort"
 	"time"
 
 	"deepflow/internal/trace"
@@ -18,7 +19,14 @@ type SpanFilter struct {
 	ProcessName string
 	Service     string // decoded service name (query-time tag expansion)
 	Pod         string // decoded pod name
+	Node        string // decoded node name
 	MinCode     int32  // e.g. 400 to select error responses
+
+	// Peer matches the decoded identity of the span's remote endpoint
+	// (service, else node, else raw IP): for server-side spans the flow
+	// source, for client-side spans the flow destination. Service-map edge
+	// drill-downs use it to reproduce exactly one edge's spans.
+	Peer string
 }
 
 func (f SpanFilter) matches(s *Server, sp *trace.Span) bool {
@@ -40,7 +48,7 @@ func (f SpanFilter) matches(s *Server, sp *trace.Span) bool {
 	if f.MinCode != 0 && sp.ResponseCode < f.MinCode {
 		return false
 	}
-	if f.Service != "" || f.Pod != "" {
+	if f.Service != "" || f.Pod != "" || f.Node != "" {
 		d := s.Registry.Decode(sp.Resource)
 		if f.Service != "" && d.Service != f.Service {
 			return false
@@ -48,8 +56,32 @@ func (f SpanFilter) matches(s *Server, sp *trace.Span) bool {
 		if f.Pod != "" && d.Pod != f.Pod {
 			return false
 		}
+		if f.Node != "" && d.Node != f.Node {
+			return false
+		}
+	}
+	if f.Peer != "" && s.peerLabel(sp) != f.Peer {
+		return false
 	}
 	return true
+}
+
+// peerLabel decodes the span's remote endpoint to the same identity the
+// service map uses for edge endpoints: service, else node, else raw IP.
+func (s *Server) peerLabel(sp *trace.Span) string {
+	ip := sp.Flow.SrcIP // span flows are oriented client→server
+	if sp.TapSide.IsClientSide() {
+		ip = sp.Flow.DstIP
+	}
+	d := s.Registry.DecodeIP(ip)
+	switch {
+	case d.Service != "":
+		return d.Service
+	case d.Node != "":
+		return d.Node
+	default:
+		return ip.String()
+	}
 }
 
 // QuerySpans returns up to limit spans in [from, to) matching the filter,
@@ -98,10 +130,14 @@ type ServiceSummary struct {
 	MaxDur   time.Duration
 }
 
-// SummarizeServices aggregates server-side spans per decoded service.
+// SummarizeServices aggregates server-side spans per decoded service by
+// scanning the raw span list — the O(spans stored) reference path that
+// ServiceSummaryFast answers from the rollup tiers instead. Results are
+// ordered by service name; the ordering is part of the contract (golden
+// tests and the rollup-equivalence gate compare the two paths byte for
+// byte).
 func (s *Server) SummarizeServices(from, to time.Time) []ServiceSummary {
 	byService := map[string]*ServiceSummary{}
-	var order []string
 	for _, sp := range s.SpanList(from, to, 0) {
 		if sp.TapSide != trace.TapServerProcess {
 			continue
@@ -114,7 +150,6 @@ func (s *Server) SummarizeServices(from, to time.Time) []ServiceSummary {
 		if sum == nil {
 			sum = &ServiceSummary{Service: name}
 			byService[name] = sum
-			order = append(order, name)
 		}
 		sum.Requests++
 		if sp.ResponseStatus == "error" || sp.ResponseStatus == "timeout" {
@@ -126,13 +161,13 @@ func (s *Server) SummarizeServices(from, to time.Time) []ServiceSummary {
 			sum.MaxDur = d
 		}
 	}
-	out := make([]ServiceSummary, 0, len(order))
-	for _, name := range order {
-		sum := byService[name]
+	out := make([]ServiceSummary, 0, len(byService))
+	for _, sum := range byService {
 		if sum.Requests > 0 {
 			sum.MeanDur /= time.Duration(sum.Requests)
 		}
 		out = append(out, *sum)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Service < out[j].Service })
 	return out
 }

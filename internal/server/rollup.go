@@ -1,0 +1,336 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"deepflow/internal/rollup"
+	"deepflow/internal/selfmon"
+	"deepflow/internal/trace"
+)
+
+// This file is the query face of the streaming rollup plane (see
+// internal/rollup): pre-aggregated RED summaries and the universal service
+// map, both answered by merging per-ingest-shard partials — O(windows
+// touched), not O(spans stored) — under the same determinism contract as
+// every other partition-merged query.
+
+// ServiceSummaryFast answers SummarizeServices from the rollup tiers
+// instead of a raw span scan. For bucket-aligned windows (1 s within the
+// fine retention, 1 m beyond it) the result is exactly equal to the raw
+// scan — same counts, same integer mean division, same name ordering; a
+// misaligned window widens to the containing buckets.
+func (s *Server) ServiceSummaryFast(from, to time.Time) []ServiceSummary {
+	groups := rollup.CollectGroups(s.rollups, from, to)
+	byName := map[string]*ServiceSummary{}
+	for k, a := range groups {
+		name := s.Registry.services.name(k.ServiceID)
+		if name == "" {
+			name = k.Proc
+		}
+		sum := byName[name]
+		if sum == nil {
+			sum = &ServiceSummary{Service: name}
+			byName[name] = sum
+		}
+		sum.Requests += int(a.Requests)
+		sum.Errors += int(a.Errors)
+		sum.MeanDur += time.Duration(a.DurSumNS) // accumulated; divided below
+		if d := time.Duration(a.DurMaxNS); d > sum.MaxDur {
+			sum.MaxDur = d
+		}
+	}
+	out := make([]ServiceSummary, 0, len(byName))
+	for _, sum := range byName {
+		if sum.Requests > 0 {
+			sum.MeanDur /= time.Duration(sum.Requests)
+		}
+		out = append(out, *sum)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Service < out[j].Service })
+	return out
+}
+
+// EvictRollups drops fine-tier (1 s) rollup buckets older than the cutoff
+// from every shard partial; queries over the evicted range fall back to
+// the 1 m tier. The cutoff is global, so shard count stays invisible.
+func (s *Server) EvictRollups(before time.Time) {
+	for _, p := range s.rollups {
+		p.EvictFineBefore(before)
+	}
+}
+
+// MapNode is one vertex of the service map with its server-side aggregate
+// (zero for pure clients).
+type MapNode struct {
+	Name     string
+	Requests uint64
+	Errors   uint64
+	MeanDur  time.Duration
+	MaxDur   time.Duration
+}
+
+// MapEdge is one directed client→server edge: RED aggregates from the
+// server-side spans plus kernel flow statistics for the endpoint pair.
+type MapEdge struct {
+	Client string
+	Server string
+	L7     trace.L7Proto
+
+	Requests uint64
+	Errors   uint64
+	MeanDur  time.Duration
+	MaxDur   time.Duration
+
+	// Span-attached network metrics.
+	Retransmissions uint64
+	Resets          uint64
+	ZeroWindows     uint64
+	BytesSent       uint64
+	BytesReceived   uint64
+
+	// Kernel flow statistics for the endpoint pair (from the in-kernel
+	// flow-stats map scrape; direction-independent, summed over capture
+	// points, shared by all L7 edges between the same pair).
+	KernelPackets uint64
+	KernelBytes   uint64
+	FlowResets    uint64
+	FlowRetrans   uint64
+
+	// Filter reproduces the edge's raw spans via QuerySpans — the
+	// drill-down from the pre-aggregated map back to full-fidelity traces.
+	Filter SpanFilter
+}
+
+// ServiceMapData is the universal service map over a time window.
+type ServiceMapData struct {
+	From, To time.Time
+	Nodes    []MapNode
+	Edges    []MapEdge
+}
+
+// endpointLabel resolves a smart-encoded endpoint identity at query time.
+func (s *Server) endpointLabel(e rollup.EndpointID) string {
+	switch {
+	case e.Service != 0:
+		return s.Registry.services.name(e.Service)
+	case e.Node != 0:
+		return s.Registry.nodes.name(e.Node)
+	case e.IP != 0:
+		return e.IP.String()
+	default:
+		return e.Proc
+	}
+}
+
+// edgeFilter builds the SpanFilter that reproduces an edge's raw spans.
+func (s *Server) edgeFilter(k rollup.EdgeKey) SpanFilter {
+	f := SpanFilter{TapSide: trace.TapServerProcess, L7: k.L7, Peer: s.endpointLabel(k.Client)}
+	switch {
+	case k.Server.Service != 0:
+		f.Service = s.Registry.services.name(k.Server.Service)
+	case k.Server.Node != 0:
+		f.Node = s.Registry.nodes.name(k.Server.Node)
+	default:
+		f.ProcessName = k.Server.Proc
+	}
+	return f
+}
+
+// ServiceMap builds the universal service map for [from, to) by merging
+// the shard partials' edge rollups (1 m resolution; the window widens to
+// bucket alignment). Output order is a total order over decoded labels, so
+// any shard count renders byte-identically.
+func (s *Server) ServiceMap(from, to time.Time) *ServiceMapData {
+	edges, flows := rollup.CollectEdges(s.rollups, from, to)
+	m := &ServiceMapData{From: from, To: to}
+
+	nodes := map[string]*MapNode{}
+	node := func(name string) *MapNode {
+		n := nodes[name]
+		if n == nil {
+			n = &MapNode{Name: name}
+			nodes[name] = n
+		}
+		return n
+	}
+	for _, k := range rollup.SortedEdgeKeys(edges) {
+		a := edges[k]
+		client, server := s.endpointLabel(k.Client), s.endpointLabel(k.Server)
+		e := MapEdge{
+			Client:          client,
+			Server:          server,
+			L7:              k.L7,
+			Requests:        a.Requests,
+			Errors:          a.Errors,
+			MaxDur:          time.Duration(a.DurMaxNS),
+			Retransmissions: a.Retransmissions,
+			Resets:          a.Resets,
+			ZeroWindows:     a.ZeroWindows,
+			BytesSent:       a.BytesSent,
+			BytesReceived:   a.BytesReceived,
+			Filter:          s.edgeFilter(k),
+		}
+		if a.Requests > 0 {
+			e.MeanDur = time.Duration(a.DurSumNS) / time.Duration(a.Requests)
+		}
+		if fa := flows[rollup.PairFor(k)]; fa != nil {
+			e.KernelPackets = fa.KernelPackets
+			e.KernelBytes = fa.KernelBytes
+			e.FlowResets = fa.Resets
+			e.FlowRetrans = fa.Retransmissions
+		}
+		m.Edges = append(m.Edges, e)
+
+		node(client)
+		sn := node(server)
+		sn.Requests += a.Requests
+		sn.Errors += a.Errors
+		sn.MeanDur += time.Duration(a.DurSumNS) // accumulated; divided below
+		if d := time.Duration(a.DurMaxNS); d > sn.MaxDur {
+			sn.MaxDur = d
+		}
+	}
+	// SortedEdgeKeys is a total order over encoded keys; re-sort by decoded
+	// labels for display (stable, so label ties keep the encoded order and
+	// the output stays deterministic).
+	sort.SliceStable(m.Edges, func(i, j int) bool {
+		a, b := m.Edges[i], m.Edges[j]
+		if a.Client != b.Client {
+			return a.Client < b.Client
+		}
+		if a.Server != b.Server {
+			return a.Server < b.Server
+		}
+		return a.L7 < b.L7
+	})
+	names := make([]string, 0, len(nodes))
+	for name := range nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := nodes[name]
+		if n.Requests > 0 {
+			n.MeanDur /= time.Duration(n.Requests)
+		}
+		m.Nodes = append(m.Nodes, *n)
+	}
+	return m
+}
+
+// EdgeSpans is the drill-down from a map edge back to its raw spans,
+// newest first (limit 0 = unlimited): the pre-aggregated map names the
+// suspect edge, the span store still holds the full-fidelity evidence.
+func (s *Server) EdgeSpans(m *ServiceMapData, e MapEdge, limit int) []*trace.Span {
+	return s.QuerySpans(m.From, m.To, e.Filter, limit)
+}
+
+// WriteText renders the map as an aligned text report.
+func (m *ServiceMapData) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "service map: %d services, %d edges\n", len(m.Nodes), len(m.Edges)); err != nil {
+		return err
+	}
+	for _, n := range m.Nodes {
+		if n.Requests == 0 {
+			if _, err := fmt.Fprintf(w, "  %-20s (client only)\n", n.Name); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "  %-20s %6d req %5d err  mean=%-10v max=%v\n",
+			n.Name, n.Requests, n.Errors, n.MeanDur, n.MaxDur); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, "edges (client → server):"); err != nil {
+		return err
+	}
+	for _, e := range m.Edges {
+		mark := ""
+		if e.Errors > 0 || e.Resets > 0 || e.FlowResets > 0 {
+			mark = "  <<"
+		}
+		if _, err := fmt.Fprintf(w, "  %-18s → %-18s %-5s %6d req %5d err  mean=%-10v rst=%d/%d retx=%d kpkts=%d kbytes=%d%s\n",
+			e.Client, e.Server, e.L7, e.Requests, e.Errors, e.MeanDur,
+			e.Resets, e.FlowResets, e.Retransmissions+e.FlowRetrans,
+			e.KernelPackets, e.KernelBytes, mark); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Text renders the map as a string (convenience for tests and CLIs).
+func (m *ServiceMapData) Text() string {
+	var b strings.Builder
+	_ = m.WriteText(&b)
+	return b.String()
+}
+
+// WriteDOT renders the map as a Graphviz digraph; edges with errors or
+// resets are drawn red so the faulty hop stands out (the paper's service
+// map highlights unhealthy paths the same way).
+func (m *ServiceMapData) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "digraph servicemap {"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "  rankdir=LR;\n  node [shape=box, fontname=\"Helvetica\"];"); err != nil {
+		return err
+	}
+	for _, n := range m.Nodes {
+		label := n.Name
+		if n.Requests > 0 {
+			label = fmt.Sprintf("%s\\n%d req, %d err", n.Name, n.Requests, n.Errors)
+		}
+		if _, err := fmt.Fprintf(w, "  %q [label=\"%s\"];\n", n.Name, label); err != nil {
+			return err
+		}
+	}
+	for _, e := range m.Edges {
+		attrs := fmt.Sprintf("label=\"%s %d req\\nmean %v\"", e.L7, e.Requests, e.MeanDur)
+		if e.Errors > 0 || e.Resets > 0 || e.FlowResets > 0 {
+			attrs = fmt.Sprintf("label=\"%s %d req, %d err\\nrst %d\", color=red, fontcolor=red",
+				e.L7, e.Requests, e.Errors, e.Resets+e.FlowResets)
+		}
+		if _, err := fmt.Fprintf(w, "  %q -> %q [%s];\n", e.Client, e.Server, attrs); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// instrumentRollups registers the rollup plane's self-monitoring gauges
+// (deepflow_server_rollup_*), summed across the shard partials like every
+// other partitioned instrument.
+func instrumentRollups(mon *selfmon.Registry, parts []*rollup.Partial) {
+	sum := func(per func(rollup.Stats) float64) func() float64 {
+		return func() float64 {
+			var t float64
+			for _, p := range parts {
+				t += per(p.Snapshot())
+			}
+			return t
+		}
+	}
+	mon.GaugeFunc("deepflow_server_rollup_fine_buckets",
+		sum(func(s rollup.Stats) float64 { return float64(s.FineBuckets) }))
+	mon.GaugeFunc("deepflow_server_rollup_coarse_buckets",
+		sum(func(s rollup.Stats) float64 { return float64(s.CoarseBuckets) }))
+	mon.GaugeFunc("deepflow_server_rollup_groups",
+		sum(func(s rollup.Stats) float64 { return float64(s.Groups) }))
+	mon.GaugeFunc("deepflow_server_rollup_edges",
+		sum(func(s rollup.Stats) float64 { return float64(s.Edges) }))
+	mon.GaugeFunc("deepflow_server_rollup_flow_pairs",
+		sum(func(s rollup.Stats) float64 { return float64(s.FlowPairs) }))
+	mon.GaugeFunc("deepflow_server_rollup_spans_observed",
+		sum(func(s rollup.Stats) float64 { return float64(s.SpansSeen) }))
+	mon.GaugeFunc("deepflow_server_rollup_flows_observed",
+		sum(func(s rollup.Stats) float64 { return float64(s.FlowsSeen) }))
+	mon.GaugeFunc("deepflow_server_rollup_fine_evicted",
+		sum(func(s rollup.Stats) float64 { return float64(s.FineEvicted) }))
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"deepflow/internal/metrics"
+	"deepflow/internal/rollup"
 	"deepflow/internal/selfmon"
 	"deepflow/internal/trace"
 	"deepflow/internal/transport"
@@ -36,6 +37,7 @@ type Server struct {
 
 	stores   []*SpanStore
 	profiles []*ProfileStore
+	rollups  []*rollup.Partial // one streaming-aggregation partial per shard
 
 	queue        *transport.Queue
 	startWorkers sync.Once
@@ -75,6 +77,11 @@ func NewSharded(reg *ResourceRegistry, enc Encoding, wide, shards int) *Server {
 		Mon:      selfmon.New("server", "server"),
 		queue:    transport.NewQueue(0),
 	}
+	// The rollup resolver is the registry's read-only IP lookup: edges and
+	// flow pairs get the same smart-encoded identities spans get.
+	resolve := func(ip trace.IP) trace.ResourceTags {
+		return reg.Enrich(trace.ResourceTags{IP: ip})
+	}
 	for i := 0; i < shards; i++ {
 		part := ""
 		if i > 0 {
@@ -82,6 +89,7 @@ func NewSharded(reg *ResourceRegistry, enc Encoding, wide, shards int) *Server {
 		}
 		s.stores = append(s.stores, newSpanStorePart(enc, reg, wide, part))
 		s.profiles = append(s.profiles, newProfileStorePart(enc, reg, part))
+		s.rollups = append(s.rollups, rollup.NewPartial(resolve))
 	}
 	s.Store = s.stores[0]
 	s.Profiles = s.profiles[0]
@@ -104,6 +112,7 @@ func NewSharded(reg *ResourceRegistry, enc Encoding, wide, shards int) *Server {
 		func() float64 { return s.queue.WaitTime().Seconds() })
 	instrumentStores(s.Mon, s.stores)
 	instrumentProfiles(s.Mon, s.profiles)
+	instrumentRollups(s.Mon, s.rollups)
 	// Smart-encoding dictionary cardinalities (Fig. 8's query-time name
 	// resolution depends on these staying small relative to span volume).
 	for name, d := range map[string]*dictionary{
@@ -177,7 +186,7 @@ func (s *Server) spawnWorkers() {
 // pulling.
 func (s *Server) ingestWorker(shard int) {
 	defer s.workersDone.Done()
-	st, pf := s.stores[shard], s.profiles[shard]
+	st, pf, rp := s.stores[shard], s.profiles[shard], s.rollups[shard]
 	for {
 		data, ok := s.queue.Pop()
 		if !ok {
@@ -192,10 +201,12 @@ func (s *Server) ingestWorker(shard int) {
 		for _, sp := range b.Spans {
 			sp.Resource = s.Registry.Enrich(sp.Resource)
 			st.Insert(sp)
+			rp.ObserveSpan(sp)
 			s.mSpans.Inc()
 		}
 		for _, f := range b.Flows {
 			s.ingestFlow(f)
+			rp.ObserveFlow(f)
 		}
 		for _, ps := range b.Profiles {
 			ps.Resource = s.Registry.Enrich(ps.Resource)
@@ -212,12 +223,16 @@ func (s *Server) ingestWorker(shard int) {
 func (s *Server) IngestSpan(sp *trace.Span) {
 	sp.Resource = s.Registry.Enrich(sp.Resource)
 	s.Store.Insert(sp)
+	s.rollups[0].ObserveSpan(sp)
 	s.mSpans.Inc()
 }
 
 // IngestFlow implements agent.Sink: flow metric deltas become series in the
 // metrics plane, tagged so they correlate with traces (§3.4).
-func (s *Server) IngestFlow(f transport.FlowSample) { s.ingestFlow(f) }
+func (s *Server) IngestFlow(f transport.FlowSample) {
+	s.ingestFlow(f)
+	s.rollups[0].ObserveFlow(f)
+}
 
 func (s *Server) ingestFlow(f transport.FlowSample) {
 	tags := map[string]string{

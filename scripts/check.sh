@@ -30,4 +30,10 @@ DF_GUARD=1 go test -run 'TestIngestScalingGuard|TestIngestCorrectness' -count=1 
 echo ">> dfbench ingest (writes BENCH_ingest.json)"
 go run ./cmd/dfbench ingest
 
+echo ">> rollup-equivalence gate (ServiceSummaryFast == raw scan on Bookinfo, shard-count invisible)"
+go test -run TestRollupEquivalenceGate -count=1 ./internal/experiments
+
+echo ">> dfbench rollup (writes BENCH_rollup.json; rollup >=5x raw scan at 10^6 spans)"
+go run ./cmd/dfbench rollup
+
 echo "check.sh: all green"
