@@ -5,7 +5,7 @@
 // Usage:
 //
 //	deepflow [-workload springboot|bookinfo|nginx] [-rate 200] [-duration 2s] [-traces 1]
-//	         [-map] [-dot] [-profile] [-debug-addr :6060]
+//	         [-map] [-dot] [-profile] [-alerts] [-debug-addr :6060]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"os"
 	"time"
 
+	"deepflow/internal/alerting"
 	"deepflow/internal/core"
 	"deepflow/internal/k8s"
 	"deepflow/internal/microsim"
@@ -33,6 +34,7 @@ func main() {
 	svcMap := flag.Bool("map", false, "print the universal service map (rollup-backed client→server edges with RED + kernel flow stats)")
 	dot := flag.Bool("dot", false, "print the service map as a Graphviz digraph (pipe into `dot -Tsvg`)")
 	profile := flag.Bool("profile", false, "enable the continuous profiling plane (99 Hz on-CPU sampling) and print top functions")
+	alerts := flag.Bool("alerts", false, "enable the continuous-detection plane and print the alert stream (fired alerts with suspects and drill-downs)")
 	shards := flag.Int("shards", 1, "server ingest shards (parallel batch decode+insert workers)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics (Prometheus) and /debug/pprof/ on this address after the run")
 	flag.Parse()
@@ -54,6 +56,15 @@ func main() {
 	opts := core.DefaultOptions()
 	opts.Agent.EnableProfiling = *profile
 	opts.Shards = *shards
+	if *alerts {
+		cfg := alerting.DefaultConfig()
+		opts.Alerting = &cfg
+		// Detection wants 1 s evaluation granularity, not the default 10 s,
+		// and a matching session slot so unanswered requests surface as
+		// timeout spans within the evaluation delay.
+		opts.FlushInterval = time.Second
+		opts.Agent.SessionWindow = time.Second
+	}
 	d := core.NewDeployment(env, []*k8s.Cluster{topo.Cluster}, nil, opts)
 	if err := d.DeployAll(); err != nil {
 		fmt.Fprintf(os.Stderr, "deepflow: %v\n", err)
@@ -85,6 +96,10 @@ func main() {
 	}
 	if *svcMap || *dot {
 		m := d.Server.ServiceMap(sim.Epoch, sim.Epoch.Add(24*time.Hour))
+		if d.Alerts != nil {
+			// Firing endpoints get highlighted on the rendered map.
+			m.MarkFiring(d.Alerts.FiringEndpoints())
+		}
 		fmt.Println()
 		if *dot {
 			if err := m.WriteDOT(os.Stdout); err != nil {
@@ -152,6 +167,15 @@ func main() {
 				fmt.Printf("\nslowest trace hot span: pod %q (%v); correlated profile rows: %d\n",
 					dec.Tags.Pod, sp.Duration(), len(prof))
 			}
+		}
+		fmt.Println()
+	}
+
+	if *alerts {
+		fmt.Println("continuous detection (alerting plane over the rollup stream):")
+		if err := d.Alerts.WriteText(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "deepflow: %v\n", err)
+			os.Exit(1)
 		}
 		fmt.Println()
 	}

@@ -80,6 +80,14 @@ type Config struct {
 	// false.
 	SelfmonOff bool
 
+	// SessionWindow overrides the session-aggregation time-slot duration
+	// (paper §3.3.1; 60 s in production, the zero-value default). Unanswered
+	// requests — timeouts, reset connections — surface as timeout spans only
+	// after their slot expires, so deployments running continuous detection
+	// shorten this to the flush cadence: the failure evidence then reaches
+	// the rollup stream within the alerting plane's evaluation delay.
+	SessionWindow time.Duration
+
 	// ProxyProcesses are process-name substrings of event-loop proxies
 	// (paper §3.3.2: for HAProxy, Envoy, and Nginx "DeepFlow utilizes its
 	// original capabilities to generate X-Request-IDs ... preserving the
@@ -182,6 +190,10 @@ func New(host *simnet.Host, cfg Config, sink Sink) (*Agent, error) {
 	a.tracer = NewSysTracer(ids)
 	a.sysSess = NewSessionizer(ids, a.tracer, cfg.ExtraCodecs, a.emitSpan)
 	a.nicSess = NewSessionizer(ids, nil, cfg.ExtraCodecs, a.emitSpan)
+	if cfg.SessionWindow > 0 {
+		a.sysSess.SetWindow(cfg.SessionWindow)
+		a.nicSess.SetWindow(cfg.SessionWindow)
+	}
 	progs, err := BuildPrograms(cfg.PerfCapacity)
 	if err != nil {
 		return nil, err

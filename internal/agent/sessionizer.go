@@ -123,6 +123,12 @@ func NewSessionizer(ids *trace.IDAllocator, tracer *SysTracer, extra []protocols
 	}
 }
 
+// SetWindow replaces the session-aggregation slot duration. Call it before
+// feeding any events; existing open requests are not re-slotted.
+func (sz *Sessionizer) SetWindow(slotDur time.Duration) {
+	sz.window = NewTimeWindow(slotDur)
+}
+
 // instrument registers this sessionizer's self-metrics under its capture
 // point tag ("syscall" or "packet"): protocol-inference hits and misses,
 // parse errors, orphan responses, window occupancy, and evictions.

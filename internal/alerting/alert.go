@@ -1,0 +1,178 @@
+// Package alerting is the continuous-detection plane over the streaming
+// rollup: it consumes finished 1 s rollup buckets, holds EWMA mean/variance
+// baselines per endpoint and per capture host, detects sustained deviations,
+// classifies each into a failure class from the paper's Fig. 2 survey, and
+// auto-invokes the matching §4.1 localization workflow — so the drill-down
+// an operator would run by hand is already attached when the alert fires.
+//
+// Everything downstream of the rollup merge is deterministic: the same
+// span/flow stream produces the same alert stream byte-for-byte at any
+// ingest shard count, the same contract every query surface honors.
+package alerting
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"deepflow/internal/faults"
+	"deepflow/internal/server"
+)
+
+// Kind is one detector — a signal pattern the plane watches for.
+type Kind string
+
+const (
+	// KindErrorBurst is a sustained rise in server-side error responses on
+	// one endpoint (§4.1.1's Nginx 404 burst).
+	KindErrorBurst Kind = "error-burst"
+	// KindRSTStorm is a sustained rise in TCP resets or retransmissions
+	// attributed to one endpoint's flows (§4.1.3's RabbitMQ backlog).
+	KindRSTStorm Kind = "rst-storm"
+	// KindCPUHog is a sustained latency inflation with no error signal —
+	// the served spans slow down and only the profile explains why.
+	KindCPUHog Kind = "cpu-hog"
+	// KindARPAnomaly is a sustained rise in ARP requests at one capture
+	// host's NIC (§4.1.2's faulty network card).
+	KindARPAnomaly Kind = "arp-anomaly"
+)
+
+// Class maps a detector to the Fig. 2 failure class its signal implicates.
+// The split between KindErrorBurst (application answered an error) and
+// KindRSTStorm (the network layer refused) is the paper's core
+// disambiguation: the same user-visible failure, different teams paged.
+func (k Kind) Class() faults.Class {
+	switch k {
+	case KindErrorBurst, KindCPUHog:
+		return faults.ClassApplication
+	case KindRSTStorm:
+		return faults.ClassMiddleware
+	case KindARPAnomaly:
+		return faults.ClassPhysicalNetwork
+	}
+	return ""
+}
+
+// State is an alert's lifecycle position. A breach bucket opens a pending
+// alert; FireAfter consecutive breaches confirm it (hysteresis — a
+// single-bucket spike never pages anyone); ResolveAfter consecutive healthy
+// buckets resolve it. A resolved endpoint that breaches again opens a new
+// alert with a new ID.
+type State string
+
+const (
+	StatePending  State = "pending"
+	StateFiring   State = "firing"
+	StateResolved State = "resolved"
+)
+
+// Evidence is the observation window that justified an alert: what was
+// seen, what the baseline expected, and the bucket range it spans —
+// enough for an operator (or a test) to re-derive the verdict.
+type Evidence struct {
+	Signal   string  // which baselined signal breached (errors, resets, ...)
+	Observed float64 // signal value in the most recent breach bucket
+	Baseline float64 // EWMA mean at that bucket (frozen during the breach)
+	Sigma    float64 // EWMA standard deviation at that bucket
+	From     time.Time
+	To       time.Time // breach window [From, To)
+}
+
+// Alert is one detected anomaly with its auto-attached localization.
+type Alert struct {
+	ID       uint64
+	Kind     Kind
+	Class    faults.Class
+	Endpoint string // endpoint name; the capture host for KindARPAnomaly
+	State    State
+
+	PendingAt  time.Time // first breach bucket start
+	FiredAt    time.Time // confirmation bucket close (zero while pending)
+	ResolvedAt time.Time // resolution bucket close (zero until resolved)
+
+	Evidence Evidence
+
+	// Suspect is the localization verdict rendered as key=value fields, or
+	// empty when Inconclusive: the matching faults workflow ran over the
+	// evidence window and found no culprit (e.g. the fault produced packet
+	// signals but not a single span).
+	Suspect      string
+	Inconclusive bool
+
+	// Drill reproduces the span population behind the alert — the query an
+	// operator would otherwise compose by hand.
+	Drill server.SpanFilter
+}
+
+// clock renders an aligned bucket timestamp compactly.
+func clock(t time.Time) string {
+	if t.IsZero() {
+		return "-"
+	}
+	return t.UTC().Format("15:04:05")
+}
+
+// num renders a signal value without float noise.
+func num(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", v), "0"), ".")
+}
+
+// drillString renders the non-zero fields of a drill-down filter.
+func drillString(f server.SpanFilter) string {
+	var parts []string
+	if f.Service != "" {
+		parts = append(parts, "service="+f.Service)
+	}
+	if f.ProcessName != "" {
+		parts = append(parts, "process="+f.ProcessName)
+	}
+	if f.Node != "" {
+		parts = append(parts, "node="+f.Node)
+	}
+	if f.Status != "" {
+		parts = append(parts, "status="+f.Status)
+	}
+	if f.TapSide != 0 {
+		parts = append(parts, "tap="+f.TapSide.String())
+	}
+	if f.MinDuration > 0 {
+		parts = append(parts, "min_duration="+f.MinDuration.String())
+	}
+	if len(parts) == 0 {
+		return "(all spans)"
+	}
+	return strings.Join(parts, " ")
+}
+
+// write renders one alert over multiple indented lines.
+func (a *Alert) write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "#%d %s/%s endpoint=%s state=%s\n",
+		a.ID, a.Kind, a.Class, a.Endpoint, a.State); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "   pending=%s fired=%s resolved=%s\n",
+		clock(a.PendingAt), clock(a.FiredAt), clock(a.ResolvedAt)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "   evidence %s: observed=%s baseline=%s sigma=%s window=[%s,%s)\n",
+		a.Evidence.Signal, num(a.Evidence.Observed), num(a.Evidence.Baseline),
+		num(a.Evidence.Sigma), clock(a.Evidence.From), clock(a.Evidence.To)); err != nil {
+		return err
+	}
+	suspect := a.Suspect
+	if a.Inconclusive {
+		suspect = "(localization inconclusive)"
+	}
+	if _, err := fmt.Fprintf(w, "   suspect: %s\n", suspect); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "   drill: %s\n", drillString(a.Drill))
+	return err
+}
+
+// sortAlerts orders alerts by ID (fire order).
+func sortAlerts(alerts []*Alert) {
+	sort.Slice(alerts, func(i, j int) bool { return alerts[i].ID < alerts[j].ID })
+}

@@ -1,0 +1,47 @@
+package alerting
+
+import "math"
+
+// baseline is an exponentially-weighted mean/variance estimate of one
+// signal's per-bucket value. EWMA keeps the state O(1) per key — the plane
+// never stores signal history — and adapts to slow drift while a sudden
+// level shift stands out as a multi-sigma deviation.
+//
+// Two rules keep it honest:
+//
+//   - Warmup floor: the first Config.Warmup observations only train the
+//     estimate; no breach can be declared until the baseline has seen
+//     enough normal traffic to mean anything.
+//   - Freeze under breach: a breaching bucket is NOT folded in, so a
+//     sustained fault cannot drag the baseline up toward itself and
+//     self-resolve the alert ("chasing the fault").
+//
+// All arithmetic is plain float64 over values derived from the merged
+// rollup (itself shard-count deterministic), so identical inputs yield an
+// identical baseline trajectory on every run.
+type baseline struct {
+	n    int     // observations folded in
+	mean float64 // EWMA mean
+	vari float64 // EWMA variance
+}
+
+// observe folds one bucket's value in with smoothing factor alpha.
+func (b *baseline) observe(x, alpha float64) {
+	b.n++
+	if b.n == 1 {
+		b.mean = x
+		return
+	}
+	d := x - b.mean
+	b.mean += alpha * d
+	b.vari = (1 - alpha) * (b.vari + alpha*d*d)
+}
+
+// sigma is the EWMA standard deviation.
+func (b *baseline) sigma() float64 { return math.Sqrt(b.vari) }
+
+// warm reports whether the estimate has absorbed enough buckets to judge.
+func (b *baseline) warm(warmup int) bool { return b.n >= warmup }
+
+// threshold is the breach bar: mean + k·sigma.
+func (b *baseline) threshold(k float64) float64 { return b.mean + k*b.sigma() }

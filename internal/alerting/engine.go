@@ -1,0 +1,560 @@
+package alerting
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"deepflow/internal/faults"
+	"deepflow/internal/rollup"
+	"deepflow/internal/selfmon"
+	"deepflow/internal/server"
+	"deepflow/internal/simnet"
+)
+
+// Config tunes the detection plane. The defaults fire on a sustained
+// multi-sigma deviation with small absolute floors — quiet on healthy
+// traffic, a few buckets of latency on real faults.
+type Config struct {
+	// Start anchors the evaluation cursor: the first fine bucket the
+	// engine will ever evaluate. Deployments set it to the deploy time.
+	Start time.Time
+	// Warmup is the number of buckets a baseline must absorb before its
+	// signal may breach (suppresses the cold-start where mean and sigma
+	// are meaningless).
+	Warmup int
+	// FireAfter is the consecutive breach buckets needed to confirm a
+	// pending alert (hysteresis: a one-bucket spike never fires).
+	FireAfter int
+	// ResolveAfter is the consecutive healthy buckets needed to resolve a
+	// firing alert.
+	ResolveAfter int
+	// Alpha is the EWMA smoothing factor.
+	Alpha float64
+	// DeviationK is the sigma multiplier in the breach bar mean + k·sigma.
+	DeviationK float64
+	// EvalDelay holds evaluation this far behind now, so a bucket is only
+	// judged once agents' shipped data for it has settled.
+	EvalDelay time.Duration
+
+	// Absolute floors: a deviation below these is noise regardless of how
+	// many sigmas it spans (a baseline of zero has sigma zero).
+	MinErrors      float64       // error-burst: errors per bucket
+	MinErrorRate   float64       // error-burst: errors/requests in the bucket
+	MinResets      float64       // rst-storm: resets per bucket
+	MinRetransmits float64       // rst-storm: retransmissions per bucket
+	MinARPs        float64       // arp-anomaly: ARP requests per bucket
+	MinLatency     time.Duration // cpu-hog: mean duration floor
+	LatencyFactor  float64       // cpu-hog: mean must exceed factor×baseline
+}
+
+// DefaultConfig returns the stock detection tuning.
+func DefaultConfig() Config {
+	return Config{
+		Warmup:       5,
+		FireAfter:    2,
+		ResolveAfter: 3,
+		Alpha:        0.3,
+		DeviationK:   4,
+		EvalDelay:    2 * time.Second,
+
+		MinErrors:      3,
+		MinErrorRate:   0.05,
+		MinResets:      3,
+		MinRetransmits: 20,
+		MinARPs:        20,
+		MinLatency:     time.Millisecond,
+		LatencyFactor:  2,
+	}
+}
+
+// lifecycle is one (endpoint, kind) detector's hysteresis state.
+type lifecycle struct {
+	breachRun  int
+	healthyRun int
+	current    *Alert // pending or firing alert, nil when idle
+}
+
+// epState is one endpoint's baselines plus detector lifecycles. All five
+// per-endpoint signals named by the rollup row are baselined; request rate
+// and retransmissions also serve as context in the debug view even when
+// their detector shares a kind (retransmissions fold into rst-storm).
+type epState struct {
+	rate baseline // requests per bucket (context; no detector of its own)
+	errs baseline // error responses per bucket
+	dur  baseline // mean served duration per bucket (ns)
+	rsts baseline // TCP resets per bucket
+	retx baseline // TCP retransmissions per bucket
+
+	errBurst lifecycle
+	rstStorm lifecycle
+	cpuHog   lifecycle
+}
+
+// hostState is one capture host's packet-plane baseline and lifecycle.
+type hostState struct {
+	arps baseline
+	arp  lifecycle
+}
+
+// Engine is the detection plane: feed it a clock via Evaluate and it walks
+// finished fine rollup buckets, updates baselines, steps alert lifecycles,
+// and localizes whatever fires. One engine per deployment, evaluated on
+// the flush tick after ingest has drained.
+type Engine struct {
+	cfg Config
+	srv *server.Server
+	net *simnet.Network // optional: packet-plane ground for ARP localization
+
+	// Mon carries the plane's self-metrics; the deployment exports it into
+	// the metrics store alongside agent and server registries.
+	Mon *selfmon.Registry
+
+	cursor  time.Time // next fine bucket to evaluate
+	nextID  uint64
+	eps     map[string]*epState
+	hosts   map[string]*hostState
+	history []*Alert // fired alerts (firing or resolved), in fire order
+
+	mFired      *selfmon.Counter
+	mResolved   *selfmon.Counter
+	mSuppressed *selfmon.Counter
+	mCanceled   *selfmon.Counter
+	mBuckets    *selfmon.Counter
+	mFiring     *selfmon.Gauge
+	mPending    *selfmon.Gauge
+	mEvalCost   *selfmon.Histogram
+}
+
+// New builds an engine over a server's rollup plane.
+func New(srv *server.Server, cfg Config) *Engine {
+	if cfg.FireAfter <= 0 {
+		cfg.FireAfter = 1
+	}
+	if cfg.ResolveAfter <= 0 {
+		cfg.ResolveAfter = 1
+	}
+	mon := selfmon.New("server", "alerting")
+	e := &Engine{
+		cfg:    cfg,
+		srv:    srv,
+		Mon:    mon,
+		cursor: cfg.Start.Truncate(rollup.FineBucket),
+		eps:    make(map[string]*epState),
+		hosts:  make(map[string]*hostState),
+
+		mFired:      mon.Counter("deepflow_alerting_fired_total"),
+		mResolved:   mon.Counter("deepflow_alerting_resolved_total"),
+		mSuppressed: mon.Counter("deepflow_alerting_suppressed_total"),
+		mCanceled:   mon.Counter("deepflow_alerting_canceled_total"),
+		mBuckets:    mon.Counter("deepflow_alerting_buckets_evaluated_total"),
+		mFiring:     mon.Gauge("deepflow_alerting_firing"),
+		mPending:    mon.Gauge("deepflow_alerting_pending"),
+		mEvalCost:   mon.Histogram("deepflow_alerting_eval_seconds", []float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1}),
+	}
+	return e
+}
+
+// SetNetwork attaches the simulated network so ARP alerts can localize to
+// the faulty NIC via the packet plane (optional).
+func (e *Engine) SetNetwork(net *simnet.Network) { e.net = net }
+
+// Evaluate advances the detection cursor through every fine bucket that
+// closed at least EvalDelay before now. Called on flush ticks, after the
+// ingest shards have drained, so each evaluated bucket is final.
+func (e *Engine) Evaluate(now time.Time) {
+	e.advance(now.Add(-e.cfg.EvalDelay).Truncate(rollup.FineBucket))
+}
+
+// Finalize evaluates every bucket with data up to now, ignoring EvalDelay —
+// the end-of-run flush, when no more data will arrive.
+func (e *Engine) Finalize(now time.Time) {
+	limit := now.Truncate(rollup.FineBucket)
+	if !limit.Equal(now) {
+		limit = limit.Add(rollup.FineBucket)
+	}
+	e.advance(limit)
+}
+
+func (e *Engine) advance(limit time.Time) {
+	if !e.cursor.Before(limit) {
+		return
+	}
+	start := time.Now()
+	for b := e.cursor; b.Before(limit); b = b.Add(rollup.FineBucket) {
+		e.evalBucket(b)
+		e.mBuckets.Inc()
+	}
+	e.cursor = limit
+	e.updateGauges()
+	e.mEvalCost.ObserveDuration(time.Since(start))
+}
+
+// evalBucket judges one finished fine bucket. Iteration is over sorted
+// name unions (current rows plus every tracked key), so the evaluation —
+// and therefore alert IDs — is deterministic for any shard count.
+func (e *Engine) evalBucket(b time.Time) {
+	be := b.Add(rollup.FineBucket)
+	rows := e.srv.EndpointStats(b, be)
+	byName := make(map[string]server.EndpointStat, len(rows))
+	names := make([]string, 0, len(rows)+len(e.eps))
+	for _, r := range rows {
+		byName[r.Name] = r
+		names = append(names, r.Name)
+	}
+	for name := range e.eps {
+		if _, ok := byName[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		row := byName[name] // zero row when the endpoint was silent
+		st := e.eps[name]
+		if st == nil {
+			st = &epState{}
+			e.eps[name] = st
+		}
+		e.evalEndpoint(b, name, st, row)
+	}
+
+	hrows := e.srv.HostNetStats(b, be)
+	byHost := make(map[string]server.HostNetStat, len(hrows))
+	hostNames := make([]string, 0, len(hrows)+len(e.hosts))
+	for _, r := range hrows {
+		byHost[r.Host] = r
+		hostNames = append(hostNames, r.Host)
+	}
+	for h := range e.hosts {
+		if _, ok := byHost[h]; !ok {
+			hostNames = append(hostNames, h)
+		}
+	}
+	sort.Strings(hostNames)
+
+	for _, h := range hostNames {
+		row := byHost[h]
+		st := e.hosts[h]
+		if st == nil {
+			st = &hostState{}
+			e.hosts[h] = st
+		}
+		obs := float64(row.ARPRequests)
+		breach := st.arps.warm(e.cfg.Warmup) &&
+			obs >= e.cfg.MinARPs &&
+			obs > st.arps.threshold(e.cfg.DeviationK)
+		e.step(&st.arp, KindARPAnomaly, h, b, breach, "arps", obs, &st.arps)
+		if !breach {
+			st.arps.observe(obs, e.cfg.Alpha)
+		}
+	}
+}
+
+// evalEndpoint runs the three endpoint detectors on one bucket row, in a
+// fixed order that encodes the paper's disambiguation: the packet plane
+// (rst-storm) is judged first and suppresses the application-plane
+// error-burst on the same endpoint — errors downstream of a reset storm
+// are symptoms, not the fault. A bucket distorted by either suppresses
+// cpu-hog, whose latency signal is only meaningful on clean traffic.
+func (e *Engine) evalEndpoint(b time.Time, name string, st *epState, row server.EndpointStat) {
+	st.rate.observe(float64(row.Requests), e.cfg.Alpha)
+
+	// rst-storm: resets, with retransmissions as a second breach path.
+	obsR := float64(row.Resets)
+	obsX := float64(row.Retransmissions)
+	breachR := st.rsts.warm(e.cfg.Warmup) &&
+		obsR >= e.cfg.MinResets &&
+		obsR > st.rsts.threshold(e.cfg.DeviationK)
+	breachX := st.retx.warm(e.cfg.Warmup) &&
+		obsX >= e.cfg.MinRetransmits &&
+		obsX > st.retx.threshold(e.cfg.DeviationK)
+	sig, obs, base := "resets", obsR, &st.rsts
+	if breachX && !breachR {
+		sig, obs, base = "retransmissions", obsX, &st.retx
+	}
+	rstBreach := breachR || breachX
+	e.step(&st.rstStorm, KindRSTStorm, name, b, rstBreach, sig, obs, base)
+	if !breachR {
+		st.rsts.observe(obsR, e.cfg.Alpha)
+	}
+	if !breachX {
+		st.retx.observe(obsX, e.cfg.Alpha)
+	}
+
+	// error-burst, suppressed while the packet plane is breaching.
+	obsE := float64(row.Errors)
+	rate := 0.0
+	if row.Requests > 0 {
+		rate = obsE / float64(row.Requests)
+	}
+	errBreach := st.errs.warm(e.cfg.Warmup) &&
+		obsE >= e.cfg.MinErrors &&
+		rate >= e.cfg.MinErrorRate &&
+		obsE > st.errs.threshold(e.cfg.DeviationK)
+	if rstBreach {
+		// Freeze: no lifecycle transition, no baseline poisoning.
+		if errBreach {
+			e.mSuppressed.Inc()
+		}
+	} else {
+		e.step(&st.errBurst, KindErrorBurst, name, b, errBreach, "errors", obsE, &st.errs)
+		if !errBreach {
+			st.errs.observe(obsE, e.cfg.Alpha)
+		}
+	}
+
+	// cpu-hog: mean served duration, judged only on clean buckets with
+	// traffic (an error or reset storm distorts latency; an idle bucket
+	// has no latency at all).
+	if row.Requests == 0 || rstBreach || errBreach {
+		return
+	}
+	obsD := float64(row.DurSumNS) / float64(row.Requests)
+	durBreach := st.dur.warm(e.cfg.Warmup) &&
+		obsD >= float64(e.cfg.MinLatency) &&
+		obsD >= e.cfg.LatencyFactor*st.dur.mean &&
+		obsD > st.dur.threshold(e.cfg.DeviationK)
+	e.step(&st.cpuHog, KindCPUHog, name, b, durBreach, "mean_duration_ns", obsD, &st.dur)
+	if !durBreach {
+		st.dur.observe(obsD, e.cfg.Alpha)
+	}
+}
+
+// step advances one detector lifecycle through one bucket.
+func (e *Engine) step(lc *lifecycle, kind Kind, endpoint string, b time.Time, breach bool, sig string, obs float64, base *baseline) {
+	be := b.Add(rollup.FineBucket)
+	if breach {
+		lc.healthyRun = 0
+		lc.breachRun++
+		if lc.current == nil {
+			e.nextID++
+			lc.current = &Alert{
+				ID:        e.nextID,
+				Kind:      kind,
+				Class:     kind.Class(),
+				Endpoint:  endpoint,
+				State:     StatePending,
+				PendingAt: b,
+				Evidence:  Evidence{Signal: sig, From: b},
+			}
+		}
+		if lc.current.State == StatePending {
+			// Evidence tracks the breach only until confirmation: what the
+			// alert carries is exactly what justified firing it (and what
+			// localization analyzed), not whatever came after.
+			ev := &lc.current.Evidence
+			ev.Signal, ev.Observed, ev.Baseline, ev.Sigma, ev.To = sig, obs, base.mean, base.sigma(), be
+			if lc.breachRun >= e.cfg.FireAfter {
+				e.fire(lc.current, be)
+			}
+		}
+		return
+	}
+	lc.breachRun = 0
+	if lc.current == nil {
+		return
+	}
+	switch lc.current.State {
+	case StatePending:
+		// The spike did not sustain: the pending alert dissolves silently.
+		lc.current = nil
+		e.mCanceled.Inc()
+	case StateFiring:
+		lc.healthyRun++
+		if lc.healthyRun >= e.cfg.ResolveAfter {
+			lc.current.State = StateResolved
+			lc.current.ResolvedAt = be
+			lc.current = nil
+			lc.healthyRun = 0
+			e.mResolved.Inc()
+		}
+	}
+}
+
+// fire confirms a pending alert and runs the matching localization
+// workflow over its evidence window — the zero-operator-call drill-down.
+func (e *Engine) fire(al *Alert, at time.Time) {
+	al.State = StateFiring
+	al.FiredAt = at
+	e.history = append(e.history, al)
+	e.mFired.Inc()
+	e.localize(al)
+}
+
+// localize attaches the suspect and the drill-down filter for one alert.
+// Every workflow reports inconclusive explicitly when the evidence window
+// holds no spans to analyze (a packet-only fault), rather than guessing.
+func (e *Engine) localize(al *Alert) {
+	from, to := al.Evidence.From, al.Evidence.To
+	switch al.Kind {
+	case KindErrorBurst:
+		r := faults.LocalizeErrorSource(e.srv, from, to)
+		if r.Conclusive() {
+			al.Suspect = fmt.Sprintf("pod=%s host=%s errors=%d", r.Pod, r.Host, r.Errors)
+		} else {
+			al.Inconclusive = true
+		}
+		al.Drill = e.srv.EndpointFilter(al.Endpoint)
+		al.Drill.Status = "error"
+	case KindRSTStorm:
+		r := faults.LocalizeResets(e.srv, from, to)
+		if r.Conclusive() {
+			al.Suspect = fmt.Sprintf("flow=%s host=%s resets=%s", r.Flow, r.Host, num(r.Resets))
+		} else {
+			al.Inconclusive = true
+		}
+		al.Drill = e.srv.EndpointFilter(al.Endpoint)
+	case KindCPUHog:
+		r := faults.LocalizeCPUHog(e.srv, from, to)
+		if r.Conclusive() {
+			al.Suspect = fmt.Sprintf("pod=%s proc=%s frame=%s self=%s", r.Pod, r.Proc, r.TopFrame, r.SelfTime)
+		} else {
+			al.Inconclusive = true
+		}
+		al.Drill = e.srv.EndpointFilter(al.Endpoint)
+		if al.Evidence.Baseline > 0 {
+			al.Drill.MinDuration = time.Duration(int64(al.Evidence.Baseline))
+		}
+	case KindARPAnomaly:
+		if e.net != nil {
+			if suspects := faults.LocalizeARPAnomaly(e.net); len(suspects) > 0 {
+				top := suspects[0]
+				al.Suspect = fmt.Sprintf("host=%s nic=%s arps=%d", top.Host, top.NIC, top.ARPs)
+			}
+		}
+		if al.Suspect == "" {
+			// No packet-plane ground attached: the breaching capture host
+			// itself is the best available suspect.
+			al.Suspect = fmt.Sprintf("host=%s arps=%s (capture point)", al.Endpoint, num(al.Evidence.Observed))
+		}
+		al.Drill = e.hostFilter(al.Endpoint)
+	}
+}
+
+// hostFilter builds a drill-down for a capture host: the pod filter when
+// the host is a pod, else the node filter.
+func (e *Engine) hostFilter(host string) server.SpanFilter {
+	if ip := e.srv.Registry.IPOf(host); ip != 0 {
+		d := e.srv.Registry.DecodeIP(ip)
+		if d.Pod != "" {
+			return server.SpanFilter{Pod: d.Pod}
+		}
+		if d.Node != "" {
+			return server.SpanFilter{Node: d.Node}
+		}
+	}
+	return server.SpanFilter{Node: host}
+}
+
+// updateGauges refreshes the firing/pending level gauges.
+func (e *Engine) updateGauges() {
+	firing, pending := 0, 0
+	count := func(lc *lifecycle) {
+		if lc.current == nil {
+			return
+		}
+		switch lc.current.State {
+		case StateFiring:
+			firing++
+		case StatePending:
+			pending++
+		}
+	}
+	for _, st := range e.eps {
+		count(&st.errBurst)
+		count(&st.rstStorm)
+		count(&st.cpuHog)
+	}
+	for _, st := range e.hosts {
+		count(&st.arp)
+	}
+	e.mFiring.Set(float64(firing))
+	e.mPending.Set(float64(pending))
+}
+
+// Alerts returns every alert that ever fired (firing or resolved), in fire
+// order.
+func (e *Engine) Alerts() []*Alert {
+	out := make([]*Alert, len(e.history))
+	copy(out, e.history)
+	return out
+}
+
+// Firing returns the currently-firing alerts in fire order.
+func (e *Engine) Firing() []*Alert {
+	var out []*Alert
+	for _, al := range e.history {
+		if al.State == StateFiring {
+			out = append(out, al)
+		}
+	}
+	return out
+}
+
+// Pending returns alerts breaching but not yet confirmed, ordered by ID.
+func (e *Engine) Pending() []*Alert {
+	var out []*Alert
+	collect := func(lc *lifecycle) {
+		if lc.current != nil && lc.current.State == StatePending {
+			out = append(out, lc.current)
+		}
+	}
+	for _, st := range e.eps {
+		collect(&st.errBurst)
+		collect(&st.rstStorm)
+		collect(&st.cpuHog)
+	}
+	for _, st := range e.hosts {
+		collect(&st.arp)
+	}
+	sortAlerts(out)
+	return out
+}
+
+// FiringEndpoints returns the sorted unique endpoint names with a firing
+// alert — the set the service map highlights.
+func (e *Engine) FiringEndpoints() []string {
+	seen := map[string]bool{}
+	for _, al := range e.Firing() {
+		seen[al.Endpoint] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteText renders the full alert stream — fired history then pending —
+// deterministically: the byte stream is identical for identical input at
+// any ingest shard count.
+func (e *Engine) WriteText(w io.Writer) error {
+	firing := len(e.Firing())
+	pending := e.Pending()
+	if _, err := fmt.Fprintf(w, "alerts: %d fired (%d firing, %d resolved), %d pending\n",
+		len(e.history), firing, len(e.history)-firing, len(pending)); err != nil {
+		return err
+	}
+	for _, al := range e.history {
+		if err := al.write(w); err != nil {
+			return err
+		}
+	}
+	for _, al := range pending {
+		if err := al.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Text renders WriteText to a string.
+func (e *Engine) Text() string {
+	var b strings.Builder
+	_ = e.WriteText(&b)
+	return b.String()
+}

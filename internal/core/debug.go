@@ -9,9 +9,9 @@ import (
 
 // DebugMux builds the deployment's operator debug endpoint: Go's runtime
 // profiling handlers under /debug/pprof/ (the real deepflow-agent exposes
-// the same) plus /metrics serving every self-monitoring registry — server
-// and all agents — in full Prometheus exposition format, histograms
-// included. Serve it with `deepflow -debug-addr`.
+// the same) plus /metrics serving every self-monitoring registry — server,
+// the alerting engine when enabled, and all agents — in full Prometheus
+// exposition format, histograms included. Serve it with `deepflow -debug-addr`.
 func (d *Deployment) DebugMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -31,12 +31,22 @@ func (d *Deployment) DebugMux() *http.ServeMux {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/alerts", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if d.Alerts == nil {
+			fmt.Fprintln(w, "alerting disabled (Options.Alerting is nil)")
+			return
+		}
+		if err := d.Alerts.WriteText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "deepflow debug endpoint: /metrics, /verifier, /debug/pprof/")
+		fmt.Fprintln(w, "deepflow debug endpoint: /metrics, /verifier, /alerts, /debug/pprof/")
 	})
 	return mux
 }
@@ -63,12 +73,17 @@ func (d *Deployment) WriteVerifierReport(w io.Writer) error {
 	return nil
 }
 
-// WriteSelfStatsProm renders the server's and every agent's registry in
-// full Prometheus exposition format (TYPE lines, cumulative histogram
-// buckets), sorted by host for determinism.
+// WriteSelfStatsProm renders the server's, the alerting engine's (when
+// enabled), and every agent's registry in full Prometheus exposition format
+// (TYPE lines, cumulative histogram buckets), sorted by host for determinism.
 func (d *Deployment) WriteSelfStatsProm(w interface{ Write([]byte) (int, error) }) error {
 	if err := d.Server.Mon.WritePromFull(w); err != nil {
 		return err
+	}
+	if d.Alerts != nil {
+		if err := d.Alerts.Mon.WritePromFull(w); err != nil {
+			return err
+		}
 	}
 	for _, name := range d.agentNames() {
 		if err := d.agents[name].Mon.WritePromFull(w); err != nil {

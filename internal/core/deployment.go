@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"deepflow/internal/agent"
+	"deepflow/internal/alerting"
 	"deepflow/internal/cloud"
 	"deepflow/internal/k8s"
 	"deepflow/internal/microsim"
@@ -38,6 +39,11 @@ type Options struct {
 	// that range answer from the 1 m tier instead. Zero keeps the fine tier
 	// forever (experiments and short simulations).
 	RollupFineRetention time.Duration
+	// Alerting enables the continuous-detection plane with the given
+	// tuning (nil disables it). The engine evaluates finished rollup
+	// buckets on every flush tick, after ingest has drained; its Start
+	// defaults to the deployment's creation time.
+	Alerting *alerting.Config
 }
 
 // DefaultOptions returns a full-featured deployment.
@@ -56,6 +62,9 @@ type Deployment struct {
 	Server   *server.Server
 	Registry *server.ResourceRegistry
 	Cloud    *cloud.Registry
+	// Alerts is the continuous-detection plane, nil unless Options.Alerting
+	// was set.
+	Alerts *alerting.Engine
 
 	agents  map[string]*agent.Agent
 	flushOn bool
@@ -86,7 +95,7 @@ func NewDeployment(env *microsim.Env, clusters []*k8s.Cluster, cl *cloud.Registr
 			reg.RegisterHost(h.Name, h.IP, cl)
 		}
 	}
-	return &Deployment{
+	d := &Deployment{
 		Env:      env,
 		Opts:     opts,
 		Server:   server.NewSharded(reg, opts.Encoding, 0, opts.Shards),
@@ -94,6 +103,15 @@ func NewDeployment(env *microsim.Env, clusters []*k8s.Cluster, cl *cloud.Registr
 		Cloud:    cl,
 		agents:   make(map[string]*agent.Agent),
 	}
+	if opts.Alerting != nil {
+		cfg := *opts.Alerting
+		if cfg.Start.IsZero() {
+			cfg.Start = env.Eng.Now()
+		}
+		d.Alerts = alerting.New(d.Server, cfg)
+		d.Alerts.SetNetwork(env.Net)
+	}
+	return d
 }
 
 // DeployAll installs and starts an agent on every host in the environment
@@ -190,6 +208,11 @@ func (d *Deployment) scheduleFlush() {
 			// makes the shard count observable.
 			d.Server.EvictRollups(now.Add(-d.Opts.RollupFineRetention))
 		}
+		if d.Alerts != nil {
+			// Judge finished buckets now that this tick's batches have
+			// drained: detection rides the same cadence as everything else.
+			d.Alerts.Evaluate(now)
+		}
 		d.ScrapeSelf(now)
 		d.Env.Eng.After(d.Opts.FlushInterval, tick)
 	}
@@ -202,7 +225,13 @@ func (d *Deployment) FlushAll() {
 		ag.FlushAll()
 	}
 	d.Server.Drain()
-	d.ScrapeSelf(d.Env.Eng.Now())
+	now := d.Env.Eng.Now()
+	if d.Alerts != nil {
+		// No more data will arrive: judge every remaining bucket without
+		// the usual evaluation delay.
+		d.Alerts.Finalize(now)
+	}
+	d.ScrapeSelf(now)
 }
 
 // ScrapeSelf exports every agent's and the server's self-metrics into the
@@ -215,7 +244,13 @@ func (d *Deployment) ScrapeSelf(now time.Time) {
 	for _, ag := range d.agents {
 		ag.Mon.Export(d.Server.Metrics, now)
 	}
+	// Freshness lag is clock-relative, so recompute it at scrape time with
+	// the scrape's own clock.
+	d.Server.UpdateFreshness(now)
 	d.Server.Mon.Export(d.Server.Metrics, now)
+	if d.Alerts != nil {
+		d.Alerts.Mon.Export(d.Server.Metrics, now)
+	}
 }
 
 // WriteSelfStats renders the self-metrics of the server and every agent
@@ -223,6 +258,14 @@ func (d *Deployment) ScrapeSelf(now time.Time) {
 func (d *Deployment) WriteSelfStats(w io.Writer) error {
 	if err := d.Server.WriteStats(w); err != nil {
 		return err
+	}
+	if d.Alerts != nil {
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		if err := d.Alerts.Mon.WriteProm(w); err != nil {
+			return err
+		}
 	}
 	for _, name := range d.agentNames() {
 		if _, err := fmt.Fprintln(w); err != nil {

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestAlertingQualityGate is the CI detection-quality gate: every injected
+// fault scenario must raise at least one alert of exactly the expected class
+// with a suspect naming the injected site, the healthy baseline must stay
+// silent, no scenario may raise an unexpected kind, detection must land
+// within a few buckets, and the alert stream must be shard-independent.
+func TestAlertingQualityGate(t *testing.T) {
+	res, err := RunAlerting()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range res.Scenarios {
+		if sc.FalseAlerts != 0 {
+			t.Errorf("%s: %d unexpected alerts (fired %v, expected %q)",
+				sc.Scenario, sc.FalseAlerts, sc.Fired, sc.Expected)
+		}
+		if sc.Expected == "" {
+			if len(sc.Fired) != 0 {
+				t.Errorf("healthy baseline fired: %v", sc.Fired)
+			}
+			continue
+		}
+		if !sc.Detected {
+			t.Errorf("%s: expected a %s alert, fired %v", sc.Scenario, sc.Expected, sc.Fired)
+			continue
+		}
+		if !sc.SuspectOK {
+			t.Errorf("%s: suspect %q does not name the injected site (or is inconclusive)",
+				sc.Scenario, sc.Suspect)
+		}
+		if sc.LatencyBuckets < 1 || sc.LatencyBuckets > 4 {
+			t.Errorf("%s: detection latency %d buckets, want 1..4", sc.Scenario, sc.LatencyBuckets)
+		}
+	}
+	if res.Recall != 1 {
+		t.Errorf("recall = %.2f, want 1.00", res.Recall)
+	}
+	if res.Precision != 1 {
+		t.Errorf("precision = %.2f, want 1.00", res.Precision)
+	}
+	if !res.ShardStreamIdentical {
+		t.Error("alert stream differs between 1 and 4 ingest shards")
+	}
+}

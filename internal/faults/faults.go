@@ -71,16 +71,24 @@ func InjectNodeLatency(h *simnet.Host, d time.Duration) { h.UplinkLatency = d }
 
 // Localization helpers: turn DeepFlow's spans and metrics into a verdict.
 
-// ErrorPodResult is a localization verdict.
+// ErrorPodResult is a localization verdict. The zero value means the window
+// held no server-side error spans at all — callers (e.g. the alerting
+// plane) must check Conclusive before trusting the suspect.
 type ErrorPodResult struct {
 	Pod    string
 	Host   string
 	Errors int
 }
 
+// Conclusive reports whether the analysis actually found an error source.
+func (r ErrorPodResult) Conclusive() bool { return r.Errors > 0 }
+
 // LocalizeErrorSource finds the server-side span population with the most
 // error responses in a window and names its pod — the §4.1.1 workflow
-// ("one of the pods hosting Nginx Ingress Control has an error").
+// ("one of the pods hosting Nginx Ingress Control has an error"). An empty
+// or span-free window returns the explicit zero value (Conclusive() ==
+// false) rather than an arbitrary name; ties break toward the
+// lexicographically smallest pod so the verdict is deterministic.
 func LocalizeErrorSource(srv *server.Server, from, to time.Time) ErrorPodResult {
 	counts := map[string]*ErrorPodResult{}
 	for _, sp := range srv.SpanList(from, to, 0) {
@@ -99,9 +107,14 @@ func LocalizeErrorSource(srv *server.Server, from, to time.Time) ErrorPodResult 
 		}
 		r.Errors++
 	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	var best ErrorPodResult
-	for _, r := range counts {
-		if r.Errors > best.Errors {
+	for _, k := range keys {
+		if r := counts[k]; r.Errors > best.Errors {
 			best = *r
 		}
 	}
@@ -139,9 +152,15 @@ type ResetSource struct {
 	Resets float64
 }
 
+// Conclusive reports whether any error span correlated with reset metrics —
+// the zero value (a window with no error/timeout spans, or error spans with
+// no reset series) means the workflow produced no suspect.
+func (r ResetSource) Conclusive() bool { return r.Resets > 0 }
+
 // LocalizeResets scans error/timeout spans in the window, pulls the reset
 // metric series correlated with each span's flow, and returns the flow
-// with the most resets.
+// with the most resets. A span-free window returns the explicit zero value
+// (Conclusive() == false).
 func LocalizeResets(srv *server.Server, from, to time.Time) ResetSource {
 	var best ResetSource
 	for _, sp := range srv.SpanList(from, to, 0) {
@@ -174,6 +193,9 @@ type CPUHogResult struct {
 	TopFrame string        // leaf frame with the most self samples in the span window
 	Samples  uint64        // sample count behind TopFrame
 }
+
+// Conclusive reports whether the window held a trace to analyze at all.
+func (r CPUHogResult) Conclusive() bool { return r.Proc != "" || r.Pod != "" }
 
 // LocalizeCPUHog runs the §4.1.3 workflow extended to the profiling pillar:
 // take the slowest entry span in the window, assemble its trace, find the

@@ -19,6 +19,9 @@ type UnreachableTarget struct {
 	Failures int
 }
 
+// Conclusive reports whether any unserved failure was actually observed.
+func (u UnreachableTarget) Conclusive() bool { return u.Failures > 0 }
+
 // LocalizeUnreachable counts client-side error/timeout spans whose message
 // produced no server-side span at all: when a pod is down the caller's
 // evidence is the only evidence, which distinguishes "the target is gone"
@@ -90,9 +93,15 @@ func LocalizeUnreachable(srv *server.Server, from, to time.Time) UnreachableTarg
 		}
 		bump(hostIP, n)
 	}
+	// Deterministic verdict: ties break toward the smallest destination IP.
+	ips := make([]trace.IP, 0, len(counts))
+	for ip := range counts {
+		ips = append(ips, ip)
+	}
+	sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
 	var best UnreachableTarget
-	for _, u := range counts {
-		if u.Failures > best.Failures {
+	for _, ip := range ips {
+		if u := counts[ip]; u.Failures > best.Failures {
 			best = *u
 		}
 	}
@@ -156,9 +165,14 @@ func LocalizeTopTalker(srv *server.Server, from, to time.Time) TopTalker {
 			}
 		}
 	}
+	flows := make([]string, 0, len(totals))
+	for flow := range totals {
+		flows = append(flows, flow)
+	}
+	sort.Strings(flows)
 	var best TopTalker
-	for flow, bytes := range totals {
-		if bytes > best.Bytes {
+	for _, flow := range flows {
+		if bytes := totals[flow]; bytes > best.Bytes {
 			best = TopTalker{Flow: flow, Bytes: bytes}
 		}
 	}

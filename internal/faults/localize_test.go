@@ -76,3 +76,41 @@ func TestLocalizeUnreachableExcludesServed(t *testing.T) {
 		t.Fatalf("verdict = %+v (served message counted?)", got)
 	}
 }
+
+// TestLocalizationInconclusiveOnEmptyWindow pins the contract the alerting
+// plane relies on: a window with no spans (or no matching spans) returns an
+// explicit zero value reporting itself inconclusive, never an arbitrary
+// suspect.
+func TestLocalizationInconclusiveOnEmptyWindow(t *testing.T) {
+	reg := server.NewResourceRegistry(nil, nil)
+	srv := server.New(reg, server.EncodingSmart)
+	from, to := sim.Epoch, sim.Epoch.Add(time.Minute)
+
+	if got := LocalizeErrorSource(srv, from, to); got != (ErrorPodResult{}) || got.Conclusive() {
+		t.Fatalf("empty-window error source = %+v", got)
+	}
+	if got := LocalizeResets(srv, from, to); got != (ResetSource{}) || got.Conclusive() {
+		t.Fatalf("empty-window reset source = %+v", got)
+	}
+	if got := LocalizeCPUHog(srv, from, to); got != (CPUHogResult{}) || got.Conclusive() {
+		t.Fatalf("empty-window cpu hog = %+v", got)
+	}
+	if got := LocalizeUnreachable(srv, from, to); got != (UnreachableTarget{}) || got.Conclusive() {
+		t.Fatalf("empty-window unreachable = %+v", got)
+	}
+
+	// Healthy spans only (no errors): still inconclusive.
+	srv.IngestSpan(&trace.Span{
+		ID: 1, TapSide: trace.TapServerProcess, L7: trace.L7HTTP,
+		Flow:      trace.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 999, DstPort: 80, Proto: trace.L4TCP},
+		StartTime: sim.Epoch.Add(time.Second), EndTime: sim.Epoch.Add(time.Second + 5*time.Millisecond),
+		ProcessName: "web", ResponseStatus: "ok", ResponseCode: 200,
+	})
+	srv.Drain()
+	if got := LocalizeErrorSource(srv, from, to); got.Conclusive() {
+		t.Fatalf("healthy window produced error suspect: %+v", got)
+	}
+	if got := LocalizeResets(srv, from, to); got.Conclusive() {
+		t.Fatalf("healthy window produced reset suspect: %+v", got)
+	}
+}

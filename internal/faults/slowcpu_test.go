@@ -1,4 +1,4 @@
-package faults
+package faults_test
 
 import (
 	"strings"
@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"deepflow/internal/core"
+	"deepflow/internal/faults"
 	"deepflow/internal/k8s"
 	"deepflow/internal/microsim"
 	"deepflow/internal/server"
@@ -21,7 +22,7 @@ import (
 func TestSlowCPULocalizedByTraceProfileCorrelation(t *testing.T) {
 	env := microsim.NewEnv(11)
 	topo := microsim.BuildBookinfo(env, nil)
-	InjectCPUHog(env.Component("details"), sim.Const{D: 25 * time.Millisecond}, "details.handle.hotloop")
+	faults.InjectCPUHog(env.Component("details"), sim.Const{D: 25 * time.Millisecond}, "details.handle.hotloop")
 
 	opts := core.DefaultOptions()
 	opts.Agent.EnableProfiling = true
@@ -40,7 +41,7 @@ func TestSlowCPULocalizedByTraceProfileCorrelation(t *testing.T) {
 	}
 
 	from, to := sim.Epoch, env.Eng.Now()
-	verdict := LocalizeCPUHog(df.Server, from, to)
+	verdict := faults.LocalizeCPUHog(df.Server, from, to)
 	if verdict.Pod != "bi-details-0" {
 		t.Fatalf("hot span localized to pod %q, want bi-details-0 (verdict %+v)", verdict.Pod, verdict)
 	}

@@ -177,6 +177,61 @@ func (a *FlowAgg) observe(f transport.FlowSample) {
 	a.KernelBytes += f.KernelBytes
 }
 
+// HostAgg is one capture host's packet-plane signal aggregate within one
+// fine (1 s) bucket: the kernel-side counters the alerting plane baselines
+// even when no span ships from that host (an ARP storm or a
+// connection-refused reset burst produces flow samples, not spans). All
+// fields are sums, so per-shard partials merge deterministically.
+type HostAgg struct {
+	ARPRequests     uint64
+	Resets          uint64
+	Retransmissions uint64
+	ZeroWindows     uint64
+}
+
+// Merge folds o into a.
+func (a *HostAgg) Merge(o *HostAgg) {
+	a.ARPRequests += o.ARPRequests
+	a.Resets += o.Resets
+	a.Retransmissions += o.Retransmissions
+	a.ZeroWindows += o.ZeroWindows
+}
+
+func (a *HostAgg) observe(f transport.FlowSample) {
+	a.ARPRequests += uint64(f.Delta.ARPRequests)
+	a.Resets += uint64(f.Delta.Resets)
+	a.Retransmissions += uint64(f.Delta.Retransmissions)
+	a.ZeroWindows += uint64(f.Delta.ZeroWindows)
+}
+
+// CollectHostNet merges the partials' per-host packet-plane signals over
+// [from, to). The host-net map lives at fine (1 s) resolution only and is
+// evicted with the fine watermark; queries over an evicted range see
+// nothing (the signal exists for recent-window anomaly detection, not
+// retained history).
+func CollectHostNet(parts []*Partial, from, to time.Time) map[string]*HostAgg {
+	lo, hi := from.UnixNano(), to.UnixNano()
+	out := make(map[string]*HostAgg)
+	for _, p := range parts {
+		p.mu.Lock()
+		for b, hm := range p.hostNet {
+			if b < lo || b >= hi {
+				continue
+			}
+			for host, a := range hm {
+				dst := out[host]
+				if dst == nil {
+					dst = &HostAgg{}
+					out[host] = dst
+				}
+				dst.Merge(a)
+			}
+		}
+		p.mu.Unlock()
+	}
+	return out
+}
+
 // CollectEdges merges the partials' edge and flow-pair aggregates over
 // [from, to). The map tiers are kept at coarse (1 m) resolution only — the
 // service map is a dashboard artifact and never needs 1 s buckets — so the

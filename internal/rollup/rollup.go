@@ -192,6 +192,12 @@ type Partial struct {
 
 	edges map[int64]map[EdgeKey]*EdgeAgg
 	flows map[int64]map[PairKey]*FlowAgg
+	// hostNet is the fine-tier packet-plane signal map: capture host →
+	// per-1s-bucket network counters from kernel flow samples. It exists for
+	// the alerting plane, which needs ARP/reset signals at detection
+	// resolution even when no span ships (e.g. connection-refused storms);
+	// it is evicted with the fine watermark and has no coarse fallback.
+	hostNet map[int64]map[string]*HostAgg
 
 	spansSeen   uint64
 	flowsSeen   uint64
@@ -206,6 +212,7 @@ func NewPartial(resolve Resolver) *Partial {
 		coarse:  make(tier),
 		edges:   make(map[int64]map[EdgeKey]*EdgeAgg),
 		flows:   make(map[int64]map[PairKey]*FlowAgg),
+		hostNet: make(map[int64]map[string]*HostAgg),
 	}
 }
 
@@ -263,6 +270,8 @@ func (p *Partial) ObserveFlow(f transport.FlowSample) {
 	)
 	cb := bucketStart(f.TS, CoarseBucket)
 
+	fb := bucketStart(f.TS, FineBucket)
+
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.flowsSeen++
@@ -277,6 +286,20 @@ func (p *Partial) ObserveFlow(f transport.FlowSample) {
 		fm[pk] = fa
 	}
 	fa.observe(f)
+
+	if fb >= p.fineFloor {
+		hm := p.hostNet[fb]
+		if hm == nil {
+			hm = make(map[string]*HostAgg)
+			p.hostNet[fb] = hm
+		}
+		ha := hm[f.Host]
+		if ha == nil {
+			ha = &HostAgg{}
+			hm[f.Host] = ha
+		}
+		ha.observe(f)
+	}
 }
 
 // EvictFineBefore drops fine-tier buckets older than cutoff, rounding the
@@ -296,6 +319,11 @@ func (p *Partial) EvictFineBefore(cutoff time.Time) {
 		if b < floor {
 			delete(p.fine, b)
 			p.fineEvicted++
+		}
+	}
+	for b := range p.hostNet {
+		if b < floor {
+			delete(p.hostNet, b)
 		}
 	}
 }
@@ -318,6 +346,7 @@ type Stats struct {
 	EdgeBuckets   int
 	Edges         int // edge groups across buckets
 	FlowPairs     int
+	HostNetHosts  int // host-signal groups across fine buckets
 	SpansSeen     uint64
 	FlowsSeen     uint64
 	FineEvicted   uint64
@@ -343,6 +372,9 @@ func (p *Partial) Snapshot() Stats {
 	}
 	for _, fm := range p.flows {
 		s.FlowPairs += len(fm)
+	}
+	for _, hm := range p.hostNet {
+		s.HostNetHosts += len(hm)
 	}
 	return s
 }

@@ -219,6 +219,65 @@ func TestEndpointIdentity(t *testing.T) {
 	}
 }
 
+// TestHostNetSignals: kernel flow samples aggregate per capture host at
+// fine resolution, split deterministically across partials, and are
+// evicted with the fine watermark (no coarse fallback).
+func TestHostNetSignals(t *testing.T) {
+	mkFlow := func(at time.Duration, host string, arps, resets uint32) transport.FlowSample {
+		return transport.FlowSample{
+			TS: epoch.Add(at), Host: host, NIC: "eth0",
+			Tuple: trace.FiveTuple{SrcIP: 10, DstIP: 11, SrcPort: 4000, DstPort: 80, Proto: trace.L4TCP},
+			Delta: trace.NetMetrics{ARPRequests: arps, Resets: resets, Retransmissions: 1},
+		}
+	}
+	flows := []transport.FlowSample{
+		mkFlow(100*time.Millisecond, "node-1", 2, 0),
+		mkFlow(300*time.Millisecond, "node-1", 3, 1),
+		mkFlow(500*time.Millisecond, "node-2", 0, 4),
+		mkFlow(1200*time.Millisecond, "node-1", 7, 0),
+	}
+	one := NewPartial(testResolver)
+	two := []*Partial{NewPartial(testResolver), NewPartial(testResolver)}
+	for i, f := range flows {
+		one.ObserveFlow(f)
+		two[i%2].ObserveFlow(f)
+	}
+
+	// Bucket [0,1s): node-1 has 5 ARPs + 1 reset, node-2 has 4 resets.
+	got := CollectHostNet([]*Partial{one}, epoch, epoch.Add(time.Second))
+	want := map[string]*HostAgg{
+		"node-1": {ARPRequests: 5, Resets: 1, Retransmissions: 2},
+		"node-2": {Resets: 4, Retransmissions: 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("bucket 0 host-net = %+v, want %+v", got, want)
+	}
+	// Split partials merge identically.
+	if g2 := CollectHostNet(two, epoch, epoch.Add(time.Second)); !reflect.DeepEqual(got, g2) {
+		t.Fatalf("split partials diverge: %+v vs %+v", got, g2)
+	}
+	// Bucket [1s,2s) holds only the late node-1 sample.
+	got = CollectHostNet([]*Partial{one}, epoch.Add(time.Second), epoch.Add(2*time.Second))
+	if got["node-1"] == nil || got["node-1"].ARPRequests != 7 {
+		t.Fatalf("bucket 1 host-net = %+v", got)
+	}
+	if one.Snapshot().HostNetHosts != 3 {
+		t.Fatalf("HostNetHosts = %d, want 3", one.Snapshot().HostNetHosts)
+	}
+
+	// Eviction drops host-net buckets below the watermark outright.
+	one.EvictFineBefore(epoch.Add(2 * time.Minute))
+	if got := CollectHostNet([]*Partial{one}, epoch, epoch.Add(time.Hour)); len(got) != 0 {
+		t.Fatalf("evicted host-net still answers: %+v", got)
+	}
+	// New samples below the watermark are ignored (the range reads empty
+	// forever rather than partially).
+	one.ObserveFlow(mkFlow(400*time.Millisecond, "node-1", 9, 0))
+	if got := CollectHostNet([]*Partial{one}, epoch, epoch.Add(time.Hour)); len(got) != 0 {
+		t.Fatalf("below-watermark sample folded in: %+v", got)
+	}
+}
+
 // TestClientSpansIgnored: only server-process spans contribute, so each
 // request counts once regardless of how many taps observed it.
 func TestClientSpansIgnored(t *testing.T) {

@@ -54,6 +54,95 @@ func (s *Server) ServiceSummaryFast(from, to time.Time) []ServiceSummary {
 	return out
 }
 
+// EndpointStat is one endpoint's merged rollup aggregate over a window,
+// including the span-attached network counters — the per-bucket signal row
+// the alerting plane baselines. An endpoint is a decoded service name, or
+// the process name for servers outside any k8s service (the same identity
+// collapse ServiceSummaryFast applies).
+type EndpointStat struct {
+	Name string
+
+	Requests uint64
+	Errors   uint64
+	DurSumNS int64
+	DurMaxNS int64
+
+	Resets          uint64
+	Retransmissions uint64
+	ZeroWindows     uint64
+}
+
+// EndpointStats merges the shard partials' rollup groups over [from, to)
+// into per-endpoint rows sorted by name. Like ServiceSummaryFast it is
+// O(buckets touched) and byte-deterministic for any shard count; unlike it,
+// the network counters come along, so detectors can read one row per
+// endpoint per bucket.
+func (s *Server) EndpointStats(from, to time.Time) []EndpointStat {
+	groups := rollup.CollectGroups(s.rollups, from, to)
+	byName := map[string]*EndpointStat{}
+	for k, a := range groups {
+		name := s.Registry.services.name(k.ServiceID)
+		if name == "" {
+			name = k.Proc
+		}
+		st := byName[name]
+		if st == nil {
+			st = &EndpointStat{Name: name}
+			byName[name] = st
+		}
+		st.Requests += a.Requests
+		st.Errors += a.Errors
+		st.DurSumNS += a.DurSumNS
+		if a.DurMaxNS > st.DurMaxNS {
+			st.DurMaxNS = a.DurMaxNS
+		}
+		st.Resets += a.Resets
+		st.Retransmissions += a.Retransmissions
+		st.ZeroWindows += a.ZeroWindows
+	}
+	out := make([]EndpointStat, 0, len(byName))
+	for _, st := range byName {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// HostNetStat is one capture host's packet-plane signal aggregate over a
+// window (kernel flow-sample counters; present even when the host shipped
+// no spans).
+type HostNetStat struct {
+	Host string
+	rollup.HostAgg
+}
+
+// HostNetStats merges the shard partials' fine-tier host signals over
+// [from, to), sorted by host name. The host-net tier is evicted with the
+// fine watermark, so this answers recent windows only.
+func (s *Server) HostNetStats(from, to time.Time) []HostNetStat {
+	merged := rollup.CollectHostNet(s.rollups, from, to)
+	out := make([]HostNetStat, 0, len(merged))
+	for host, a := range merged {
+		out = append(out, HostNetStat{Host: host, HostAgg: *a})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Host < out[j].Host })
+	return out
+}
+
+// EndpointFilter returns the drill-down filter selecting one rollup
+// endpoint's server-side spans: a Service match when the name is a known
+// service, else a ProcessName match — the same identity fallback
+// EndpointStats applies when naming groups, so the filter reproduces
+// exactly the span population behind an endpoint's rollup row.
+func (s *Server) EndpointFilter(name string) SpanFilter {
+	if name != "" {
+		if _, ok := s.Registry.services.lookup(name); ok {
+			return SpanFilter{TapSide: trace.TapServerProcess, Service: name}
+		}
+	}
+	return SpanFilter{TapSide: trace.TapServerProcess, ProcessName: name}
+}
+
 // EvictRollups drops fine-tier (1 s) rollup buckets older than the cutoff
 // from every shard partial; queries over the evicted range fall back to
 // the 1 m tier. The cutoff is global, so shard count stays invisible.
@@ -110,6 +199,22 @@ type ServiceMapData struct {
 	From, To time.Time
 	Nodes    []MapNode
 	Edges    []MapEdge
+
+	// firing marks endpoints with an active alert (see MarkFiring): the
+	// renderers draw them highlighted so the alerting plane's verdicts show
+	// up on the same map operators already read.
+	firing map[string]bool
+}
+
+// MarkFiring flags the named endpoints (service names, as rendered on the
+// map) as carrying a firing alert. WriteText and WriteDOT highlight them.
+func (m *ServiceMapData) MarkFiring(names []string) {
+	if m.firing == nil {
+		m.firing = make(map[string]bool, len(names))
+	}
+	for _, n := range names {
+		m.firing[n] = true
+	}
 }
 
 // endpointLabel resolves a smart-encoded endpoint identity at query time.
@@ -235,14 +340,18 @@ func (m *ServiceMapData) WriteText(w io.Writer) error {
 		return err
 	}
 	for _, n := range m.Nodes {
+		alert := ""
+		if m.firing[n.Name] {
+			alert = "  [ALERT FIRING]"
+		}
 		if n.Requests == 0 {
-			if _, err := fmt.Fprintf(w, "  %-20s (client only)\n", n.Name); err != nil {
+			if _, err := fmt.Fprintf(w, "  %-20s (client only)%s\n", n.Name, alert); err != nil {
 				return err
 			}
 			continue
 		}
-		if _, err := fmt.Fprintf(w, "  %-20s %6d req %5d err  mean=%-10v max=%v\n",
-			n.Name, n.Requests, n.Errors, n.MeanDur, n.MaxDur); err != nil {
+		if _, err := fmt.Fprintf(w, "  %-20s %6d req %5d err  mean=%-10v max=%v%s\n",
+			n.Name, n.Requests, n.Errors, n.MeanDur, n.MaxDur, alert); err != nil {
 			return err
 		}
 	}
@@ -286,15 +395,31 @@ func (m *ServiceMapData) WriteDOT(w io.Writer) error {
 		if n.Requests > 0 {
 			label = fmt.Sprintf("%s\\n%d req, %d err", n.Name, n.Requests, n.Errors)
 		}
-		if _, err := fmt.Fprintf(w, "  %q [label=\"%s\"];\n", n.Name, label); err != nil {
+		extra := ""
+		if m.firing[n.Name] {
+			// A firing alert paints the whole vertex: the operator's eye goes
+			// to the alerted service before reading any edge counter.
+			label += "\\nALERT FIRING"
+			extra = ", style=filled, fillcolor=\"#ffd6d6\", color=red, penwidth=2"
+		}
+		if _, err := fmt.Fprintf(w, "  %q [label=\"%s\"%s];\n", n.Name, label, extra); err != nil {
 			return err
 		}
 	}
 	for _, e := range m.Edges {
+		unhealthy := e.Errors > 0 || e.Resets > 0 || e.FlowResets > 0
 		attrs := fmt.Sprintf("label=\"%s %d req\\nmean %v\"", e.L7, e.Requests, e.MeanDur)
-		if e.Errors > 0 || e.Resets > 0 || e.FlowResets > 0 {
+		if unhealthy {
 			attrs = fmt.Sprintf("label=\"%s %d req, %d err\\nrst %d\", color=red, fontcolor=red",
 				e.L7, e.Requests, e.Errors, e.Resets+e.FlowResets)
+		}
+		if m.firing[e.Server] {
+			// Edges feeding a firing endpoint are drawn heavy so the faulty
+			// path stands out even when the edge's own counters look clean.
+			if !unhealthy {
+				attrs += ", color=red"
+			}
+			attrs += ", penwidth=2.5"
 		}
 		if _, err := fmt.Fprintf(w, "  %q -> %q [%s];\n", e.Client, e.Server, attrs); err != nil {
 			return err
@@ -327,6 +452,8 @@ func instrumentRollups(mon *selfmon.Registry, parts []*rollup.Partial) {
 		sum(func(s rollup.Stats) float64 { return float64(s.Edges) }))
 	mon.GaugeFunc("deepflow_server_rollup_flow_pairs",
 		sum(func(s rollup.Stats) float64 { return float64(s.FlowPairs) }))
+	mon.GaugeFunc("deepflow_server_rollup_host_net_groups",
+		sum(func(s rollup.Stats) float64 { return float64(s.HostNetHosts) }))
 	mon.GaugeFunc("deepflow_server_rollup_spans_observed",
 		sum(func(s rollup.Stats) float64 { return float64(s.SpansSeen) }))
 	mon.GaugeFunc("deepflow_server_rollup_flows_observed",

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"deepflow/internal/metrics"
@@ -44,12 +45,20 @@ type Server struct {
 	workersDone  sync.WaitGroup
 	pending      sync.WaitGroup
 
-	mSpans       *selfmon.Counter
-	mFlows       *selfmon.Counter
-	mProfiles    *selfmon.Counter
-	mBatches     *selfmon.Counter
-	mBatchBytes  *selfmon.Counter
-	mBatchErrors *selfmon.Counter
+	// ingestedThrough[i] is shard i's freshness watermark: the newest row
+	// event-timestamp (UnixNano) it has made queryable. The gap between a
+	// wall clock and this watermark is the shard's ingest-to-queryable lag —
+	// the bound on how stale an alert evaluated "now" can be.
+	ingestedThrough []atomic.Int64
+
+	mSpans        *selfmon.Counter
+	mFlows        *selfmon.Counter
+	mProfiles     *selfmon.Counter
+	mBatches      *selfmon.Counter
+	mBatchBytes   *selfmon.Counter
+	mBatchErrors  *selfmon.Counter
+	mFreshLag     []*selfmon.Gauge
+	mWatermarkAge *selfmon.Gauge
 }
 
 // New creates a single-shard server with the given tag encoding.
@@ -93,6 +102,7 @@ func NewSharded(reg *ResourceRegistry, enc Encoding, wide, shards int) *Server {
 	}
 	s.Store = s.stores[0]
 	s.Profiles = s.profiles[0]
+	s.ingestedThrough = make([]atomic.Int64, shards)
 
 	s.mSpans = s.Mon.Counter("deepflow_server_spans_ingested")
 	s.mFlows = s.Mon.Counter("deepflow_server_flows_ingested")
@@ -113,6 +123,25 @@ func NewSharded(reg *ResourceRegistry, enc Encoding, wide, shards int) *Server {
 	instrumentStores(s.Mon, s.stores)
 	instrumentProfiles(s.Mon, s.profiles)
 	instrumentRollups(s.Mon, s.rollups)
+	// Pipeline freshness (deepflow_server_freshness_*): per-shard queryable
+	// watermarks plus the lag gauges UpdateFreshness recomputes at scrape
+	// time — the evidence that lets an alert timestamp be trusted relative
+	// to ingest delay.
+	for i := 0; i < shards; i++ {
+		i := i
+		tag := selfmon.Tag{K: "shard", V: fmt.Sprintf("%d", i)}
+		s.Mon.GaugeFunc("deepflow_server_freshness_ingested_through_unix_seconds",
+			func() float64 {
+				ns := s.ingestedThrough[i].Load()
+				if ns == 0 {
+					return 0
+				}
+				return float64(ns) / 1e9
+			}, tag)
+		s.mFreshLag = append(s.mFreshLag,
+			s.Mon.Gauge("deepflow_server_freshness_lag_seconds", tag))
+	}
+	s.mWatermarkAge = s.Mon.Gauge("deepflow_server_freshness_watermark_age_seconds")
 	// Smart-encoding dictionary cardinalities (Fig. 8's query-time name
 	// resolution depends on these staying small relative to span volume).
 	for name, d := range map[string]*dictionary{
@@ -198,23 +227,78 @@ func (s *Server) ingestWorker(shard int) {
 			s.pending.Done()
 			continue
 		}
+		var newest int64
 		for _, sp := range b.Spans {
 			sp.Resource = s.Registry.Enrich(sp.Resource)
 			st.Insert(sp)
 			rp.ObserveSpan(sp)
 			s.mSpans.Inc()
+			if ns := sp.StartTime.UnixNano(); ns > newest {
+				newest = ns
+			}
 		}
 		for _, f := range b.Flows {
 			s.ingestFlow(f)
 			rp.ObserveFlow(f)
+			if ns := f.TS.UnixNano(); ns > newest {
+				newest = ns
+			}
 		}
 		for _, ps := range b.Profiles {
 			ps.Resource = s.Registry.Enrich(ps.Resource)
 			pf.Insert(ps)
 			s.mProfiles.Inc()
 		}
+		s.advanceFreshness(shard, newest)
 		s.pending.Done()
 	}
+}
+
+// advanceFreshness raises shard's queryable watermark to ns (monotonic;
+// late rows never move it backwards).
+func (s *Server) advanceFreshness(shard int, ns int64) {
+	if ns == 0 {
+		return
+	}
+	w := &s.ingestedThrough[shard]
+	for {
+		cur := w.Load()
+		if ns <= cur || w.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// UpdateFreshness recomputes the per-shard ingest-to-queryable lag and the
+// rollup fine-tier watermark age against the given clock. The deployment
+// calls it on every self-scrape, so the deepflow_server_freshness_* gauges
+// are as current as every other exported series.
+func (s *Server) UpdateFreshness(now time.Time) {
+	for i := range s.ingestedThrough {
+		ns := s.ingestedThrough[i].Load()
+		if ns == 0 {
+			// Nothing ingested yet: lag is undefined, report zero rather
+			// than "now - epoch".
+			s.mFreshLag[i].Set(0)
+			continue
+		}
+		s.mFreshLag[i].Set(now.Sub(time.Unix(0, ns)).Seconds())
+	}
+	if floor := s.rollups[0].FineFloor(); !floor.IsZero() {
+		s.mWatermarkAge.Set(now.Sub(floor).Seconds())
+	}
+}
+
+// FreshnessLag returns each shard's current ingest-to-queryable lag
+// against the given clock (zero for shards that have ingested nothing).
+func (s *Server) FreshnessLag(now time.Time) []time.Duration {
+	out := make([]time.Duration, len(s.ingestedThrough))
+	for i := range s.ingestedThrough {
+		if ns := s.ingestedThrough[i].Load(); ns != 0 {
+			out[i] = now.Sub(time.Unix(0, ns))
+		}
+	}
+	return out
 }
 
 // IngestSpan implements agent.Sink: smart-encoding phase 2 (resolve VPC+IP
@@ -225,6 +309,7 @@ func (s *Server) IngestSpan(sp *trace.Span) {
 	s.Store.Insert(sp)
 	s.rollups[0].ObserveSpan(sp)
 	s.mSpans.Inc()
+	s.advanceFreshness(0, sp.StartTime.UnixNano())
 }
 
 // IngestFlow implements agent.Sink: flow metric deltas become series in the
@@ -232,6 +317,7 @@ func (s *Server) IngestSpan(sp *trace.Span) {
 func (s *Server) IngestFlow(f transport.FlowSample) {
 	s.ingestFlow(f)
 	s.rollups[0].ObserveFlow(f)
+	s.advanceFreshness(0, f.TS.UnixNano())
 }
 
 func (s *Server) ingestFlow(f transport.FlowSample) {

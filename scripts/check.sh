@@ -36,4 +36,10 @@ go test -run TestRollupEquivalenceGate -count=1 ./internal/experiments
 echo ">> dfbench rollup (writes BENCH_rollup.json; rollup >=5x raw scan at 10^6 spans)"
 go run ./cmd/dfbench rollup
 
+echo ">> detection-quality gate (every fault scenario fires exactly the expected class+suspect; healthy stays silent)"
+go test -run TestAlertingQualityGate -count=1 ./internal/experiments
+
+echo ">> dfbench alerting (writes BENCH_alerting.json)"
+go run ./cmd/dfbench alerting
+
 echo "check.sh: all green"
