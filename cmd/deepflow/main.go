@@ -5,7 +5,8 @@
 // Usage:
 //
 //	deepflow [-workload springboot|bookinfo|nginx] [-rate 200] [-duration 2s] [-traces 1]
-//	         [-map] [-dot] [-profile] [-alerts] [-debug-addr :6060]
+//	         [-trace <span-id>] [-breakdown] [-map] [-dot] [-profile] [-alerts]
+//	         [-debug-addr :6060]
 package main
 
 import (
@@ -29,6 +30,8 @@ func main() {
 	rate := flag.Float64("rate", 200, "offered load (requests/second)")
 	duration := flag.Duration("duration", 2*time.Second, "load duration (virtual time)")
 	nTraces := flag.Int("traces", 1, "number of assembled traces to print")
+	traceSpan := flag.Uint64("trace", 0, "assemble and print the trace containing this span ID (instead of the first -traces roots)")
+	breakdown := flag.Bool("breakdown", false, "print each trace's exact latency attribution: waterfall with the critical path marked, plus folded flame-style categories")
 	asJSON := flag.Bool("json", false, "print traces as JSON instead of trees")
 	stats := flag.Bool("stats", false, "print the self-monitoring report (agent+server self-metrics)")
 	svcMap := flag.Bool("map", false, "print the universal service map (rollup-backed client→server edges with RED + kernel flow stats)")
@@ -122,16 +125,29 @@ func main() {
 	}
 	fmt.Println()
 
-	spans := d.Server.SpanList(sim.Epoch, sim.Epoch.Add(24*time.Hour), 0)
+	// Starting spans: an explicit -trace <span-id>, or the first -traces
+	// completed client request roots.
+	var starts []trace.SpanID
+	if *traceSpan != 0 {
+		starts = []trace.SpanID{trace.SpanID(*traceSpan)}
+	} else {
+		for _, sp := range d.Server.SpanList(sim.Epoch, sim.Epoch.Add(24*time.Hour), 0) {
+			if len(starts) >= *nTraces {
+				break
+			}
+			if sp.ProcessName != "wrk" || sp.TapSide != trace.TapClientProcess || sp.ResponseStatus != "ok" {
+				continue
+			}
+			starts = append(starts, sp.ID)
+		}
+	}
 	printed := 0
-	for _, sp := range spans {
-		if printed >= *nTraces {
-			break
+	for _, id := range starts {
+		tr := d.Server.Trace(id)
+		if tr == nil {
+			fmt.Fprintf(os.Stderr, "deepflow: no span #%d on the server\n", id)
+			os.Exit(1)
 		}
-		if sp.ProcessName != "wrk" || sp.TapSide != trace.TapClientProcess || sp.ResponseStatus != "ok" {
-			continue
-		}
-		tr := d.Server.Trace(sp.ID)
 		if *asJSON {
 			raw, err := d.Server.ExportTraceJSON(tr)
 			if err != nil {
@@ -141,12 +157,42 @@ func main() {
 			fmt.Println(string(raw))
 		} else {
 			fmt.Printf("trace for span #%d (%d spans, depth %d):\n%s\n",
-				sp.ID, tr.Len(), tr.Depth(), d.Server.FormatTrace(tr))
+				id, tr.Len(), tr.Depth(), d.Server.FormatTrace(tr))
+		}
+		if *breakdown {
+			bd := d.Server.TraceBreakdown(tr.Root.ID)
+			if bd == nil {
+				fmt.Fprintf(os.Stderr, "deepflow: no breakdown for span #%d\n", id)
+				os.Exit(1)
+			}
+			fmt.Println("latency attribution (exact; '*' marks the critical path):")
+			if err := bd.WriteWaterfall(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "deepflow: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("\nfolded categories (pipe into flamegraph.pl):")
+			if err := bd.WriteFolded(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "deepflow: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println()
 		}
 		printed++
 	}
 	if printed == 0 {
 		fmt.Println("no completed request spans found")
+	}
+	if *breakdown {
+		rows := d.Server.EdgeExemplars(sim.Epoch, sim.Epoch.Add(24*time.Hour))
+		if len(rows) > 0 {
+			fmt.Println("slow-trace exemplars per edge (reservoir top, dominant hop joined):")
+			for _, r := range rows {
+				fmt.Printf("  %-14s → %-14s slowest=%-10v dominant=%s[%s] span #%d\n",
+					r.Client, r.Server, r.Exemplars[0].Dur, r.DominantHop,
+					r.DominantCategory, r.Exemplars[0].SpanID)
+			}
+			fmt.Println()
+		}
 	}
 
 	if *profile {

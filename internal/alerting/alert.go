@@ -37,6 +37,11 @@ const (
 	// KindARPAnomaly is a sustained rise in ARP requests at one capture
 	// host's NIC (§4.1.2's faulty network card).
 	KindARPAnomaly Kind = "arp-anomaly"
+	// KindLatencyRegression is a sustained rise in an endpoint's bucket-max
+	// duration while the mean stays in band — a slow path shipped. The
+	// localization is the aggregate→exemplar→breakdown drill: the dominant
+	// hop of the slowest exemplar trace's exact attribution.
+	KindLatencyRegression Kind = "latency-regression"
 )
 
 // Class maps a detector to the Fig. 2 failure class its signal implicates.
@@ -45,7 +50,7 @@ const (
 // disambiguation: the same user-visible failure, different teams paged.
 func (k Kind) Class() faults.Class {
 	switch k {
-	case KindErrorBurst, KindCPUHog:
+	case KindErrorBurst, KindCPUHog, KindLatencyRegression:
 		return faults.ClassApplication
 	case KindRSTStorm:
 		return faults.ClassMiddleware

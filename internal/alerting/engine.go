@@ -48,6 +48,8 @@ type Config struct {
 	MinARPs        float64       // arp-anomaly: ARP requests per bucket
 	MinLatency     time.Duration // cpu-hog: mean duration floor
 	LatencyFactor  float64       // cpu-hog: mean must exceed factor×baseline
+	MinTailLatency time.Duration // latency-regression: bucket-max floor
+	TailFactor     float64       // latency-regression: max must exceed factor×baseline max
 }
 
 // DefaultConfig returns the stock detection tuning.
@@ -67,6 +69,8 @@ func DefaultConfig() Config {
 		MinARPs:        20,
 		MinLatency:     time.Millisecond,
 		LatencyFactor:  2,
+		MinTailLatency: 5 * time.Millisecond,
+		TailFactor:     3,
 	}
 }
 
@@ -85,12 +89,14 @@ type epState struct {
 	rate baseline // requests per bucket (context; no detector of its own)
 	errs baseline // error responses per bucket
 	dur  baseline // mean served duration per bucket (ns)
+	tail baseline // max served duration per bucket (ns)
 	rsts baseline // TCP resets per bucket
 	retx baseline // TCP retransmissions per bucket
 
 	errBurst lifecycle
 	rstStorm lifecycle
 	cpuHog   lifecycle
+	latReg   lifecycle
 }
 
 // hostState is one capture host's packet-plane baseline and lifecycle.
@@ -321,6 +327,27 @@ func (e *Engine) evalEndpoint(b time.Time, name string, st *epState, row server.
 	if !durBreach {
 		st.dur.observe(obsD, e.cfg.Alpha)
 	}
+
+	// latency-regression: bucket-max duration — the tail signal. A mean
+	// shift (cpu-hog) drags the max along with it, so while the mean is
+	// breaching the tail detector is suppressed: the regression is already
+	// explained. The converse cannot happen — a tail-only slow path leaves
+	// the mean under cpu-hog's factor floor.
+	obsT := float64(row.DurMaxNS)
+	tailBreach := st.tail.warm(e.cfg.Warmup) &&
+		obsT >= float64(e.cfg.MinTailLatency) &&
+		obsT >= e.cfg.TailFactor*st.tail.mean &&
+		obsT > st.tail.threshold(e.cfg.DeviationK)
+	if durBreach {
+		if tailBreach {
+			e.mSuppressed.Inc()
+		}
+		return
+	}
+	e.step(&st.latReg, KindLatencyRegression, name, b, tailBreach, "max_duration_ns", obsT, &st.tail)
+	if !tailBreach {
+		st.tail.observe(obsT, e.cfg.Alpha)
+	}
 }
 
 // step advances one detector lifecycle through one bucket.
@@ -418,6 +445,18 @@ func (e *Engine) localize(al *Alert) {
 		if al.Evidence.Baseline > 0 {
 			al.Drill.MinDuration = time.Duration(int64(al.Evidence.Baseline))
 		}
+	case KindLatencyRegression:
+		r := faults.LocalizeLatencyRegression(e.srv, al.Endpoint, from, to)
+		if r.Conclusive() {
+			al.Suspect = fmt.Sprintf("hop=%s category=%s self=%s exemplar=#%d",
+				r.Hop, r.Category, r.Self, r.SpanID)
+		} else {
+			al.Inconclusive = true
+		}
+		al.Drill = e.srv.EndpointFilter(al.Endpoint)
+		if al.Evidence.Baseline > 0 {
+			al.Drill.MinDuration = time.Duration(int64(al.Evidence.Baseline))
+		}
 	case KindARPAnomaly:
 		if e.net != nil {
 			if suspects := faults.LocalizeARPAnomaly(e.net); len(suspects) > 0 {
@@ -467,6 +506,7 @@ func (e *Engine) updateGauges() {
 		count(&st.errBurst)
 		count(&st.rstStorm)
 		count(&st.cpuHog)
+		count(&st.latReg)
 	}
 	for _, st := range e.hosts {
 		count(&st.arp)
@@ -506,6 +546,7 @@ func (e *Engine) Pending() []*Alert {
 		collect(&st.errBurst)
 		collect(&st.rstStorm)
 		collect(&st.cpuHog)
+		collect(&st.latReg)
 	}
 	for _, st := range e.hosts {
 		collect(&st.arp)

@@ -1,0 +1,93 @@
+package alerting
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"deepflow/internal/sim"
+	"deepflow/internal/trace"
+)
+
+// bucketSpansTail synthesizes one endpoint's bucket: ok spans at a constant
+// 2 ms plus, when slow > 0, a single slow request — the tail-regression
+// shape (max jumps, mean barely moves).
+func bucketSpansTail(name string, sec, ok int, slow time.Duration) []*trace.Span {
+	out := bucketSpans(name, sec, ok, 0)
+	if slow > 0 {
+		sp := bucketSpans(name, sec, 1, 0)[0]
+		sp.EndTime = sp.StartTime.Add(slow)
+		out = append(out, sp)
+	}
+	return out
+}
+
+// TestLatencyRegressionFires: a sustained bucket-max jump with the mean in
+// band fires latency-regression (not cpu-hog), and the localization walks
+// the exemplar → breakdown drill to name the dominant hop.
+func TestLatencyRegressionFires(t *testing.T) {
+	srv := newTestServer()
+	defer srv.Close()
+	var spans []*trace.Span
+	for sec := 0; sec < 4; sec++ {
+		spans = append(spans, bucketSpansTail("web", sec, 30, 0)...)
+	}
+	// 30 spans at 2 ms + one at 30 ms: mean ≈ 2.9 ms (< 2× baseline mean,
+	// cpu-hog stays silent) while the max jumps 15×.
+	spans = append(spans, bucketSpansTail("web", 4, 30, 30*time.Millisecond)...)
+	spans = append(spans, bucketSpansTail("web", 5, 30, 30*time.Millisecond)...)
+	ingestSpans(t, srv, spans)
+
+	e := New(srv, testConfig())
+	e.Evaluate(sim.Epoch.Add(6 * time.Second))
+	alerts := e.Alerts()
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want 1: %+v", len(alerts), alerts)
+	}
+	al := alerts[0]
+	if al.Kind != KindLatencyRegression || al.Endpoint != "web" {
+		t.Fatalf("fired %s on %s, want latency-regression on web", al.Kind, al.Endpoint)
+	}
+	if al.Evidence.Signal != "max_duration_ns" {
+		t.Fatalf("signal = %q", al.Evidence.Signal)
+	}
+	if !strings.Contains(al.Suspect, "hop=web") || !strings.Contains(al.Suspect, "category=server") {
+		t.Fatalf("suspect = %q, want dominant hop web/server", al.Suspect)
+	}
+	if al.Drill.MinDuration == 0 {
+		t.Fatalf("drill-down has no MinDuration floor: %+v", al.Drill)
+	}
+}
+
+// TestMeanShiftSuppressesTail: when the whole distribution shifts (every
+// request slow), cpu-hog owns the regression and the tail detector stays
+// quiet — one alert, not two.
+func TestMeanShiftSuppressesTail(t *testing.T) {
+	srv := newTestServer()
+	defer srv.Close()
+	var spans []*trace.Span
+	for sec := 0; sec < 4; sec++ {
+		spans = append(spans, bucketSpansTail("web", sec, 30, 0)...)
+	}
+	for sec := 4; sec < 6; sec++ {
+		// Every span slow: the mean breaches, dragging the max with it.
+		b := bucketSpans("web", sec, 30, 0)
+		for _, sp := range b {
+			sp.EndTime = sp.StartTime.Add(30 * time.Millisecond)
+		}
+		spans = append(spans, b...)
+	}
+	ingestSpans(t, srv, spans)
+
+	e := New(srv, testConfig())
+	e.Evaluate(sim.Epoch.Add(6 * time.Second))
+	alerts := e.Alerts()
+	if len(alerts) != 1 || alerts[0].Kind != KindCPUHog {
+		t.Fatalf("alerts = %+v, want exactly one cpu-hog", alerts)
+	}
+	for _, p := range e.Pending() {
+		if p.Kind == KindLatencyRegression {
+			t.Fatalf("tail detector opened a pending alert under a mean shift: %+v", p)
+		}
+	}
+}

@@ -1,0 +1,515 @@
+// Package critpath decomposes an assembled trace into an exact latency
+// attribution: every nanosecond of the root span's wall time is assigned to
+// exactly one hop and one category (client-side processing, network/wire
+// time, server self-time, or wait on an unobserved peer), and the critical
+// path — the chain of dominant sub-calls — is marked through the hop tree.
+//
+// The invariant this package maintains is exactness: the emitted segments
+// partition the root span's [start, end) window, so their durations sum to
+// the root duration to the nanosecond, even when host clocks are skewed,
+// server-side spans are missing, or sub-calls overlap in parallel. Work a
+// child performed while shadowed by an earlier parallel sibling is reported
+// as OffPath annotation on that hop, outside the sum.
+package critpath
+
+import (
+	"time"
+
+	"deepflow/internal/trace"
+)
+
+// Category classifies where a slice of wall time was spent.
+type Category uint8
+
+const (
+	// CatClient is requester-side processing around the wire: the gap
+	// between a client process span and the first request packet on the
+	// NIC, and between the last response packet and the client read.
+	CatClient Category = iota + 1
+	// CatNetwork is time on the wire between processes, bounded by the
+	// TCP-seq-associated kernel flow (packet tap) spans when present.
+	CatNetwork
+	// CatServer is server self-time: the part of a server process span not
+	// covered by its outgoing sub-calls.
+	CatServer
+	// CatWait is time a client span spent waiting on a peer that produced
+	// no observable spans (timeout, unobserved process).
+	CatWait
+)
+
+// String returns the folded-stack pseudo-frame name for the category.
+func (c Category) String() string {
+	switch c {
+	case CatClient:
+		return "client"
+	case CatNetwork:
+		return "network"
+	case CatServer:
+		return "server"
+	case CatWait:
+		return "wait"
+	}
+	return "unknown"
+}
+
+// Categories enumerates all categories in rendering order.
+var Categories = []Category{CatClient, CatNetwork, CatServer, CatWait}
+
+// Segment is one attributed slice of the root window: [From, To) of wall
+// time charged to span SpanID under Category. Segments from one Analyze
+// call partition the root window left to right.
+type Segment struct {
+	From, To time.Time
+	Category Category
+	SpanID   trace.SpanID
+	Depth    int
+}
+
+// Dur is the segment's width.
+func (s Segment) Dur() time.Duration { return s.To.Sub(s.From) }
+
+// Hop is one process-call span (client- or server-side eBPF/uprobe span) in
+// the call tree, with its attributed time split by category. Packet-tap and
+// app spans are transparent: they refine categories but do not form hops.
+type Hop struct {
+	Span  *trace.Span
+	Name  string
+	Depth int
+
+	// WindowStart/WindowEnd is the effective (clamped, unshadowed) window
+	// the hop was charged within; it never extends past the parent hop.
+	WindowStart, WindowEnd time.Time
+
+	// Attributed time by category. The four sum to WindowEnd-WindowStart
+	// minus the windows of this hop's own child hops.
+	Client, Network, Server, Wait time.Duration
+
+	// OffPath is work this hop did outside its charged window — overlap
+	// with an earlier parallel sibling, or clock-skew spill past the
+	// parent. Annotation only; never part of the exact sum.
+	OffPath time.Duration
+
+	// Wire annotations from the kernel flow spans bracketing this hop's
+	// sub-call (flow-cumulative counters, not per-span deltas).
+	Retransmissions uint32
+	RTT             time.Duration
+	WireTaps        int
+
+	// OnPath marks hops on the critical path (dominant-child chain).
+	OnPath bool
+
+	parent *Hop
+	kids   []*Hop
+	stack  []string
+}
+
+// Window is the hop's charged wall-clock width.
+func (h *Hop) Window() time.Duration { return h.WindowEnd.Sub(h.WindowStart) }
+
+// Attributed is the total time charged directly to this hop (all
+// categories; excludes child-hop windows and OffPath).
+func (h *Hop) Attributed() time.Duration { return h.Client + h.Network + h.Server + h.Wait }
+
+// ByCategory returns the attributed time for one category.
+func (h *Hop) ByCategory(c Category) time.Duration {
+	switch c {
+	case CatClient:
+		return h.Client
+	case CatNetwork:
+		return h.Network
+	case CatServer:
+		return h.Server
+	case CatWait:
+		return h.Wait
+	}
+	return 0
+}
+
+// DominantCategory returns the category holding most of this hop's
+// attributed time (ties break in Categories order).
+func (h *Hop) DominantCategory() (Category, time.Duration) {
+	best, bestD := CatClient, time.Duration(-1)
+	for _, c := range Categories {
+		if d := h.ByCategory(c); d > bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD
+}
+
+// Breakdown is the exact latency attribution of one assembled trace.
+type Breakdown struct {
+	// Root is the trace's root span; Total is its attributable wall time
+	// (root duration clamped at zero).
+	Root  *trace.Span
+	Total time.Duration
+
+	// Segments partition [Root.StartTime, Root.StartTime+Total) left to
+	// right; Hops list the call tree in pre-order (parents first).
+	Segments []Segment
+	Hops     []*Hop
+}
+
+// Sum is the total width of all segments.
+func (b *Breakdown) Sum() time.Duration {
+	var s time.Duration
+	for _, seg := range b.Segments {
+		s += seg.Dur()
+	}
+	return s
+}
+
+// Exact reports whether the segments sum exactly to the root wall time —
+// the package invariant; false indicates a bug in the sweep.
+func (b *Breakdown) Exact() bool { return b.Sum() == b.Total }
+
+// ByCategory sums attributed time for one category across all hops.
+func (b *Breakdown) ByCategory(c Category) time.Duration {
+	var s time.Duration
+	for _, seg := range b.Segments {
+		if seg.Category == c {
+			s += seg.Dur()
+		}
+	}
+	return s
+}
+
+// Dominant returns the hop holding the most attributed time (ties: earliest
+// window start, then smallest span ID), or nil for an empty breakdown.
+func (b *Breakdown) Dominant() *Hop {
+	var best *Hop
+	for _, h := range b.Hops {
+		if best == nil {
+			best = h
+			continue
+		}
+		ha, ba := h.Attributed(), best.Attributed()
+		switch {
+		case ha > ba:
+			best = h
+		case ha == ba && h.WindowStart.Before(best.WindowStart):
+			best = h
+		case ha == ba && h.WindowStart.Equal(best.WindowStart) && h.Span.ID < best.Span.ID:
+			best = h
+		}
+	}
+	return best
+}
+
+// CriticalPath returns the on-path hops root-first.
+func (b *Breakdown) CriticalPath() []*Hop {
+	var out []*Hop
+	for _, h := range b.Hops {
+		if h.OnPath {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Options configures Analyze.
+type Options struct {
+	// Name resolves a hop's display name; defaults to the span's process
+	// name when nil.
+	Name func(*trace.Span) string
+}
+
+type analysis struct {
+	opt      Options
+	children map[trace.SpanID][]*trace.Span
+	byID     map[trace.SpanID]*trace.Span
+	b        *Breakdown
+}
+
+// Analyze decomposes an assembled trace. The returned breakdown always
+// satisfies Exact() when the root has non-negative duration. Returns nil
+// for a nil or empty trace.
+func Analyze(tr *trace.Trace, opt Options) *Breakdown {
+	if tr == nil || tr.Root == nil {
+		return nil
+	}
+	a := &analysis{
+		opt:      opt,
+		children: make(map[trace.SpanID][]*trace.Span, len(tr.Spans)),
+		byID:     make(map[trace.SpanID]*trace.Span, len(tr.Spans)),
+	}
+	for _, sp := range tr.Spans {
+		a.byID[sp.ID] = sp
+	}
+	// Children in display order (assembler sorts by start/tap-rank/ID), so
+	// the sweep is deterministic for identical input traces.
+	for _, sp := range tr.Spans {
+		if sp.ParentID != 0 && sp.ID != sp.ParentID {
+			a.children[sp.ParentID] = append(a.children[sp.ParentID], sp)
+		}
+	}
+	root := tr.Root
+	total := root.Duration()
+	if total < 0 {
+		total = 0
+	}
+	a.b = &Breakdown{Root: root, Total: total}
+	lo := root.StartTime
+	hi := lo.Add(total)
+	rootHop := a.walk(root, nil, lo, hi, 0, 0)
+	a.markPath(rootHop)
+	return a.b
+}
+
+func (a *analysis) name(sp *trace.Span) string {
+	if a.opt.Name != nil {
+		if n := a.opt.Name(sp); n != "" {
+			return n
+		}
+	}
+	return sp.ProcessName
+}
+
+// isCall reports whether a span forms a hop: process-level client or server
+// spans from the syscall/uprobe planes. Packet taps and app (OTel) spans
+// are transparent.
+func isCall(sp *trace.Span) bool {
+	if sp.Source != trace.SourceEBPF && sp.Source != trace.SourceUProbe {
+		return false
+	}
+	return sp.TapSide == trace.TapClientProcess || sp.TapSide == trace.TapServerProcess
+}
+
+// nearestCalls finds the nearest process-call descendants of id, skipping
+// transparent spans (packet taps, app spans) in between, in display order.
+func (a *analysis) nearestCalls(id trace.SpanID) []*trace.Span {
+	var out []*trace.Span
+	seen := map[trace.SpanID]bool{id: true}
+	var rec func(trace.SpanID)
+	rec = func(id trace.SpanID) {
+		for _, c := range a.children[id] {
+			if seen[c.ID] {
+				continue
+			}
+			seen[c.ID] = true
+			if isCall(c) {
+				out = append(out, c)
+				continue
+			}
+			rec(c.ID)
+		}
+	}
+	rec(id)
+	return out
+}
+
+// wireBracket finds the packet-tap span nearest the client on the parent
+// chain from child up to (exclusive) ancestor — for a client hop this is
+// the client NIC tap whose sessionized [request-TS, response-TS) window
+// bounds the wire time of the sub-call. Also returns the chain's packet
+// spans for wire annotations.
+func (a *analysis) wireBracket(ancestor trace.SpanID, child *trace.Span) (*trace.Span, []*trace.Span) {
+	var best *trace.Span
+	var taps []*trace.Span
+	cur := child.ParentID
+	for steps := 0; cur != 0 && cur != ancestor && steps < 64; steps++ {
+		sp := a.byID[cur]
+		if sp == nil {
+			break
+		}
+		if sp.Source == trace.SourcePacket {
+			taps = append(taps, sp)
+			// Walking upward, the last packet span seen before reaching
+			// the ancestor is the one closest to it.
+			best = sp
+		}
+		cur = sp.ParentID
+	}
+	return best, taps
+}
+
+func maxT(a, b time.Time) time.Time {
+	if a.After(b) {
+		return a
+	}
+	return b
+}
+
+func minT(a, b time.Time) time.Time {
+	if a.Before(b) {
+		return a
+	}
+	return b
+}
+
+// walk charges the window [lo, hi) to span sp: sub-call child windows are
+// recursed into, and the uncovered gaps are emitted as sp's own segments.
+// The child windows plus emitted gaps partition [lo, hi) exactly.
+func (a *analysis) walk(sp *trace.Span, parent *Hop, lo, hi time.Time, depth int, shadowed time.Duration) *Hop {
+	h := &Hop{
+		Span: sp, Name: a.name(sp), Depth: depth,
+		WindowStart: lo, WindowEnd: hi,
+		OffPath:         shadowed,
+		Retransmissions: sp.Net.Retransmissions,
+		RTT:             sp.Net.RTT,
+		parent:          parent,
+	}
+	if parent != nil {
+		h.stack = append(append([]string(nil), parent.stack...), h.Name)
+		parent.kids = append(parent.kids, h)
+	} else {
+		h.stack = []string{h.Name}
+	}
+	a.b.Hops = append(a.b.Hops, h)
+
+	kids := a.nearestCalls(sp.ID)
+
+	// For client hops, bracket the wire with the client-nearest packet tap
+	// on the chain down to the first sub-call.
+	var wireLo, wireHi time.Time
+	if sp.TapSide == trace.TapClientProcess {
+		for _, k := range kids {
+			bracket, taps := a.wireBracket(sp.ID, k)
+			h.WireTaps += len(taps)
+			for _, t := range taps {
+				if t.Net.Retransmissions > h.Retransmissions {
+					h.Retransmissions = t.Net.Retransmissions
+				}
+				if t.Net.RTT > h.RTT {
+					h.RTT = t.Net.RTT
+				}
+			}
+			if bracket != nil && wireLo.IsZero() {
+				wireLo, wireHi = bracket.StartTime, bracket.EndTime
+			}
+		}
+	}
+
+	// Clamp children to the active window; drop the portion outside it
+	// (clock skew or spill past the parent) into OffPath bookkeeping.
+	type cw struct {
+		sp   *trace.Span
+		s, e time.Time
+	}
+	var cws []cw
+	for _, k := range kids {
+		s, e := maxT(k.StartTime, lo), minT(k.EndTime, hi)
+		if e.Before(s) {
+			e = s
+		}
+		cws = append(cws, cw{k, s, e})
+	}
+	// Display order already sorts by start time then ID; re-establish it on
+	// the clamped windows so the cursor only moves forward.
+	for i := 1; i < len(cws); i++ {
+		for j := i; j > 0; j-- {
+			a, b := cws[j-1], cws[j]
+			if b.s.Before(a.s) || (b.s.Equal(a.s) && b.sp.ID < a.sp.ID) {
+				cws[j-1], cws[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+
+	cursor := lo
+	for _, c := range cws {
+		if c.s.After(cursor) {
+			a.emitGaps(h, cursor, c.s, wireLo, wireHi, len(kids) > 0)
+			cursor = c.s
+		}
+		start := maxT(c.s, cursor)
+		shadow := start.Sub(c.s) // covered by an earlier parallel sibling
+		if !c.e.After(start) {
+			// Fully shadowed (or zero-width after clamping): annotate only.
+			a.walk(c.sp, h, start, start, depth+1, c.e.Sub(c.s))
+			continue
+		}
+		a.walk(c.sp, h, start, c.e, depth+1, shadow)
+		cursor = c.e
+	}
+	if hi.After(cursor) {
+		a.emitGaps(h, cursor, hi, wireLo, wireHi, len(kids) > 0)
+	}
+	return h
+}
+
+// emitGaps charges [from, to) to hop h, splitting the gap by category.
+func (a *analysis) emitGaps(h *Hop, from, to time.Time, wireLo, wireHi time.Time, hasCalls bool) {
+	sp := h.Span
+	switch {
+	case sp.TapSide == trace.TapServerProcess:
+		a.emit(h, from, to, CatServer)
+	case sp.TapSide == trace.TapClientProcess && !hasCalls:
+		// A client span whose peer produced no observable spans: the whole
+		// residency is wait (timeout or unobserved process).
+		a.emit(h, from, to, CatWait)
+	case sp.TapSide == trace.TapClientProcess:
+		// Split at the wire bracket: before the first request packet is
+		// client-side processing, after the last response packet is the
+		// client read; in between is the network path.
+		if wireLo.IsZero() {
+			a.emit(h, from, to, CatNetwork)
+			return
+		}
+		if wireLo.After(from) {
+			cut := minT(wireLo, to)
+			a.emit(h, from, cut, CatClient)
+			from = cut
+		}
+		if wireHi.After(from) {
+			cut := minT(wireHi, to)
+			a.emit(h, from, cut, CatNetwork)
+			from = cut
+		}
+		a.emit(h, from, to, CatClient)
+	case sp.TapSide == trace.TapApp:
+		a.emit(h, from, to, CatServer)
+	default:
+		a.emit(h, from, to, CatNetwork)
+	}
+}
+
+func (a *analysis) emit(h *Hop, from, to time.Time, cat Category) {
+	if !to.After(from) {
+		return
+	}
+	a.b.Segments = append(a.b.Segments, Segment{
+		From: from, To: to, Category: cat, SpanID: h.Span.ID, Depth: h.Depth,
+	})
+	d := to.Sub(from)
+	switch cat {
+	case CatClient:
+		h.Client += d
+	case CatNetwork:
+		h.Network += d
+	case CatServer:
+		h.Server += d
+	case CatWait:
+		h.Wait += d
+	}
+}
+
+// markPath marks the dominant-child chain from the root: at each hop the
+// child with the widest charged window wins (ties: earliest start, then
+// smallest span ID).
+func (a *analysis) markPath(h *Hop) {
+	for h != nil {
+		h.OnPath = true
+		var next *Hop
+		for _, k := range h.kids {
+			if next == nil {
+				next = k
+				continue
+			}
+			kw, nw := k.Window(), next.Window()
+			switch {
+			case kw > nw:
+				next = k
+			case kw == nw && k.WindowStart.Before(next.WindowStart):
+				next = k
+			case kw == nw && k.WindowStart.Equal(next.WindowStart) && k.Span.ID < next.Span.ID:
+				next = k
+			}
+		}
+		if next == nil || next.Window() == 0 {
+			return
+		}
+		h = next
+	}
+}

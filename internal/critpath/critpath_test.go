@@ -1,0 +1,202 @@
+package critpath
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"deepflow/internal/trace"
+)
+
+var base = time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func mkSpan(id, parent trace.SpanID, side trace.TapSide, src trace.Source, name string, startUS, endUS int64) *trace.Span {
+	return &trace.Span{
+		ID: id, ParentID: parent, TapSide: side, Source: src, ProcessName: name,
+		StartTime: base.Add(time.Duration(startUS) * time.Microsecond),
+		EndTime:   base.Add(time.Duration(endUS) * time.Microsecond),
+	}
+}
+
+func mkTrace(spans ...*trace.Span) *trace.Trace {
+	return &trace.Trace{Root: spans[0], Spans: spans}
+}
+
+func requireExact(t *testing.T, b *Breakdown) {
+	t.Helper()
+	if b == nil {
+		t.Fatal("nil breakdown")
+	}
+	if !b.Exact() {
+		t.Fatalf("breakdown not exact: sum=%v total=%v (%d segments)", b.Sum(), b.Total, len(b.Segments))
+	}
+}
+
+func TestTwoHopNoTaps(t *testing.T) {
+	tr := mkTrace(
+		mkSpan(1, 0, trace.TapClientProcess, trace.SourceEBPF, "wrk", 0, 10000),
+		mkSpan(2, 1, trace.TapServerProcess, trace.SourceEBPF, "api", 2000, 8000),
+	)
+	b := Analyze(tr, Options{})
+	requireExact(t, b)
+	if got := b.ByCategory(CatServer); got != 6*time.Millisecond {
+		t.Fatalf("server time = %v, want 6ms", got)
+	}
+	// Without packet taps the client's residual is all network path.
+	if got := b.ByCategory(CatNetwork); got != 4*time.Millisecond {
+		t.Fatalf("network time = %v, want 4ms", got)
+	}
+	if b.ByCategory(CatClient) != 0 || b.ByCategory(CatWait) != 0 {
+		t.Fatalf("unexpected client/wait time: %v/%v", b.ByCategory(CatClient), b.ByCategory(CatWait))
+	}
+}
+
+func TestNICTapSplitsClientAndWire(t *testing.T) {
+	// client [0,10ms) → c-nic packet tap [1,9ms) → server [2,8ms).
+	tr := mkTrace(
+		mkSpan(1, 0, trace.TapClientProcess, trace.SourceEBPF, "wrk", 0, 10000),
+		mkSpan(2, 1, trace.TapClientNIC, trace.SourcePacket, "", 1000, 9000),
+		mkSpan(3, 2, trace.TapServerProcess, trace.SourceEBPF, "api", 2000, 8000),
+	)
+	b := Analyze(tr, Options{})
+	requireExact(t, b)
+	if got := b.ByCategory(CatClient); got != 2*time.Millisecond {
+		t.Fatalf("client time = %v, want 2ms ([0,1)+[9,10))", got)
+	}
+	if got := b.ByCategory(CatNetwork); got != 2*time.Millisecond {
+		t.Fatalf("network time = %v, want 2ms ([1,2)+[8,9))", got)
+	}
+	if got := b.ByCategory(CatServer); got != 6*time.Millisecond {
+		t.Fatalf("server time = %v, want 6ms", got)
+	}
+	if len(b.Hops) != 2 {
+		t.Fatalf("hops = %d, want 2 (packet tap is transparent)", len(b.Hops))
+	}
+	if b.Hops[0].WireTaps != 1 {
+		t.Fatalf("wire taps = %d, want 1", b.Hops[0].WireTaps)
+	}
+}
+
+func TestSkewedServerClockStaysExact(t *testing.T) {
+	// The server's clock runs ahead: its span starts before the client's
+	// (R14 adopted it anyway). Clamping keeps the sum exact.
+	tr := mkTrace(
+		mkSpan(1, 0, trace.TapClientProcess, trace.SourceEBPF, "wrk", 0, 10000),
+		mkSpan(2, 1, trace.TapServerProcess, trace.SourceEBPF, "api", -3000, 4000),
+	)
+	b := Analyze(tr, Options{})
+	requireExact(t, b)
+	if got := b.ByCategory(CatServer); got != 4*time.Millisecond {
+		t.Fatalf("server time = %v, want 4ms (clamped)", got)
+	}
+}
+
+func TestChildPastParentEndStaysExact(t *testing.T) {
+	tr := mkTrace(
+		mkSpan(1, 0, trace.TapClientProcess, trace.SourceEBPF, "wrk", 0, 10000),
+		mkSpan(2, 1, trace.TapServerProcess, trace.SourceEBPF, "api", 5000, 15000),
+	)
+	b := Analyze(tr, Options{})
+	requireExact(t, b)
+	if got := b.ByCategory(CatServer); got != 5*time.Millisecond {
+		t.Fatalf("server time = %v, want 5ms (clamped)", got)
+	}
+}
+
+func TestParallelSubcallsShadowedToOffPath(t *testing.T) {
+	// Server fans out two overlapping sub-calls; the overlap is charged
+	// once and the shadowed child keeps it as an annotation.
+	tr := mkTrace(
+		mkSpan(1, 0, trace.TapServerProcess, trace.SourceEBPF, "api", 0, 10000),
+		mkSpan(2, 1, trace.TapClientProcess, trace.SourceEBPF, "api", 2000, 6000),
+		mkSpan(3, 1, trace.TapClientProcess, trace.SourceEBPF, "api", 3000, 7000),
+	)
+	b := Analyze(tr, Options{})
+	requireExact(t, b)
+	if got := b.ByCategory(CatServer); got != 5*time.Millisecond {
+		t.Fatalf("server self = %v, want 5ms ([0,2)+[7,10))", got)
+	}
+	var shadowed *Hop
+	for _, h := range b.Hops {
+		if h.Span.ID == 3 {
+			shadowed = h
+		}
+	}
+	if shadowed == nil || shadowed.OffPath != 3*time.Millisecond {
+		t.Fatalf("span 3 off-path = %v, want 3ms", shadowed.OffPath)
+	}
+}
+
+func TestLeafClientIsWait(t *testing.T) {
+	tr := mkTrace(
+		mkSpan(1, 0, trace.TapClientProcess, trace.SourceEBPF, "wrk", 0, 10000),
+	)
+	b := Analyze(tr, Options{})
+	requireExact(t, b)
+	if got := b.ByCategory(CatWait); got != 10*time.Millisecond {
+		t.Fatalf("wait time = %v, want 10ms", got)
+	}
+}
+
+func TestCriticalPathFollowsDominantChild(t *testing.T) {
+	tr := mkTrace(
+		mkSpan(1, 0, trace.TapServerProcess, trace.SourceEBPF, "front", 0, 10000),
+		mkSpan(2, 1, trace.TapClientProcess, trace.SourceEBPF, "front", 1000, 3000),
+		mkSpan(3, 1, trace.TapClientProcess, trace.SourceEBPF, "front", 4000, 9000),
+		mkSpan(4, 3, trace.TapServerProcess, trace.SourceEBPF, "slowsvc", 4500, 8500),
+	)
+	b := Analyze(tr, Options{})
+	requireExact(t, b)
+	onPath := map[trace.SpanID]bool{}
+	for _, h := range b.CriticalPath() {
+		onPath[h.Span.ID] = true
+	}
+	if !onPath[1] || !onPath[3] || !onPath[4] || onPath[2] {
+		t.Fatalf("critical path = %v, want 1→3→4", onPath)
+	}
+	// front's server self time is [0,1)+[3,4)+[9,10) = 3ms vs slowsvc's 4ms.
+	if d := b.Dominant(); d == nil || d.Span.ID != 4 || d.Name != "slowsvc" {
+		t.Fatalf("dominant = %+v, want slowsvc (span 4)", d)
+	}
+}
+
+func TestFoldedOutput(t *testing.T) {
+	tr := mkTrace(
+		mkSpan(1, 0, trace.TapClientProcess, trace.SourceEBPF, "wrk", 0, 10000),
+		mkSpan(2, 1, trace.TapServerProcess, trace.SourceEBPF, "api", 2000, 8000),
+	)
+	b := Analyze(tr, Options{})
+	folded := b.FoldedText()
+	want := "wrk;api;[server] 6000\n"
+	if !strings.Contains(folded, want) {
+		t.Fatalf("folded output missing %q:\n%s", want, folded)
+	}
+	if !strings.Contains(folded, "wrk;[network] 4000") {
+		t.Fatalf("folded output missing client network line:\n%s", folded)
+	}
+}
+
+func TestWaterfallRenders(t *testing.T) {
+	tr := mkTrace(
+		mkSpan(1, 0, trace.TapClientProcess, trace.SourceEBPF, "wrk", 0, 10000),
+		mkSpan(2, 1, trace.TapServerProcess, trace.SourceEBPF, "api", 2000, 8000),
+	)
+	b := Analyze(tr, Options{})
+	text := b.Text()
+	if !strings.Contains(text, "exact=true") || !strings.Contains(text, "* wrk") {
+		t.Fatalf("waterfall output unexpected:\n%s", text)
+	}
+}
+
+func TestNilAndEmpty(t *testing.T) {
+	if Analyze(nil, Options{}) != nil {
+		t.Fatal("nil trace should yield nil breakdown")
+	}
+	// Zero-duration root: no segments, still exact.
+	tr := mkTrace(mkSpan(1, 0, trace.TapClientProcess, trace.SourceEBPF, "wrk", 0, 0))
+	b := Analyze(tr, Options{})
+	requireExact(t, b)
+	if len(b.Segments) != 0 {
+		t.Fatalf("segments = %d, want 0", len(b.Segments))
+	}
+}

@@ -1,0 +1,137 @@
+package critpath
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+const barWidth = 32
+
+// WriteWaterfall renders the breakdown as an indented waterfall: one line
+// per hop with a bar positioned over the root window, the critical path
+// marked with '*', and the non-zero category times spelled out.
+func (b *Breakdown) WriteWaterfall(w io.Writer) error {
+	if b == nil || b.Root == nil {
+		_, err := io.WriteString(w, "breakdown: empty trace\n")
+		return err
+	}
+	dom := b.Dominant()
+	if _, err := fmt.Fprintf(w, "breakdown: root span #%d  total=%v  segments=%d  exact=%v\n",
+		b.Root.ID, b.Total, len(b.Segments), b.Exact()); err != nil {
+		return err
+	}
+	if dom != nil {
+		cat, catD := dom.DominantCategory()
+		if _, err := fmt.Fprintf(w, "dominant hop: %s (%v attributed, %s=%v)\n",
+			dom.Name, dom.Attributed(), cat, catD); err != nil {
+			return err
+		}
+	}
+	lo := b.Root.StartTime
+	total := b.Total
+	for _, h := range b.Hops {
+		mark := " "
+		if h.OnPath {
+			mark = "*"
+		}
+		var parts []string
+		for _, c := range Categories {
+			if d := h.ByCategory(c); d > 0 {
+				parts = append(parts, fmt.Sprintf("%s=%v", c, d))
+			}
+		}
+		if h.OffPath > 0 {
+			parts = append(parts, fmt.Sprintf("offpath=%v", h.OffPath))
+		}
+		if h.WireTaps > 0 {
+			parts = append(parts, fmt.Sprintf("taps=%d", h.WireTaps))
+		}
+		if h.Retransmissions > 0 {
+			parts = append(parts, fmt.Sprintf("retx=%d", h.Retransmissions))
+		}
+		name := strings.Repeat("  ", h.Depth) + h.Name
+		if _, err := fmt.Fprintf(w, "%s %-28s |%s| #%-5d %s\n",
+			mark, name, bar(lo, total, h), h.Span.ID, strings.Join(parts, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bar draws the hop's charged window on a fixed-width timeline over the
+// root window: '=' for on-path hops, '-' off path, '.' elsewhere.
+func bar(lo time.Time, total time.Duration, h *Hop) string {
+	cells := [barWidth]byte{}
+	for i := range cells {
+		cells[i] = '.'
+	}
+	if total > 0 {
+		s := int(int64(h.WindowStart.Sub(lo)) * barWidth / int64(total))
+		e := int(int64(h.WindowEnd.Sub(lo)) * barWidth / int64(total))
+		if s < 0 {
+			s = 0
+		}
+		if e > barWidth {
+			e = barWidth
+		}
+		if e == s && e < barWidth {
+			e = s + 1 // a hop always shows at least one cell
+		}
+		fill := byte('-')
+		if h.OnPath {
+			fill = '='
+		}
+		for i := s; i < e && i >= 0; i++ {
+			cells[i] = fill
+		}
+	}
+	return string(cells[:])
+}
+
+// Text renders the waterfall to a string.
+func (b *Breakdown) Text() string {
+	var sb strings.Builder
+	_ = b.WriteWaterfall(&sb)
+	return sb.String()
+}
+
+// WriteFolded renders the attribution as folded stacks in the profiling
+// plane's conventions ("frame;frame;... count" lines, sorted): the stack is
+// the hop-name path from the root with the category as a pseudo-frame leaf,
+// and the count is the attributed time in microseconds.
+func (b *Breakdown) WriteFolded(w io.Writer) error {
+	if b == nil {
+		return nil
+	}
+	var lines []string
+	for _, h := range b.Hops {
+		for _, c := range Categories {
+			d := h.ByCategory(c)
+			us := d.Microseconds()
+			if d > 0 && us == 0 {
+				us = 1 // sub-microsecond slices still show up
+			}
+			if us > 0 {
+				lines = append(lines, fmt.Sprintf("%s;[%s] %d",
+					strings.Join(h.stack, ";"), c, us))
+			}
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := io.WriteString(w, l+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FoldedText renders the folded stacks to a string.
+func (b *Breakdown) FoldedText() string {
+	var sb strings.Builder
+	_ = b.WriteFolded(&sb)
+	return sb.String()
+}

@@ -85,6 +85,7 @@ func alertScenarios() []alertScenario {
 		{name: "error-burst", expect: alerting.KindErrorBurst, suspect: "sb-backend-0", run: runAlertErrorBurst},
 		{name: "rst-storm", expect: alerting.KindRSTStorm, run: runAlertRSTStorm},
 		{name: "cpu-hog", expect: alerting.KindCPUHog, suspect: "sb-backend-0", run: runAlertCPUHog},
+		{name: "latency-regression", expect: alerting.KindLatencyRegression, suspect: "hop=backend", run: runAlertSlowTail},
 		{name: "arp-anomaly", expect: alerting.KindARPAnomaly, suspect: "sb-machine-2", run: runAlertARP},
 	}
 }
@@ -182,6 +183,29 @@ func runAlertCPUHog(shards int) (*core.Deployment, time.Time, error) {
 	env.Run(8 * time.Second)
 	faultAt := env.Eng.Now()
 	faults.InjectCPUHog(env.Component("sb-backend"), sim.Const{D: 25 * time.Millisecond}, "backend.handle.hotloop")
+	env.Run(6 * time.Second)
+	d.FlushAll()
+	return d, faultAt, nil
+}
+
+// runAlertSlowTail: a slow path ships — every 16th backend request burns an
+// extra 12 ms (cold cache key, slow shard). The bucket mean barely moves
+// (cpu-hog's 2× factor never trips) but the bucket max jumps an order of
+// magnitude: the latency-regression detector fires, and its localization
+// walks the aggregate → exemplar → breakdown drill to name the backend hop.
+func runAlertSlowTail(shards int) (*core.Deployment, time.Time, error) {
+	env := microsim.NewEnv(233)
+	topo := microsim.BuildSpringBootDemo(env, nil)
+	d := core.NewDeployment(env, []*k8s.Cluster{topo.Cluster}, nil, alertOpts(shards))
+	if err := d.DeployAll(); err != nil {
+		return nil, time.Time{}, err
+	}
+	gen := microsim.NewLoadGen(env, "wrk", topo.ClientHost, topo.Entry, 4, 40)
+	gen.Path = "/api/items"
+	gen.Start(13 * time.Second)
+	env.Run(8 * time.Second)
+	faultAt := env.Eng.Now()
+	faults.InjectSlowTail(env.Component("sb-backend"), 16, 12*time.Millisecond)
 	env.Run(6 * time.Second)
 	d.FlushAll()
 	return d, faultAt, nil

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"deepflow/internal/core"
+	"deepflow/internal/critpath"
+	"deepflow/internal/k8s"
+	"deepflow/internal/microsim"
+	"deepflow/internal/sim"
+	"deepflow/internal/trace"
+)
+
+// CritpathResult is the latency-attribution benchmark: exactness of the
+// breakdown invariant over every Bookinfo trace, where the wall time went,
+// breakdown throughput, and the shard-determinism checks for the exemplar
+// reservoirs and the joined breakdowns. Shipped as BENCH_critpath.json.
+type CritpathResult struct {
+	Traces         int     `json:"traces"`
+	SpansAssembled int     `json:"spans_assembled"`
+	Segments       int     `json:"segments"`
+	ExactFraction  float64 `json:"exact_fraction"` // must be 1.0
+
+	ShareClient  float64 `json:"share_client"`
+	ShareNetwork float64 `json:"share_network"`
+	ShareServer  float64 `json:"share_server"`
+	ShareWait    float64 `json:"share_wait"`
+
+	BreakdownsPerSec  float64 `json:"breakdowns_per_sec"` // assemble + analyze
+	MeanSpansPerTrace float64 `json:"mean_spans_per_trace"`
+
+	ShardExemplarsIdentical  bool `json:"shard_exemplars_identical"`
+	ShardBreakdownsIdentical bool `json:"shard_breakdowns_identical"`
+}
+
+// critpathDeployment is the benchmark corpus: the same Bookinfo pipeline
+// the rollup gate uses (seed 7, 150 rps for 2 s), at the given shard count.
+func critpathDeployment(shards int) (*core.Deployment, error) {
+	env := microsim.NewEnv(7)
+	topo := microsim.BuildBookinfo(env, nil)
+	opts := core.DefaultOptions()
+	opts.Shards = shards
+	d := core.NewDeployment(env, []*k8s.Cluster{topo.Cluster}, nil, opts)
+	if err := d.DeployAll(); err != nil {
+		return nil, err
+	}
+	gen := microsim.NewLoadGen(env, "load", topo.ClientHost, topo.Entry, 8, 150)
+	gen.Path = "/productpage"
+	gen.Start(2 * time.Second)
+	env.Run(3 * time.Second)
+	d.FlushAll()
+	return d, nil
+}
+
+// traceRoots returns the completed client request spans of the load
+// process — one per end-to-end request, in deterministic span-list order.
+func traceRoots(d *core.Deployment) []trace.SpanID {
+	var roots []trace.SpanID
+	for _, sp := range d.Server.SpanList(sim.Epoch, sim.Epoch.Add(24*time.Hour), 0) {
+		if sp.ProcessName == "load" && sp.TapSide == trace.TapClientProcess && sp.ResponseStatus == "ok" {
+			roots = append(roots, sp.ID)
+		}
+	}
+	return roots
+}
+
+// exemplarText renders every exemplar surface (endpoint and edge rows,
+// including the joined dominant hop) for byte comparison across shard
+// counts.
+func exemplarText(d *core.Deployment) string {
+	from, to := sim.Epoch, sim.Epoch.Add(24*time.Hour)
+	var sb strings.Builder
+	for _, row := range d.Server.EndpointExemplars(from, to) {
+		fmt.Fprintf(&sb, "endpoint %s %v\n", row.Name, row.Exemplars)
+	}
+	for _, row := range d.Server.EdgeExemplars(from, to) {
+		fmt.Fprintf(&sb, "edge %+v\n", row)
+	}
+	return sb.String()
+}
+
+// RunCritpath measures the latency-attribution plane end to end.
+func RunCritpath() (*CritpathResult, error) {
+	d1, err := critpathDeployment(1)
+	if err != nil {
+		return nil, err
+	}
+	defer d1.Stop()
+	d4, err := critpathDeployment(4)
+	if err != nil {
+		return nil, err
+	}
+	defer d4.Stop()
+
+	roots := traceRoots(d1)
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("critpath: no completed request roots on the server")
+	}
+
+	res := &CritpathResult{Traces: len(roots), ExactFraction: 1, ShardBreakdownsIdentical: true}
+	var exact int
+	var byCat [5]time.Duration
+	var total time.Duration
+	start := time.Now()
+	breakdowns := make([]*critpath.Breakdown, 0, len(roots))
+	for _, id := range roots {
+		bd := d1.Server.TraceBreakdown(id)
+		if bd == nil {
+			return nil, fmt.Errorf("critpath: span #%d has no breakdown", id)
+		}
+		breakdowns = append(breakdowns, bd)
+	}
+	elapsed := time.Since(start)
+	for _, bd := range breakdowns {
+		if bd.Exact() {
+			exact++
+		}
+		res.SpansAssembled += len(bd.Hops)
+		res.Segments += len(bd.Segments)
+		total += bd.Total
+		for _, c := range critpath.Categories {
+			byCat[c] += bd.ByCategory(c)
+		}
+	}
+	res.ExactFraction = float64(exact) / float64(len(roots))
+	if total > 0 {
+		res.ShareClient = float64(byCat[critpath.CatClient]) / float64(total)
+		res.ShareNetwork = float64(byCat[critpath.CatNetwork]) / float64(total)
+		res.ShareServer = float64(byCat[critpath.CatServer]) / float64(total)
+		res.ShareWait = float64(byCat[critpath.CatWait]) / float64(total)
+	}
+	res.MeanSpansPerTrace = float64(res.SpansAssembled) / float64(len(roots))
+	if elapsed > 0 {
+		res.BreakdownsPerSec = float64(len(roots)) / elapsed.Seconds()
+	}
+
+	// Shard determinism: the exemplar surfaces and every joined breakdown
+	// must answer byte-identically at 1 and 4 ingest shards.
+	res.ShardExemplarsIdentical = exemplarText(d1) == exemplarText(d4)
+	for i, id := range roots {
+		bd4 := d4.Server.TraceBreakdown(id)
+		if bd4 == nil || breakdowns[i].Text() != bd4.Text() || breakdowns[i].FoldedText() != bd4.FoldedText() {
+			res.ShardBreakdownsIdentical = false
+			break
+		}
+	}
+	return res, nil
+}
+
+// Critpath wraps RunCritpath as a dfbench table and attaches the JSON
+// payload for BENCH_critpath.json.
+func Critpath() (*Table, error) {
+	res, err := RunCritpath()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "critpath",
+		Title:   "Latency attribution: exact critical-path breakdowns over the Bookinfo corpus",
+		Columns: []string{"metric", "value"},
+		JSON:    res,
+	}
+	t.AddRow("traces broken down", res.Traces)
+	t.AddRow("exact fraction (segments == root wall time)", fmt.Sprintf("%.4f", res.ExactFraction))
+	t.AddRow("mean hops per trace", fmt.Sprintf("%.1f", res.MeanSpansPerTrace))
+	t.AddRow("segments emitted", res.Segments)
+	t.AddRow("share: client", fmt.Sprintf("%.3f", res.ShareClient))
+	t.AddRow("share: network", fmt.Sprintf("%.3f", res.ShareNetwork))
+	t.AddRow("share: server", fmt.Sprintf("%.3f", res.ShareServer))
+	t.AddRow("share: wait", fmt.Sprintf("%.3f", res.ShareWait))
+	t.AddRow("breakdowns/s (assemble+analyze)", fmt.Sprintf("%.0f", res.BreakdownsPerSec))
+	t.AddRow("exemplars shard-identical (1 vs 4)", fmt.Sprintf("%v", res.ShardExemplarsIdentical))
+	t.AddRow("breakdowns shard-identical (1 vs 4)", fmt.Sprintf("%v", res.ShardBreakdownsIdentical))
+	t.Notes = []string{
+		"corpus: the rollup gate's Bookinfo pipeline (seed 7, 150 rps × 2 s, NIC/node packet taps on)",
+		"every breakdown satisfies the invariant Σ segments == root span wall time to the nanosecond",
+		"category shares split each trace's wall time into client-side processing, wire/network path, server self-time, and unobserved-peer wait",
+		"shard determinism compares the rendered exemplar reservoirs and every trace's waterfall + folded output at 1 vs 4 ingest shards",
+	}
+	return t, nil
+}

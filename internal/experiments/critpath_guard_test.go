@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestBreakdownExactnessGate is check.sh's latency-attribution gate: every
+// trace assembled from the full Bookinfo pipeline must decompose into
+// segments that sum exactly to the root span's wall time, and both the
+// breakdowns and the exemplar reservoirs must be byte-identical whether the
+// server ingested on 1 shard or 4.
+func TestBreakdownExactnessGate(t *testing.T) {
+	d1 := bookinfoServer(t, 1)
+	d4 := bookinfoServer(t, 4)
+	defer d1.Stop()
+	defer d4.Stop()
+
+	roots := traceRoots(d1)
+	if len(roots) == 0 {
+		t.Fatal("no completed request roots on the server")
+	}
+	for _, id := range roots {
+		bd1 := d1.Server.TraceBreakdown(id)
+		if bd1 == nil {
+			t.Fatalf("span #%d: no breakdown", id)
+		}
+		if !bd1.Exact() {
+			t.Fatalf("span #%d: Σ segments = %v, root wall time = %v — breakdown is not exact",
+				id, bd1.Sum(), bd1.Total)
+		}
+		if len(bd1.Hops) < 2 {
+			t.Fatalf("span #%d: breakdown has %d hops, want a multi-hop trace", id, len(bd1.Hops))
+		}
+		bd4 := d4.Server.TraceBreakdown(id)
+		if bd4 == nil {
+			t.Fatalf("span #%d: no breakdown at 4 shards", id)
+		}
+		if bd1.Text() != bd4.Text() {
+			t.Fatalf("span #%d: waterfall differs across shard counts:\n1 shard:\n%s\n4 shards:\n%s",
+				id, bd1.Text(), bd4.Text())
+		}
+		if bd1.FoldedText() != bd4.FoldedText() {
+			t.Fatalf("span #%d: folded output differs across shard counts", id)
+		}
+	}
+
+	ex1, ex4 := exemplarText(d1), exemplarText(d4)
+	if ex1 == "" {
+		t.Fatal("no exemplars collected")
+	}
+	if ex1 != ex4 {
+		t.Fatalf("exemplar surfaces differ across shard counts:\n1 shard:\n%s\n4 shards:\n%s", ex1, ex4)
+	}
+}

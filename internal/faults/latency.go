@@ -1,0 +1,61 @@
+package faults
+
+import (
+	"time"
+
+	"deepflow/internal/microsim"
+	"deepflow/internal/server"
+	"deepflow/internal/trace"
+)
+
+// InjectSlowTail makes every `every`-th request through the component take
+// `extra` additional service time — the application-class fault behind the
+// latency-regression detector: the endpoint's p50 barely moves but the
+// bucket max jumps, exactly the regression shape a bad cache key or a slow
+// shard produces.
+func InjectSlowTail(c *microsim.Component, every int, extra time.Duration) {
+	c.SetSlowTail(every, extra)
+}
+
+// LatencyRegressionResult names where a latency regression's slow requests
+// actually spend their time: the dominant hop of the slowest exemplar
+// trace's exact breakdown.
+type LatencyRegressionResult struct {
+	Hop      string        // dominant hop's endpoint/process name
+	Category string        // dominant category at that hop (client/network/server/wait)
+	Self     time.Duration // time attributed to the hop
+	SpanID   trace.SpanID  // exemplar trace entry point (drill-down)
+	TraceDur time.Duration // exemplar trace total wall time
+}
+
+// Conclusive follows the package's zero-value contract.
+func (r LatencyRegressionResult) Conclusive() bool { return r.Hop != "" }
+
+// LocalizeLatencyRegression walks the aggregate → exemplar → breakdown
+// drill path for one endpoint over [from, to): take the slowest exemplar
+// the rollup reservoirs retained, assemble its trace, and read the dominant
+// hop off the exact critical-path breakdown. Deterministic for a given
+// corpus regardless of shard count.
+func LocalizeLatencyRegression(srv *server.Server, endpoint string, from, to time.Time) LatencyRegressionResult {
+	refs := srv.ExemplarsFor(endpoint, from, to)
+	if len(refs) == 0 {
+		return LatencyRegressionResult{}
+	}
+	ref := refs[0] // slowest first
+	bd := srv.TraceBreakdown(ref.SpanID)
+	if bd == nil {
+		return LatencyRegressionResult{}
+	}
+	dom := bd.Dominant()
+	if dom == nil {
+		return LatencyRegressionResult{}
+	}
+	cat, _ := dom.DominantCategory()
+	return LatencyRegressionResult{
+		Hop:      dom.Name,
+		Category: cat.String(),
+		Self:     dom.Attributed(),
+		SpanID:   ref.SpanID,
+		TraceDur: bd.Total,
+	}
+}

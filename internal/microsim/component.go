@@ -100,6 +100,14 @@ type Component struct {
 	hotLoop  sim.Dist
 	hotFrame string
 
+	// Slow-tail fault injection (the latency-regression detector's
+	// application-class fault): every Nth request takes a deterministic
+	// slow path, inflating the bucket max while leaving the mean nearly
+	// untouched.
+	slowEvery int
+	slowExtra time.Duration
+	slowSeen  int
+
 	// Stats.
 	Handled uint64
 	Errors  uint64
@@ -114,6 +122,28 @@ func (c *Component) SetHotLoop(extra sim.Dist, frame string) {
 		frame = c.Name + ".handle.hotloop"
 	}
 	c.hotLoop, c.hotFrame = extra, frame
+}
+
+// SetSlowTail makes every `every`-th request handled by this component burn
+// `extra` additional service time — a deterministic slow path (cold cache,
+// lock convoy, slow shard) that shifts the tail without moving the mean.
+// Used by faults.InjectSlowTail; every <= 0 disables.
+func (c *Component) SetSlowTail(every int, extra time.Duration) {
+	c.slowEvery, c.slowExtra = every, extra
+	c.slowSeen = 0
+}
+
+// slowTailExtra returns the extra service time the current request owes to
+// the slow-tail fault, advancing the deterministic request counter.
+func (c *Component) slowTailExtra() time.Duration {
+	if c.slowEvery <= 0 {
+		return 0
+	}
+	c.slowSeen++
+	if c.slowSeen%c.slowEvery == 0 {
+		return c.slowExtra
+	}
+	return 0
 }
 
 // burn models the request spending d on CPU with a call stack of
@@ -367,7 +397,7 @@ func (c *Component) handle(req *request, payload []byte) {
 		}
 	}
 
-	c.burn(req, "handle", "service", c.ServiceTime.Sample(c.Env.Eng.Rand())+instr, func() {
+	c.burn(req, "handle", "service", c.ServiceTime.Sample(c.Env.Eng.Rand())+instr+c.slowTailExtra(), func() {
 		c.burnHot(req, func() { c.doCall(req, 0) })
 	})
 }

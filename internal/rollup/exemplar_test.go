@@ -1,0 +1,114 @@
+package rollup
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"deepflow/internal/trace"
+)
+
+func exSpan(id trace.SpanID, startUS, durUS int64) *trace.Span {
+	start := time.Unix(0, startUS*1000)
+	return &trace.Span{
+		ID: id, TapSide: trace.TapServerProcess, ProcessName: "svc",
+		StartTime: start, EndTime: start.Add(time.Duration(durUS) * time.Microsecond),
+	}
+}
+
+func TestReservoirKeepsSlowestK(t *testing.T) {
+	r := &Reservoir{}
+	for i, d := range []int64{5, 1, 9, 3, 7, 9} {
+		r.observe(trace.SpanID(i+1), d)
+	}
+	want := []Exemplar{{SpanID: 3, DurNS: 9}, {SpanID: 6, DurNS: 9}, {SpanID: 5, DurNS: 7}}
+	if !reflect.DeepEqual(r.Top, want) {
+		t.Fatalf("reservoir = %+v, want %+v", r.Top, want)
+	}
+}
+
+func TestReservoirMergeOrderInvariant(t *testing.T) {
+	obs := []Exemplar{{1, 500}, {2, 900}, {3, 100}, {4, 900}, {5, 700}, {6, 300}}
+	// All in one reservoir.
+	one := &Reservoir{}
+	for _, e := range obs {
+		one.insert(e)
+	}
+	// Split across two reservoirs every possible way, merged both ways.
+	for mask := 0; mask < 1<<len(obs); mask++ {
+		a, b := &Reservoir{}, &Reservoir{}
+		for i, e := range obs {
+			if mask&(1<<i) != 0 {
+				a.insert(e)
+			} else {
+				b.insert(e)
+			}
+		}
+		am := a.Clone()
+		am.Merge(b)
+		bm := b.Clone()
+		bm.Merge(a)
+		if !reflect.DeepEqual(am.Top, one.Top) || !reflect.DeepEqual(bm.Top, one.Top) {
+			t.Fatalf("mask %b: merge not order/split invariant: %+v / %+v vs %+v",
+				mask, am.Top, bm.Top, one.Top)
+		}
+	}
+}
+
+func TestCollectExemplarsAcrossPartials(t *testing.T) {
+	resolve := func(ip trace.IP) trace.ResourceTags { return trace.ResourceTags{} }
+	spans := []*trace.Span{
+		exSpan(1, 100, 500), exSpan(2, 200, 900), exSpan(3, 300, 100),
+		exSpan(4, 1_100_000, 800), exSpan(5, 400, 700), exSpan(6, 500, 300),
+	}
+	// One partial vs round-robin across three partials.
+	one := NewPartial(resolve)
+	for _, sp := range spans {
+		one.ObserveSpan(sp)
+	}
+	parts := []*Partial{NewPartial(resolve), NewPartial(resolve), NewPartial(resolve)}
+	for i, sp := range spans {
+		parts[i%3].ObserveSpan(sp)
+	}
+	from, to := time.Unix(0, 0), time.Unix(10, 0)
+	got := CollectExemplars(parts, from, to)
+	want := CollectExemplars([]*Partial{one}, from, to)
+	if len(want) == 0 {
+		t.Fatal("no exemplar groups collected")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sharded collect differs:\n got %+v\nwant %+v", got, want)
+	}
+	ge := CollectEdgeExemplars(parts, from, to)
+	we := CollectEdgeExemplars([]*Partial{one}, from, to)
+	if len(we) == 0 || !reflect.DeepEqual(ge, we) {
+		t.Fatalf("sharded edge collect differs:\n got %+v\nwant %+v", ge, we)
+	}
+	// Window bounds are respected: span 4 sits in the second fine bucket.
+	narrow := CollectExemplars(parts, time.Unix(0, 0), time.Unix(1, 0))
+	for _, r := range narrow {
+		for _, e := range r.Top {
+			if e.SpanID == 4 {
+				t.Fatal("span 4 leaked into the [0,1s) window")
+			}
+		}
+	}
+}
+
+func TestExemplarEviction(t *testing.T) {
+	resolve := func(ip trace.IP) trace.ResourceTags { return trace.ResourceTags{} }
+	p := NewPartial(resolve)
+	p.ObserveSpan(exSpan(1, 100, 500))
+	if s := p.Snapshot(); s.ExemplarGroups == 0 {
+		t.Fatal("no exemplar groups after observe")
+	}
+	p.EvictFineBefore(time.Unix(0, 0).Add(2 * CoarseBucket))
+	if s := p.Snapshot(); s.ExemplarGroups != 0 {
+		t.Fatalf("exemplar groups survived eviction: %d", s.ExemplarGroups)
+	}
+	// Late arrivals below the watermark are dropped, not resurrected.
+	p.ObserveSpan(exSpan(2, 200, 900))
+	if s := p.Snapshot(); s.ExemplarGroups != 0 {
+		t.Fatalf("late span below watermark created exemplar group: %d", s.ExemplarGroups)
+	}
+}

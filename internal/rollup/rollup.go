@@ -198,6 +198,12 @@ type Partial struct {
 	// resolution even when no span ships (e.g. connection-refused storms);
 	// it is evicted with the fine watermark and has no coarse fallback.
 	hostNet map[int64]map[string]*HostAgg
+	// exemplars/edgeEx are the fine-tier slow-trace reservoirs: per group
+	// (and per directed edge) the K slowest span IDs, the aggregate→trace
+	// drill-down entry points. Fine tier only, evicted with the watermark,
+	// no coarse fallback (the raw spans they reference age out too).
+	exemplars map[int64]map[Key]*Reservoir
+	edgeEx    map[int64]map[EdgeKey]*Reservoir
 
 	spansSeen   uint64
 	flowsSeen   uint64
@@ -207,12 +213,14 @@ type Partial struct {
 // NewPartial creates an empty partial over the given tag resolver.
 func NewPartial(resolve Resolver) *Partial {
 	return &Partial{
-		resolve: resolve,
-		fine:    make(tier),
-		coarse:  make(tier),
-		edges:   make(map[int64]map[EdgeKey]*EdgeAgg),
-		flows:   make(map[int64]map[PairKey]*FlowAgg),
-		hostNet: make(map[int64]map[string]*HostAgg),
+		resolve:   resolve,
+		fine:      make(tier),
+		coarse:    make(tier),
+		edges:     make(map[int64]map[EdgeKey]*EdgeAgg),
+		flows:     make(map[int64]map[PairKey]*FlowAgg),
+		hostNet:   make(map[int64]map[string]*HostAgg),
+		exemplars: make(map[int64]map[Key]*Reservoir),
+		edgeEx:    make(map[int64]map[EdgeKey]*Reservoir),
 	}
 }
 
@@ -240,11 +248,16 @@ func (p *Partial) ObserveSpan(sp *trace.Span) {
 		L7:     sp.L7,
 	}
 
+	fb := bucketStart(sp.StartTime, FineBucket)
+
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.spansSeen++
-	p.fine.observe(bucketStart(sp.StartTime, FineBucket), k, sp)
+	p.fine.observe(fb, k, sp)
 	p.coarse.observe(bucketStart(sp.StartTime, CoarseBucket), k, sp)
+	if fb >= p.fineFloor {
+		p.observeExemplar(fb, k, ek, sp)
+	}
 
 	cb := bucketStart(sp.StartTime, CoarseBucket)
 	em := p.edges[cb]
@@ -326,6 +339,16 @@ func (p *Partial) EvictFineBefore(cutoff time.Time) {
 			delete(p.hostNet, b)
 		}
 	}
+	for b := range p.exemplars {
+		if b < floor {
+			delete(p.exemplars, b)
+		}
+	}
+	for b := range p.edgeEx {
+		if b < floor {
+			delete(p.edgeEx, b)
+		}
+	}
 }
 
 // FineFloor returns the eviction watermark (zero time if nothing evicted).
@@ -340,16 +363,17 @@ func (p *Partial) FineFloor() time.Time {
 
 // Stats is a point-in-time size snapshot for self-monitoring.
 type Stats struct {
-	FineBuckets   int
-	CoarseBuckets int
-	Groups        int // aggregation groups across fine buckets
-	EdgeBuckets   int
-	Edges         int // edge groups across buckets
-	FlowPairs     int
-	HostNetHosts  int // host-signal groups across fine buckets
-	SpansSeen     uint64
-	FlowsSeen     uint64
-	FineEvicted   uint64
+	FineBuckets    int
+	CoarseBuckets  int
+	Groups         int // aggregation groups across fine buckets
+	EdgeBuckets    int
+	Edges          int // edge groups across buckets
+	FlowPairs      int
+	HostNetHosts   int // host-signal groups across fine buckets
+	ExemplarGroups int // slow-trace reservoirs across fine buckets (groups + edges)
+	SpansSeen      uint64
+	FlowsSeen      uint64
+	FineEvicted    uint64
 }
 
 // Snapshot returns the partial's current sizes.
@@ -375,6 +399,12 @@ func (p *Partial) Snapshot() Stats {
 	}
 	for _, hm := range p.hostNet {
 		s.HostNetHosts += len(hm)
+	}
+	for _, em := range p.exemplars {
+		s.ExemplarGroups += len(em)
+	}
+	for _, gm := range p.edgeEx {
+		s.ExemplarGroups += len(gm)
 	}
 	return s
 }

@@ -79,6 +79,9 @@ func (s *SpanStore) AssembleMasked(start trace.SpanID, iterations int, mask Asso
 	if s.mAssembleIters != nil {
 		s.mAssembleIters.Observe(float64(itersUsed))
 	}
+	if s.mAssembleSpans != nil {
+		s.mAssembleSpans.Observe(float64(len(spans)))
+	}
 	return finishTrace(spans, s.ruleHits)
 }
 
@@ -171,6 +174,9 @@ func assembleAcross(stores []*SpanStore, start trace.SpanID, iterations int, mas
 	}
 	if stores[0].mAssembleIters != nil {
 		stores[0].mAssembleIters.Observe(float64(itersUsed))
+	}
+	if stores[0].mAssembleSpans != nil {
+		stores[0].mAssembleSpans.Observe(float64(len(spans)))
 	}
 	return finishTrace(spans, stores[0].ruleHits)
 }

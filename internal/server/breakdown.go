@@ -1,0 +1,154 @@
+// Latency attribution queries: the aggregate → exemplar → breakdown drill
+// path. A rollup bucket names a slow endpoint; its exemplar reservoir names
+// the K slowest span IDs; TraceBreakdown assembles the trace from one of
+// them and decomposes every nanosecond of the root's wall time into
+// client / network / server / wait per hop (internal/critpath).
+package server
+
+import (
+	"sort"
+	"time"
+
+	"deepflow/internal/critpath"
+	"deepflow/internal/rollup"
+	"deepflow/internal/trace"
+)
+
+// hopName resolves a span's breakdown display name the same way endpoint
+// rows resolve theirs: service name when enriched, process name otherwise —
+// so a dominant hop matches the alerting plane's endpoint naming.
+func (s *Server) hopName(sp *trace.Span) string {
+	if n := s.Registry.services.name(sp.Resource.ServiceID); n != "" {
+		return n
+	}
+	return sp.ProcessName
+}
+
+// TraceBreakdown assembles the trace containing start (across all shard
+// partitions, full association mask) and returns its exact latency
+// attribution, or nil when the span is unknown. Deterministic for a given
+// ingested corpus regardless of shard count.
+func (s *Server) TraceBreakdown(start trace.SpanID) *critpath.Breakdown {
+	tr := s.Trace(start)
+	if tr == nil || tr.Root == nil {
+		return nil
+	}
+	return critpath.Analyze(tr, critpath.Options{Name: s.hopName})
+}
+
+// ExemplarRef is one slow-trace entry point from the rollup reservoirs.
+type ExemplarRef struct {
+	SpanID trace.SpanID
+	Dur    time.Duration
+}
+
+func refsOf(top []rollup.Exemplar) []ExemplarRef {
+	out := make([]ExemplarRef, 0, len(top))
+	for _, e := range top {
+		out = append(out, ExemplarRef{SpanID: e.SpanID, Dur: time.Duration(e.DurNS)})
+	}
+	return out
+}
+
+// EndpointExemplarRow is one endpoint's merged slow-trace reservoir.
+type EndpointExemplarRow struct {
+	Name      string
+	Exemplars []ExemplarRef // slowest first
+}
+
+// EndpointExemplars returns each endpoint's K slowest spans over [from, to)
+// (fine tier only), merged across shard partials and status classes,
+// sorted by endpoint name. Byte-identical at any shard count.
+func (s *Server) EndpointExemplars(from, to time.Time) []EndpointExemplarRow {
+	groups := rollup.CollectExemplars(s.rollups, from, to)
+	byName := map[string][]rollup.Exemplar{}
+	for k, r := range groups {
+		name := s.Registry.services.name(k.ServiceID)
+		if name == "" {
+			name = k.Proc
+		}
+		byName[name] = rollup.MergeTops(byName[name], r.Top)
+	}
+	out := make([]EndpointExemplarRow, 0, len(byName))
+	for name, top := range byName {
+		out = append(out, EndpointExemplarRow{Name: name, Exemplars: refsOf(top)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ExemplarsFor returns one endpoint's slow-trace entry points over
+// [from, to), slowest first (empty when the endpoint has none in the
+// window — e.g. the fine tier already evicted it).
+func (s *Server) ExemplarsFor(endpoint string, from, to time.Time) []ExemplarRef {
+	for _, row := range s.EndpointExemplars(from, to) {
+		if row.Name == endpoint {
+			return row.Exemplars
+		}
+	}
+	return nil
+}
+
+// EdgeExemplarRow is one directed client→server edge's reservoir, joined
+// to the breakdown of its slowest exemplar: the dominant hop answers
+// "where did the slowest request on this edge spend its time".
+type EdgeExemplarRow struct {
+	Client, Server string
+	L7             trace.L7Proto
+	Exemplars      []ExemplarRef
+
+	// Join from the slowest exemplar's breakdown.
+	DominantHop      string
+	DominantCategory string
+	DominantSelf     time.Duration
+	TraceTotal       time.Duration
+}
+
+type edgeExKey struct {
+	client, server string
+	l7             trace.L7Proto
+}
+
+// EdgeExemplars returns the per-edge slow-trace reservoirs over [from, to),
+// each joined to its slowest trace's breakdown, sorted by (client, server,
+// L7). Byte-identical at any shard count: reservoir merge is order
+// invariant and the joined breakdown is a pure function of the exemplar.
+func (s *Server) EdgeExemplars(from, to time.Time) []EdgeExemplarRow {
+	groups := rollup.CollectEdgeExemplars(s.rollups, from, to)
+	merged := map[edgeExKey][]rollup.Exemplar{}
+	for k, r := range groups {
+		mk := edgeExKey{
+			client: s.endpointLabel(k.Client),
+			server: s.endpointLabel(k.Server),
+			l7:     k.L7,
+		}
+		merged[mk] = rollup.MergeTops(merged[mk], r.Top)
+	}
+	out := make([]EdgeExemplarRow, 0, len(merged))
+	for mk, top := range merged {
+		row := EdgeExemplarRow{Client: mk.client, Server: mk.server, L7: mk.l7, Exemplars: refsOf(top)}
+		if len(top) > 0 {
+			if bd := s.TraceBreakdown(top[0].SpanID); bd != nil {
+				row.TraceTotal = bd.Total
+				if dom := bd.Dominant(); dom != nil {
+					cat, _ := dom.DominantCategory()
+					row.DominantHop = dom.Name
+					row.DominantCategory = cat.String()
+					row.DominantSelf = dom.Attributed()
+				}
+			}
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Client != b.Client {
+			return a.Client < b.Client
+		}
+		if a.Server != b.Server {
+			return a.Server < b.Server
+		}
+		return a.L7 < b.L7
+	})
+	return out
+}

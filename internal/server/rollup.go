@@ -454,6 +454,8 @@ func instrumentRollups(mon *selfmon.Registry, parts []*rollup.Partial) {
 		sum(func(s rollup.Stats) float64 { return float64(s.FlowPairs) }))
 	mon.GaugeFunc("deepflow_server_rollup_host_net_groups",
 		sum(func(s rollup.Stats) float64 { return float64(s.HostNetHosts) }))
+	mon.GaugeFunc("deepflow_server_rollup_exemplar_groups",
+		sum(func(s rollup.Stats) float64 { return float64(s.ExemplarGroups) }))
 	mon.GaugeFunc("deepflow_server_rollup_spans_observed",
 		sum(func(s rollup.Stats) float64 { return float64(s.SpansSeen) }))
 	mon.GaugeFunc("deepflow_server_rollup_flows_observed",

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"deepflow/internal/trace"
+)
+
+// The fallback rules R14–R16 exist for hosts whose clocks disagree by more
+// than clockSkewTolerance: the containment-based rules R4/R6 stop matching
+// and association keys alone must place the span. These tests skew clocks
+// deliberately and assert chooseParentRule lands on the fallback indices.
+
+var skewBase = time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func skewSpan(id trace.SpanID, side trace.TapSide, startUS, endUS int64) *trace.Span {
+	return &trace.Span{
+		ID: id, Source: trace.SourceEBPF, TapSide: side, ProcessName: "p",
+		StartTime: skewBase.Add(time.Duration(startUS) * time.Microsecond),
+		EndTime:   skewBase.Add(time.Duration(endUS) * time.Microsecond),
+	}
+}
+
+func TestR14SysTraceSkewFallback(t *testing.T) {
+	// Client call spans [0, 10ms); the server span sharing its sys trace
+	// ID sits on a host whose clock runs 8 ms behind: it starts before the
+	// client and ends mid-flight, so R4's containment fails by far more
+	// than the 2 µs tolerance.
+	c := skewSpan(1, trace.TapClientProcess, 0, 10_000)
+	c.SysTraceID = 77
+	p := skewSpan(2, trace.TapServerProcess, -5_000, 2_000)
+	p.SysTraceID = 77
+
+	got, ri := chooseParentRule(c, []*trace.Span{p})
+	if got != p || ri != 13 {
+		t.Fatalf("chooseParentRule = (%v, %d), want R14 (index 13)", got, ri)
+	}
+
+	// Skew in the other direction (server starts after the client) is not
+	// R14's shape: no rule matches at all.
+	late := skewSpan(3, trace.TapServerProcess, 3_000, 12_000)
+	late.SysTraceID = 77
+	if got, ri := chooseParentRule(c, []*trace.Span{late}); got != nil || ri != -1 {
+		t.Fatalf("late-start server adopted as parent by rule index %d", ri)
+	}
+}
+
+func TestR15XRequestIDAcrossGatewaysSkew(t *testing.T) {
+	// A server span and the gateway span that carried its request share an
+	// X-Request-ID, but the gateway host's clock is behind: the gateway
+	// span ends before the server span does, so the chain rules' contained
+	// nesting fails; the TCP seqs are unobserved (zero), so sameMessage
+	// cannot place it either. R15 falls back on the header alone.
+	c := skewSpan(1, trace.TapServerProcess, 100, 9_000)
+	c.XRequestID = "xr-9"
+	p := skewSpan(2, trace.TapGateway, -2_000, 1_000)
+	p.Source = trace.SourcePacket
+	p.XRequestID = "xr-9"
+
+	got, ri := chooseParentRule(c, []*trace.Span{p})
+	if got != p || ri != 14 {
+		t.Fatalf("chooseParentRule = (%v, %d), want R15 (index 14)", got, ri)
+	}
+}
+
+func TestR16TraceIDContainment(t *testing.T) {
+	// Only a propagated trace ID associates the two process spans (no sys
+	// trace, no header, no TCP seqs — e.g. spans re-emitted by an app-side
+	// SDK); containment plus the shared ID is the last-resort parent.
+	c := skewSpan(1, trace.TapServerProcess, 2_000, 8_000)
+	c.TraceID = "t-1"
+	p := skewSpan(2, trace.TapClientProcess, 0, 10_000)
+	p.TraceID = "t-1"
+
+	got, ri := chooseParentRule(c, []*trace.Span{p})
+	if got != p || ri != 15 {
+		t.Fatalf("chooseParentRule = (%v, %d), want R16 (index 15)", got, ri)
+	}
+
+	// Without containment the trace ID alone is not enough.
+	outside := skewSpan(3, trace.TapClientProcess, 4_000, 6_000)
+	outside.TraceID = "t-1"
+	if got, ri := chooseParentRule(c, []*trace.Span{outside}); got != nil || ri != -1 {
+		t.Fatalf("non-containing trace-ID span adopted by rule index %d", ri)
+	}
+}
+
+// TestFinishTraceUnderSkew assembles a three-span, two-host trace where the
+// server's outgoing call is only placeable via R14 (the sub-call span ends
+// after the skewed server span) and asserts the tree still forms, rooted at
+// the original client.
+func TestFinishTraceUnderSkew(t *testing.T) {
+	flow := trace.FiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 100, DstPort: 80, Proto: trace.L4TCP}
+
+	w := skewSpan(1, trace.TapClientProcess, 0, 10_000)
+	w.ProcessName = "wrk"
+	w.Flow = flow
+	w.ReqTCPSeq, w.RespTCPSeq = 555, 556
+
+	s := skewSpan(2, trace.TapServerProcess, 1_000, 6_000)
+	s.ProcessName = "api"
+	s.HostName = "host-b"
+	s.Flow = flow
+	s.ReqTCPSeq, s.RespTCPSeq = 555, 556
+	s.SysTraceID = 77
+
+	// The sub-call's client span, same thread as s, but its clock view
+	// extends past the skewed server window: only R14 places it.
+	c := skewSpan(3, trace.TapClientProcess, 2_000, 9_000)
+	c.ProcessName = "api"
+	c.HostName = "host-b"
+	c.SysTraceID = 77
+
+	tr := finishTrace([]*trace.Span{w, s, c}, nil)
+	if tr.Root == nil || tr.Root.ID != 1 {
+		t.Fatalf("root = %+v, want span 1", tr.Root)
+	}
+	want := map[trace.SpanID]trace.SpanID{2: 1, 3: 2}
+	for _, sp := range tr.Spans {
+		if p, ok := want[sp.ID]; ok && sp.ParentID != p {
+			t.Fatalf("span %d parent = %d, want %d", sp.ID, sp.ParentID, p)
+		}
+	}
+}

@@ -75,7 +75,11 @@ type SpanStore struct {
 
 	// Self-monitoring handles (nil when the store is not instrumented).
 	mAssembleIters *selfmon.Histogram
+	mAssembleSpans *selfmon.Histogram
 	ruleHits       []*selfmon.Counter
+	// mAssocExpand counts index rows contributed per association key during
+	// the iterative search, in assocNames order.
+	mAssocExpand []*selfmon.Counter
 }
 
 // NewSpanStore creates a store with the given tag encoding.
@@ -170,14 +174,23 @@ func instrumentStores(mon *selfmon.Registry, stores []*SpanStore) {
 		sum(func(s *SpanStore) float64 { return float64(s.table.DiskSize()) }), enc)
 	iters := mon.Histogram("deepflow_server_assemble_iterations",
 		selfmon.LinearBuckets(1, 1, DefaultIterations))
+	sizes := mon.Histogram("deepflow_server_assemble_spans",
+		selfmon.LinearBuckets(5, 5, 20))
 	ruleHits := make([]*selfmon.Counter, len(parentRules))
 	for i, r := range parentRules {
 		ruleHits[i] = mon.Counter("deepflow_server_parent_rule_hits",
 			selfmon.Tag{K: "rule", V: fmt.Sprintf("%02d-%s", r.id, r.name)})
 	}
+	expand := make([]*selfmon.Counter, len(assocNames))
+	for i, n := range assocNames {
+		expand[i] = mon.Counter("deepflow_server_assemble_expansions",
+			selfmon.Tag{K: "assoc", V: n})
+	}
 	for _, s := range stores {
 		s.mAssembleIters = iters
+		s.mAssembleSpans = sizes
 		s.ruleHits = ruleHits
+		s.mAssocExpand = expand
 	}
 }
 
@@ -308,20 +321,44 @@ func (s *SpanStore) relatedMasked(sp *trace.Span, mask AssocMask) []int {
 	var rows []int
 	if mask&AssocSysTrace != 0 && sp.SysTraceID != 0 {
 		rows = append(rows, s.bySysTrace[sp.SysTraceID]...)
+		s.countExpand(assocSysTrace, len(s.bySysTrace[sp.SysTraceID]))
 	}
 	if mask&AssocPseudoThread != 0 && sp.PseudoThreadID != 0 {
 		rows = append(rows, s.byPseudo[sp.PseudoThreadID]...)
+		s.countExpand(assocPseudoThread, len(s.byPseudo[sp.PseudoThreadID]))
 	}
 	if mask&AssocXRequestID != 0 && sp.XRequestID != "" {
 		rows = append(rows, s.byXReq[sp.XRequestID]...)
+		s.countExpand(assocXRequestID, len(s.byXReq[sp.XRequestID]))
 	}
 	if mask&AssocTCPSeq != 0 && sp.ReqTCPSeq != 0 {
 		rows = append(rows, s.byTCPSeq[sp.ReqTCPSeq]...)
+		s.countExpand(assocTCPSeq, len(s.byTCPSeq[sp.ReqTCPSeq]))
 	}
 	if mask&AssocTraceID != 0 && sp.TraceID != "" {
 		rows = append(rows, s.byTraceID[sp.TraceID]...)
+		s.countExpand(assocTraceID, len(s.byTraceID[sp.TraceID]))
 	}
 	return rows
+}
+
+// assocNames label the expansion counters, indexed by the assoc* constants.
+var assocNames = []string{"systrace", "pseudothread", "xrequestid", "tcpseq", "traceid"}
+
+const (
+	assocSysTrace = iota
+	assocPseudoThread
+	assocXRequestID
+	assocTCPSeq
+	assocTraceID
+)
+
+// countExpand records how many index rows one association key contributed
+// to a search step (counters are atomic; safe under the read lock).
+func (s *SpanStore) countExpand(assoc, n int) {
+	if n > 0 && s.mAssocExpand != nil {
+		s.mAssocExpand[assoc].Add(uint64(n))
+	}
 }
 
 // relatedSpans is the cross-partition face of relatedMasked: it returns the

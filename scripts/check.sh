@@ -42,4 +42,10 @@ go test -run TestAlertingQualityGate -count=1 ./internal/experiments
 echo ">> dfbench alerting (writes BENCH_alerting.json)"
 go run ./cmd/dfbench alerting
 
+echo ">> breakdown-exactness gate (every Bookinfo trace's segments sum to root wall time; shard-count invisible)"
+go test -run TestBreakdownExactnessGate -count=1 ./internal/experiments
+
+echo ">> dfbench critpath (writes BENCH_critpath.json)"
+go run ./cmd/dfbench critpath
+
 echo "check.sh: all green"
