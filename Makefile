@@ -8,11 +8,14 @@ build:
 test:
 	$(GO) test ./...
 
-# vet runs Go's own static analysis plus dfvet, the repo's eBPF verifier
-# CLI, over every hook program the agent ships.
+# vet runs Go's own static analysis, dfvet (the repo's eBPF verifier CLI)
+# over every hook program the agent ships, and dflint (the invariant
+# linter) over the whole tree: determinism, lockcheck, metricnames, and
+# stickyerr, budgeted by .dflint-budget.
 vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/dfvet
+	$(GO) run ./cmd/dflint ./...
 
 # check runs vet + dfvet, the race detector over the whole tree, and the
 # self-monitoring overhead guard (see scripts/check.sh).

@@ -1,0 +1,129 @@
+// Command dflint runs the repo's invariant linter (internal/lint) over
+// the tree: determinism, lockcheck, metricnames, and stickyerr, with
+// //dflint:allow suppressions pinned by the checked-in .dflint-budget.
+//
+// Usage:
+//
+//	dflint [-json] [-budget file] [packages...]
+//
+// Package patterns follow the go tool ("./...", "./internal/rollup");
+// the default is the whole module. Exit status is nonzero when any
+// unsuppressed finding, budget overrun, malformed directive, or stale
+// directive survives.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"deepflow/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit a machine-readable report on stdout")
+	budgetPath := flag.String("budget", "", "suppression budget file (default <module>/.dflint-budget)")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dflint:", err)
+		os.Exit(2)
+	}
+	if *budgetPath == "" {
+		*budgetPath = filepath.Join(loader.ModuleRoot, lint.BudgetFile)
+	}
+	budget, err := lint.ReadBudget(*budgetPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dflint:", err)
+		os.Exit(2)
+	}
+	res, err := lint.Run(loader, patterns, budget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dflint:", err)
+		os.Exit(2)
+	}
+
+	for _, w := range res.Warnings {
+		fmt.Fprintln(os.Stderr, "dflint: warning:", w)
+	}
+
+	if *jsonOut {
+		if err := json.NewEncoder(os.Stdout).Encode(report(res)); err != nil {
+			fmt.Fprintln(os.Stderr, "dflint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range res.Unsuppressed() {
+			fmt.Println(f)
+		}
+		for _, v := range res.BudgetViolations {
+			fmt.Println("dflint: budget:", v)
+		}
+		for _, d := range res.DirectiveProblems {
+			fmt.Println(d)
+		}
+	}
+	if !res.OK() {
+		os.Exit(1)
+	}
+}
+
+// jsonReport is the -json shape: per-analyzer found/suppressed tallies
+// plus the raw unsuppressed findings, stable enough to diff across runs.
+type jsonReport struct {
+	OK         bool                     `json:"ok"`
+	Packages   int                      `json:"packages"`
+	ByAnalyzer map[string]analyzerStats `json:"by_analyzer"`
+	Findings   []jsonFinding            `json:"findings"`
+	Budget     []string                 `json:"budget_violations,omitempty"`
+	Directives []string                 `json:"directive_problems,omitempty"`
+}
+
+type analyzerStats struct {
+	Found      int `json:"found"`
+	Suppressed int `json:"suppressed"`
+	Budget     int `json:"suppression_budget_used"`
+}
+
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func report(res *lint.Result) jsonReport {
+	out := jsonReport{
+		OK:         res.OK(),
+		Packages:   res.Packages,
+		ByAnalyzer: make(map[string]analyzerStats),
+		Findings:   []jsonFinding{},
+		Budget:     res.BudgetViolations,
+		Directives: res.DirectiveProblems,
+	}
+	for _, name := range lint.AnalyzerNames() {
+		out.ByAnalyzer[name] = analyzerStats{Budget: res.DirectiveCounts[name]}
+	}
+	for _, f := range res.Findings {
+		st := out.ByAnalyzer[f.Analyzer]
+		st.Found++
+		if f.Suppressed {
+			st.Suppressed++
+		}
+		out.ByAnalyzer[f.Analyzer] = st
+		if !f.Suppressed {
+			out.Findings = append(out.Findings, jsonFinding{
+				File: f.Pos.Filename, Line: f.Pos.Line, Analyzer: f.Analyzer, Message: f.Message,
+			})
+		}
+	}
+	return out
+}

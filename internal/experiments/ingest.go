@@ -184,8 +184,8 @@ func Ingest(spanCount, podCardinality int) (*Table, error) {
 		return nil, err
 	}
 	t := &Table{
-		ID:    "ingest",
-		Title: fmt.Sprintf("Batched wire ingest scaling (%d spans, %d-span batches, %d pods, %d CPUs)", spanCount, batchSize, podCardinality, runtime.NumCPU()),
+		ID:      "ingest",
+		Title:   fmt.Sprintf("Batched wire ingest scaling (%d spans, %d-span batches, %d pods, %d CPUs)", spanCount, batchSize, podCardinality, runtime.NumCPU()),
 		Columns: []string{"shards", "rows", "elapsed (ms)", "rows/s", "speedup", "query digest"},
 		Notes: []string{
 			"paper §3.4: ClickHouse ingests ~2·10⁵ rows/s/node; shards are this server's parallel-insert analogue",

@@ -1,0 +1,68 @@
+package lint
+
+// The suppression budget. Every //dflint:allow directive is an admitted
+// hole in an invariant, so the tree's total is pinned by a checked-in
+// file: one "<analyzer> <max>" line per analyzer. Exceeding the budget —
+// or suppressing an analyzer the budget does not mention — fails the
+// gate, which forces every new exception through a reviewed budget edit
+// instead of accreting silently.
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Budget caps the number of allow directives per analyzer.
+type Budget struct {
+	Max map[string]int
+}
+
+// BudgetFile is the canonical budget location, relative to the module root.
+const BudgetFile = ".dflint-budget"
+
+// ReadBudget parses a budget file. A missing file is an empty budget
+// (every directive is over budget), not an error.
+func ReadBudget(path string) (Budget, error) {
+	b := Budget{Max: make(map[string]int)}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return b, nil
+		}
+		return b, err
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return b, fmt.Errorf("%s:%d: want \"<analyzer> <max>\", got %q", path, i+1, line)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			return b, fmt.Errorf("%s:%d: bad count %q", path, i+1, fields[1])
+		}
+		b.Max[fields[0]] = n
+	}
+	return b, nil
+}
+
+// check compares per-analyzer directive counts against the budget and
+// returns one message per violation, sorted by analyzer.
+func (b Budget) check(counts map[string]int) []string {
+	var out []string
+	for analyzer, n := range counts {
+		if max, ok := b.Max[analyzer]; !ok {
+			out = append(out, fmt.Sprintf("%d %s suppression(s) but analyzer is not in the budget file", n, analyzer))
+		} else if n > max {
+			out = append(out, fmt.Sprintf("%d %s suppression(s) exceed the budget of %d", n, analyzer, max))
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,266 @@
+package lint
+
+// The determinism analyzer guards the shard-determinism contract (paper
+// §3.4 exact aggregation; PR 4's "byte-identical at any shard count").
+// Two failure shapes are caught at the syntax level:
+//
+//  1. Map iteration order escaping. Go randomizes map range order, so a
+//     range over a map whose per-iteration results reach a returned
+//     slice, a returned value, a string being built for return, or a
+//     rendered output stream produces different answers run to run —
+//     unless the function also sorts. The check is deliberately coarse
+//     (any sort call in the same function passes), matching the
+//     codebase's universal "collect, sort, emit" idiom; order-insensitive
+//     escapes (numeric accumulation, writes into other maps) are ignored.
+//
+//  2. Wall-clock and randomness in merge/collect/evict paths. Those are
+//     exactly the paths that run once per shard and must agree; a
+//     time.Now() or math/rand draw there diverges per shard. Timing
+//     instrumentation belongs in the caller or behind a parameter.
+//
+// Both checks apply only to the contract packages.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// mergePathRE matches function names that are per-shard merge, collect,
+// or evict paths.
+var mergePathRE = regexp.MustCompile(`(?i)(merge|collect|evict)`)
+
+func newDeterminism() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "map-range order escaping into results without a sort; time.Now/math/rand in merge/collect/evict paths",
+		Run:  runDeterminism,
+	}
+}
+
+func runDeterminism(p *Package, report func(token.Pos, string)) {
+	if !contractPackages[p.Name] {
+		return
+	}
+	for _, fd := range funcDecls(p) {
+		checkMapRanges(p, fd, report)
+		if mergePathRE.MatchString(fd.Name.Name) {
+			checkMergePath(p, fd, report)
+		}
+	}
+}
+
+// checkMapRanges flags map-range loops in fd whose iteration results
+// escape in an order-sensitive way, unless the function sorts.
+func checkMapRanges(p *Package, fd *ast.FuncDecl, report func(token.Pos, string)) {
+	if hasSortCall(p, fd.Body) {
+		return
+	}
+	returned := returnedVars(p, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.typeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if how := escapeInRange(p, rs.Body, returned); how != "" {
+			report(rs.Pos(), fmt.Sprintf(
+				"map iteration order escapes (%s) without a sort in this function; shard answers will differ run to run", how))
+		}
+		return true
+	})
+}
+
+// returnedVars collects the variables whose value leaves fd through a
+// return statement (named results included).
+func returnedVars(p *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			for _, name := range field.Names {
+				if o := p.Info.Defs[name]; o != nil {
+					out[o] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, expr := range ret.Results {
+			if id, ok := expr.(*ast.Ident); ok {
+				if o := p.objectOf(id); o != nil {
+					out[o] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// escapeInRange reports how (if at all) the loop body leaks iteration
+// order: appending to or concatenating onto a returned variable,
+// returning from inside the loop, or writing to an output stream.
+func escapeInRange(p *Package, body *ast.BlockStmt, returned map[types.Object]bool) string {
+	how := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if how != "" {
+			return false
+		}
+		// A nested func literal runs outside the iteration (callbacks,
+		// registered closures); its statements are not loop-body escapes.
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || !returned[p.objectOf(id)] {
+					continue
+				}
+				switch {
+				case n.Tok == token.ADD_ASSIGN && isStringType(p.typeOf(lhs)):
+					how = fmt.Sprintf("string built onto returned %q", id.Name)
+				case n.Tok == token.ASSIGN || n.Tok == token.DEFINE:
+					if len(n.Lhs) == len(n.Rhs) && isAppendCall(n.Rhs[i]) {
+						how = fmt.Sprintf("append into returned slice %q", id.Name)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if len(n.Results) > 0 {
+				how = "return from inside the loop picks an arbitrary element"
+			}
+		case *ast.CallExpr:
+			if name, ok := writerCall(p, n); ok {
+				how = fmt.Sprintf("rendered output via %s", name)
+			}
+		}
+		return how == ""
+	})
+	return how
+}
+
+func isAppendCall(expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "append"
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// writerCall recognizes rendered-output calls: fmt.Fprint*, io.WriteString,
+// and Write/WriteString/WriteByte/WriteRune methods.
+func writerCall(p *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if base, ok := sel.X.(*ast.Ident); ok {
+		if pn, isPkg := p.objectOf(base).(*types.PkgName); isPkg {
+			full := pn.Imported().Path() + "." + name
+			switch full {
+			case "fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln", "io.WriteString":
+				return full, true
+			}
+			return "", false
+		}
+	}
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return "." + name, true
+	}
+	return "", false
+}
+
+// hasSortCall reports whether the body calls into package sort or a
+// slices.Sort* function. Predicates like sort.Search do not count.
+func hasSortCall(p *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, isPkg := p.objectOf(base).(*types.PkgName)
+		if !isPkg {
+			return true
+		}
+		name := sel.Sel.Name
+		switch pn.Imported().Path() {
+		case "sort":
+			switch name {
+			case "Sort", "Stable", "Slice", "SliceStable", "Strings", "Ints", "Float64s":
+				found = true
+			}
+		case "slices":
+			if len(name) >= 4 && name[:4] == "Sort" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkMergePath flags wall-clock and randomness inside a merge, collect,
+// or evict path.
+func checkMergePath(p *Package, fd *ast.FuncDecl, report func(token.Pos, string)) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if base, ok := sel.X.(*ast.Ident); ok {
+					if pn, isPkg := p.objectOf(base).(*types.PkgName); isPkg &&
+						pn.Imported().Path() == "time" && sel.Sel.Name == "Now" {
+						report(n.Pos(), fmt.Sprintf(
+							"time.Now() in merge/collect/evict path %s; per-shard wall clocks diverge — take the time in the caller", fd.Name.Name))
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if base, ok := n.X.(*ast.Ident); ok {
+				if pn, isPkg := p.objectOf(base).(*types.PkgName); isPkg {
+					if path := pn.Imported().Path(); path == "math/rand" || path == "math/rand/v2" {
+						report(n.Pos(), fmt.Sprintf(
+							"%s.%s in merge/collect/evict path %s; randomness breaks shard determinism", base.Name, n.Sel.Name, fd.Name.Name))
+					}
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,121 @@
+package lint
+
+// Suppression directives. An intentional exception to an analyzer is
+// written inline as
+//
+//	//dflint:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// and applies to the line it sits on, the line directly below it, or —
+// when it appears in a function's doc comment — to the whole function.
+// The reason is mandatory: a directive without one is itself a finding.
+// Tree-wide directive counts are budgeted in a checked-in file (see
+// budget.go) so suppressions cannot grow silently.
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one parsed //dflint:allow comment.
+type Directive struct {
+	Pos       token.Position
+	Analyzers []string
+	Reason    string
+	Malformed string // non-empty: why the directive is invalid
+
+	// Line range the directive covers ([FromLine, ToLine] in Pos.Filename).
+	FromLine, ToLine int
+
+	used bool
+}
+
+const directivePrefix = "dflint:allow"
+
+// parseDirectiveText parses the payload of one comment known to carry the
+// prefix. It returns analyzers, reason, and a malformed explanation.
+func parseDirectiveText(text string) (analyzers []string, reason, malformed string) {
+	rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+	spec, reason, found := strings.Cut(rest, "--")
+	reason = strings.TrimSpace(reason)
+	for _, a := range strings.Split(spec, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			analyzers = append(analyzers, a)
+		}
+	}
+	switch {
+	case len(analyzers) == 0:
+		return nil, reason, "names no analyzer"
+	case !found || reason == "":
+		return analyzers, "", "has no reason (want //dflint:allow <analyzer> -- <reason>)"
+	}
+	return analyzers, reason, ""
+}
+
+// collectDirectives extracts every directive in the package. Directives in
+// a function's doc comment cover the function's whole body; all others
+// cover their own line and the next.
+func collectDirectives(p *Package) []*Directive {
+	var out []*Directive
+	for _, f := range p.Files {
+		// Doc-comment directives get widened to the declaration they
+		// document; remember those comments so the generic pass below
+		// does not add a second, line-scoped copy.
+		widened := make(map[*ast.Comment]bool)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if d := parseComment(p, c); d != nil {
+					d.FromLine = p.Fset.Position(fd.Pos()).Line
+					d.ToLine = p.Fset.Position(fd.End()).Line
+					out = append(out, d)
+					widened[c] = true
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if widened[c] {
+					continue
+				}
+				if d := parseComment(p, c); d != nil {
+					d.FromLine = d.Pos.Line
+					d.ToLine = d.Pos.Line + 1
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func parseComment(p *Package, c *ast.Comment) *Directive {
+	text := strings.TrimPrefix(c.Text, "//")
+	text = strings.TrimPrefix(text, " ")
+	if !strings.HasPrefix(text, directivePrefix) {
+		return nil
+	}
+	d := &Directive{Pos: p.Fset.Position(c.Pos())}
+	d.Analyzers, d.Reason, d.Malformed = parseDirectiveText(text)
+	return d
+}
+
+// covers reports whether the directive suppresses analyzer findings at
+// (filename, line).
+func (d *Directive) covers(analyzer, filename string, line int) bool {
+	if d.Malformed != "" || d.Pos.Filename != filename {
+		return false
+	}
+	if line < d.FromLine || line > d.ToLine {
+		return false
+	}
+	for _, a := range d.Analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseDirectiveText(t *testing.T) {
+	cases := []struct {
+		text      string
+		analyzers []string
+		reason    string
+		malformed bool
+	}{
+		{"dflint:allow determinism -- caller sorts", []string{"determinism"}, "caller sorts", false},
+		{"dflint:allow lockcheck,stickyerr -- held by caller", []string{"lockcheck", "stickyerr"}, "held by caller", false},
+		{"dflint:allow determinism", []string{"determinism"}, "", true},    // no reason
+		{"dflint:allow determinism --", []string{"determinism"}, "", true}, // empty reason
+		{"dflint:allow -- just because", nil, "", true},                    // no analyzer
+		{"dflint:allow  a , b  --  spaced  ", []string{"a", "b"}, "spaced", false},
+	}
+	for _, c := range cases {
+		analyzers, reason, malformed := parseDirectiveText(c.text)
+		if (malformed != "") != c.malformed {
+			t.Errorf("%q: malformed=%q, want malformed=%v", c.text, malformed, c.malformed)
+			continue
+		}
+		if c.malformed {
+			continue
+		}
+		if strings.Join(analyzers, ",") != strings.Join(c.analyzers, ",") || reason != c.reason {
+			t.Errorf("%q: got (%v, %q), want (%v, %q)", c.text, analyzers, reason, c.analyzers, c.reason)
+		}
+	}
+}
+
+func TestDirectiveCovers(t *testing.T) {
+	d := &Directive{Analyzers: []string{"lockcheck"}, FromLine: 10, ToLine: 20}
+	d.Pos.Filename = "a.go"
+	for _, c := range []struct {
+		analyzer, file string
+		line           int
+		want           bool
+	}{
+		{"lockcheck", "a.go", 10, true},
+		{"lockcheck", "a.go", 20, true},
+		{"lockcheck", "a.go", 9, false},
+		{"lockcheck", "a.go", 21, false},
+		{"lockcheck", "b.go", 15, false},
+		{"determinism", "a.go", 15, false},
+	} {
+		if got := d.covers(c.analyzer, c.file, c.line); got != c.want {
+			t.Errorf("covers(%q,%q,%d) = %v, want %v", c.analyzer, c.file, c.line, got, c.want)
+		}
+	}
+	d.Malformed = "broken"
+	if d.covers("lockcheck", "a.go", 15) {
+		t.Error("malformed directive must not suppress")
+	}
+}
+
+func TestBudget(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "budget")
+	content := "# comment\n\ndeterminism 2\nlockcheck 0\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBudget(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Max["determinism"] != 2 || b.Max["lockcheck"] != 0 {
+		t.Fatalf("parsed budget = %v", b.Max)
+	}
+
+	// Within budget: no violations.
+	if v := b.check(map[string]int{"determinism": 2}); len(v) != 0 {
+		t.Errorf("unexpected violations: %v", v)
+	}
+	// Over budget.
+	if v := b.check(map[string]int{"determinism": 3}); len(v) != 1 || !strings.Contains(v[0], "exceed") {
+		t.Errorf("want one exceed violation, got %v", v)
+	}
+	// Suppressing an unbudgeted analyzer.
+	if v := b.check(map[string]int{"stickyerr": 1}); len(v) != 1 || !strings.Contains(v[0], "not in the budget") {
+		t.Errorf("want one not-in-budget violation, got %v", v)
+	}
+
+	// Missing file is an empty budget, not an error.
+	empty, err := ReadBudget(filepath.Join(dir, "missing"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := empty.check(map[string]int{"determinism": 1}); len(v) != 1 {
+		t.Errorf("empty budget should reject any suppression, got %v", v)
+	}
+
+	// Malformed lines are errors.
+	if err := os.WriteFile(path, []byte("determinism two\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBudget(path); err == nil {
+		t.Error("want error for non-numeric count")
+	}
+}
+
+// TestStaleDirective asserts that a directive suppressing nothing is
+// reported, so dead allowances cannot linger after a fix.
+func TestStaleDirective(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := l.LoadDir(filepath.Join("testdata", "stale"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunPackages(l, []*Package{p}, corpusBudget())
+	var stale, malformed bool
+	for _, d := range res.DirectiveProblems {
+		if strings.Contains(d, "suppresses nothing") {
+			stale = true
+		}
+		if strings.Contains(d, "no reason") {
+			malformed = true
+		}
+	}
+	if !stale || !malformed {
+		t.Errorf("want stale + malformed directive problems, got %v", res.DirectiveProblems)
+	}
+	if res.OK() {
+		t.Error("directive problems must fail the gate")
+	}
+}

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// corpusBudget is permissive: budget enforcement is unit-tested
+// separately; corpus goldens are about analyzer findings.
+func corpusBudget() Budget {
+	b := Budget{Max: make(map[string]int)}
+	for _, name := range AnalyzerNames() {
+		b.Max[name] = 100
+	}
+	return b
+}
+
+// runCorpus lints one testdata package and renders findings relative to
+// the corpus directory.
+func runCorpus(t *testing.T, analyzer string) (*Result, []string) {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", analyzer)
+	p, err := l.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.TypeErrors) > 0 {
+		t.Fatalf("corpus %s has type errors: %v", analyzer, p.TypeErrors)
+	}
+	res := RunPackages(l, []*Package{p}, corpusBudget())
+	var lines []string
+	for _, f := range res.Unsuppressed() {
+		name := filepath.Base(f.Pos.Filename)
+		lines = append(lines, fmt.Sprintf("%s:%d: %s: %s", name, f.Pos.Line, f.Analyzer, f.Message))
+	}
+	return res, lines
+}
+
+// checkGolden compares rendered findings to testdata/<analyzer>/expect.txt.
+// Run with DFLINT_REGEN=1 to rewrite the goldens.
+func checkGolden(t *testing.T, analyzer string, lines []string) {
+	t.Helper()
+	golden := filepath.Join("testdata", analyzer, "expect.txt")
+	got := strings.Join(lines, "\n")
+	if got != "" {
+		got += "\n"
+	}
+	if os.Getenv("DFLINT_REGEN") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("findings mismatch for %s corpus\n-- got --\n%s-- want --\n%s", analyzer, got, want)
+	}
+}
+
+func countSuppressed(res *Result, analyzer string) int {
+	n := 0
+	for _, f := range res.Findings {
+		if f.Suppressed && f.Analyzer == analyzer {
+			n++
+		}
+	}
+	return n
+}
+
+func TestDeterminismCorpus(t *testing.T) {
+	res, lines := runCorpus(t, "determinism")
+	checkGolden(t, "determinism", lines)
+	if got := countSuppressed(res, "determinism"); got != 1 {
+		t.Errorf("suppressed determinism findings = %d, want 1 (CollectAllowed)", got)
+	}
+	if len(res.DirectiveProblems) != 0 {
+		t.Errorf("unexpected directive problems: %v", res.DirectiveProblems)
+	}
+}
+
+func TestLockcheckCorpus(t *testing.T) {
+	res, lines := runCorpus(t, "lockcheck")
+	checkGolden(t, "lockcheck", lines)
+	if got := countSuppressed(res, "lockcheck"); got != 1 {
+		t.Errorf("suppressed lockcheck findings = %d, want 1 (sizeLocked)", got)
+	}
+}
+
+func TestMetricNamesCorpus(t *testing.T) {
+	res, lines := runCorpus(t, "metricnames")
+	checkGolden(t, "metricnames", lines)
+	if got := countSuppressed(res, "metricnames"); got != 1 {
+		t.Errorf("suppressed metricnames findings = %d, want 1 (legacy_rows_total)", got)
+	}
+}
+
+func TestStickyErrCorpus(t *testing.T) {
+	res, lines := runCorpus(t, "stickyerr")
+	checkGolden(t, "stickyerr", lines)
+	if got := countSuppressed(res, "stickyerr"); got != 1 {
+		t.Errorf("suppressed stickyerr findings = %d, want 1 (FlushAllowed)", got)
+	}
+}
+
+// TestTreeIsClean is the self-hosting gate in test form: the repo's own
+// tree must lint clean under the checked-in budget.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole tree")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget, err := ReadBudget(filepath.Join(l.ModuleRoot, BudgetFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(l, []string{"./..."}, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Unsuppressed() {
+		t.Errorf("finding: %s", f)
+	}
+	for _, v := range res.BudgetViolations {
+		t.Errorf("budget: %s", v)
+	}
+	for _, d := range res.DirectiveProblems {
+		t.Errorf("directive: %s", d)
+	}
+}
+
+func TestMetricNameRE(t *testing.T) {
+	good := []string{"deepflow_x", "deepflow_server_rows_total", "deepflow_p99_0"}
+	bad := []string{"deepflow_", "deepflow", "spans_total", "deepflow_X", "deepflow_a-b", "Deepflow_a"}
+	for _, n := range good {
+		if !MetricNameRE.MatchString(n) {
+			t.Errorf("%q should match", n)
+		}
+	}
+	for _, n := range bad {
+		if MetricNameRE.MatchString(n) {
+			t.Errorf("%q should not match", n)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package lint
+
+// Module-aware package loading on nothing but the standard library. The
+// go/importer "source" importer resolves std packages by parsing GOROOT
+// source, but it knows nothing about modules, so imports inside this
+// module ("deepflow/...") are resolved here: go.mod names the module
+// path, the path suffix names the directory, and packages type-check
+// recursively in dependency order through a shared cache. Test files and
+// testdata directories are skipped, matching the go tool's view of the
+// tree.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package plus everything the
+// analyzers need: syntax with comments, type information, and the
+// module-relative import path.
+type Package struct {
+	Path  string // import path, e.g. deepflow/internal/rollup
+	Name  string // package name from the source
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// TypeErrors collects (non-fatal) type-check diagnostics. Analyzers run
+	// with whatever information survived; the CLI surfaces these as warnings
+	// so a half-typed package cannot silently weaken the gate.
+	TypeErrors []error
+}
+
+// Module locates the enclosing module: its root directory and module path.
+func Module(start string) (root, path string, err error) {
+	dir, err := filepath.Abs(start)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", start)
+		}
+		dir = parent
+	}
+}
+
+// Loader loads and type-checks packages of one module. It is not safe for
+// concurrent use; dflint loads sequentially and deterministically.
+type Loader struct {
+	ModuleRoot string
+	ModulePath string
+
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*Package // by import path
+	busy map[string]bool     // cycle guard
+}
+
+// NewLoader creates a loader for the module containing start.
+func NewLoader(start string) (*Loader, error) {
+	root, path, err := Module(start)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: root,
+		ModulePath: path,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		busy:       make(map[string]bool),
+	}, nil
+}
+
+// Fset returns the shared file set positions resolve against.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Import implements types.Importer: module-local paths load from the tree,
+// everything else falls through to the std source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		p, err := l.LoadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// LoadPath loads the package with the given module-local import path.
+func (l *Loader) LoadPath(path string) (*Package, error) {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+	return l.load(filepath.Join(l.ModuleRoot, rel), path)
+}
+
+// LoadDir loads the package rooted at an arbitrary directory inside the
+// module (used by tests to load testdata corpora).
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.ModuleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("lint: %s is outside module %s", dir, l.ModuleRoot)
+	}
+	path := l.ModulePath
+	if rel != "." {
+		path += "/" + filepath.ToSlash(rel)
+	}
+	return l.load(abs, path)
+}
+
+func (l *Loader) load(dir, path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.busy[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.busy[path] = true
+	defer delete(l.busy, path)
+
+	names, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.fset}
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		p.Files = append(p.Files, f)
+	}
+	p.Name = p.Files[0].Name.Name
+	p.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	// Check never returns a useful error beyond what Error collected; the
+	// partially-typed package is still worth analyzing.
+	tpkg, _ := conf.Check(path, l.fset, p.Files, p.Info)
+	p.Types = tpkg
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// goFilesIn lists the package's non-test Go files, sorted.
+func goFilesIn(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") ||
+			strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Expand resolves command-line patterns to package directories, in sorted
+// order. Supported forms mirror the go tool's: "./..." (or "dir/...")
+// walks a subtree, anything else names a single package directory.
+// testdata, hidden, and underscore directories are never walked.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			root := filepath.Join(l.ModuleRoot, strings.TrimSuffix(strings.TrimPrefix(rest, "./"), "/"))
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				n := d.Name()
+				if path != root && (n == "testdata" || strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_")) {
+					return filepath.SkipDir
+				}
+				names, err := goFilesIn(path)
+				if err != nil {
+					return err
+				}
+				if len(names) > 0 {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(l.ModuleRoot, strings.TrimPrefix(pat, "./"))
+		}
+		add(dir)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

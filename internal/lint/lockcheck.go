@@ -1,0 +1,177 @@
+package lint
+
+// The lockcheck analyzer enforces the mutex discipline PR 4 established
+// when sharded ingest made the shared stores concurrent. A struct field
+// whose comment carries
+//
+//	// dflint:guardedby mu
+//
+// may only be read or written after the named mutex field is locked
+// (Lock or RLock, directly or deferred) earlier in the same function.
+// The check is lexical, not path-sensitive: a lock anywhere above the
+// access in the same function body satisfies it, and unlocks are not
+// tracked — the target bug is the method that forgets the mutex
+// entirely, which this catches exactly. Helpers that run under a
+// caller's lock document that with a function-level
+// //dflint:allow lockcheck -- caller holds <mu> directive.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+var guardedByRE = regexp.MustCompile(`dflint:guardedby\s+(\w+)`)
+
+func newLockcheck() *Analyzer {
+	return &Analyzer{
+		Name: "lockcheck",
+		Doc:  "fields annotated dflint:guardedby <mu> are only accessed with the mutex held",
+		Run:  runLockcheck,
+	}
+}
+
+func runLockcheck(p *Package, report func(token.Pos, string)) {
+	guards := collectGuards(p)
+	if len(guards) == 0 {
+		return
+	}
+	for _, fd := range funcDecls(p) {
+		locks := lockPositions(p, fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := p.Info.Selections[sel]
+			if s == nil || s.Kind() != types.FieldVal {
+				return true
+			}
+			field, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			mu, guarded := guards[field]
+			if !guarded {
+				return true
+			}
+			if lockPos, held := locks[mu]; !held || sel.Pos() < lockPos {
+				report(sel.Pos(), fmt.Sprintf(
+					"field %s.%s (guarded by %s) accessed without %s held in %s",
+					fieldOwner(field), field.Name(), mu, mu, fd.Name.Name))
+			}
+			return true
+		})
+	}
+}
+
+// collectGuards maps annotated field objects to their mutex field name.
+func collectGuards(p *Package) map[*types.Var]string {
+	out := make(map[*types.Var]string)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := p.Info.Defs[name].(*types.Var); ok {
+						out[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// guardAnnotation returns the mutex named by a field's dflint:guardedby
+// comment (doc line above or trailing comment), or "".
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if m := guardedByRE.FindStringSubmatch(c.Text); m != nil {
+				return m[1]
+			}
+		}
+	}
+	return ""
+}
+
+// lockPositions finds, per mutex field name, the earliest position in fd
+// where it is locked: a call (or deferred call) of the form
+// <expr>.<mu>.Lock() or <expr>.<mu>.RLock().
+func lockPositions(p *Package, fd *ast.FuncDecl) map[string]token.Pos {
+	out := make(map[string]token.Pos)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		mu := ""
+		switch x := sel.X.(type) {
+		case *ast.SelectorExpr:
+			mu = x.Sel.Name // s.mu.Lock()
+		case *ast.Ident:
+			mu = x.Name // mu.Lock() on a local or embedded mutex
+		default:
+			return true
+		}
+		if cur, ok := out[mu]; !ok || call.Pos() < cur {
+			out[mu] = call.Pos()
+		}
+		return true
+	})
+	return out
+}
+
+// fieldOwner names the struct type a field belongs to, best-effort, for
+// messages.
+func fieldOwner(field *types.Var) string {
+	// The field's parent scope does not name the struct; fall back to the
+	// package-qualified field position's type name via the owner lookup the
+	// type checker provides on the field itself.
+	if owner := ownerName(field); owner != "" {
+		return owner
+	}
+	return "struct"
+}
+
+func ownerName(field *types.Var) string {
+	pkg := field.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == field {
+				return tn.Name()
+			}
+		}
+	}
+	return pkg.Name()
+}

@@ -1,0 +1,93 @@
+package lint
+
+// The metricnames analyzer enforces selfmon registration discipline.
+// Self-metric names are the join key between DeepFlow's telemetry and the
+// metrics plane (§3.4's uniform-tag correlation), so they must be
+// greppable constants: every Registry.Counter/Gauge/GaugeFunc/Histogram
+// call takes a compile-time-constant name matching
+// ^deepflow_[a-z0-9_]+$, and one name keeps one kind tree-wide (the
+// registry's get-or-create panics on kind conflicts at runtime; this
+// rejects them at vet time). Dynamically-built names are flagged
+// unconditionally — registration is wiring-time work, and a name built
+// on a hot path both defeats grep and allocates per call.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"path/filepath"
+	"regexp"
+)
+
+// MetricNameRE is the legal self-metric name shape.
+var MetricNameRE = regexp.MustCompile(`^deepflow_[a-z0-9_]+$`)
+
+// registryMethods maps registration method names to the metric kind they
+// register. Gauge and GaugeFunc share a kind, as in the registry.
+var registryMethods = map[string]string{
+	"Counter":   "counter",
+	"Gauge":     "gauge",
+	"GaugeFunc": "gauge",
+	"Histogram": "histogram",
+}
+
+func newMetricNames() *Analyzer {
+	type site struct {
+		kind string
+		pos  string
+	}
+	seen := make(map[string]site) // metric name -> first registration
+	a := &Analyzer{
+		Name: "metricnames",
+		Doc:  "selfmon registrations use constant ^deepflow_[a-z0-9_]+$ names, one kind per name",
+	}
+	a.Run = func(p *Package, report func(token.Pos, string)) {
+		for _, fd := range funcDecls(p) {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				kind, ok := registryMethods[sel.Sel.Name]
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				if !isNamedType(p.typeOf(sel.X), "selfmon", "Registry") {
+					return true
+				}
+				nameArg := call.Args[0]
+				tv := p.Info.Types[nameArg]
+				if tv.Value == nil || tv.Value.Kind() != constant.String {
+					report(nameArg.Pos(), fmt.Sprintf(
+						"dynamically-built metric name in Registry.%s; use a compile-time constant (fold variants into tags)",
+						sel.Sel.Name))
+					return true
+				}
+				name := constant.StringVal(tv.Value)
+				if !MetricNameRE.MatchString(name) {
+					report(nameArg.Pos(), fmt.Sprintf(
+						"metric name %q does not match %s", name, MetricNameRE.String()))
+					return true
+				}
+				pos := p.Fset.Position(nameArg.Pos())
+				pos.Filename = filepath.Base(pos.Filename)
+				if first, dup := seen[name]; dup {
+					if first.kind != kind {
+						report(nameArg.Pos(), fmt.Sprintf(
+							"metric %q registered as %s here but as %s at %s",
+							name, kind, first.kind, first.pos))
+					}
+				} else {
+					seen[name] = site{kind: kind, pos: fmt.Sprintf("%s:%d", pos.Filename, pos.Line)}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

@@ -1,0 +1,143 @@
+package lint
+
+// The stickyerr analyzer covers the two ways a decode or ingest error
+// silently disappears:
+//
+//  1. trace.WireReader is a sticky-error cursor — reads after a failure
+//     return zero values and the first error sticks in Err, so the
+//     *whole contract* is that whoever constructs a reader checks Err
+//     once at the end. A function that builds a WireReader and never
+//     consults .Err turns every truncated batch into silently-zero
+//     spans. (Helpers that merely receive a reader are exempt: the
+//     constructor checks for everyone.)
+//
+//  2. In the contract packages, a bare statement that calls a
+//     module-local function and drops its error return loses ingest
+//     failures the selfmon plane promised to count ("never silent").
+//     Std-library calls are not flagged (fmt.Fprintf-to-a-builder noise
+//     is conventional); an explicit `_ =` assignment is visible in
+//     review and therefore allowed.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+func newStickyErr() *Analyzer {
+	return &Analyzer{
+		Name: "stickyerr",
+		Doc:  "WireReader constructed without checking Err; bare calls dropping module-local errors in contract packages",
+		Run:  runStickyErr,
+	}
+}
+
+func runStickyErr(p *Package, report func(token.Pos, string)) {
+	for _, fd := range funcDecls(p) {
+		checkWireReader(p, fd, report)
+		if contractPackages[p.Name] {
+			checkDroppedErrors(p, fd, report)
+		}
+	}
+}
+
+// checkWireReader flags WireReader construction in functions that never
+// consult a reader's Err field (or call a method named Err).
+func checkWireReader(p *Package, fd *ast.FuncDecl, report func(token.Pos, string)) {
+	var construct ast.Expr
+	checksErr := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if construct == nil && isNamedType(p.typeOf(n), "trace", "WireReader") {
+				construct = n
+			}
+		case *ast.CallExpr:
+			// new(trace.WireReader) or a constructor returning one.
+			if construct == nil && isNamedType(p.typeOf(n), "trace", "WireReader") {
+				construct = n
+			}
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "Err" && isNamedType(p.typeOf(n.X), "trace", "WireReader") {
+				checksErr = true
+			}
+		}
+		return true
+	})
+	if construct != nil && !checksErr {
+		report(construct.Pos(),
+			"WireReader constructed but its sticky Err is never checked; truncated input decodes as zero values")
+	}
+}
+
+// checkDroppedErrors flags bare expression statements whose call returns
+// an error from a function defined in this module.
+func checkDroppedErrors(p *Package, fd *ast.FuncDecl, report func(token.Pos, string)) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := stmt.X.(*ast.CallExpr)
+		if !ok || !returnsError(p, call) {
+			return true
+		}
+		callee := calleeObject(p, call)
+		if callee == nil || !isModuleLocal(p, callee) {
+			return true
+		}
+		report(call.Pos(), fmt.Sprintf(
+			"error return of %s dropped in %s; handle it or assign to _ explicitly", callee.Name(), fd.Name.Name))
+		return true
+	})
+}
+
+// returnsError reports whether the call's result includes an error.
+func returnsError(p *Package, call *ast.CallExpr) bool {
+	t := p.typeOf(call)
+	if t == nil {
+		return false
+	}
+	isErr := func(t types.Type) bool {
+		n := namedOrPointee(t)
+		return n != nil && n.Obj() != nil && n.Obj().Name() == "error" && n.Obj().Pkg() == nil
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErr(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErr(t)
+}
+
+// calleeObject resolves the called function's object, or nil for builtins
+// and indirect calls.
+func calleeObject(p *Package, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return p.objectOf(fun)
+	case *ast.SelectorExpr:
+		return p.objectOf(fun.Sel)
+	}
+	return nil
+}
+
+// isModuleLocal reports whether the object is defined inside this module.
+// The module path is recovered from the analyzed package's own path.
+func isModuleLocal(p *Package, o types.Object) bool {
+	path := pkgPathOf(o)
+	if path == "" {
+		return false
+	}
+	self := p.Path
+	root := self
+	if i := strings.Index(self, "/"); i >= 0 {
+		root = self[:i]
+	}
+	return path == root || strings.HasPrefix(path, root+"/")
+}

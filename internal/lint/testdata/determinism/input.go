@@ -1,0 +1,110 @@
+// Corpus for the determinism analyzer. The package is named rollup so it
+// counts as a contract package; expect.txt lists the findings by line.
+package rollup
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// KeysUnsorted leaks map iteration order into its returned slice.
+func KeysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// KeysSorted is the idiomatic fix: collect, sort, return.
+func KeysSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RenderUnsorted writes rows in map order.
+func RenderUnsorted(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// SumValues accumulates commutatively; order cannot escape.
+func SumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// FirstMatch returns from inside the loop: an arbitrary element wins.
+func FirstMatch(m map[string]int, want int) string {
+	for k, v := range m {
+		if v == want {
+			return k
+		}
+	}
+	return ""
+}
+
+// BuildString concatenates in map order onto the returned string.
+func BuildString(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+// IndexByValue writes into another map; no order escapes.
+func IndexByValue(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// RegisterAll defines closures inside the loop; their returns run later
+// and are not loop-order escapes.
+func RegisterAll(m map[string]int, add func(func() int)) {
+	for _, v := range m {
+		v := v
+		add(func() int { return v })
+	}
+}
+
+// MergeWindows stamps merged output with the wall clock.
+func MergeWindows(a, b []int64) []int64 {
+	out := append(append([]int64{}, a...), b...)
+	out = append(out, time.Now().UnixNano())
+	return out
+}
+
+// EvictSample sheds a random key in an evict path.
+func EvictSample(keys []string) []string {
+	if len(keys) == 0 {
+		return keys
+	}
+	i := rand.Intn(len(keys))
+	return append(keys[:i:i], keys[i+1:]...)
+}
+
+// CollectAllowed is a justified exception, suppressed by directive.
+//
+//dflint:allow determinism -- corpus case: caller is documented to sort
+func CollectAllowed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

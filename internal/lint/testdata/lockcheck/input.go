@@ -1,0 +1,59 @@
+// Corpus for the lockcheck analyzer: fields annotated dflint:guardedby
+// must be accessed with the named mutex held earlier in the function.
+package lockex
+
+import "sync"
+
+// Cache is a guarded store like the server's partitioned SpanStore.
+type Cache struct {
+	mu    sync.RWMutex
+	items map[string]int // dflint:guardedby mu
+	hits  int            // dflint:guardedby mu
+
+	stats int // unguarded; never flagged
+}
+
+// Get holds the read lock: clean.
+func (c *Cache) Get(k string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.items[k]
+}
+
+// Put holds the write lock: clean.
+func (c *Cache) Put(k string, v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits++
+	c.items[k] = v
+}
+
+// Race touches both guarded fields with no lock at all.
+func (c *Cache) Race(k string) int {
+	c.hits++
+	return c.items[k]
+}
+
+// LateLock reads items before the lock is taken; only the first access
+// is a finding.
+func (c *Cache) LateLock(k string) int {
+	v := c.items[k]
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return v + c.items[k]
+}
+
+// Unguarded may be touched freely.
+func (c *Cache) Unguarded() int { return c.stats }
+
+// sizeLocked runs under the caller's lock, documented by directive.
+//
+//dflint:allow lockcheck -- caller holds c.mu
+func (c *Cache) sizeLocked() int { return len(c.items) }
+
+// Size is the locking wrapper around sizeLocked.
+func (c *Cache) Size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.sizeLocked()
+}

@@ -1,0 +1,27 @@
+// Corpus for the metricnames analyzer: selfmon registrations need
+// constant ^deepflow_[a-z0-9_]+$ names, one kind per name.
+package metricsx
+
+import (
+	"fmt"
+
+	"deepflow/internal/selfmon"
+)
+
+// folded is a compile-time constant; constant folding keeps it legal.
+const folded = "deepflow_" + "folded_total"
+
+// Register exercises every registration shape.
+func Register(mon *selfmon.Registry, shard int) {
+	mon.Counter("deepflow_ingest_rows_total")    // ok
+	mon.Gauge("deepflow_queue_depth")            // ok
+	mon.Histogram("deepflow_flush_seconds", nil) // ok
+	mon.GaugeFunc("deepflow_tables", func() float64 { return 0 })
+	mon.Counter(folded)                                       // ok: constant expression
+	mon.Counter("spans_ingested_total")                       // bad: missing prefix
+	mon.Counter("deepflow_Bad_Case")                          // bad: uppercase
+	mon.Counter(fmt.Sprintf("deepflow_shard_%d_rows", shard)) // bad: dynamic
+	mon.Gauge("deepflow_ingest_rows_total")                   // bad: kind conflict
+	//dflint:allow metricnames -- legacy dashboard name predates the deepflow_ prefix convention
+	mon.Counter("legacy_rows_total") // suppressed
+}

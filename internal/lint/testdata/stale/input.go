@@ -1,0 +1,15 @@
+// Corpus for directive hygiene: a stale allow (nothing to suppress) and
+// a reasonless allow are both gate failures.
+package stale
+
+// Sorted is clean, so this directive is stale.
+//
+//dflint:allow determinism -- stale: the loop below no longer exists
+func Sorted(xs []int) []int {
+	out := make([]int, len(xs))
+	copy(out, xs)
+	return out
+}
+
+//dflint:allow lockcheck
+func Reasonless() {}

@@ -1,0 +1,58 @@
+// Corpus for the stickyerr analyzer. The package is named transport so
+// the dropped-error check applies (contract package).
+package transport
+
+import (
+	"fmt"
+
+	"deepflow/internal/trace"
+)
+
+// DecodeChecked constructs a reader and consults its sticky Err: clean.
+func DecodeChecked(data []byte) (uint64, error) {
+	r := trace.WireReader{Data: data}
+	v := r.Uvarint()
+	return v, r.Err
+}
+
+// DecodeUnchecked never looks at Err: truncated input reads as zeros.
+func DecodeUnchecked(data []byte) uint64 {
+	r := trace.WireReader{Data: data}
+	return r.Uvarint()
+}
+
+// readHeader only receives a reader; the constructor checks for everyone.
+func readHeader(r *trace.WireReader) uint64 {
+	return r.Uvarint()
+}
+
+func persist(rows []uint64) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("transport: empty flush")
+	}
+	return nil
+}
+
+// FlushDropped discards persist's error on the floor.
+func FlushDropped(rows []uint64) {
+	persist(rows)
+}
+
+// FlushHandled propagates it: clean.
+func FlushHandled(rows []uint64) error {
+	return persist(rows)
+}
+
+// FlushExplicit acknowledges the drop visibly: clean.
+func FlushExplicit(rows []uint64) {
+	_ = persist(rows)
+}
+
+// FlushAllowed is a suppressed drop.
+//
+//dflint:allow stickyerr -- corpus case: best-effort flush, loss counted elsewhere
+func FlushAllowed(rows []uint64) {
+	persist(rows)
+}
+
+var _ = readHeader

@@ -34,8 +34,8 @@ type Series struct {
 // a dashboard query for one name must not pay for all of them).
 type Store struct {
 	mu     sync.RWMutex
-	series map[string]*Series
-	byName map[string][]*Series
+	series map[string]*Series   // dflint:guardedby mu
+	byName map[string][]*Series // dflint:guardedby mu
 }
 
 // NewStore creates an empty store.

@@ -24,7 +24,7 @@ type ProfileStore struct {
 	reg      *ResourceRegistry
 
 	mu      sync.RWMutex
-	samples []profiling.Sample
+	samples []profiling.Sample // dflint:guardedby mu
 	table   *storage.Table
 }
 

@@ -19,8 +19,8 @@ import (
 // (name) while late host registration (id) may still be interning.
 type dictionary struct {
 	mu    sync.RWMutex
-	ids   map[string]int32
-	names []string
+	ids   map[string]int32 // dflint:guardedby mu
+	names []string         // dflint:guardedby mu
 }
 
 func newDictionary() *dictionary {
@@ -80,13 +80,15 @@ type ResourceRegistry struct {
 	regions    *dictionary
 	azs        *dictionary
 
-	mu     sync.RWMutex // guards byIP and labels (ingest shards read while hosts register)
-	byIP   map[trace.IP]trace.ResourceTags
-	labels map[int32]map[string]string // pod id → self-defined labels
+	mu     sync.RWMutex                    // guards byIP and labels (ingest shards read while hosts register)
+	byIP   map[trace.IP]trace.ResourceTags // dflint:guardedby mu
+	labels map[int32]map[string]string     // pod id → self-defined labels; dflint:guardedby mu
 }
 
 // NewResourceRegistry builds the registry from cluster and cloud metadata.
 // Pass nil for either when absent.
+//
+//dflint:allow lockcheck -- r is unpublished during construction; no concurrent reader exists yet
 func NewResourceRegistry(clusters []*k8s.Cluster, cl *cloud.Registry) *ResourceRegistry {
 	r := &ResourceRegistry{
 		pods:       newDictionary(),
@@ -171,6 +173,8 @@ type DecodedTags struct {
 }
 
 // IPOf returns the IP of a named resource (pod or node), or 0.
+//
+//dflint:allow determinism -- a pod/node ID maps to exactly one IP (k8s metadata keys byIP by that identity), so any match is the match
 func (r *ResourceRegistry) IPOf(name string) trace.IP {
 	r.mu.RLock()
 	defer r.mu.RUnlock()

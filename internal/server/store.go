@@ -55,19 +55,19 @@ type SpanStore struct {
 	reg      *ResourceRegistry
 
 	mu    sync.RWMutex
-	spans []*trace.Span
-	byID  map[trace.SpanID]int
+	spans []*trace.Span        // dflint:guardedby mu
+	byID  map[trace.SpanID]int // dflint:guardedby mu
 
 	// Inverted indexes for the iterative span search.
-	bySysTrace map[trace.SysTraceID][]int
-	byPseudo   map[uint64][]int
-	byXReq     map[string][]int
-	byTCPSeq   map[uint32][]int
-	byTraceID  map[string][]int
+	bySysTrace map[trace.SysTraceID][]int // dflint:guardedby mu
+	byPseudo   map[uint64][]int           // dflint:guardedby mu
+	byXReq     map[string][]int           // dflint:guardedby mu
+	byTCPSeq   map[uint32][]int           // dflint:guardedby mu
+	byTraceID  map[string][]int           // dflint:guardedby mu
 
 	// timeIdx orders rows by start time for span-list queries.
-	timeIdx   []int
-	timeDirty bool
+	timeIdx   []int // dflint:guardedby mu
+	timeDirty bool  // dflint:guardedby mu
 
 	wide      int
 	wideNames []string
@@ -317,6 +317,8 @@ func (s *SpanStore) SpanList(from, to time.Time, limit int) []*trace.Span {
 
 // relatedMasked returns the row IDs sharing any enabled association key
 // with sp, implementing the filter expansion of Algorithm 1 (lines 6–10).
+//
+//dflint:allow lockcheck -- caller holds s.mu: only reached from relatedSpans and AssembleMasked, both under RLock
 func (s *SpanStore) relatedMasked(sp *trace.Span, mask AssocMask) []int {
 	var rows []int
 	if mask&AssocSysTrace != 0 && sp.SysTraceID != 0 {

@@ -9,11 +9,26 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+echo ">> gofmt (no drift anywhere in the tree)"
+fmt_drift=$(gofmt -l .)
+if [ -n "$fmt_drift" ]; then
+    echo "gofmt drift in:" >&2
+    echo "$fmt_drift" >&2
+    exit 1
+fi
+
 echo ">> go vet ./..."
 go vet ./...
 
 echo ">> dfvet (verify all shipped hook programs)"
 go run ./cmd/dfvet
+
+echo ">> dflint (invariant linter: determinism/lockcheck/metricnames/stickyerr; budgeted suppressions)"
+go run ./cmd/dflint ./...
+
+echo ">> dflint -json self-report (writes LINT_dflint.json; findings-by-analyzer, diffable)"
+go run ./cmd/dflint -json ./... > LINT_dflint.json
+cat LINT_dflint.json
 
 echo ">> go test -race ./..."
 go test -race ./...
