@@ -109,3 +109,57 @@ func TestDeterministicRuns(t *testing.T) {
 		t.Fatal("empty run")
 	}
 }
+
+// TestPolyglotProtocolsInServiceMap drives the polyglot topology — HTTP
+// gateway → gRPC cart → PostgreSQL + AMQP — and checks that each of the
+// newer protocol decoders produces spans that land on the universal
+// service map as their own edges.
+func TestPolyglotProtocolsInServiceMap(t *testing.T) {
+	env := deepflow.NewEnv(21)
+	topo := microsim.BuildPolyglot(env)
+	df := deepflow.New(env, []*k8s.Cluster{topo.Cluster}, nil, deepflow.DefaultOptions())
+	if err := df.DeployAll(); err != nil {
+		t.Fatal(err)
+	}
+	gen := microsim.NewLoadGen(env, "wrk", topo.ClientHost, topo.Entry, 4, 100)
+	gen.Path = "/cart/42"
+	gen.Start(time.Second)
+	env.Run(2 * time.Second)
+	df.FlushAll()
+	if gen.Completed == 0 || gen.Errors > 0 {
+		t.Fatalf("load: %d ok, %d errors", gen.Completed, gen.Errors)
+	}
+
+	m := df.Server.ServiceMap(sim.Epoch, env.Eng.Now())
+	seen := map[trace.L7Proto]bool{}
+	for _, e := range m.Edges {
+		seen[e.L7] = true
+	}
+	for _, p := range []trace.L7Proto{trace.L7HTTP, trace.L7GRPC, trace.L7Postgres, trace.L7AMQP} {
+		if !seen[p] {
+			t.Errorf("service map has no %v edge (got %v)", p, seen)
+		}
+	}
+
+	// One gateway request's trace must cross all four protocols.
+	var start *trace.Span
+	for _, sp := range df.Server.SpanList(sim.Epoch, sim.Epoch.Add(time.Hour), 0) {
+		if sp.ProcessName == "wrk" && sp.TapSide == trace.TapClientProcess && sp.ResponseStatus == "ok" {
+			start = sp
+			break
+		}
+	}
+	if start == nil {
+		t.Fatal("no client span found")
+	}
+	tr := df.TraceOf(start.ID)
+	inTrace := map[trace.L7Proto]bool{}
+	for _, sp := range tr.Spans {
+		inTrace[sp.L7] = true
+	}
+	for _, p := range []trace.L7Proto{trace.L7HTTP, trace.L7GRPC, trace.L7Postgres, trace.L7AMQP} {
+		if !inTrace[p] {
+			t.Errorf("trace (%d spans) crosses no %v hop", tr.Len(), p)
+		}
+	}
+}

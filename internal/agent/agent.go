@@ -531,7 +531,13 @@ func (a *Agent) onPacket(rec simnet.PacketRecord) {
 	case simnet.PktARP:
 		fm.total.ARPRequests++
 	case simnet.PktData:
+		// Direction relative to the capture NIC: packets sent by (or under)
+		// the origin host are egress, everything else ingress. Constant per
+		// flow side, so the sessionizer can learn the request direction and
+		// skip its fast-path probe on request-bearing packets.
+		dir := trace.DirIngress
 		if senderIsUnder(origin, rec.Tuple.SrcIP) {
+			dir = trace.DirEgress
 			fm.total.BytesSent += uint64(rec.Len)
 		} else {
 			fm.total.BytesReceived += uint64(rec.Len)
@@ -547,6 +553,7 @@ func (a *Agent) onPacket(rec simnet.PacketRecord) {
 			Seq:     rec.Seq,
 			Start:   rec.TS,
 			End:     rec.TS,
+			Dir:     dir,
 			Payload: rec.Payload,
 			DataLen: rec.Len,
 		}
@@ -636,6 +643,21 @@ func (a *Agent) Flush(now time.Time) {
 	if a.monOn {
 		a.mFlushDur.ObserveDuration(time.Since(t0))
 	}
+}
+
+// PathStats sums the pipeline-split counters — fast-path response hits,
+// slow-path (full-parse) messages, and inference give-ups — over this
+// agent's syscall and packet sessionizers.
+func (a *Agent) PathStats() (fastHits, slowMsgs, giveups int) {
+	for _, sz := range []*Sessionizer{a.sysSess, a.nicSess} {
+		if sz == nil {
+			continue
+		}
+		fastHits += sz.FastPathHits
+		slowMsgs += sz.SlowPathMsgs
+		giveups += sz.InferGiveups
+	}
+	return fastHits, slowMsgs, giveups
 }
 
 // FlushAll force-completes every open session (end of experiment).

@@ -45,13 +45,27 @@ type MessageEvent struct {
 // "DeepFlow presently sets the duration of each time slot to 60 seconds").
 const WindowDuration = 60 * time.Second
 
+// InferMaxTries caps protocol inference attempts per flow. A flow whose
+// first messages match no codec almost never starts matching later; after
+// this many misses the flow is marked given-up and the all-codec probe is
+// retired (the per-message accounting stays).
+const InferMaxTries = 8
+
 // Sessionizer aggregates request and response messages of the same flow
 // into sessions and emits one span per session. One Sessionizer serves one
 // capture point (a kernel's syscall stream, or one NIC's packet stream).
+//
+// Feed is split into a fast path and a slow path. Established flows whose
+// codec offers a lightweight header parse take the fast path for
+// responses: flow-state fetch, continuation accounting, flow-metric
+// updates, and ParseHeader (message type + stream ID + status only) — no
+// resource strings, no header maps. First-seen flows, session boundaries
+// (requests, which must capture resources and propagation headers for the
+// span), and full span construction take the slow path.
 type Sessionizer struct {
 	ids    *trace.IDAllocator
 	tracer *SysTracer // nil for packet taps (no thread context)
-	extra  []protocols.Codec
+	table  *protocols.Table
 
 	flows map[flowKey]*flowState
 
@@ -59,20 +73,38 @@ type Sessionizer struct {
 	// expiry (paper §3.3.1).
 	window *TimeWindow
 
+	// Block allocators for the two per-session heap objects.
+	spans spanArena
+	reqs  reqArena
+
 	// Emit receives completed spans.
 	Emit func(*trace.Span)
 
+	// DisableFastPath forces every message through the slow path (full
+	// Parse). It exists so the dfbench agent experiment can measure the
+	// fast path against an honest all-slow-path baseline; production
+	// deployments leave it false.
+	DisableFastPath bool
+
 	// Stats.
-	Inferred    map[trace.L7Proto]int
-	Unparsable  int
-	OrphanResps int
+	Inferred     map[trace.L7Proto]int
+	Unparsable   int
+	OrphanResps  int
+	InferGiveups int
+	FastPathHits int
+	SlowPathMsgs int
+	FlowMsgs     uint64
+	FlowBytes    uint64
 
 	// Self-monitoring (nil when uninstrumented; see instrument).
-	mon      *selfmon.Registry
-	capture  string
-	mMiss    *selfmon.Counter
-	mOrphans *selfmon.Counter
-	mEvict   *selfmon.Counter
+	mon       *selfmon.Registry
+	capture   string
+	mMiss     *selfmon.Counter
+	mOrphans  *selfmon.Counter
+	mEvict    *selfmon.Counter
+	mGiveups  *selfmon.Counter
+	mFastHits *selfmon.Counter
+	mSlowMsgs *selfmon.Counter
 }
 
 type flowKey struct {
@@ -84,6 +116,23 @@ type flowKey struct {
 type flowState struct {
 	codec    protocols.Codec
 	inferTry int
+	gaveUp   bool // inference retry budget exhausted
+
+	// Traits cached at inference time so the per-message path never
+	// consults the registry again.
+	parallel bool
+	header   protocols.HeaderParser // non-nil when fast-path eligible
+	isTLS    bool
+
+	// reqDir is the direction requests travel on this flow, learned from
+	// the first parsed request. Zero until then. The fast-path probe only
+	// runs on messages travelling the other way, so requests never pay
+	// for a ParseHeader that full Parse will redo.
+	reqDir trace.Direction
+
+	// Per-flow message metrics, updated on both paths.
+	msgs  uint64
+	bytes uint64
 
 	// Open requests: FIFO for pipeline protocols, by stream ID for
 	// parallel protocols.
@@ -99,6 +148,38 @@ type contState struct {
 	end       *time.Time
 }
 
+// arenaBlock is how many spans / open requests each arena block holds.
+const arenaBlock = 256
+
+// spanArena hands out spans from block allocations: one make() zeroes and
+// allocates 256 spans at a time, amortizing the allocator and memclr work
+// that otherwise dominates the per-message profile. Spans escape to the
+// Emit callback and are garbage-collected per block once every span in it
+// is dropped — fine for the agent, which encodes and releases spans
+// promptly.
+type spanArena struct{ buf []trace.Span }
+
+func (a *spanArena) next() *trace.Span {
+	if len(a.buf) == 0 {
+		a.buf = make([]trace.Span, arenaBlock)
+	}
+	sp := &a.buf[0]
+	a.buf = a.buf[1:]
+	return sp
+}
+
+// reqArena is the same block allocator for open requests.
+type reqArena struct{ buf []openRequest }
+
+func (a *reqArena) next() *openRequest {
+	if len(a.buf) == 0 {
+		a.buf = make([]openRequest, arenaBlock)
+	}
+	r := &a.buf[0]
+	a.buf = a.buf[1:]
+	return r
+}
+
 type openRequest struct {
 	ev       MessageEvent
 	msg      protocols.Message
@@ -110,12 +191,21 @@ type openRequest struct {
 
 // NewSessionizer creates a sessionizer; tracer may be nil for packet
 // streams, extra holds user-supplied protocol codecs (paper §3.3.1:
-// "optional user-supplied protocol specifications").
+// "optional user-supplied protocol specifications"), registered through
+// the codec table's Register API ahead of the builtins. When extra is
+// empty the shared builtin table is used directly.
 func NewSessionizer(ids *trace.IDAllocator, tracer *SysTracer, extra []protocols.Codec, emit func(*trace.Span)) *Sessionizer {
+	table := protocols.Default()
+	if len(extra) > 0 {
+		table = protocols.NewTable()
+		for _, c := range extra {
+			table.Register(c)
+		}
+	}
 	return &Sessionizer{
 		ids:      ids,
 		tracer:   tracer,
-		extra:    extra,
+		table:    table,
 		flows:    make(map[flowKey]*flowState),
 		window:   NewTimeWindow(WindowDuration),
 		Emit:     emit,
@@ -130,8 +220,9 @@ func (sz *Sessionizer) SetWindow(slotDur time.Duration) {
 }
 
 // instrument registers this sessionizer's self-metrics under its capture
-// point tag ("syscall" or "packet"): protocol-inference hits and misses,
-// parse errors, orphan responses, window occupancy, and evictions.
+// point tag ("syscall" or "packet"): protocol-inference hits, misses, and
+// give-ups, fast-path/slow-path message counts, parse errors, orphan
+// responses, window occupancy, and evictions.
 func (sz *Sessionizer) instrument(mon *selfmon.Registry, capture string) {
 	sz.mon = mon
 	sz.capture = capture
@@ -139,8 +230,15 @@ func (sz *Sessionizer) instrument(mon *selfmon.Registry, capture string) {
 	sz.mMiss = mon.Counter("deepflow_agent_inference_misses", tag)
 	sz.mOrphans = mon.Counter("deepflow_agent_orphan_responses", tag)
 	sz.mEvict = mon.Counter("deepflow_agent_window_evictions", tag)
+	sz.mGiveups = mon.Counter("deepflow_agent_inference_giveups", tag)
+	sz.mFastHits = mon.Counter("deepflow_agent_fastpath_hits", tag)
+	sz.mSlowMsgs = mon.Counter("deepflow_agent_slowpath_messages", tag)
 	mon.GaugeFunc("deepflow_agent_window_occupancy",
 		func() float64 { return float64(sz.window.Len()) }, tag)
+	mon.GaugeFunc("deepflow_agent_flow_messages",
+		func() float64 { return float64(sz.FlowMsgs) }, tag)
+	mon.GaugeFunc("deepflow_agent_flow_bytes",
+		func() float64 { return float64(sz.FlowBytes) }, tag)
 }
 
 func (sz *Sessionizer) key(ev *MessageEvent) flowKey {
@@ -151,6 +249,16 @@ func (sz *Sessionizer) key(ev *MessageEvent) flowKey {
 }
 
 // Feed processes one message event, possibly emitting a completed span.
+//
+// The cheap per-message work — flow-state fetch, flow-metric updates,
+// continuation accounting — runs unconditionally. Established flows whose
+// codec declares a fast-path header parser then try ParseHeader: a
+// response resolves entirely on the fast path (status and stream ID are
+// all session matching needs), while requests and anything ParseHeader
+// rejects fall through to the slow path's full Parse. The fast and slow
+// paths produce byte-identical spans (pinned by the agent's equivalence
+// test): codecs whose responses can carry association headers opt out of
+// fast-path eligibility via their declared traits.
 func (sz *Sessionizer) Feed(ev MessageEvent) {
 	k := sz.key(&ev)
 	fs := sz.flows[k]
@@ -158,6 +266,12 @@ func (sz *Sessionizer) Feed(ev MessageEvent) {
 		fs = &flowState{byID: make(map[uint64]*openRequest)}
 		sz.flows[k] = fs
 	}
+
+	// Flow metrics update on every path, including unparsable flows.
+	fs.msgs++
+	fs.bytes += uint64(ev.DataLen)
+	sz.FlowMsgs++
+	sz.FlowBytes += uint64(ev.DataLen)
 
 	// Continuation syscalls of a long message extend it rather than
 	// starting a new one (paper §3.3.1: "we only process the first system
@@ -174,17 +288,39 @@ func (sz *Sessionizer) Feed(ev MessageEvent) {
 		return
 	}
 
-	// One-shot protocol inference per flow (retried until first success).
+	// One-shot protocol inference per flow, retried until first success
+	// within a capped budget: a flow that matched no codec for
+	// InferMaxTries messages will not start matching later, so the
+	// all-codec probe is retired and only the per-message accounting
+	// remains.
 	if fs.codec == nil {
-		fs.codec = protocols.Infer(ev.Payload, sz.extra)
-		if fs.codec == nil {
-			fs.inferTry++
+		if fs.gaveUp {
 			sz.Unparsable++
 			if sz.mMiss != nil {
 				sz.mMiss.Inc()
 			}
 			return
 		}
+		entry := sz.table.InferEntry(ev.Payload)
+		if entry == nil {
+			fs.inferTry++
+			sz.Unparsable++
+			if sz.mMiss != nil {
+				sz.mMiss.Inc()
+			}
+			if fs.inferTry >= InferMaxTries {
+				fs.gaveUp = true
+				sz.InferGiveups++
+				if sz.mGiveups != nil {
+					sz.mGiveups.Inc()
+				}
+			}
+			return
+		}
+		fs.codec = entry.Codec
+		fs.parallel = entry.Traits.Parallel
+		fs.header = entry.Header
+		fs.isTLS = entry.Codec.Proto() == trace.L7TLS
 		sz.Inferred[fs.codec.Proto()]++
 		if sz.mon != nil {
 			sz.mon.Counter("deepflow_agent_inference_hits",
@@ -194,10 +330,39 @@ func (sz *Sessionizer) Feed(ev MessageEvent) {
 	}
 	// Encrypted flows carry no parseable syscall payloads; their spans
 	// come from the uprobe plaintext stream instead.
-	if fs.codec.Proto() == trace.L7TLS {
+	if fs.isTLS {
 		return
 	}
 
+	// Fast path: lightweight header parse resolves responses without
+	// building resource strings or header maps. Requests are session
+	// boundaries and always take the slow path below; since a flow's
+	// request direction is fixed, the probe is skipped for messages
+	// positively known to travel with the requests; flows whose events
+	// carry no direction probe every message.
+	if fs.header != nil && !sz.DisableFastPath && !(fs.reqDir != 0 && ev.Dir == fs.reqDir) {
+		if hi, err := fs.header.ParseHeader(ev.Payload); err == nil && hi.Type == trace.MsgResponse {
+			sz.FastPathHits++
+			if sz.mFastHits != nil {
+				sz.mFastHits.Inc()
+			}
+			sz.feedResponse(fs, ev, protocols.Message{
+				Proto:    fs.codec.Proto(),
+				Type:     trace.MsgResponse,
+				Code:     hi.Code,
+				Status:   hi.Status,
+				StreamID: hi.StreamID,
+				TotalLen: hi.TotalLen,
+			})
+			return
+		}
+	}
+
+	// Slow path: full parse.
+	sz.SlowPathMsgs++
+	if sz.mSlowMsgs != nil {
+		sz.mSlowMsgs.Inc()
+	}
 	msg, err := fs.codec.Parse(ev.Payload)
 	if err != nil {
 		sz.Unparsable++
@@ -218,7 +383,9 @@ func (sz *Sessionizer) Feed(ev MessageEvent) {
 }
 
 func (sz *Sessionizer) feedRequest(fs *flowState, ev MessageEvent, msg protocols.Message) {
-	req := &openRequest{ev: ev, msg: msg, slot: sz.slotOf(ev.Start)}
+	fs.reqDir = ev.Dir
+	req := sz.reqs.next()
+	req.ev, req.msg, req.slot = ev, msg, sz.slotOf(ev.Start)
 	if sz.tracer != nil && !ev.NoThreadContext {
 		req.systrace = sz.tracer.Observe(ev.PID, ev.TID, ev.Coro, ev.Socket, ev.Dir, msg.Type)
 		req.pseudo = sz.tracer.PseudoThread(ev.Coro)
@@ -227,7 +394,7 @@ func (sz *Sessionizer) feedRequest(fs *flowState, ev MessageEvent, msg protocols
 		cs := &contState{remaining: msg.TotalLen - ev.DataLen, req: req, end: &req.ev.End}
 		sz.setCont(fs, ev.Dir, cs)
 	}
-	if protocols.IsParallel(msg.Proto) {
+	if fs.parallel {
 		fs.byID[msg.StreamID] = req
 	} else {
 		fs.fifo = append(fs.fifo, req)
@@ -248,7 +415,7 @@ func (sz *Sessionizer) feedResponse(fs *flowState, ev MessageEvent, msg protocol
 		sz.tracer.Observe(ev.PID, ev.TID, ev.Coro, ev.Socket, ev.Dir, msg.Type)
 	}
 	var req *openRequest
-	if protocols.IsParallel(msg.Proto) {
+	if fs.parallel {
 		req = fs.byID[msg.StreamID]
 		delete(fs.byID, msg.StreamID)
 		if req != nil && req.done {
@@ -297,7 +464,8 @@ func (sz *Sessionizer) slotOf(t time.Time) int64 { return sz.window.SlotOf(t) }
 // may be missing: a nil req yields an orphan-response span, a nil resp
 // (via emitTimeout) a timeout span.
 func (sz *Sessionizer) emitSpan(req *openRequest, respEv *MessageEvent, respMsg *protocols.Message) {
-	sp := &trace.Span{ID: sz.ids.NextSpanID()}
+	sp := sz.spans.next()
+	sp.ID = sz.ids.NextSpanID()
 
 	if req != nil {
 		ev, msg := &req.ev, &req.msg

@@ -173,6 +173,19 @@ func (d *Deployment) Agent(host string) *agent.Agent { return d.agents[host] }
 // Agents returns the number of deployed agents.
 func (d *Deployment) Agents() int { return len(d.agents) }
 
+// AgentPathStats sums the agent pipeline-split counters — fast-path
+// response hits, slow-path messages, inference give-ups — across every
+// deployed agent.
+func (d *Deployment) AgentPathStats() (fastHits, slowMsgs, giveups int) {
+	for _, ag := range d.agents {
+		f, s, g := ag.PathStats()
+		fastHits += f
+		slowMsgs += s
+		giveups += g
+	}
+	return fastHits, slowMsgs, giveups
+}
+
 // IntegrateCollector routes an intrusive framework's spans into DeepFlow
 // through the agent on the given host (third-party span integration).
 func (d *Deployment) IntegrateCollector(c *otelsdk.Collector, host string) error {

@@ -1,0 +1,304 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"deepflow/internal/agent"
+	"deepflow/internal/protocols"
+	"deepflow/internal/trace"
+)
+
+// AgentRow is one (workload, pipeline mode) cell of the agent parse
+// experiment: single-core spans/sec through a sessionizer fed a synthetic
+// syscall stream.
+type AgentRow struct {
+	Workload    string
+	Mode        string // "fast+slow" or "all-slow"
+	Spans       int
+	Elapsed     time.Duration
+	SpansPerSec float64
+	Speedup     float64 // vs the all-slow row of the same workload
+	FastRatio   float64 // fast-path hits / parsed messages
+	Giveups     int
+}
+
+// AgentResult is the machine-readable summary emitted to BENCH_agent.json.
+type AgentResult struct {
+	CPUs                  int     `json:"cpus"`
+	LongLivedFastPerSec   float64 `json:"longlived_fast_spans_per_sec"`
+	LongLivedSlowPerSec   float64 `json:"longlived_allslow_spans_per_sec"`
+	LongLivedSpeedup      float64 `json:"longlived_speedup"`
+	LongLivedFastRatio    float64 `json:"longlived_fastpath_hit_ratio"`
+	ShortConnFastPerSec   float64 `json:"shortconn_fast_spans_per_sec"`
+	ShortConnSlowPerSec   float64 `json:"shortconn_allslow_spans_per_sec"`
+	ShortConnSpeedup      float64 `json:"shortconn_speedup"`
+	ShortConnFastRatio    float64 `json:"shortconn_fastpath_hit_ratio"`
+	InferenceGiveups      int     `json:"inference_giveups"`
+	SpansEquivalent       bool    `json:"fast_slow_spans_byte_identical"`
+	LongLivedPairsPerFlow int     `json:"longlived_pairs_per_flow"`
+}
+
+// agentEvent builds one syscall message event for the benchmark streams.
+func agentEvent(sock trace.SocketID, dir trace.Direction, at time.Time, payload []byte) agent.MessageEvent {
+	return agent.MessageEvent{
+		Source:  trace.SourceEBPF,
+		TapSide: trace.TapClientProcess,
+		Host:    "bench",
+		Socket:  sock,
+		Tuple: trace.FiveTuple{
+			SrcIP: trace.IP(10), DstIP: trace.IP(20),
+			SrcPort: uint16(30000 + sock%20000), DstPort: 9000, Proto: trace.L4TCP,
+		},
+		Dir:      dir,
+		Start:    at,
+		End:      at.Add(50 * time.Microsecond),
+		PID:      uint32(1000 + sock%512),
+		TID:      uint32(2000 + sock%512),
+		ProcName: "svc",
+		Payload:  payload,
+		DataLen:  len(payload),
+	}
+}
+
+// longLivedStream models the steady state the fast path is built for:
+// a fixed set of established connections, each carrying many request/
+// response pairs of a realistic protocol mix (gRPC calls, SQL queries,
+// AMQP publishes, DNS lookups). Inference runs once per flow; after that
+// every response is fast-path eligible.
+func longLivedStream(flows, pairsPerFlow int) []agent.MessageEvent {
+	rng := rand.New(rand.NewSource(7))
+	base := time.Unix(1700000000, 0)
+	evs := make([]agent.MessageEvent, 0, 2*flows*pairsPerFlow)
+	for p := 0; p < pairsPerFlow; p++ {
+		for f := 0; f < flows; f++ {
+			sock := trace.SocketID(f + 1)
+			at := base.Add(time.Duration(p*flows+f) * 20 * time.Microsecond)
+			var req, resp []byte
+			// Mesh-shaped mix: east-west RPC dominates (half the flows),
+			// resolver lookups are a quarter, the rest split between the
+			// database and the broker.
+			switch f % 8 {
+			case 0, 1, 2, 3: // gRPC call; ~5% fail with a trailer-only error
+				stream := uint64(p + 1)
+				req = protocols.EncodeGRPCRequest(uint32(stream), "/cart.Cart/GetCart",
+					map[string]string{"traceparent": "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"}, 256)
+				status := uint8(protocols.GRPCStatusOK)
+				if rng.Intn(100) < 5 {
+					status = protocols.GRPCStatusUnavailable
+				}
+				resp = protocols.EncodeGRPCResponse(uint32(stream), status, 512)
+			case 4, 5: // DNS lookup on a long-lived resolver socket
+				id := uint16(p + 1)
+				req = protocols.EncodeDNSQuery(id, "cart.default.svc.cluster.local", 1)
+				resp = protocols.EncodeDNSResponse(id, "cart.default.svc.cluster.local", 1, 0, 2)
+			case 6: // Postgres query
+				req = protocols.EncodePostgresQuery("SELECT sku, qty FROM cart_items WHERE user_id = $1")
+				if rng.Intn(100) < 2 {
+					resp = protocols.EncodePostgresError("40001", "serialization failure")
+				} else {
+					resp = protocols.EncodePostgresComplete("SELECT 12", 600)
+				}
+			default: // AMQP publish/ack
+				req = protocols.EncodeAMQPPublish(1, "events", "cart.viewed", 384)
+				resp = protocols.EncodeAMQPAck(1)
+			}
+			evs = append(evs, agentEvent(sock, trace.DirEgress, at, req))
+			evs = append(evs, agentEvent(sock, trace.DirIngress, at.Add(10*time.Microsecond), resp))
+		}
+	}
+	return evs
+}
+
+// shortConnStream models connection churn: every request/response pair
+// arrives on a fresh flow, so protocol inference runs per connection; a
+// slice of flows speak no known protocol at all and exhaust the inference
+// retry budget.
+func shortConnStream(conns int) []agent.MessageEvent {
+	rng := rand.New(rand.NewSource(11))
+	base := time.Unix(1700000000, 0)
+	var evs []agent.MessageEvent
+	garbage := []byte("\x00\x01\x7f\x03 proprietary uninferrable chatter")
+	sock := trace.SocketID(0)
+	for c := 0; c < conns; c++ {
+		sock++
+		at := base.Add(time.Duration(c) * 40 * time.Microsecond)
+		if c%10 == 9 {
+			// One in ten connections speaks an unknown protocol: the agent
+			// probes it InferMaxTries times, then gives up.
+			for m := 0; m < agent.InferMaxTries+2; m++ {
+				evs = append(evs, agentEvent(sock, trace.DirEgress, at.Add(time.Duration(m)*time.Microsecond), garbage))
+			}
+			continue
+		}
+		var req, resp []byte
+		switch c % 3 {
+		case 0:
+			req = protocols.EncodeGRPCRequest(1, "/auth.Auth/Check", nil, 64)
+			resp = protocols.EncodeGRPCResponse(1, protocols.GRPCStatusOK, 64)
+		case 1:
+			req = protocols.EncodePostgresQuery("SELECT 1")
+			resp = protocols.EncodePostgresComplete("SELECT 1", 0)
+		default:
+			req = protocols.EncodeHTTPRequest("GET", "/healthz", nil, 0)
+			code := 200
+			if rng.Intn(100) < 3 {
+				code = 503
+			}
+			resp = protocols.EncodeHTTPResponse(code, nil, 128)
+		}
+		evs = append(evs, agentEvent(sock, trace.DirEgress, at, req))
+		evs = append(evs, agentEvent(sock, trace.DirIngress, at.Add(20*time.Microsecond), resp))
+	}
+	return evs
+}
+
+// runAgentStream feeds the events through a fresh sessionizer and returns
+// the row plus the sessionizer for stat inspection.
+func runAgentStream(workload, mode string, evs []agent.MessageEvent, disableFast bool) (AgentRow, *agent.Sessionizer) {
+	spans := 0
+	sz := agent.NewSessionizer(&trace.IDAllocator{}, nil, nil, func(*trace.Span) { spans++ })
+	sz.DisableFastPath = disableFast
+	runtime.GC()
+	start := time.Now()
+	for i := range evs {
+		sz.Feed(evs[i])
+	}
+	sz.FlushAll()
+	elapsed := time.Since(start)
+	parsed := sz.FastPathHits + sz.SlowPathMsgs
+	row := AgentRow{
+		Workload:    workload,
+		Mode:        mode,
+		Spans:       spans,
+		Elapsed:     elapsed,
+		SpansPerSec: float64(spans) / elapsed.Seconds(),
+		Giveups:     sz.InferGiveups,
+	}
+	if parsed > 0 {
+		row.FastRatio = float64(sz.FastPathHits) / float64(parsed)
+	}
+	return row, sz
+}
+
+// spanDigests replays a stream through a sessionizer and wire-encodes
+// every emitted span, for the fast/slow equivalence check.
+func spanDigests(evs []agent.MessageEvent, disableFast bool) [][]byte {
+	var out [][]byte
+	sz := agent.NewSessionizer(&trace.IDAllocator{}, nil, nil, func(s *trace.Span) {
+		out = append(out, trace.AppendSpan(nil, s))
+	})
+	sz.DisableFastPath = disableFast
+	for i := range evs {
+		sz.Feed(evs[i])
+	}
+	sz.FlushAll()
+	return out
+}
+
+// streamsEquivalent reports whether fast-path and all-slow-path runs over
+// the stream emit byte-identical span sequences.
+func streamsEquivalent(evs []agent.MessageEvent) bool {
+	fast := spanDigests(evs, false)
+	slow := spanDigests(evs, true)
+	if len(fast) != len(slow) {
+		return false
+	}
+	for i := range fast {
+		if !bytes.Equal(fast[i], slow[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// agentReps is how many alternating repetitions each (workload, mode)
+// cell runs; the best repetition is reported. Minimum-of-N is the standard
+// noise-robust estimator for single-core throughput: GC pauses and
+// scheduler interference only ever slow a run down.
+const agentReps = 5
+
+// bestOf runs fast and slow mode alternately agentReps times and returns
+// the best row of each, so both modes face the same interference.
+func bestOf(workload string, evs []agent.MessageEvent) (fast, slow AgentRow) {
+	for i := 0; i < agentReps; i++ {
+		s, _ := runAgentStream(workload, "all-slow", evs, true)
+		f, _ := runAgentStream(workload, "fast+slow", evs, false)
+		if i == 0 || s.SpansPerSec > slow.SpansPerSec {
+			slow = s
+		}
+		if i == 0 || f.SpansPerSec > fast.SpansPerSec {
+			fast = f
+		}
+	}
+	return fast, slow
+}
+
+// MeasureAgent runs both sweeps in both pipeline modes. flows/pairsPerFlow
+// size the long-lived sweep; conns sizes the short-connection sweep.
+func MeasureAgent(flows, pairsPerFlow, conns int) ([]AgentRow, AgentResult) {
+	long := longLivedStream(flows, pairsPerFlow)
+	short := shortConnStream(conns)
+
+	// Warm every code path (and the codec table) before timing.
+	runAgentStream("warm", "warm", longLivedStream(8, 50), false)
+	runAgentStream("warm", "warm", longLivedStream(8, 50), true)
+
+	longFast, longSlow := bestOf("long-lived", long)
+	shortFast, shortSlow := bestOf("short-conn", short)
+
+	longFast.Speedup = longFast.SpansPerSec / longSlow.SpansPerSec
+	longSlow.Speedup = 1
+	shortFast.Speedup = shortFast.SpansPerSec / shortSlow.SpansPerSec
+	shortSlow.Speedup = 1
+
+	equivalent := streamsEquivalent(long) && streamsEquivalent(short)
+
+	rows := []AgentRow{longSlow, longFast, shortSlow, shortFast}
+	res := AgentResult{
+		CPUs:                  runtime.NumCPU(),
+		LongLivedFastPerSec:   longFast.SpansPerSec,
+		LongLivedSlowPerSec:   longSlow.SpansPerSec,
+		LongLivedSpeedup:      longFast.Speedup,
+		LongLivedFastRatio:    longFast.FastRatio,
+		ShortConnFastPerSec:   shortFast.SpansPerSec,
+		ShortConnSlowPerSec:   shortSlow.SpansPerSec,
+		ShortConnSpeedup:      shortFast.Speedup,
+		ShortConnFastRatio:    shortFast.FastRatio,
+		InferenceGiveups:      shortFast.Giveups,
+		SpansEquivalent:       equivalent,
+		LongLivedPairsPerFlow: pairsPerFlow,
+	}
+	return rows, res
+}
+
+// Agent runs the agent parse-pipeline experiment and formats it.
+func Agent(flows, pairsPerFlow, conns int) (*Table, error) {
+	rows, res := MeasureAgent(flows, pairsPerFlow, conns)
+	t := &Table{
+		ID: "agent",
+		Title: fmt.Sprintf("Agent fast-path/slow-path pipeline (%d long-lived flows × %d pairs, %d short connections, single core)",
+			flows, pairsPerFlow, conns),
+		Columns: []string{"workload", "pipeline", "spans", "elapsed (ms)", "spans/s", "speedup", "fast-path ratio", "give-ups"},
+		Notes: []string{
+			"established flows resolve responses via ParseHeader (type+stream+status), skipping resource and header decoding",
+			"requests always take the slow path: they carry the resources and propagation headers spans are made of",
+			fmt.Sprintf("fast and all-slow runs emit byte-identical spans: %v", res.SpansEquivalent),
+			fmt.Sprintf("short-connection sweep: inference runs per flow; %d unknown-protocol flows hit the %d-try budget and gave up",
+				res.InferenceGiveups, agent.InferMaxTries),
+		},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Workload, r.Mode, r.Spans,
+			fmt.Sprintf("%.1f", float64(r.Elapsed.Nanoseconds())/1e6),
+			fmt.Sprintf("%.0f", r.SpansPerSec),
+			fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprintf("%.2f", r.FastRatio),
+			r.Giveups)
+	}
+	t.JSON = res
+	return t, nil
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestAgentCorrectness always runs: whatever the machine, the fast-path
+// pipeline must emit byte-identical spans to the all-slow-path baseline,
+// actually take the fast path for eligible responses, and give up on
+// uninferrable flows instead of probing forever.
+func TestAgentCorrectness(t *testing.T) {
+	rows, res := MeasureAgent(16, 40, 300)
+	if !res.SpansEquivalent {
+		t.Fatal("fast-path and all-slow-path runs emitted different spans")
+	}
+	if res.LongLivedFastRatio <= 0 {
+		t.Fatal("long-lived sweep never took the fast path")
+	}
+	if res.InferenceGiveups == 0 {
+		t.Fatal("short-connection sweep produced no inference give-ups")
+	}
+	for _, r := range rows {
+		if r.Mode == "all-slow" && r.FastRatio != 0 {
+			t.Fatalf("all-slow %s run reported fast-path hits", r.Workload)
+		}
+		if r.Spans == 0 {
+			t.Fatalf("%s/%s run emitted no spans", r.Workload, r.Mode)
+		}
+	}
+}
+
+// TestAgentFastPathGuard is the performance gate wired into
+// scripts/check.sh: on a multi-core machine, the fast path must make the
+// long-lived sweep at least 1.3x faster than forcing every message through
+// full Parse. Honest baseline: identical event stream, identical spans
+// (asserted above), only the pipeline split differs.
+func TestAgentFastPathGuard(t *testing.T) {
+	if os.Getenv("DF_GUARD") == "" {
+		t.Skip("perf guard; set DF_GUARD=1 to run")
+	}
+	if n := runtime.NumCPU(); n < 4 {
+		t.Skipf("SKIPPING FAST-PATH GUARD: only %d CPUs visible; timing too noisy to enforce the 1.3x gate", n)
+	}
+	_, res := MeasureAgent(64, 300, 3000)
+	t.Logf("long-lived: fast %.0f spans/s vs all-slow %.0f spans/s (%.2fx), fast-path ratio %.2f",
+		res.LongLivedFastPerSec, res.LongLivedSlowPerSec, res.LongLivedSpeedup, res.LongLivedFastRatio)
+	t.Logf("short-conn: fast %.0f spans/s vs all-slow %.0f spans/s (%.2fx), give-ups %d",
+		res.ShortConnFastPerSec, res.ShortConnSlowPerSec, res.ShortConnSpeedup, res.InferenceGiveups)
+	if !res.SpansEquivalent {
+		t.Fatal("fast-path and all-slow-path runs emitted different spans")
+	}
+	if res.LongLivedSpeedup < 1.3 {
+		t.Fatalf("long-lived fast-path speedup %.2fx below the 1.3x gate", res.LongLivedSpeedup)
+	}
+	if res.ShortConnSpeedup < 1.0 {
+		t.Fatalf("short-connection sweep regressed under the fast path: %.2fx", res.ShortConnSpeedup)
+	}
+}

@@ -570,6 +570,10 @@ func errorCode(proto trace.L7Proto) int32 {
 		return 503
 	case trace.L7Dubbo:
 		return 50
+	case trace.L7GRPC:
+		return protocols.GRPCStatusInternal
+	case trace.L7AMQP:
+		return 541 // internal-error reply code
 	default:
 		return 1
 	}

@@ -236,6 +236,7 @@ func TestAllProtocolsServeRequests(t *testing.T) {
 	protos := []trace.L7Proto{
 		trace.L7HTTP, trace.L7HTTP2, trace.L7Redis, trace.L7MySQL,
 		trace.L7DNS, trace.L7Kafka, trace.L7MQTT, trace.L7Dubbo,
+		trace.L7GRPC, trace.L7Postgres, trace.L7AMQP,
 	}
 	for _, proto := range protos {
 		env := NewEnv(1)

@@ -169,6 +169,59 @@ func BuildNginx(env *Env) (*Topology, *Component) {
 	}, nginx
 }
 
+// BuildPolyglot builds a polyglot microservice chain exercising the
+// fast-path-eligible protocols end to end: an HTTP gateway fronting a gRPC
+// cart service that reads a PostgreSQL database and publishes audit events
+// to an AMQP broker. Every hop speaks a different protocol, so one request
+// through the gateway lights up four protocol decoders at once.
+func BuildPolyglot(env *Env) *Topology {
+	cluster := newThreeNodeCluster(env, "pg")
+	nodes := cluster.Nodes()
+	client, _ := cluster.AddPod("pg-load", "default", "load", nodes[0], nil)
+	gwPod, _ := cluster.AddPod("pg-gateway-0", "default", "gateway", nodes[0],
+		map[string]string{"app": "gateway"})
+	cartPod, _ := cluster.AddPod("pg-cart-0", "default", "cart", nodes[1],
+		map[string]string{"app": "cart"})
+	dbPod, _ := cluster.AddPod("pg-postgres-0", "default", "postgres", nodes[2], nil)
+	mqPod, _ := cluster.AddPod("pg-rabbitmq-0", "default", "rabbitmq", nodes[2], nil)
+
+	db := MustComponent(env, Config{
+		Name: "pg-postgres", Host: dbPod.Host, Port: 5432,
+		Proto: trace.L7Postgres, Workers: 8,
+		ServiceTime: sim.Exponential{M: 300 * time.Microsecond},
+		RespBody:    256,
+	})
+	broker := MustComponent(env, Config{
+		Name: "pg-rabbitmq", Host: mqPod.Host, Port: 5672,
+		Proto: trace.L7AMQP, Workers: 8,
+		ServiceTime: sim.Exponential{M: 150 * time.Microsecond},
+	})
+	cart := MustComponent(env, Config{
+		Name: "pg-cart", Host: cartPod.Host, Port: 9555,
+		Proto: trace.L7GRPC, Workers: 8, Coroutines: true,
+		ServiceTime: sim.Exponential{M: 400 * time.Microsecond},
+		Calls: []CallSpec{
+			{Target: "pg-postgres", Resource: "SELECT sku, qty FROM cart_items WHERE user_id = $1"},
+			{Target: "pg-rabbitmq", Resource: "cart.viewed"},
+		},
+		RespBody: 384,
+	})
+	gateway := MustComponent(env, Config{
+		Name: "pg-gateway", Host: gwPod.Host, Port: 8080,
+		Proto: trace.L7HTTP, Workers: 8,
+		ServiceTime: sim.Exponential{M: 200 * time.Microsecond},
+		Calls: []CallSpec{
+			{Target: "pg-cart", Resource: "/cart.Cart/GetCart"},
+		},
+		RespBody:      1024,
+		GenXRequestID: true,
+	})
+	return &Topology{
+		Env: env, Cluster: cluster, Entry: gateway, ClientHost: client.Host,
+		Components: []*Component{gateway, cart, db, broker},
+	}
+}
+
 // Host kind aliases for readability.
 const (
 	kindMachine = simnet.KindMachine

@@ -28,6 +28,12 @@ func encodeRequest(proto trace.L7Proto, method, resource string, headers map[str
 		return protocols.EncodeMQTTPublish(orDefault(resource, "topic"), body)
 	case trace.L7Dubbo:
 		return protocols.EncodeDubboRequest(stream, orDefault(resource, "Service"), orDefault(method, "invoke"), body)
+	case trace.L7GRPC:
+		return protocols.EncodeGRPCRequest(uint32(stream), orDefault(resource, "/svc.Service/Call"), headers, body)
+	case trace.L7Postgres:
+		return protocols.EncodePostgresQuery(orDefault(resource, "SELECT 1"))
+	case trace.L7AMQP:
+		return protocols.EncodeAMQPPublish(uint16(stream), "events", orDefault(resource, "key"), body)
 	default:
 		panic(fmt.Sprintf("microsim: no request encoder for %v", proto))
 	}
@@ -88,6 +94,29 @@ func encodeResponse(proto trace.L7Proto, req protocols.Message, code int32, head
 			status = uint8(code % 256)
 		}
 		return protocols.EncodeDubboResponse(req.StreamID, status, body)
+	case trace.L7GRPC:
+		// gRPC responses carry status in the trailer byte and never carry
+		// association headers — that property keeps them fast-path eligible,
+		// so the headers argument is deliberately not forwarded.
+		status := uint8(protocols.GRPCStatusOK)
+		if !ok {
+			status = uint8(code % 256)
+		}
+		return protocols.EncodeGRPCResponse(uint32(req.StreamID), status, body)
+	case trace.L7Postgres:
+		if ok {
+			return protocols.EncodePostgresComplete("SELECT 1", body)
+		}
+		return protocols.EncodePostgresError("XX000", fmt.Sprintf("code %d", code))
+	case trace.L7AMQP:
+		if ok {
+			return protocols.EncodeAMQPAck(uint16(req.StreamID))
+		}
+		rc := uint16(code)
+		if rc == 0 {
+			rc = 541
+		}
+		return protocols.EncodeAMQPClose(uint16(req.StreamID), rc, "error")
 	default:
 		panic(fmt.Sprintf("microsim: no response encoder for %v", proto))
 	}

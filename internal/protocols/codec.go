@@ -1,13 +1,18 @@
 // Package protocols implements the application-protocol codecs the DeepFlow
 // agent uses for message-type inference and parsing (paper §3.3.1, phase 2):
-// HTTP/1.1, a framed HTTP/2-style protocol, DNS, Redis (RESP), MySQL
-// client/server, a Kafka-style RPC, MQTT, and Dubbo.
+// HTTP/1.1, a framed HTTP/2-style protocol, gRPC-over-HTTP/2, DNS, Redis
+// (RESP), MySQL client/server, PostgreSQL simple-query, a Kafka-style RPC,
+// MQTT, AMQP, and Dubbo.
 //
 // Each codec can (a) cheaply decide whether a payload looks like its
 // protocol (one-shot inference per connection), (b) parse a message into
 // protocol-independent metadata — request/response type, resource, status,
 // multiplexing stream ID, and any embedded propagation headers — and
-// (c) encode synthetic wire messages for the workload simulator.
+// (c) encode synthetic wire messages for the workload simulator. Codecs
+// self-describe through the registration table in registry.go: declared
+// traits (parallel vs pipeline matching, magic first bytes, minimum header
+// length) drive dispatch, and the optional ParseHeader method feeds the
+// agent's lookup-only fast path.
 package protocols
 
 import (
@@ -70,58 +75,4 @@ var ErrShort = fmt.Errorf("protocols: payload too short")
 // errMalformed builds a consistent parse error.
 func errMalformed(p trace.L7Proto, why string) error {
 	return fmt.Errorf("protocols: malformed %v message: %s", p, why)
-}
-
-// Registry is the ordered codec list used for inference. Binary protocols
-// with strong magic come first; permissive text protocols last.
-func Registry() []Codec {
-	return []Codec{
-		DubboCodec{},
-		HTTP2Codec{},
-		TLSCodec{},
-		MySQLCodec{},
-		KafkaCodec{},
-		MQTTCodec{},
-		DNSCodec{},
-		RedisCodec{},
-		HTTPCodec{},
-	}
-}
-
-// Infer runs one-shot protocol inference over the registry, returning the
-// matching codec or nil.
-func Infer(payload []byte, extra []Codec) Codec {
-	for _, c := range extra {
-		if c.Infer(payload) {
-			return c
-		}
-	}
-	for _, c := range Registry() {
-		if c.Infer(payload) {
-			return c
-		}
-	}
-	return nil
-}
-
-// ByProto returns the registry codec for a protocol, or nil.
-func ByProto(p trace.L7Proto) Codec {
-	for _, c := range Registry() {
-		if c.Proto() == p {
-			return c
-		}
-	}
-	return nil
-}
-
-// IsParallel reports whether the protocol multiplexes messages on one
-// connection (responses matched by stream ID) rather than pipelining
-// (responses matched in FIFO order) — paper §3.3.1, session aggregation.
-func IsParallel(p trace.L7Proto) bool {
-	switch p {
-	case trace.L7HTTP2, trace.L7DNS, trace.L7Kafka, trace.L7Dubbo:
-		return true
-	default:
-		return false
-	}
 }

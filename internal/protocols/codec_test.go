@@ -383,3 +383,122 @@ func TestHTTPMethodsInference(t *testing.T) {
 		t.Error("bogus method inferred")
 	}
 }
+
+func TestGRPCRoundTrip(t *testing.T) {
+	var c GRPCCodec
+	req := EncodeGRPCRequest(9, "/acme.Cart/AddItem", map[string]string{
+		"traceparent":  "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		"x-request-id": "r-42",
+	}, 128)
+	if !c.Infer(req) {
+		t.Fatal("request inference failed")
+	}
+	m, err := c.Parse(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != trace.MsgRequest || m.Method != "POST" || m.Resource != "/acme.Cart/AddItem" || m.StreamID != 9 {
+		t.Fatalf("req = %+v", m)
+	}
+	if m.Headers["x-request-id"] != "r-42" {
+		t.Fatalf("headers = %v", m.Headers)
+	}
+
+	ok, err := c.Parse(EncodeGRPCResponse(9, GRPCStatusOK, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok.Type != trace.MsgResponse || ok.Status != "ok" || ok.Code != GRPCStatusOK || ok.StreamID != 9 {
+		t.Fatalf("ok = %+v", ok)
+	}
+	// Responses must never carry association headers: that property is what
+	// makes gRPC fast-path eligible.
+	for _, k := range []string{"x-request-id", "traceparent", "b3"} {
+		if _, found := ok.Headers[k]; found {
+			t.Fatalf("response carries association header %q", k)
+		}
+	}
+	er, err := c.Parse(EncodeGRPCResponse(11, GRPCStatusUnavailable, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.Status != "error" || er.Code != GRPCStatusUnavailable || er.StreamID != 11 {
+		t.Fatalf("err = %+v", er)
+	}
+}
+
+func TestPostgresRoundTrip(t *testing.T) {
+	var c PostgresCodec
+	q := EncodePostgresQuery("select * from orders where id = 7")
+	if !c.Infer(q) {
+		t.Fatal("query inference failed")
+	}
+	m, err := c.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != trace.MsgRequest || m.Method != "SELECT" || m.Resource != "select * from orders" {
+		t.Fatalf("query = %+v", m)
+	}
+
+	done, err := c.Parse(EncodePostgresComplete("SELECT 3", 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Type != trace.MsgResponse || done.Status != "ok" || done.Method != "SELECT 3" {
+		t.Fatalf("complete = %+v", done)
+	}
+	er, err := c.Parse(EncodePostgresError("42P01", "relation does not exist"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.Status != "error" || er.Code != 1 || er.Resource != "42P01" {
+		t.Fatalf("error = %+v", er)
+	}
+	if c.Infer([]byte("Queen of the night")) {
+		t.Error("non-framed text inferred as postgres")
+	}
+}
+
+func TestAMQPRoundTrip(t *testing.T) {
+	var c AMQPCodec
+	pub := EncodeAMQPPublish(3, "orders", "order.created", 256)
+	if !c.Infer(pub) {
+		t.Fatal("publish inference failed")
+	}
+	m, err := c.Parse(pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != trace.MsgRequest || m.Method != "basic.publish" || m.Resource != "orders/order.created" {
+		t.Fatalf("publish = %+v", m)
+	}
+	defaultEx, err := c.Parse(EncodeAMQPPublish(3, "", "order.created", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defaultEx.Resource != "order.created" {
+		t.Fatalf("default-exchange publish = %+v", defaultEx)
+	}
+
+	ack, err := c.Parse(EncodeAMQPAck(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Type != trace.MsgResponse || ack.Status != "ok" || ack.Method != "basic.ack" {
+		t.Fatalf("ack = %+v", ack)
+	}
+	cl, err := c.Parse(EncodeAMQPClose(3, 312, "NO_ROUTE"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Status != "error" || cl.Code != 312 || cl.Resource != "NO_ROUTE" {
+		t.Fatalf("close = %+v", cl)
+	}
+	// A method frame with a truncated size field must not infer.
+	bad := EncodeAMQPAck(3)
+	bad = bad[:len(bad)-1]
+	if c.Infer(bad) {
+		t.Error("frame without end octet inferred")
+	}
+}

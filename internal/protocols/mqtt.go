@@ -27,6 +27,56 @@ var mqttNames = map[byte]string{
 	mqttSubscribe: "SUBSCRIBE", mqttSuback: "SUBACK",
 }
 
+// mqttFirstBytes enumerates every byte whose high nibble is a known MQTT
+// packet type (the low flag nibble is arbitrary).
+var mqttFirstBytes = mqttFirstByteSet()
+
+func mqttFirstByteSet() []byte {
+	types := []byte{mqttConnect, mqttConnack, mqttPublish, mqttPuback, mqttSubscribe, mqttSuback}
+	out := make([]byte, 0, len(types)*16)
+	for _, t := range types {
+		for low := byte(0); low < 16; low++ {
+			out = append(out, t<<4|low)
+		}
+	}
+	return out
+}
+
+// Traits implements TraitedCodec.
+func (MQTTCodec) Traits() Traits {
+	return Traits{FirstBytes: mqttFirstBytes, MinLen: 2}
+}
+
+// ParseHeader implements HeaderParser: packet type and CONNACK return code
+// from the fixed header, no topic decoding.
+func (MQTTCodec) ParseHeader(payload []byte) (HeaderInfo, error) {
+	if len(payload) < 2 {
+		return HeaderInfo{}, ErrShort
+	}
+	typ := payload[0] >> 4
+	if _, ok := mqttNames[typ]; !ok {
+		return HeaderInfo{}, errMalformed(trace.L7MQTT, "unknown packet type")
+	}
+	rem, n := mqttRemaining(payload[1:])
+	if n == 0 {
+		return HeaderInfo{}, errMalformed(trace.L7MQTT, "bad remaining length")
+	}
+	hi := HeaderInfo{TotalLen: 1 + n + rem}
+	switch typ {
+	case mqttConnect, mqttPublish, mqttSubscribe:
+		hi.Type = trace.MsgRequest
+	case mqttConnack, mqttPuback, mqttSuback:
+		hi.Type = trace.MsgResponse
+		hi.Status = "ok"
+		body := payload[1+n:]
+		if typ == mqttConnack && len(body) >= 2 && body[1] != 0 {
+			hi.Status = "error"
+			hi.Code = int32(body[1])
+		}
+	}
+	return hi, nil
+}
+
 // Infer implements Codec.
 func (MQTTCodec) Infer(payload []byte) bool {
 	if len(payload) < 2 {

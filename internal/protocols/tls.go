@@ -11,6 +11,11 @@ type TLSCodec struct{}
 // Proto implements Codec.
 func (TLSCodec) Proto() trace.L7Proto { return trace.L7TLS }
 
+// Traits implements TraitedCodec.
+func (TLSCodec) Traits() Traits {
+	return Traits{FirstBytes: []byte{20, 21, 22, 23}, MinLen: 5}
+}
+
 // Infer implements Codec: a TLS record header is content-type 20–23
 // followed by version 0x03 0x01..0x04.
 func (TLSCodec) Infer(payload []byte) bool {

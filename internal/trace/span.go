@@ -98,9 +98,12 @@ const (
 	L7MQTT
 	L7Dubbo
 	L7TLS
+	L7GRPC
+	L7Postgres
+	L7AMQP
 )
 
-var l7Names = [...]string{"unknown", "HTTP", "HTTP2", "DNS", "Redis", "MySQL", "Kafka", "MQTT", "Dubbo", "TLS"}
+var l7Names = [...]string{"unknown", "HTTP", "HTTP2", "DNS", "Redis", "MySQL", "Kafka", "MQTT", "Dubbo", "TLS", "gRPC", "PostgreSQL", "AMQP"}
 
 func (p L7Proto) String() string {
 	if int(p) < len(l7Names) {

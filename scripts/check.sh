@@ -45,6 +45,12 @@ DF_GUARD=1 go test -run 'TestIngestScalingGuard|TestIngestCorrectness' -count=1 
 echo ">> dfbench ingest (writes BENCH_ingest.json)"
 go run ./cmd/dfbench ingest
 
+echo ">> agent fast-path guard (long-lived spans/s >=1.3x all-slow-path baseline, byte-identical spans; skips below 4 CPUs)"
+DF_GUARD=1 go test -run 'TestAgentFastPathGuard|TestAgentCorrectness' -count=1 ./internal/experiments
+
+echo ">> dfbench agent (writes BENCH_agent.json)"
+go run ./cmd/dfbench agent
+
 echo ">> rollup-equivalence gate (ServiceSummaryFast == raw scan on Bookinfo, shard-count invisible)"
 go test -run TestRollupEquivalenceGate -count=1 ./internal/experiments
 
