@@ -18,6 +18,7 @@ import (
 
 	"deepflow/internal/alerting"
 	"deepflow/internal/core"
+	"deepflow/internal/dstore"
 	"deepflow/internal/k8s"
 	"deepflow/internal/microsim"
 	"deepflow/internal/server"
@@ -39,6 +40,10 @@ func main() {
 	profile := flag.Bool("profile", false, "enable the continuous profiling plane (99 Hz on-CPU sampling) and print top functions")
 	alerts := flag.Bool("alerts", false, "enable the continuous-detection plane and print the alert stream (fired alerts with suspects and drill-downs)")
 	shards := flag.Int("shards", 1, "server ingest shards (parallel batch decode+insert workers)")
+	dataDir := flag.String("data-dir", "", "root directory for the durable storage tier (per-shard WAL + sealed blocks); anything already there is replayed before agents start; empty = memory-only")
+	fsyncPolicy := flag.String("fsync", "group", "WAL durability policy with -data-dir: group | always | never")
+	retRaw := flag.Duration("retention-raw", 0, "evict raw spans older than this on every flush tick, from memory and sealed blocks (0 = keep forever)")
+	retRollup := flag.Duration("retention-rollup", 0, "drop rollup aggregates older than this for good (0 = keep forever); should exceed -retention-raw")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics (Prometheus) and /debug/pprof/ on this address after the run")
 	flag.Parse()
 
@@ -59,6 +64,17 @@ func main() {
 	opts := core.DefaultOptions()
 	opts.Agent.EnableProfiling = *profile
 	opts.Shards = *shards
+	opts.RetentionRaw = *retRaw
+	opts.RetentionRollup = *retRollup
+	if *dataDir != "" {
+		pol, ok := dstore.ParseSyncPolicy(*fsyncPolicy)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "deepflow: unknown -fsync policy %q (want group, always, or never)\n", *fsyncPolicy)
+			os.Exit(2)
+		}
+		opts.DataDir = *dataDir
+		opts.Fsync = pol
+	}
 	if *alerts {
 		cfg := alerting.DefaultConfig()
 		opts.Alerting = &cfg
@@ -74,6 +90,11 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("deployed %d agents (zero code, in-flight) over workload %q\n", d.Agents(), *workload)
+	if d.Server.Durable() {
+		fmt.Printf("durable storage at %s (fsync=%s): replayed %d blocks + %d WAL batches (%d spans)\n",
+			*dataDir, *fsyncPolicy, d.Replay.Blocks, d.Replay.WALBatches,
+			d.Replay.BlockSpans+d.Replay.WALSpans)
+	}
 
 	gen := microsim.NewLoadGen(env, "wrk", topo.ClientHost, topo.Entry, 8, *rate)
 	if *workload == "bookinfo" {
@@ -233,6 +254,11 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	// Graceful shutdown: flush memtables and sync the WAL so the next run's
+	// replay starts from sealed blocks, not a WAL scan. Stored data stays
+	// queryable for the debug endpoint below.
+	d.Stop()
 
 	if *debugAddr != "" {
 		fmt.Printf("debug endpoint on %s (/metrics, /debug/pprof/); Ctrl-C to exit\n", *debugAddr)

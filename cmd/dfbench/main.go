@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dfbench [-scale small|paper] fig2|fig3|fig13|fig14|fig15|fig16a|fig16b|fig19|ablation|selfmon|profile|ingest|agent|rollup|alerting|critpath|all
+//	dfbench [-scale small|paper] fig2|fig3|fig13|fig14|fig15|fig16a|fig16b|fig19|ablation|selfmon|profile|ingest|agent|rollup|alerting|critpath|storage|all
 //
 // Output for each experiment is a plain-text table plus notes comparing
 // against the paper's reported numbers. EXPERIMENTS.md records a captured
@@ -25,7 +25,7 @@ func main() {
 	md := flag.Bool("md", false, "emit markdown instead of plain text")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: dfbench [-scale small|paper] [-md] <fig2|fig3|fig13|fig14|fig15|fig16a|fig16b|fig19|ablation|selfmon|profile|ingest|agent|rollup|alerting|critpath|all>")
+		fmt.Fprintln(os.Stderr, "usage: dfbench [-scale small|paper] [-md] <fig2|fig3|fig13|fig14|fig15|fig16a|fig16b|fig19|ablation|selfmon|profile|ingest|agent|rollup|alerting|critpath|storage|all>")
 		os.Exit(2)
 	}
 
@@ -86,6 +86,14 @@ func main() {
 	}
 	runners["alerting"] = experiments.Alerting
 	runners["critpath"] = experiments.Critpath
+	runners["storage"] = func() (*experiments.Table, error) {
+		dir, err := os.MkdirTemp("", "dfbench-storage-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		return experiments.Storage(pick(50000, 500000), pick(2000, 10000), dir)
+	}
 	runners["rollup"] = func() (*experiments.Table, error) {
 		// The ≥5× acceptance point is the 10⁶-span corpus, so both scales
 		// sweep up to it; small just skips the intermediate sizes.
@@ -95,7 +103,7 @@ func main() {
 		}
 		return experiments.Rollup(sizes, pick(2000, 10000))
 	}
-	order := []string{"fig2", "fig3", "fig13", "fig14", "fig15", "fig16a", "fig16b", "fig19", "ablation", "selfmon", "profile", "ingest", "agent", "rollup", "alerting", "critpath"}
+	order := []string{"fig2", "fig3", "fig13", "fig14", "fig15", "fig16a", "fig16b", "fig19", "ablation", "selfmon", "profile", "ingest", "agent", "rollup", "alerting", "critpath", "storage"}
 
 	targets := flag.Args()
 	if len(targets) == 1 && targets[0] == "all" {

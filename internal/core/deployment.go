@@ -14,6 +14,7 @@ import (
 	"deepflow/internal/agent"
 	"deepflow/internal/alerting"
 	"deepflow/internal/cloud"
+	"deepflow/internal/dstore"
 	"deepflow/internal/k8s"
 	"deepflow/internal/microsim"
 	"deepflow/internal/otelsdk"
@@ -44,6 +45,24 @@ type Options struct {
 	// buckets on every flush tick, after ingest has drained; its Start
 	// defaults to the deployment's creation time.
 	Alerting *alerting.Config
+	// DataDir roots the durable storage tier (per-shard WAL + sealed
+	// blocks). Empty keeps the deployment memory-only. When set, whatever
+	// is already under the directory is replayed before the first agent
+	// starts, so a restarted deployment answers queries identically with
+	// its previous life.
+	DataDir string
+	// Fsync selects the WAL durability policy when DataDir is set:
+	// group commit (default), always, or never.
+	Fsync dstore.SyncPolicy
+	// RetentionRaw evicts raw spans older than this on every flush tick —
+	// from the in-memory stores and (block-granular) from the durable
+	// tier. Rollup aggregates keep answering over the evicted range. Zero
+	// keeps raw spans forever.
+	RetentionRaw time.Duration
+	// RetentionRollup drops rollup aggregates older than this for good —
+	// the final stage of the TTL cascade. Should exceed RetentionRaw.
+	// Zero keeps aggregates forever.
+	RetentionRollup time.Duration
 }
 
 // DefaultOptions returns a full-featured deployment.
@@ -65,6 +84,9 @@ type Deployment struct {
 	// Alerts is the continuous-detection plane, nil unless Options.Alerting
 	// was set.
 	Alerts *alerting.Engine
+	// Replay reports what the durable tier recovered at attach time (zero
+	// when DataDir is unset or the directory was empty).
+	Replay dstore.ReplayStats
 
 	agents  map[string]*agent.Agent
 	flushOn bool
@@ -126,8 +148,28 @@ func (d *Deployment) DeployAll() error {
 	return nil
 }
 
+// ensureDurable attaches the durable storage tier when Options.DataDir is
+// set, replaying whatever a previous life left on disk. Idempotent; runs
+// before the first agent starts so replay and live ingest never interleave.
+func (d *Deployment) ensureDurable() error {
+	if d.Opts.DataDir == "" || d.Server.Durable() {
+		return nil
+	}
+	cfg := dstore.DefaultConfig()
+	cfg.Sync = d.Opts.Fsync
+	rs, err := d.Server.AttachDurable(d.Opts.DataDir, cfg)
+	if err != nil {
+		return fmt.Errorf("core: durable storage: %w", err)
+	}
+	d.Replay = rs
+	return nil
+}
+
 // DeployOn installs and starts an agent on one host. Idempotent per host.
 func (d *Deployment) DeployOn(h *simnet.Host) error {
+	if err := d.ensureDurable(); err != nil {
+		return err
+	}
 	if _, dup := d.agents[h.Name]; dup {
 		return nil
 	}
@@ -220,6 +262,11 @@ func (d *Deployment) scheduleFlush() {
 			// One global cutoff for all shard partials, so eviction never
 			// makes the shard count observable.
 			d.Server.EvictRollups(now.Add(-d.Opts.RollupFineRetention))
+		}
+		if d.Opts.RetentionRaw > 0 || d.Opts.RetentionRollup > 0 {
+			// TTL cascade: raw spans age out of memory and sealed blocks
+			// first; rollup aggregates (longer TTL) follow later.
+			d.Server.ApplyRetention(now, d.Opts.RetentionRaw, d.Opts.RetentionRollup)
 		}
 		if d.Alerts != nil {
 			// Judge finished buckets now that this tick's batches have

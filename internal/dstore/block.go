@@ -1,0 +1,288 @@
+package dstore
+
+// Sealed immutable blocks: the memtable's rows re-encoded columnarly, one
+// file per seal. Integer span fields become storage columns (delta+varint
+// under the default encoding — timestamps and sequential IDs delta to
+// almost nothing), string fields become LowCardinality dictionary columns,
+// and everything that is not naturally columnar — the custom label map,
+// attached net metrics, flow and profile side-rows — is persisted in the
+// exact trace/transport wire layout. A block file is:
+//
+//	"DFB" version | header varints | int columns | string columns |
+//	per-span rest | flows | profiles | uint32 LE CRC32(all preceding)
+//
+// Columns carry no length prefix: storage.DecodeColumn reports how many
+// bytes it consumed, the same cursor discipline as the wire codec.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"deepflow/internal/profiling"
+	"deepflow/internal/storage"
+	"deepflow/internal/trace"
+	"deepflow/internal/transport"
+)
+
+const blockVersion = 1
+
+var blockMagic = [3]byte{'D', 'F', 'B'}
+
+// blockName returns the block filename covering a WAL sequence range.
+func blockName(walFirst, walLast uint64) string {
+	return fmt.Sprintf("block-%08d-%08d.blk", walFirst, walLast)
+}
+
+// parseBlockName extracts the covered WAL range from a block filename.
+func parseBlockName(name string) (walFirst, walLast uint64, ok bool) {
+	if n, err := fmt.Sscanf(name, "block-%d-%d.blk", &walFirst, &walLast); n == 2 && err == nil {
+		return walFirst, walLast, true
+	}
+	return 0, 0, false
+}
+
+// blockMeta is the header every block carries: its WAL coverage (which
+// segments it makes deletable), row counts, the span time range (the zone
+// map retention and scans prune on), and the column encoding.
+type blockMeta struct {
+	walFirst, walLast uint64
+	nSpans            int
+	nFlows            int
+	nProfiles         int
+	minNS, maxNS      int64
+	enc               BlockEncoding
+}
+
+// spanIntCols defines the integer columns of a block's span section, in
+// fixed serialization order. set closures run column-major in this order,
+// so start_ns is applied before dur_ns reconstructs EndTime from it.
+var spanIntCols = []struct {
+	name string
+	get  func(sp *trace.Span) int64
+	set  func(sp *trace.Span, v int64)
+}{
+	{"span_id", func(sp *trace.Span) int64 { return int64(sp.ID) }, func(sp *trace.Span, v int64) { sp.ID = trace.SpanID(v) }},
+	{"start_ns", func(sp *trace.Span) int64 { return sp.StartTime.UnixNano() }, func(sp *trace.Span, v int64) { sp.StartTime = time.Unix(0, v).UTC() }},
+	{"dur_ns", func(sp *trace.Span) int64 { return int64(sp.EndTime.Sub(sp.StartTime)) }, func(sp *trace.Span, v int64) { sp.EndTime = sp.StartTime.Add(time.Duration(v)) }},
+	{"systrace_id", func(sp *trace.Span) int64 { return int64(sp.SysTraceID) }, func(sp *trace.Span, v int64) { sp.SysTraceID = trace.SysTraceID(v) }},
+	{"pseudo_thread", func(sp *trace.Span) int64 { return int64(sp.PseudoThreadID) }, func(sp *trace.Span, v int64) { sp.PseudoThreadID = uint64(v) }},
+	{"req_tcp_seq", func(sp *trace.Span) int64 { return int64(sp.ReqTCPSeq) }, func(sp *trace.Span, v int64) { sp.ReqTCPSeq = uint32(v) }},
+	{"resp_tcp_seq", func(sp *trace.Span) int64 { return int64(sp.RespTCPSeq) }, func(sp *trace.Span, v int64) { sp.RespTCPSeq = uint32(v) }},
+	{"pid", func(sp *trace.Span) int64 { return int64(sp.PID) }, func(sp *trace.Span, v int64) { sp.PID = uint32(v) }},
+	{"tid", func(sp *trace.Span) int64 { return int64(sp.TID) }, func(sp *trace.Span, v int64) { sp.TID = uint32(v) }},
+	{"coroutine", func(sp *trace.Span) int64 { return int64(sp.CoroutineID) }, func(sp *trace.Span, v int64) { sp.CoroutineID = uint64(v) }},
+	{"socket", func(sp *trace.Span) int64 { return int64(sp.Socket) }, func(sp *trace.Span, v int64) { sp.Socket = trace.SocketID(v) }},
+	{"src_ip", func(sp *trace.Span) int64 { return int64(sp.Flow.SrcIP) }, func(sp *trace.Span, v int64) { sp.Flow.SrcIP = trace.IP(v) }},
+	{"dst_ip", func(sp *trace.Span) int64 { return int64(sp.Flow.DstIP) }, func(sp *trace.Span, v int64) { sp.Flow.DstIP = trace.IP(v) }},
+	{"src_port", func(sp *trace.Span) int64 { return int64(sp.Flow.SrcPort) }, func(sp *trace.Span, v int64) { sp.Flow.SrcPort = uint16(v) }},
+	{"dst_port", func(sp *trace.Span) int64 { return int64(sp.Flow.DstPort) }, func(sp *trace.Span, v int64) { sp.Flow.DstPort = uint16(v) }},
+	{"l4_proto", func(sp *trace.Span) int64 { return int64(sp.Flow.Proto) }, func(sp *trace.Span, v int64) { sp.Flow.Proto = trace.L4Proto(v) }},
+	{"l7", func(sp *trace.Span) int64 { return int64(sp.L7) }, func(sp *trace.Span, v int64) { sp.L7 = trace.L7Proto(v) }},
+	{"source", func(sp *trace.Span) int64 { return int64(sp.Source) }, func(sp *trace.Span, v int64) { sp.Source = trace.Source(v) }},
+	{"tap_side", func(sp *trace.Span) int64 { return int64(sp.TapSide) }, func(sp *trace.Span, v int64) { sp.TapSide = trace.TapSide(v) }},
+	{"response_code", func(sp *trace.Span) int64 { return int64(sp.ResponseCode) }, func(sp *trace.Span, v int64) { sp.ResponseCode = int32(v) }},
+	{"vpc", func(sp *trace.Span) int64 { return int64(sp.Resource.VPCID) }, func(sp *trace.Span, v int64) { sp.Resource.VPCID = int32(v) }},
+	{"ip", func(sp *trace.Span) int64 { return int64(sp.Resource.IP) }, func(sp *trace.Span, v int64) { sp.Resource.IP = trace.IP(v) }},
+	{"pod", func(sp *trace.Span) int64 { return int64(sp.Resource.PodID) }, func(sp *trace.Span, v int64) { sp.Resource.PodID = int32(v) }},
+	{"node", func(sp *trace.Span) int64 { return int64(sp.Resource.NodeID) }, func(sp *trace.Span, v int64) { sp.Resource.NodeID = int32(v) }},
+	{"service", func(sp *trace.Span) int64 { return int64(sp.Resource.ServiceID) }, func(sp *trace.Span, v int64) { sp.Resource.ServiceID = int32(v) }},
+	{"namespace", func(sp *trace.Span) int64 { return int64(sp.Resource.NSID) }, func(sp *trace.Span, v int64) { sp.Resource.NSID = int32(v) }},
+	{"region", func(sp *trace.Span) int64 { return int64(sp.Resource.RegionID) }, func(sp *trace.Span, v int64) { sp.Resource.RegionID = int32(v) }},
+	{"az", func(sp *trace.Span) int64 { return int64(sp.Resource.AZID) }, func(sp *trace.Span, v int64) { sp.Resource.AZID = int32(v) }},
+	{"parent_id", func(sp *trace.Span) int64 { return int64(sp.ParentID) }, func(sp *trace.Span, v int64) { sp.ParentID = trace.SpanID(v) }},
+}
+
+// spanStrCols defines the string columns, in fixed order.
+var spanStrCols = []struct {
+	name string
+	get  func(sp *trace.Span) string
+	set  func(sp *trace.Span, v string)
+}{
+	{"x_request_id", func(sp *trace.Span) string { return sp.XRequestID }, func(sp *trace.Span, v string) { sp.XRequestID = v }},
+	{"trace_id", func(sp *trace.Span) string { return sp.TraceID }, func(sp *trace.Span, v string) { sp.TraceID = v }},
+	{"span_ref", func(sp *trace.Span) string { return sp.SpanRef }, func(sp *trace.Span, v string) { sp.SpanRef = v }},
+	{"parent_span_ref", func(sp *trace.Span) string { return sp.ParentSpanRef }, func(sp *trace.Span, v string) { sp.ParentSpanRef = v }},
+	{"process", func(sp *trace.Span) string { return sp.ProcessName }, func(sp *trace.Span, v string) { sp.ProcessName = v }},
+	{"host", func(sp *trace.Span) string { return sp.HostName }, func(sp *trace.Span, v string) { sp.HostName = v }},
+	{"request_type", func(sp *trace.Span) string { return sp.RequestType }, func(sp *trace.Span, v string) { sp.RequestType = v }},
+	{"request_resource", func(sp *trace.Span) string { return sp.RequestResource }, func(sp *trace.Span, v string) { sp.RequestResource = v }},
+	{"response_status", func(sp *trace.Span) string { return sp.ResponseStatus }, func(sp *trace.Span, v string) { sp.ResponseStatus = v }},
+}
+
+// colTypes maps a block encoding to its (int, string) storage column types.
+func colTypes(enc BlockEncoding) (storage.ColumnType, storage.ColumnType) {
+	intT, strT := storage.TypeInt64, storage.TypeLowCardinality
+	if enc == EncDelta {
+		intT = storage.TypeInt64Delta
+	}
+	if enc == EncDirect {
+		strT = storage.TypeString
+	}
+	return intT, strT
+}
+
+// spanTimeRange returns the min/max StartTime over rows (zeros when empty).
+func spanTimeRange(spans []*trace.Span) (minNS, maxNS int64) {
+	for i, sp := range spans {
+		ns := sp.StartTime.UnixNano()
+		if i == 0 || ns < minNS {
+			minNS = ns
+		}
+		if i == 0 || ns > maxNS {
+			maxNS = ns
+		}
+	}
+	return minNS, maxNS
+}
+
+// marshalBlock serializes rows into a block image covering the given WAL
+// sequence range.
+func marshalBlock(walFirst, walLast uint64, spans []*trace.Span, flows []transport.FlowSample, profiles []profiling.Sample, enc BlockEncoding) []byte {
+	minNS, maxNS := spanTimeRange(spans)
+	var b bytes.Buffer
+	b.Write(blockMagic[:])
+	b.WriteByte(blockVersion)
+	hdr := binary.AppendUvarint(nil, walFirst)
+	hdr = binary.AppendUvarint(hdr, walLast)
+	hdr = binary.AppendUvarint(hdr, uint64(len(spans)))
+	hdr = binary.AppendUvarint(hdr, uint64(len(flows)))
+	hdr = binary.AppendUvarint(hdr, uint64(len(profiles)))
+	hdr = binary.AppendVarint(hdr, minNS)
+	hdr = binary.AppendVarint(hdr, maxNS)
+	hdr = append(hdr, byte(enc))
+	b.Write(hdr)
+
+	intT, strT := colTypes(enc)
+	for _, def := range spanIntCols {
+		col := storage.NewColumn(intT)
+		for _, sp := range spans {
+			col.AppendInt(def.get(sp))
+		}
+		if _, err := col.WriteTo(&b); err != nil {
+			panic("dstore: bytes.Buffer write failed: " + err.Error()) // cannot happen
+		}
+	}
+	for _, def := range spanStrCols {
+		col := storage.NewColumn(strT)
+		for _, sp := range spans {
+			col.AppendString(def.get(sp))
+		}
+		if _, err := col.WriteTo(&b); err != nil {
+			panic("dstore: bytes.Buffer write failed: " + err.Error())
+		}
+	}
+	var rest []byte
+	for _, sp := range spans {
+		rest = trace.AppendCustom(rest, sp.Custom)
+		rest = trace.AppendNetMetrics(rest, sp.Net)
+	}
+	for i := range flows {
+		rest = transport.AppendFlowSample(rest, &flows[i])
+	}
+	for i := range profiles {
+		rest = transport.AppendProfileSample(rest, &profiles[i])
+	}
+	b.Write(rest)
+
+	sum := crc32.ChecksumIEEE(b.Bytes())
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], sum)
+	b.Write(tail[:])
+	return b.Bytes()
+}
+
+// unmarshalBlock verifies and decodes a block image.
+func unmarshalBlock(data []byte) (blockMeta, []*trace.Span, []transport.FlowSample, []profiling.Sample, error) {
+	var meta blockMeta
+	if len(data) < 4+4 || [3]byte(data[:3]) != blockMagic {
+		return meta, nil, nil, nil, fmt.Errorf("dstore: not a block file (%d bytes)", len(data))
+	}
+	if data[3] != blockVersion {
+		return meta, nil, nil, nil, fmt.Errorf("dstore: unsupported block version %d", data[3])
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return meta, nil, nil, nil, fmt.Errorf("dstore: block CRC mismatch")
+	}
+
+	r := trace.WireReader{Data: body, Pos: 4}
+	meta.walFirst = r.Uvarint()
+	meta.walLast = r.Uvarint()
+	nSpans := r.Uvarint()
+	nFlows := r.Uvarint()
+	nProfiles := r.Uvarint()
+	meta.minNS = r.Varint()
+	meta.maxNS = r.Varint()
+	meta.enc = BlockEncoding(r.Byte())
+	if r.Err != nil {
+		return meta, nil, nil, nil, fmt.Errorf("dstore: block header: %w", r.Err)
+	}
+	if nSpans+nFlows+nProfiles > uint64(len(body)) { // each row takes ≥1 byte somewhere
+		return meta, nil, nil, nil, fmt.Errorf("dstore: block claims impossible row counts (%d/%d/%d in %d bytes)",
+			nSpans, nFlows, nProfiles, len(body))
+	}
+	meta.nSpans, meta.nFlows, meta.nProfiles = int(nSpans), int(nFlows), int(nProfiles)
+
+	spans := make([]*trace.Span, nSpans)
+	for i := range spans {
+		spans[i] = &trace.Span{}
+	}
+	intT, strT := colTypes(meta.enc)
+	for _, def := range spanIntCols {
+		col, n, err := storage.DecodeColumn(intT, len(spans), body[r.Pos:])
+		if err != nil {
+			return meta, nil, nil, nil, fmt.Errorf("dstore: block column %s: %w", def.name, err)
+		}
+		r.Pos += n
+		for i, sp := range spans {
+			def.set(sp, col.Int(i))
+		}
+	}
+	for _, def := range spanStrCols {
+		col, n, err := storage.DecodeColumn(strT, len(spans), body[r.Pos:])
+		if err != nil {
+			return meta, nil, nil, nil, fmt.Errorf("dstore: block column %s: %w", def.name, err)
+		}
+		r.Pos += n
+		for i, sp := range spans {
+			def.set(sp, col.Str(i))
+		}
+	}
+	for _, sp := range spans {
+		sp.Custom = r.Custom()
+		sp.Net = r.NetMetrics()
+	}
+	var flows []transport.FlowSample
+	for i := uint64(0); i < nFlows && r.Err == nil; i++ {
+		flows = append(flows, transport.DecodeFlowSample(&r))
+	}
+	var profiles []profiling.Sample
+	for i := uint64(0); i < nProfiles && r.Err == nil; i++ {
+		profiles = append(profiles, transport.DecodeProfileSample(&r))
+	}
+	if r.Err != nil {
+		return meta, nil, nil, nil, fmt.Errorf("dstore: block rows: %w", r.Err)
+	}
+	if r.Pos != len(body) {
+		return meta, nil, nil, nil, fmt.Errorf("dstore: %d trailing bytes after block rows", len(body)-r.Pos)
+	}
+	return meta, spans, flows, profiles, nil
+}
+
+// EncodeBlock serializes rows into a standalone block image under enc —
+// the probe behind the `dfbench storage` bytes/span sweep. The WAL range
+// is zero: the image is for measurement and round-trip, not for a shard
+// directory.
+func EncodeBlock(spans []*trace.Span, flows []transport.FlowSample, profiles []profiling.Sample, enc BlockEncoding) []byte {
+	return marshalBlock(0, 0, spans, flows, profiles, enc)
+}
+
+// DecodeBlock verifies and decodes a block image produced by EncodeBlock
+// (or read from a shard directory).
+func DecodeBlock(data []byte) ([]*trace.Span, []transport.FlowSample, []profiling.Sample, error) {
+	_, spans, flows, profiles, err := unmarshalBlock(data)
+	return spans, flows, profiles, err
+}

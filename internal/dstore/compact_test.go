@@ -1,0 +1,204 @@
+package dstore
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"deepflow/internal/profiling"
+	"deepflow/internal/trace"
+	"deepflow/internal/transport"
+)
+
+func TestCompactMergesAdjacentPreservingOrder(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Sync: SyncNever, SealSpans: 5, SealBytes: 1 << 30, CompactFanIn: 4}
+	s, _, err := Open(dir, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	appendBatches(t, s, 0, 8) // 8 single-batch blocks, all tier 0
+	before, bf, bp := collect(t, s)
+	nBefore := len(s.Blocks())
+	if nBefore != 8 {
+		t.Fatalf("expected 8 blocks before compaction, have %d", nBefore)
+	}
+	merges, err := s.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merges == 0 {
+		t.Fatal("no merges performed")
+	}
+	blocks := s.Blocks()
+	if len(blocks) >= nBefore {
+		t.Fatalf("compaction did not reduce block count (%d → %d)", nBefore, len(blocks))
+	}
+	// Coverage stays contiguous and ordered.
+	for i := 1; i < len(blocks); i++ {
+		if blocks[i].WALFirst <= blocks[i-1].WALLast {
+			t.Fatalf("blocks overlap after compaction: %+v", blocks)
+		}
+	}
+	after, af, ap := collect(t, s)
+	if !sameSpans(after, before) || len(af) != len(bf) || len(ap) != len(bp) {
+		t.Fatal("compaction changed scan contents or order")
+	}
+	if st := s.Stats(); st.Compactions != int64(merges) {
+		t.Fatalf("stats report %d compactions, want %d", st.Compactions, merges)
+	}
+	// Input files are gone; only live blocks remain on disk.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blkFiles int
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".blk" {
+			blkFiles++
+		}
+	}
+	if blkFiles != len(blocks) {
+		t.Fatalf("%d block files on disk, %d live blocks", blkFiles, len(blocks))
+	}
+}
+
+func TestCompactSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Sync: SyncNever, SealSpans: 5, SealBytes: 1 << 30, CompactFanIn: 2}
+	s, _, err := Open(dir, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendBatches(t, s, 0, 6)
+	if _, err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	before, _, _ := collect(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, rs, err := Open(dir, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rs.BlockSpans != len(before) || rs.WALBatches != 0 {
+		t.Fatalf("reopen after compaction replayed %+v, want %d block spans", rs, len(before))
+	}
+	after, _, _ := collect(t, s2)
+	if !sameSpans(after, before) {
+		t.Fatal("rows differ after compacted reopen")
+	}
+}
+
+func TestCompactCrashLeavesSubsumedInputs(t *testing.T) {
+	// Simulate a crash between the merged block's rename and the input
+	// deletes by restoring an input file afterwards: Open must discard it.
+	dir := t.TempDir()
+	cfg := Config{Sync: SyncNever, SealSpans: 5, SealBytes: 1 << 30, CompactFanIn: 1 << 30}
+	s, _, err := Open(dir, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendBatches(t, s, 0, 4)
+	inputs := s.Blocks()
+	saved := map[string][]byte{}
+	for _, b := range inputs {
+		data, err := os.ReadFile(b.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saved[b.Path] = data
+	}
+	s.cfg.CompactFanIn = 4
+	if _, err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	before, _, _ := collect(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// "Crash debris": put one input back next to the merged block.
+	for path, data := range saved {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		break
+	}
+	var applied int
+	s2, rs, err := Open(dir, cfg, func(b *transport.Batch) { applied += len(b.Spans) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rs.BlockSpans != len(before) || applied != len(before) {
+		t.Fatalf("subsumed input double-replayed: %d spans (applied %d), want %d", rs.BlockSpans, applied, len(before))
+	}
+	after, _, _ := collect(t, s2)
+	if !sameSpans(after, before) {
+		t.Fatal("rows differ after debris cleanup")
+	}
+}
+
+func TestCompactVersusScanRace(t *testing.T) {
+	// Scans decode block files while compaction merges and deletes them;
+	// the refcount protocol must keep every file readable until released.
+	// Run under -race.
+	dir := t.TempDir()
+	cfg := Config{Sync: SyncNever, SealSpans: 5, SealBytes: 1 << 30, CompactFanIn: 2}
+	s, _, err := Open(dir, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	appendBatches(t, s, 0, 12)
+	// The first 12 batches are sealed before any concurrency starts; rows
+	// are only appended after them, so every scan must observe this exact
+	// prefix regardless of interleaved compactions and seals.
+	want, _, _ := collect(t, s)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var got []*trace.Span
+				err := s.Scan(func(info BlockInfo, bs []*trace.Span, _ []transport.FlowSample, _ []profiling.Sample) error {
+					for _, sp := range bs {
+						cp := *sp
+						got = append(got, &cp)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Errorf("scan during compaction: %v", err)
+					return
+				}
+				if len(got) < len(want) || !sameSpans(got[:len(want)], want) {
+					t.Error("scan observed wrong prefix during compaction")
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := s.Compact(); err != nil {
+			t.Errorf("compact: %v", err)
+			break
+		}
+		// Seal more single-batch blocks to keep candidates appearing.
+		appendBatches(t, s, 12+i*2, 12+i*2+2)
+	}
+	close(stop)
+	wg.Wait()
+}

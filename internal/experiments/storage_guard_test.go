@@ -1,0 +1,45 @@
+package experiments
+
+import "testing"
+
+// TestStorageCorrectness always holds, on any machine: every recovery path
+// restores the full corpus, delta-varint is strictly the smallest sealed
+// encoding on this production-shaped data, and a clean shutdown leaves
+// zero WAL batches to replay.
+func TestStorageCorrectness(t *testing.T) {
+	encRows, replayRows, res, err := MeasureStorage(6000, 400, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DeltaSmallest {
+		t.Fatalf("delta-varint (%d B) not strictly smallest: direct %d B, low-cardinality %d B",
+			encRows[0].BlockBytes, encRows[1].BlockBytes, encRows[2].BlockBytes)
+	}
+	for _, r := range replayRows {
+		if r.Spans != res.Spans {
+			t.Fatalf("%s replay recovered %d of %d spans", r.Path, r.Spans, res.Spans)
+		}
+	}
+	if res.CleanRestartWALBatches != 0 {
+		t.Fatalf("clean restart replayed %d WAL batches, want 0", res.CleanRestartWALBatches)
+	}
+	// The sealed block should compress well below the raw wire form the
+	// WAL stores.
+	if encRows[0].BytesPerSpan >= res.WALBytesPerSpan {
+		t.Fatalf("sealed delta block (%.1f B/span) not smaller than WAL wire form (%.1f B/span)",
+			encRows[0].BytesPerSpan, res.WALBytesPerSpan)
+	}
+}
+
+// TestStorageServerKillReplay: the experiment-side kill-and-replay check —
+// a durable sharded server killed mid-flight recovers to the same span
+// count it answered before the crash.
+func TestStorageServerKillReplay(t *testing.T) {
+	before, after, err := storageServerRoundTrip(4000, 300, 2, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before == 0 || after != before {
+		t.Fatalf("recovered span count %d, want %d (nonzero)", after, before)
+	}
+}

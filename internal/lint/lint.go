@@ -54,6 +54,10 @@ var contractPackages = map[string]bool{
 	// names join the same §3.4 correlation plane.
 	"agent":     true,
 	"protocols": true,
+	// The durable tier replays into the same query surfaces: recovery,
+	// scans, compaction, and eviction must never consult a clock or leak
+	// map order, or a restarted server would answer differently.
+	"dstore": true,
 }
 
 // Finding is one diagnostic: a position, the analyzer that raised it, and

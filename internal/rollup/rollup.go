@@ -189,6 +189,12 @@ type Partial struct {
 	// CoarseBucket): fine buckets before it have been evicted, and queries
 	// answer that range from the coarse tier instead.
 	fineFloor int64
+	// coarseFloor is the final retention horizon (UnixNano, CoarseBucket-
+	// aligned): coarse buckets, edges, and flow pairs before it are gone for
+	// good — the last stage of the raw → rollup → eviction TTL cascade.
+	// Invariant: coarseFloor <= fineFloor never holds in reverse; raising
+	// the coarse floor raises the fine floor with it.
+	coarseFloor int64
 
 	edges map[int64]map[EdgeKey]*EdgeAgg
 	flows map[int64]map[PairKey]*FlowAgg
@@ -205,9 +211,10 @@ type Partial struct {
 	exemplars map[int64]map[Key]*Reservoir
 	edgeEx    map[int64]map[EdgeKey]*Reservoir
 
-	spansSeen   uint64
-	flowsSeen   uint64
-	fineEvicted uint64
+	spansSeen     uint64
+	flowsSeen     uint64
+	fineEvicted   uint64
+	coarseEvicted uint64
 }
 
 // NewPartial creates an empty partial over the given tag resolver.
@@ -324,6 +331,12 @@ func (p *Partial) EvictFineBefore(cutoff time.Time) {
 	floor := bucketStart(cutoff, CoarseBucket)
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.evictFineLocked(floor)
+}
+
+// evictFineLocked raises the fine watermark to floor (CoarseBucket-aligned)
+// and drops the fine-tier state behind it. Callers hold p.mu.
+func (p *Partial) evictFineLocked(floor int64) {
 	if floor <= p.fineFloor {
 		return
 	}
@@ -351,6 +364,50 @@ func (p *Partial) EvictFineBefore(cutoff time.Time) {
 	}
 }
 
+// EvictCoarseBefore drops coarse-tier buckets — RED groups, service-map
+// edges, flow pairs — older than cutoff, the final stage of the retention
+// cascade: raw spans age into rollups, rollups age into nothing. Raising
+// the coarse horizon drags the fine watermark with it, so the tier
+// ordering (fine retention ≤ coarse retention) can never invert. Like fine
+// eviction it is driven by the server with one global cutoff.
+func (p *Partial) EvictCoarseBefore(cutoff time.Time) {
+	floor := bucketStart(cutoff, CoarseBucket)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if floor <= p.coarseFloor {
+		return
+	}
+	p.coarseFloor = floor
+	p.evictFineLocked(floor)
+	for b := range p.coarse {
+		if b < floor {
+			delete(p.coarse, b)
+			p.coarseEvicted++
+		}
+	}
+	for b := range p.edges {
+		if b < floor {
+			delete(p.edges, b)
+		}
+	}
+	for b := range p.flows {
+		if b < floor {
+			delete(p.flows, b)
+		}
+	}
+}
+
+// CoarseFloor returns the coarse retention horizon (zero time if nothing
+// coarse-evicted yet).
+func (p *Partial) CoarseFloor() time.Time {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.coarseFloor == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, p.coarseFloor)
+}
+
 // FineFloor returns the eviction watermark (zero time if nothing evicted).
 func (p *Partial) FineFloor() time.Time {
 	p.mu.Lock()
@@ -374,6 +431,7 @@ type Stats struct {
 	SpansSeen      uint64
 	FlowsSeen      uint64
 	FineEvicted    uint64
+	CoarseEvicted  uint64
 }
 
 // Snapshot returns the partial's current sizes.
@@ -387,6 +445,7 @@ func (p *Partial) Snapshot() Stats {
 		SpansSeen:     p.spansSeen,
 		FlowsSeen:     p.flowsSeen,
 		FineEvicted:   p.fineEvicted,
+		CoarseEvicted: p.coarseEvicted,
 	}
 	for _, g := range p.fine {
 		s.Groups += len(g)

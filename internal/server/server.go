@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"deepflow/internal/dstore"
 	"deepflow/internal/metrics"
 	"deepflow/internal/rollup"
 	"deepflow/internal/selfmon"
@@ -44,6 +45,11 @@ type Server struct {
 	startWorkers sync.Once
 	workersDone  sync.WaitGroup
 	pending      sync.WaitGroup
+
+	// durable, when AttachDurable has run, holds one dstore shard per
+	// ingest shard: the worker WAL-logs each wire batch before applying it,
+	// so a crash replays the identical ingest sequence.
+	durable []*dstore.Shard
 
 	// ingestedThrough[i] is shard i's freshness watermark: the newest row
 	// event-timestamp (UnixNano) it has made queryable. The gap between a
@@ -195,11 +201,27 @@ func (s *Server) IngestBatch(data []byte) error {
 // Call it before querying when batches may still be in flight.
 func (s *Server) Drain() { s.pending.Wait() }
 
-// Close shuts the ingest plane down: queued batches are still drained, new
-// IngestBatch calls fail, and the shard workers exit. Idempotent.
+// Close shuts the ingest plane down cleanly: queued batches are still
+// drained, new IngestBatch calls fail, the shard workers exit, and any
+// durable shards seal their memtables and sync their WALs — so a reopen
+// replays zero WAL batches. Idempotent.
 func (s *Server) Close() {
 	s.queue.Close()
 	s.workersDone.Wait()
+	for _, sh := range s.durable {
+		_ = sh.Close()
+	}
+}
+
+// Kill simulates a crash for recovery tests: workers stop, but durable
+// shards neither seal nor sync — file handles just drop. Recovery sees
+// exactly what the OS already had of the WAL.
+func (s *Server) Kill() {
+	s.queue.Close()
+	s.workersDone.Wait()
+	for _, sh := range s.durable {
+		sh.Abort()
+	}
 }
 
 func (s *Server) spawnWorkers() {
@@ -215,7 +237,6 @@ func (s *Server) spawnWorkers() {
 // pulling.
 func (s *Server) ingestWorker(shard int) {
 	defer s.workersDone.Done()
-	st, pf, rp := s.stores[shard], s.profiles[shard], s.rollups[shard]
 	for {
 		data, ok := s.queue.Pop()
 		if !ok {
@@ -227,31 +248,53 @@ func (s *Server) ingestWorker(shard int) {
 			s.pending.Done()
 			continue
 		}
-		var newest int64
-		for _, sp := range b.Spans {
-			sp.Resource = s.Registry.Enrich(sp.Resource)
-			st.Insert(sp)
-			rp.ObserveSpan(sp)
-			s.mSpans.Inc()
-			if ns := sp.StartTime.UnixNano(); ns > newest {
-				newest = ns
+		// Durability before queryability: the raw wire bytes hit the shard's
+		// WAL (and possibly seal into a block) before the rows enter any
+		// queryable structure, so no query ever observes a row a crash could
+		// un-ingest. Compact is a cheap no-op unless a seal just created a
+		// mergeable run.
+		if s.durable != nil {
+			sh := s.durable[shard]
+			if err := sh.Append(data, b); err == nil {
+				_, _ = sh.Compact()
 			}
 		}
-		for _, f := range b.Flows {
-			s.ingestFlow(f)
-			rp.ObserveFlow(f)
-			if ns := f.TS.UnixNano(); ns > newest {
-				newest = ns
-			}
-		}
-		for _, ps := range b.Profiles {
-			ps.Resource = s.Registry.Enrich(ps.Resource)
-			pf.Insert(ps)
-			s.mProfiles.Inc()
-		}
-		s.advanceFreshness(shard, newest)
+		s.applyBatch(shard, b)
 		s.pending.Done()
 	}
+}
+
+// applyBatch folds one decoded batch into shard's queryable state — store,
+// rollup, metrics, freshness. It is the single ingest path: live batches
+// and WAL/block replay (AttachDurable) both come through here, which is
+// what makes crash recovery byte-identical with an uninterrupted run.
+// Enrich is a read-only registry lookup, so re-enriching replayed rows is
+// idempotent.
+func (s *Server) applyBatch(shard int, b *transport.Batch) {
+	st, pf, rp := s.stores[shard], s.profiles[shard], s.rollups[shard]
+	var newest int64
+	for _, sp := range b.Spans {
+		sp.Resource = s.Registry.Enrich(sp.Resource)
+		st.Insert(sp)
+		rp.ObserveSpan(sp)
+		s.mSpans.Inc()
+		if ns := sp.StartTime.UnixNano(); ns > newest {
+			newest = ns
+		}
+	}
+	for _, f := range b.Flows {
+		s.ingestFlow(f)
+		rp.ObserveFlow(f)
+		if ns := f.TS.UnixNano(); ns > newest {
+			newest = ns
+		}
+	}
+	for _, ps := range b.Profiles {
+		ps.Resource = s.Registry.Enrich(ps.Resource)
+		pf.Insert(ps)
+		s.mProfiles.Inc()
+	}
+	s.advanceFreshness(shard, newest)
 }
 
 // advanceFreshness raises shard's queryable watermark to ns (monotonic;

@@ -194,6 +194,39 @@ func instrumentStores(mon *selfmon.Registry, stores []*SpanStore) {
 	}
 }
 
+// spanIndexes bundles the inverted-index maps so insertion and the
+// retention rebuild share one indexing routine. The maps are the store's
+// own (guarded by its mu); an indexes value is only formed and used with
+// the lock held.
+type spanIndexes struct {
+	byID       map[trace.SpanID]int
+	bySysTrace map[trace.SysTraceID][]int
+	byPseudo   map[uint64][]int
+	byXReq     map[string][]int
+	byTCPSeq   map[uint32][]int
+	byTraceID  map[string][]int
+}
+
+// index adds one span at the given row to every applicable inverted index.
+func (ix spanIndexes) index(sp *trace.Span, row int) {
+	ix.byID[sp.ID] = row
+	if sp.SysTraceID != 0 {
+		ix.bySysTrace[sp.SysTraceID] = append(ix.bySysTrace[sp.SysTraceID], row)
+	}
+	if sp.PseudoThreadID != 0 {
+		ix.byPseudo[sp.PseudoThreadID] = append(ix.byPseudo[sp.PseudoThreadID], row)
+	}
+	if sp.XRequestID != "" {
+		ix.byXReq[sp.XRequestID] = append(ix.byXReq[sp.XRequestID], row)
+	}
+	if sp.ReqTCPSeq != 0 || sp.RespTCPSeq != 0 {
+		ix.byTCPSeq[sp.ReqTCPSeq] = append(ix.byTCPSeq[sp.ReqTCPSeq], row)
+	}
+	if sp.TraceID != "" {
+		ix.byTraceID[sp.TraceID] = append(ix.byTraceID[sp.TraceID], row)
+	}
+}
+
 // Insert ingests one span (whose resource tags have been enriched) plus any
 // extra custom tags already folded into span.Custom.
 func (s *SpanStore) Insert(sp *trace.Span) {
@@ -201,25 +234,17 @@ func (s *SpanStore) Insert(sp *trace.Span) {
 	defer s.mu.Unlock()
 	row := len(s.spans)
 	s.spans = append(s.spans, sp)
-	s.byID[sp.ID] = row
-	if sp.SysTraceID != 0 {
-		s.bySysTrace[sp.SysTraceID] = append(s.bySysTrace[sp.SysTraceID], row)
-	}
-	if sp.PseudoThreadID != 0 {
-		s.byPseudo[sp.PseudoThreadID] = append(s.byPseudo[sp.PseudoThreadID], row)
-	}
-	if sp.XRequestID != "" {
-		s.byXReq[sp.XRequestID] = append(s.byXReq[sp.XRequestID], row)
-	}
-	if sp.ReqTCPSeq != 0 || sp.RespTCPSeq != 0 {
-		s.byTCPSeq[sp.ReqTCPSeq] = append(s.byTCPSeq[sp.ReqTCPSeq], row)
-	}
-	if sp.TraceID != "" {
-		s.byTraceID[sp.TraceID] = append(s.byTraceID[sp.TraceID], row)
-	}
+	spanIndexes{s.byID, s.bySysTrace, s.byPseudo, s.byXReq, s.byTCPSeq, s.byTraceID}.index(sp, row)
 	s.timeIdx = append(s.timeIdx, row)
 	s.timeDirty = true
+	s.writeRow(sp)
+}
 
+// writeRow appends sp to the backing columnar table under the store's
+// encoding. Split from Insert so retention rebuilds (EvictBefore) can
+// re-materialize the table from the surviving spans through the identical
+// row path.
+func (s *SpanStore) writeRow(sp *trace.Span) {
 	w := s.table.NewRow().
 		Int("span_id", int64(sp.ID)).
 		Int("start_ns", sp.StartTime.UnixNano()).
@@ -257,6 +282,54 @@ func (s *SpanStore) Insert(sp *trace.Span) {
 		}
 	}
 	w.Commit()
+}
+
+// EvictBefore drops every span whose StartTime is before cutoff,
+// rebuilding the inverted indexes, the time index, and the columnar table
+// from the survivors (in their original insertion order, so partition-
+// merge determinism is untouched). Returns the number of spans evicted.
+// This is the in-memory half of raw-span retention; the durable tier
+// evicts at block granularity separately.
+func (s *SpanStore) EvictBefore(cutoff time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	evicted := 0
+	keep := make([]*trace.Span, 0, len(s.spans))
+	for _, sp := range s.spans {
+		if sp.StartTime.Before(cutoff) {
+			evicted++
+			continue
+		}
+		keep = append(keep, sp)
+	}
+	if evicted == 0 {
+		return 0
+	}
+	ix := spanIndexes{
+		byID:       make(map[trace.SpanID]int, len(keep)),
+		bySysTrace: make(map[trace.SysTraceID][]int),
+		byPseudo:   make(map[uint64][]int),
+		byXReq:     make(map[string][]int),
+		byTCPSeq:   make(map[uint32][]int),
+		byTraceID:  make(map[string][]int),
+	}
+	timeIdx := make([]int, 0, len(keep))
+	s.table.Reset()
+	for row, sp := range keep {
+		ix.index(sp, row)
+		timeIdx = append(timeIdx, row)
+		s.writeRow(sp)
+	}
+	s.spans = keep
+	s.byID = ix.byID
+	s.bySysTrace = ix.bySysTrace
+	s.byPseudo = ix.byPseudo
+	s.byXReq = ix.byXReq
+	s.byTCPSeq = ix.byTCPSeq
+	s.byTraceID = ix.byTraceID
+	s.timeIdx = timeIdx
+	s.timeDirty = true
+	return evicted
 }
 
 // Len returns the number of stored spans.

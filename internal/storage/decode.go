@@ -1,0 +1,122 @@
+package storage
+
+// Column block readers: the inverse of Column.WriteTo. Until the durable
+// tier existed the serialized form was only ever measured (Fig. 14's
+// bytes/span axis), never read back; sealed storage blocks
+// (internal/dstore) replay through these, so every encoding now proves
+// itself by round-trip rather than by size alone.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// DecodeColumn decodes one serialized column block of the given type and
+// row count from the front of data, returning the rebuilt column and the
+// number of bytes consumed. The rebuilt column is equivalent to the one
+// serialized: same values, same DiskSize, and (for LowCardinality) the
+// same first-appearance dictionary order, since per-row indexes arrive in
+// exactly that order.
+func DecodeColumn(t ColumnType, rows int, data []byte) (Column, int, error) {
+	switch t {
+	case TypeInt64, TypeInt32, TypeInt64Delta, TypeString, TypeLowCardinality:
+	default:
+		return nil, 0, fmt.Errorf("storage: decode: unknown column type %d", t)
+	}
+	c := NewColumn(t)
+	pos := 0
+	readVarint := func() (int64, bool) {
+		v, n := binary.Varint(data[pos:])
+		if n <= 0 {
+			return 0, false
+		}
+		pos += n
+		return v, true
+	}
+	readUvarint := func() (uint64, bool) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, false
+		}
+		pos += n
+		return v, true
+	}
+	truncated := func(what string) (Column, int, error) {
+		return nil, 0, fmt.Errorf("storage: decode %s column: truncated %s at offset %d", t, what, pos)
+	}
+
+	switch t {
+	case TypeInt64, TypeInt32:
+		for i := 0; i < rows; i++ {
+			v, ok := readVarint()
+			if !ok {
+				return truncated("varint")
+			}
+			c.AppendInt(v)
+		}
+	case TypeInt64Delta:
+		prev := int64(0)
+		for i := 0; i < rows; i++ {
+			d, ok := readVarint()
+			if !ok {
+				return truncated("delta varint")
+			}
+			prev += d
+			c.AppendInt(prev)
+		}
+	case TypeString:
+		for i := 0; i < rows; i++ {
+			s, ok := readString(data, &pos)
+			if !ok {
+				return truncated("string")
+			}
+			c.AppendString(s)
+		}
+	case TypeLowCardinality:
+		dictLen, ok := readUvarint()
+		if !ok {
+			return truncated("dictionary length")
+		}
+		if dictLen > uint64(len(data)-pos) { // each entry takes ≥1 byte
+			return truncated("dictionary")
+		}
+		dict := make([]string, 0, dictLen)
+		for i := uint64(0); i < dictLen; i++ {
+			s, ok := readString(data, &pos)
+			if !ok {
+				return truncated("dictionary entry")
+			}
+			dict = append(dict, s)
+		}
+		for i := 0; i < rows; i++ {
+			idx, ok := readUvarint()
+			if !ok {
+				return truncated("index")
+			}
+			if idx >= dictLen {
+				return nil, 0, fmt.Errorf("storage: decode %s column: index %d out of dictionary (%d)", t, idx, dictLen)
+			}
+			// AppendString re-interns: indexes arrive in first-appearance
+			// order, so the rebuilt dictionary assigns identical IDs.
+			c.AppendString(dict[idx])
+		}
+	default:
+		return nil, 0, fmt.Errorf("storage: decode: unknown column type %d", t)
+	}
+	return c, pos, nil
+}
+
+// readString reads one length-prefixed string, advancing *pos.
+func readString(data []byte, pos *int) (string, bool) {
+	n, w := binary.Uvarint(data[*pos:])
+	if w <= 0 {
+		return "", false
+	}
+	*pos += w
+	if n > uint64(len(data)-*pos) {
+		return "", false
+	}
+	s := string(data[*pos : *pos+int(n)])
+	*pos += int(n)
+	return s, true
+}

@@ -1,0 +1,179 @@
+package storage
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func roundTripInts(t *testing.T, typ ColumnType, vals []int64) {
+	t.Helper()
+	c := NewColumn(typ)
+	for _, v := range vals {
+		c.AppendInt(v)
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := DecodeColumn(typ, len(vals), buf.Bytes())
+	if err != nil {
+		t.Fatalf("decode %s: %v", typ, err)
+	}
+	if n != buf.Len() {
+		t.Fatalf("decode %s consumed %d of %d bytes", typ, n, buf.Len())
+	}
+	for i, v := range vals {
+		if got.Int(i) != v {
+			t.Fatalf("decode %s: row %d = %d, want %d", typ, i, got.Int(i), v)
+		}
+	}
+	if got.DiskSize() != c.DiskSize() {
+		t.Fatalf("decode %s: DiskSize %d, want %d", typ, got.DiskSize(), c.DiskSize())
+	}
+}
+
+func TestDecodeIntColumns(t *testing.T) {
+	vals := []int64{0, 1, -1, 63, -64, 1e9, -1e9, math.MaxInt64, math.MinInt64, 42, 42, 43}
+	for _, typ := range []ColumnType{TypeInt64, TypeInt64Delta} {
+		roundTripInts(t, typ, vals)
+	}
+	// Int32 columns carry 32-bit values only.
+	roundTripInts(t, TypeInt32, []int64{0, 1, -1, math.MaxInt32, math.MinInt32, 7})
+}
+
+func TestDecodeDeltaColumnSequential(t *testing.T) {
+	// The case delta encoding exists for: nearly-sorted timestamps.
+	vals := make([]int64, 500)
+	base := int64(1700000000_000000000)
+	for i := range vals {
+		vals[i] = base + int64(i)*1000 + int64(i%7)
+	}
+	roundTripInts(t, TypeInt64Delta, vals)
+
+	direct := NewColumn(TypeInt64)
+	delta := NewColumn(TypeInt64Delta)
+	for _, v := range vals {
+		direct.AppendInt(v)
+		delta.AppendInt(v)
+	}
+	if delta.DiskSize() >= direct.DiskSize() {
+		t.Fatalf("delta column (%d B) not smaller than direct (%d B) on sequential data",
+			delta.DiskSize(), direct.DiskSize())
+	}
+}
+
+func roundTripStrings(t *testing.T, typ ColumnType, vals []string) Column {
+	t.Helper()
+	c := NewColumn(typ)
+	for _, v := range vals {
+		c.AppendString(v)
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := DecodeColumn(typ, len(vals), buf.Bytes())
+	if err != nil {
+		t.Fatalf("decode %s: %v", typ, err)
+	}
+	if n != buf.Len() {
+		t.Fatalf("decode %s consumed %d of %d bytes", typ, n, buf.Len())
+	}
+	for i, v := range vals {
+		if got.Str(i) != v {
+			t.Fatalf("decode %s: row %d = %q, want %q", typ, i, got.Str(i), v)
+		}
+	}
+	if got.DiskSize() != c.DiskSize() {
+		t.Fatalf("decode %s: DiskSize %d, want %d", typ, got.DiskSize(), c.DiskSize())
+	}
+	return got
+}
+
+func TestDecodeStringColumns(t *testing.T) {
+	vals := []string{"frontend", "", "backend", "frontend", "db", "backend", "frontend", "a long one with spaces"}
+	roundTripStrings(t, TypeString, vals)
+	roundTripStrings(t, TypeLowCardinality, vals)
+}
+
+func TestDecodeLowCardinalityPreservesDictOrder(t *testing.T) {
+	// Indexes travel in first-appearance order, so re-interning through
+	// AppendString must reproduce byte-identical serialization.
+	vals := []string{"b", "a", "b", "c", "a", "c", "c", "b"}
+	got := roundTripStrings(t, TypeLowCardinality, vals)
+	orig := NewColumn(TypeLowCardinality)
+	for _, v := range vals {
+		orig.AppendString(v)
+	}
+	var b1, b2 bytes.Buffer
+	if _, err := orig.WriteTo(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := got.WriteTo(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("re-serialized low-cardinality column differs from original")
+	}
+}
+
+func TestDecodeColumnErrors(t *testing.T) {
+	c := NewColumn(TypeLowCardinality)
+	for _, v := range []string{"x", "y", "x"} {
+		c.AppendString(v)
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, _, err := DecodeColumn(TypeLowCardinality, 3, data[:len(data)-1]); err == nil {
+		t.Fatal("truncated low-cardinality column decoded")
+	}
+	if _, _, err := DecodeColumn(TypeInt64, 5, []byte{1, 2}); err == nil {
+		t.Fatal("short int column decoded")
+	}
+	if _, _, err := DecodeColumn(ColumnType(200), 1, []byte{0}); err == nil {
+		t.Fatal("unknown column type decoded")
+	}
+	// Out-of-dictionary index is a hard error.
+	bad := NewColumn(TypeLowCardinality)
+	bad.AppendString("only")
+	var bb bytes.Buffer
+	if _, err := bad.WriteTo(&bb); err != nil {
+		t.Fatal(err)
+	}
+	raw := bb.Bytes()
+	raw[len(raw)-1] = 9 // index 9 into a 1-entry dictionary
+	if _, _, err := DecodeColumn(TypeLowCardinality, 1, raw); err == nil {
+		t.Fatal("out-of-dictionary index decoded")
+	}
+}
+
+func TestTableReset(t *testing.T) {
+	tab := NewTable("spans", []ColumnDef{{"id", TypeInt64}, {"svc", TypeLowCardinality}})
+	for i := 0; i < 4; i++ {
+		tab.NewRow().Int("id", int64(i)).Str("svc", "a").Commit()
+	}
+	tab.Reset()
+	if tab.Rows() != 0 || tab.Col("id").Len() != 0 {
+		t.Fatalf("Reset left %d rows", tab.Rows())
+	}
+	tab.NewRow().Int("id", 9).Str("svc", "b").Commit()
+	if tab.Rows() != 1 || tab.Col("id").Int(0) != 9 || tab.Col("svc").Str(0) != "b" {
+		t.Fatal("table unusable after Reset")
+	}
+}
+
+func TestTableSetPersistent(t *testing.T) {
+	tab := NewTable("spans", []ColumnDef{{"id", TypeInt64}})
+	tab.NewRow().Int("id", 1).Commit()
+	if tab.DiskSize() == 0 {
+		t.Fatal("estimate should be non-zero with a row")
+	}
+	tab.SetPersistent(func() int64 { return 12345 })
+	if got := tab.DiskSize(); got != 12345 {
+		t.Fatalf("DiskSize with persistent tier = %d, want 12345", got)
+	}
+}

@@ -20,6 +20,11 @@ type Table struct {
 	byName map[string]int
 	cols   []Column
 	rows   int
+
+	// persistent, when set, reports the actual on-disk bytes of the
+	// durable tier backing this table (WAL segments + sealed blocks); see
+	// SetPersistent.
+	persistent func() int64
 }
 
 // NewTable creates an empty table.
@@ -105,15 +110,39 @@ func (t *Table) MemBytes() int {
 // Blocks returns the number of column blocks the table serializes to.
 func (t *Table) Blocks() int { return len(t.cols) }
 
-// DiskSize returns the serialized size from the columns' incremental
-// accounting — equal to DiskBytes but O(columns) instead of a full
-// serialization, cheap enough for periodic self-monitoring scrapes.
+// SetPersistent attaches the durable tier's byte accounting to the table.
+// Once set, DiskSize reports fn() — the true on-disk footprint (WAL bytes
+// plus sealed block bytes) — instead of the what-if serialized estimate,
+// so `deepflow -stats` and the deepflow_server_storage_disk_bytes gauge
+// tell the truth when a data dir is configured. fn must be safe for
+// concurrent use (the durable tier backs it with atomics). Call before
+// ingest starts; the hook itself is not synchronized.
+func (t *Table) SetPersistent(fn func() int64) { t.persistent = fn }
+
+// DiskSize returns the table's on-disk footprint. With a persistent tier
+// attached (SetPersistent) this is the measured WAL + sealed-block byte
+// count; otherwise it is the serialized-size estimate from the columns'
+// incremental accounting — equal to DiskBytes but O(columns) instead of a
+// full serialization, cheap enough for periodic self-monitoring scrapes.
 func (t *Table) DiskSize() int64 {
+	if t.persistent != nil {
+		return t.persistent()
+	}
 	var n int64
 	for _, c := range t.cols {
 		n += c.DiskSize()
 	}
 	return n
+}
+
+// Reset drops every row, rebuilding empty columns under the same schema.
+// Retention rebuilds (server.SpanStore.EvictBefore) re-insert the
+// surviving rows through the normal row path afterwards.
+func (t *Table) Reset() {
+	for i, def := range t.schema {
+		t.cols[i] = NewColumn(def.Type)
+	}
+	t.rows = 0
 }
 
 // WriteTo serializes all column blocks (the on-disk representation) and

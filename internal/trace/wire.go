@@ -44,8 +44,8 @@ func AppendSpan(buf []byte, sp *Span) []byte {
 	buf = binary.AppendVarint(buf, int64(sp.ResponseCode))
 	buf = appendString(buf, sp.ResponseStatus)
 	buf = AppendResourceTags(buf, sp.Resource)
-	buf = appendCustom(buf, sp.Custom)
-	buf = appendNetMetrics(buf, sp.Net)
+	buf = AppendCustom(buf, sp.Custom)
+	buf = AppendNetMetrics(buf, sp.Net)
 	buf = binary.AppendUvarint(buf, uint64(sp.ParentID))
 	return buf
 }
@@ -83,8 +83,8 @@ func DecodeSpan(data []byte) (*Span, int, error) {
 	sp.ResponseCode = int32(r.Varint())
 	sp.ResponseStatus = r.String()
 	sp.Resource = r.ResourceTags()
-	sp.Custom = r.custom()
-	sp.Net = r.netMetrics()
+	sp.Custom = r.Custom()
+	sp.Net = r.NetMetrics()
 	sp.ParentID = SpanID(r.Uvarint())
 	if r.Err != nil {
 		return nil, 0, r.Err
@@ -115,7 +115,11 @@ func AppendResourceTags(buf []byte, rt ResourceTags) []byte {
 	return binary.AppendVarint(buf, int64(rt.AZID))
 }
 
-func appendCustom(buf []byte, m map[string]string) []byte {
+// AppendCustom appends a self-defined label map in sorted-key order, so
+// identical maps always produce identical bytes. Exported because sealed
+// storage blocks (internal/dstore) persist the span's non-columnar rest —
+// custom labels and net metrics — in this exact wire layout.
+func AppendCustom(buf []byte, m map[string]string) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(m)))
 	if len(m) == 0 {
 		return buf
@@ -132,7 +136,8 @@ func appendCustom(buf []byte, m map[string]string) []byte {
 	return buf
 }
 
-func appendNetMetrics(buf []byte, nm NetMetrics) []byte {
+// AppendNetMetrics appends a span's attached network metrics block.
+func AppendNetMetrics(buf []byte, nm NetMetrics) []byte {
 	buf = binary.AppendUvarint(buf, uint64(nm.Retransmissions))
 	buf = binary.AppendUvarint(buf, uint64(nm.Resets))
 	buf = binary.AppendUvarint(buf, uint64(nm.ZeroWindows))
@@ -248,7 +253,9 @@ func (r *WireReader) ResourceTags() ResourceTags {
 	}
 }
 
-func (r *WireReader) custom() map[string]string {
+// Custom reads a self-defined label map (AppendCustom's inverse); an empty
+// map decodes as nil, mirroring what agents ship.
+func (r *WireReader) Custom() map[string]string {
 	n := r.Uvarint()
 	if n == 0 || r.Err != nil {
 		return nil
@@ -265,7 +272,8 @@ func (r *WireReader) custom() map[string]string {
 	return m
 }
 
-func (r *WireReader) netMetrics() NetMetrics {
+// NetMetrics reads an attached network metrics block.
+func (r *WireReader) NetMetrics() NetMetrics {
 	return NetMetrics{
 		Retransmissions: uint32(r.Uvarint()),
 		Resets:          uint32(r.Uvarint()),

@@ -111,10 +111,10 @@ func (e *Encoder) Encode(b *Batch) []byte {
 		}
 	}
 	for i := range b.Flows {
-		buf = appendFlow(buf, &b.Flows[i])
+		buf = AppendFlowSample(buf, &b.Flows[i])
 	}
 	for i := range b.Profiles {
-		buf = appendProfile(buf, &b.Profiles[i])
+		buf = AppendProfileSample(buf, &b.Profiles[i])
 	}
 	return buf
 }
@@ -199,10 +199,10 @@ func Decode(data []byte) (*Batch, error) {
 		b.Spans = append(b.Spans, sp)
 	}
 	for i := uint64(0); i < nFlows && r.Err == nil; i++ {
-		b.Flows = append(b.Flows, decodeFlow(&r))
+		b.Flows = append(b.Flows, DecodeFlowSample(&r))
 	}
 	for i := uint64(0); i < nProfiles && r.Err == nil; i++ {
-		b.Profiles = append(b.Profiles, decodeProfile(&r))
+		b.Profiles = append(b.Profiles, DecodeProfileSample(&r))
 	}
 	if r.Err != nil {
 		return nil, r.Err
@@ -213,7 +213,11 @@ func Decode(data []byte) (*Batch, error) {
 	return b, nil
 }
 
-func appendFlow(buf []byte, f *FlowSample) []byte {
+// AppendFlowSample appends one kernel flow sample's wire encoding.
+// Exported (like AppendProfileSample) because sealed storage blocks
+// (internal/dstore) persist flow and profile side-sections in this exact
+// layout rather than inventing a second format.
+func AppendFlowSample(buf []byte, f *FlowSample) []byte {
 	buf = binary.AppendVarint(buf, f.TS.UnixNano())
 	buf = appendString(buf, f.Host)
 	buf = appendString(buf, f.NIC)
@@ -229,7 +233,8 @@ func appendFlow(buf []byte, f *FlowSample) []byte {
 	return binary.AppendUvarint(buf, f.KernelBytes)
 }
 
-func decodeFlow(r *trace.WireReader) FlowSample {
+// DecodeFlowSample reads one flow sample (AppendFlowSample's inverse).
+func DecodeFlowSample(r *trace.WireReader) FlowSample {
 	var f FlowSample
 	f.TS = nsUTC(r.Varint())
 	f.Host = r.String()
@@ -247,7 +252,8 @@ func decodeFlow(r *trace.WireReader) FlowSample {
 	return f
 }
 
-func appendProfile(buf []byte, ps *profiling.Sample) []byte {
+// AppendProfileSample appends one profile sample's wire encoding.
+func AppendProfileSample(buf []byte, ps *profiling.Sample) []byte {
 	buf = appendString(buf, ps.Host)
 	buf = binary.AppendUvarint(buf, uint64(ps.PID))
 	buf = appendString(buf, ps.ProcName)
@@ -261,7 +267,9 @@ func appendProfile(buf []byte, ps *profiling.Sample) []byte {
 	return trace.AppendResourceTags(buf, ps.Resource)
 }
 
-func decodeProfile(r *trace.WireReader) profiling.Sample {
+// DecodeProfileSample reads one profile sample (AppendProfileSample's
+// inverse).
+func DecodeProfileSample(r *trace.WireReader) profiling.Sample {
 	var ps profiling.Sample
 	ps.Host = r.String()
 	ps.PID = uint32(r.Uvarint())

@@ -69,4 +69,11 @@ go test -run TestBreakdownExactnessGate -count=1 ./internal/experiments
 echo ">> dfbench critpath (writes BENCH_critpath.json)"
 go run ./cmd/dfbench critpath
 
+echo ">> durable-storage gates (kill-and-replay determinism at 1 and 4 shards; clean shutdown replays zero WAL; TTL cascade keeps rollups exact)"
+go test -run 'TestDurableKillReplayDeterminism|TestDurableCleanShutdownZeroReplay|TestRetentionCascade' -count=1 ./internal/server
+go test -run 'TestStorageCorrectness|TestStorageServerKillReplay' -count=1 ./internal/experiments
+
+echo ">> dfbench storage (writes BENCH_storage.json; bytes/span per sealed encoding + cold-start replay rates)"
+go run ./cmd/dfbench storage
+
 echo "check.sh: all green"
